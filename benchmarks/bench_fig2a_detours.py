@@ -1,0 +1,33 @@
+"""Fig. 2a — prevalence of intra-African routes detouring off-continent.
+
+Paper: a non-trivial share of intra-African routes still leaves the
+continent; only ~40% of detours are attributable to EU Tier-1s/IXPs
+(the rest indicate European Tier-2 transit dependence); Southern Africa
+is the most route-local region.
+"""
+
+from conftest import emit
+
+from repro.analysis import analyze_snapshot
+from repro.geo import AFRICAN_REGIONS, Region
+from repro.reporting import ascii_table, pct
+
+
+def test_fig2a_detours(benchmark, topo, snapshot, geo, directory):
+    report = benchmark(analyze_snapshot, topo, snapshot, geo, directory)
+    rows = [["All intra-African",
+             report.sample_count(), pct(report.detour_rate())]]
+    for region in AFRICAN_REGIONS:
+        n = report.sample_count(region)
+        rows.append([region.value, n,
+                     pct(report.detour_rate(region)) if n else "n/a"])
+    emit(ascii_table(
+        ["scope", "pairs", "detour rate"], rows,
+        title="Fig.2a detour prevalence "
+              "(paper: non-trivial, Southern most local)"))
+    emit(f"Detour attribution to Tier-1/EU-IXP: "
+         f"{pct(report.attribution_share())} (paper: ~40%)")
+    assert report.detour_rate() > 0.4
+    assert report.detour_rate(Region.SOUTHERN_AFRICA) < \
+        report.detour_rate(Region.WESTERN_AFRICA)
+    assert 0.2 < report.attribution_share() < 0.7

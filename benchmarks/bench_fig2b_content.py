@@ -1,0 +1,31 @@
+"""Fig. 2b — content localization across Africa.
+
+Paper: only ~30% of popular content is served from within Africa;
+Southern Africa is the most content-local region, Western the least
+mature of the majors.
+"""
+
+from conftest import emit
+
+from repro.analysis import analyze_content_locality
+from repro.datasets import run_pulse_study
+from repro.geo import Region
+from repro.reporting import ascii_table, pct
+
+
+def test_fig2b_content_locality(benchmark, topo):
+    study = run_pulse_study(topo)
+    report = benchmark(analyze_content_locality, study)
+    rows = [[row.region.value, row.samples,
+             pct(row.africa_local_share), pct(row.in_country_share),
+             pct(row.cdn_share)]
+            for row in report.rows]
+    rows.append(["All Africa", len(study.samples),
+                 pct(report.overall_africa_share()), "", ""])
+    emit(ascii_table(
+        ["region", "sites", "served from Africa", "served in-country",
+         "CDN share"],
+        rows,
+        title="Fig.2b content localization (paper: ~30% local overall)"))
+    assert 0.20 < report.overall_africa_share() < 0.45
+    assert report.most_local_region() is Region.SOUTHERN_AFRICA

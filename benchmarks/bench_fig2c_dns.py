@@ -1,0 +1,38 @@
+"""Fig. 2c — local DNS resolver use across Africa.
+
+Paper: many regions rely heavily on resolvers in other countries and on
+cloud resolvers, and African cloud-resolver traffic is served almost
+entirely from South Africa (§5.2).
+"""
+
+from conftest import emit
+
+from repro.analysis import analyze_dns_locality
+from repro.datasets import build_resolver_usage
+from repro.geo import Region
+from repro.reporting import ascii_table, pct
+
+
+def test_fig2c_dns_locality(benchmark, topo):
+    records = build_resolver_usage(topo)
+    report = benchmark(analyze_dns_locality, records)
+    rows = []
+    for row in report.rows:
+        rows.append([row.region.value, row.countries,
+                     pct(row.local_share), pct(row.other_african_share),
+                     pct(row.cloud_share), pct(row.foreign_share),
+                     pct(row.cloud_from_za_share)])
+    emit(ascii_table(
+        ["region", "countries", "local", "other African country",
+         "cloud", "outside Africa", "cloud via ZA"],
+        rows,
+        title="Fig.2c resolver locality "
+              "(paper: heavy remote/cloud reliance, clouds in ZA)"))
+    assert report.african_nonlocal_share() > 0.3
+    for row in report.rows:
+        if row.region.is_african and row.cloud_share > 0:
+            assert row.cloud_from_za_share > 0.8
+    eu = report.row_for(Region.EUROPE)
+    assert eu.local_share > max(
+        r.local_share for r in report.rows
+        if r.region in (Region.WESTERN_AFRICA, Region.CENTRAL_AFRICA))

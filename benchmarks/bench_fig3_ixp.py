@@ -1,0 +1,38 @@
+"""Fig. 3 — prevalence of IXPs in local traffic.
+
+Paper: only ~10% of intra-African traceroutes traverse any IXP; the
+best region (Central, dominated by Kinshasa pairs over KINIX) reaches
+~55%; Northern Africa is excluded because no IXP shows up in the data.
+"""
+
+from conftest import emit
+
+from repro.analysis import analyze_snapshot
+from repro.geo import AFRICAN_REGIONS, Region
+from repro.reporting import ascii_table, bar_chart, pct
+
+
+def test_fig3_ixp_prevalence(benchmark, topo, snapshot, geo, directory):
+    report = benchmark(analyze_snapshot, topo, snapshot, geo, directory)
+    rows = [["All intra-African", report.sample_count(),
+             pct(report.ixp_traversal_rate())]]
+    points = []
+    for region in AFRICAN_REGIONS:
+        n = report.sample_count(region)
+        rate = report.ixp_traversal_rate(region)
+        excluded = n == 0 or (rate == 0.0
+                              and region is Region.NORTHERN_AFRICA)
+        rows.append([region.value, n,
+                     "excluded (no IXPs in data)" if excluded
+                     else pct(rate)])
+        if not excluded:
+            points.append((region.value, rate))
+    emit(ascii_table(["scope", "pairs", "IXP traversal"], rows,
+                     title="Fig.3 IXP prevalence in local traffic "
+                           "(paper: ~10% overall, best region ~55%)"))
+    emit(bar_chart(points, title="Fig.3 traversal by region"))
+    assert report.ixp_traversal_rate() < 0.35
+    northern = report.ixp_traversal_rate(Region.NORTHERN_AFRICA)
+    assert northern < 0.05  # effectively invisible, as in the paper
+    best = max(report.ixp_traversal_rate(r) for r in AFRICAN_REGIONS)
+    assert best > 2 * report.ixp_traversal_rate()

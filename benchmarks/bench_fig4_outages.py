@@ -1,0 +1,46 @@
+"""Fig. 4 — characterization of the impact of outages.
+
+Paper: Africa experiences ~4x the outages of EU/N. America; subsea
+cable cuts affect the most countries per event and take the longest to
+resolve (~30 countries hit over two years).
+"""
+
+from conftest import emit
+
+from repro.analysis import analyze_outages
+from repro.datasets import build_radar_feed
+from repro.outages import OutageCause, OutageSimulator
+from repro.reporting import ascii_table
+
+
+def _simulate(topo, phys):
+    simulation = OutageSimulator(topo, phys).simulate(years=2.0)
+    feed = build_radar_feed(simulation, seed=topo.params.seed)
+    return simulation, analyze_outages(simulation, feed)
+
+
+def test_fig4_outage_impact(benchmark, topo, phys):
+    simulation, report = benchmark(_simulate, topo, phys)
+    rows = [[row.cause, row.events,
+             f"{row.median_duration_days:.2f}",
+             f"{row.max_duration_days:.1f}",
+             f"{row.mean_countries_affected:.1f}",
+             row.countries_affected_total]
+            for row in sorted(report.rows,
+                              key=lambda r: -r.median_duration_days)]
+    emit(ascii_table(
+        ["cause", "events", "median days", "max days",
+         "countries/event", "countries total"],
+        rows,
+        title="Fig.4 outage impact over 2 simulated years "
+              "(paper: cable cuts longest, widest)"))
+    emit(f"Outage rate: Africa "
+         f"{report.africa_rate_per_country_year:.2f}/country/yr vs "
+         f"EU+NA {report.reference_rate_per_country_year:.2f} — ratio "
+         f"{report.rate_ratio():.1f}x (paper: ~4x)\n"
+         f"African countries hit by cable cuts: "
+         f"{len(simulation.countries_hit_by_cable_cuts())} "
+         f"(paper: ~30 over two years)")
+    assert report.longest_cause() == OutageCause.SUBSEA_CABLE_CUT.value
+    assert report.rate_ratio() > 2.0
+    assert 10 <= len(simulation.countries_hit_by_cable_cuts()) <= 54

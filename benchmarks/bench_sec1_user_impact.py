@@ -1,0 +1,64 @@
+"""§1 — the user-facing impact that motivates the paper.
+
+"Ghana's ministry noted that cable cuts disrupted banking transactions
+and digital payments."  The page-load simulator composes every §4-§5
+dependency (DNS, detour RTTs, congestion, foreign third parties) into
+the metric users actually experience, before and during the March-2024
+event.
+"""
+
+from conftest import emit
+
+from repro.measurement import AccessTech, run_pageload_study
+from repro.outages import march_2024_scenario
+from repro.reporting import ascii_table
+
+
+def _study_pair(topo, phys, iso2, west):
+    base = run_pageload_study(topo, phys, iso2, sites_per_client=6)
+    cut = run_pageload_study(topo, phys, iso2, sites_per_client=6,
+                             down_cables=west)
+    return base, cut
+
+
+def test_sec1_pageload_during_cut(benchmark, topo, phys):
+    west, _ = march_2024_scenario(topo)
+    rows = []
+    pairs = {}
+    for iso2 in ("GH", "CI", "NG", "KE", "ZA"):
+        base, cut = _study_pair(topo, phys, iso2, west)
+        pairs[iso2] = (base, cut)
+        fmt = lambda v: f"{v:.0f} ms" if v else "—"
+        rows.append([iso2,
+                     f"{base.failure_rate():.0%}",
+                     fmt(base.median_load_ms()),
+                     f"{cut.failure_rate():.0%}",
+                     fmt(cut.median_load_ms())])
+    emit(ascii_table(
+        ["country", "failures (normal)", "median load (normal)",
+         "failures (March-2024)", "median load (March-2024)"],
+        rows,
+        title="§1 user impact: mobile page loads before/during the "
+              "west-coast cable cuts"))
+    benchmark(run_pageload_study, topo, phys, "GH", west, 4)
+    gh_base, gh_cut = pairs["GH"]
+    ke_base, ke_cut = pairs["KE"]
+    assert gh_cut.failure_rate() > gh_base.failure_rate() + 0.2
+    assert ke_cut.failure_rate() <= ke_base.failure_rate() + 0.05
+
+
+def test_sec1_third_party_dependence(benchmark, topo, phys):
+    """Even healthy pages pay for foreign dependencies ([45])."""
+    from repro.measurement import PageLoadSimulator, dependencies_of
+    simulator = PageLoadSimulator(topo, phys)
+    client = next(a.asn for a in topo.ases_in_country("GH")
+                  if a.asn in topo.resolver_configs)
+    dep_counts = benchmark(
+        lambda: [len(dependencies_of(s))
+                 for s in topo.websites["GH"][:20]])
+    pages = len(dep_counts)
+    foreign_deps = sum(dep_counts)
+    emit(f"§1 dependency surface: GH top pages embed "
+         f"{foreign_deps / pages:.1f} foreign third-party services on "
+         "average — each an independent failure point during cuts")
+    assert foreign_deps / pages >= 1.0

@@ -1,0 +1,50 @@
+"""§4.2 mechanism — anycast catchments drain African clients to Europe.
+
+MAnycast-style census over all African countries: even services with
+African PoPs serve a large share of African clients from Europe
+(capacity-weighted routing ties), which is the plumbing behind both
+Fig. 2b's content numbers and Fig. 2c's cloud resolvers.
+"""
+
+from conftest import emit
+
+from repro.geo import AFRICAN_COUNTRIES, country
+from repro.measurement import AnycastMeasurement, services_from_topology
+from repro.outages import march_2024_scenario
+from repro.reporting import ascii_table, pct
+
+
+def test_sec42_anycast_census(benchmark, topo, phys):
+    measurement = AnycastMeasurement(topo, phys)
+    services = services_from_topology(topo)
+    census = benchmark(measurement.census, sorted(AFRICAN_COUNTRIES),
+                       services)
+    sites = census.site_distribution()
+    total = sum(sites.values())
+    rows = [[cc, n, pct(n / total),
+             "Africa" if country(cc).is_african else "abroad"]
+            for cc, n in sorted(sites.items(), key=lambda kv: -kv[1])]
+    emit(ascii_table(
+        ["site", "catchment share", "%", "continent"],
+        rows,
+        title="§4.2 anycast census: where African clients land"))
+    emit(f"African clients staying on African sites: "
+         f"{pct(census.african_locality())}")
+    assert 0.2 < census.african_locality() < 0.8
+    assert any(not country(cc).is_african for cc in sites)
+
+
+def test_sec42_catchments_under_cable_cut(benchmark, topo, phys):
+    """The March-2024 event re-homes West-African catchments."""
+    measurement = AnycastMeasurement(topo, phys)
+    west, _ = march_2024_scenario(topo)
+    clients = ["GH", "CI", "NG", "SN", "BJ", "TG"]
+    base = measurement.census(clients)
+    cut = benchmark(measurement.census, clients, None, west)
+    base_local = base.african_locality()
+    cut_local = cut.african_locality()
+    emit(f"§4.2 under the west-coast cut: West-African anycast "
+         f"locality {pct(base_local)} -> {pct(cut_local)} "
+         f"({len(cut.observations)}/{len(base.observations)} "
+         f"catchments still reachable)")
+    assert len(cut.observations) <= len(base.observations)

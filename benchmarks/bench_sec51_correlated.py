@@ -1,0 +1,46 @@
+"""§5.1 — correlated cable failures and the March-2024 replay.
+
+Paper: one incident near Abidjan cut four co-located cables (WACS,
+MainOne, SAT-3, ACE), ~10 countries down each event, backups often
+oversubscribed because everyone fails over at once.
+"""
+
+from conftest import emit
+
+from repro.analysis import analyze_correlation
+from repro.observatory import WhatIfCutCables
+from repro.outages import OutageSimulator, march_2024_scenario
+from repro.reporting import ascii_table
+
+
+def test_sec51_march_2024_replay(benchmark, topo, phys):
+    west, east = march_2024_scenario(topo)
+    scenario = WhatIfCutCables(topo)
+    severities = benchmark(scenario.country_severities, west)
+    heavy = {cc: s for cc, s in severities.items() if s >= 0.25}
+    rows = sorted(heavy.items(), key=lambda kv: -kv[1])
+    emit(ascii_table(
+        ["country", "traffic lost"],
+        [[cc, f"{s:.0%}"] for cc, s in rows],
+        title="§5.1 March-2024 west-coast replay: "
+              "WACS+MainOne+SAT-3+ACE cut "
+              "(paper: ~10 countries down per event)"))
+    assert 5 <= len(heavy) <= 25
+    assert heavy.get("GH", 0) > 0.25  # Ghana's documented crisis
+
+    east_sev = scenario.country_severities(east)
+    assert east_sev.get("GH", 0.0) < 0.05  # different corridor
+
+
+def test_sec51_correlation_statistics(benchmark, topo, phys):
+    simulation = benchmark(
+        lambda: OutageSimulator(topo, phys).simulate(years=10.0))
+    report = analyze_correlation(simulation)
+    emit(f"§5.1 over 10 simulated years: {report.cable_events} cable "
+         f"events, {report.multi_cable_share():.0%} multi-cable "
+         f"(mean {report.mean_cables_per_event:.1f} cables/event); "
+         f"backups oversubscribed in "
+         f"{report.oversubscription_rate():.0%} of activations")
+    assert report.multi_cable_share() > 0.25
+    assert report.mean_cables_per_event > 1.2
+    assert report.oversubscription_rate() > 0.3

@@ -1,0 +1,70 @@
+"""§5.2 takeaway — the policy-compliance watchdog.
+
+"Similar efforts should be made to legislate these critical
+dependencies and ... watchdogs should be created to continuously
+assess policy adherence."  We run the default legislative package over
+the continent and show where it fails — and that the correlated-
+failure-aware diversity metric disagrees with naive cable counting.
+"""
+
+from conftest import emit
+
+from repro.geo import AFRICAN_REGIONS
+from repro.observatory import (
+    DEFAULT_POLICY_PACKAGE,
+    PolicyKind,
+    PolicyWatchdog,
+)
+from repro.reporting import ascii_table, pct
+
+
+def test_sec52_compliance_sweep(benchmark, topo, phys):
+    watchdog = PolicyWatchdog(topo, phys)
+    report = benchmark(watchdog.assess, DEFAULT_POLICY_PACKAGE)
+    rows = []
+    for kind in PolicyKind:
+        rows.append([kind.value, pct(report.compliance_rate(kind))])
+    emit(ascii_table(
+        ["policy", "countries compliant"],
+        rows,
+        title="§5.2 watchdog: continental compliance with the default "
+              "legislative package"))
+    by_region = {}
+    for region in AFRICAN_REGIONS:
+        from repro.geo import countries_in_region
+        ccs = [c.iso2 for c in countries_in_region(region)]
+        findings = [f for f in report.findings if f.iso2 in ccs]
+        by_region[region.value] = (
+            sum(f.compliant for f in findings) / len(findings))
+    emit(ascii_table(
+        ["region", "compliance"],
+        [[k, pct(v)] for k, v in by_region.items()],
+        title="Compliance by region"))
+    assert 0.1 < report.compliance_rate() < 0.9  # room for regulation
+    # DNS localisation is the weakest front (§5.2's alarm).
+    assert report.compliance_rate(PolicyKind.DNS_LOCALIZATION) < 0.6
+
+
+def test_sec52_diversity_vs_cable_count(benchmark, topo, phys):
+    """§5.1: legislation that counts cables overstates resilience;
+    counting *corridors* is what matters."""
+    watchdog = PolicyWatchdog(topo, phys)
+    countries = ("GH", "NG", "CI", "SN", "KE", "DJ")
+    diverse = benchmark(
+        lambda: {cc: watchdog.diverse_path_count(cc)
+                 for cc in countries})
+    rows = []
+    overstated = 0
+    for iso2 in countries:
+        cables = len(topo.cables_landing_in(iso2))
+        corridors = diverse[iso2]
+        rows.append([iso2, cables, corridors])
+        if cables >= 2 * corridors:
+            overstated += 1
+    emit(ascii_table(
+        ["country", "cables landed (naive diversity)",
+         "physically diverse paths (corridor-aware)"],
+        rows,
+        title="§5.1 implication: collocation makes cable counts "
+              "misleading"))
+    assert overstated >= 3

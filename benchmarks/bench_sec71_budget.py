@@ -1,0 +1,89 @@
+"""§7.1 — cost-conscious scheduling under per-country pricing models.
+
+Paper requirement: "judiciously allocate the bandwidth budget ...
+maximizing reuse and meeting a predefined budget", supporting multiple
+pricing models and low-level (billed) rather than application-level
+accounting.
+"""
+
+from conftest import emit
+
+from repro.measurement import AccessTech
+from repro.observatory import (
+    MeasurementTask,
+    ObservatoryPlatform,
+    PlacementObjective,
+    plan_for,
+    schedule_cost_aware,
+    wire_bytes,
+)
+from repro.reporting import ascii_table
+
+
+def _campaign_tasks():
+    tasks = []
+    for i in range(40):
+        tasks.append(MeasurementTask(
+            task_id=f"trace-{i}", kind="traceroute",
+            target=f"ixp-member-{i % 10}", app_bytes=150_000,
+            runs_per_month=240, utility=2.0))
+    for i in range(20):
+        tasks.append(MeasurementTask(
+            task_id=f"dns-{i}", kind="dns", target=f"resolver-{i % 5}",
+            app_bytes=20_000, runs_per_month=960, utility=1.5))
+    for i in range(10):
+        tasks.append(MeasurementTask(
+            task_id=f"page-{i}", kind="pageload", target=f"top-site-{i}",
+            app_bytes=25_000_000, runs_per_month=60, utility=3.0,
+            requires_access=AccessTech.CELLULAR))
+    return tasks
+
+
+def test_sec71_budget_sweep(benchmark, topo):
+    platform = ObservatoryPlatform(
+        topo, objective=PlacementObjective.IXP_COVERAGE)
+    tasks = _campaign_tasks()
+    rows = []
+    for budget in (2.0, 5.0, 10.0, 25.0):
+        schedule = schedule_cost_aware(platform.fleet.probes, tasks,
+                                       budget)
+        rows.append([f"${budget:.0f}",
+                     len(schedule.assignments), len(schedule.unplaced),
+                     f"${schedule.total_cost_usd:.2f}",
+                     f"{schedule.total_utility:.0f}",
+                     f"{schedule.utility_per_dollar():.1f}"])
+    emit(ascii_table(
+        ["monthly budget/probe", "placed", "unplaced", "spend",
+         "utility", "utility/$"],
+        rows,
+        title="§7.1 budget-aware scheduling sweep"))
+    schedule = benchmark(schedule_cost_aware, platform.fleet.probes,
+                         tasks, 10.0)
+    for account in schedule.accounts.values():
+        assert account.spent_usd <= 10.0 + 1e-9
+
+
+def test_sec71_pricing_models_differ(benchmark, topo):
+    """The same workload costs wildly different amounts per market."""
+    rows = []
+    workload = benchmark(wire_bytes, 500 * 2**20,
+                         AccessTech.CELLULAR)
+    per_gb = {}
+    for iso2 in ("DE", "ZA", "KE", "NG", "CD"):
+        plan = plan_for(iso2)
+        from repro.observatory import BudgetAccount
+        account = BudgetAccount(plan, monthly_budget_usd=1e9)
+        cost = account.charge(workload)
+        per_gb[iso2] = plan.usd_per_gb
+        rows.append([iso2, plan.model.value, f"${plan.usd_per_gb:.2f}",
+                     f"${cost:.2f}"])
+    emit(ascii_table(
+        ["country", "pricing model", "USD/GB", "cost of 500MB-app "
+         "cellular workload (billed bytes)"],
+        rows,
+        title="§7.1 the same campaign priced per market "
+              "(postpaid rows pay a flat subscription)"))
+    # The paper's cost problem: African mobile data costs a multiple of
+    # European rates, Central Africa worst of all.
+    assert per_gb["CD"] > per_gb["DE"] * 3
+    assert per_gb["NG"] > per_gb["DE"] * 2

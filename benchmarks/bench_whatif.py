@@ -1,0 +1,69 @@
+"""§8 — the what-if simulators the Observatory exists to feed.
+
+Three interventions regulators keep asking about (§1), each measured
+as baseline vs modified world:
+
+* a geographically diverse cable for a west-coast economy,
+* legislated DNS localisation,
+* mandated local peering at the national IXP.
+"""
+
+from conftest import emit
+
+from repro.observatory import (
+    WhatIfAddCable,
+    WhatIfLocalizeDNS,
+    WhatIfMandateLocalPeering,
+)
+from repro.outages import march_2024_scenario
+from repro.reporting import ascii_table
+
+
+def test_whatif_diverse_cable(benchmark, topo):
+    west, _ = march_2024_scenario(topo)
+    scenario = WhatIfAddCable(topo)
+    modified = benchmark(scenario.apply, "Diverse-SouthAtlantic",
+                         ("GH", "BR"), 80.0)
+    rows = []
+    for cc in ("GH", "CI", "NG"):
+        outcome = scenario.cut_severity(cc, west, modified)
+        rows.append([cc, f"{outcome.baseline:.0%}",
+                     f"{outcome.modified:.0%}",
+                     f"{outcome.delta:+.0%}"])
+    emit(ascii_table(
+        ["country", "March-2024 severity", "with diverse cable",
+         "delta"],
+        rows,
+        title="What-if: geographically diverse cable (§5.1 implication)"))
+    gh = scenario.cut_severity("GH", west, modified)
+    assert gh.modified < gh.baseline
+
+
+def test_whatif_dns_localization(benchmark, topo):
+    west, _ = march_2024_scenario(topo)
+    scenario = WhatIfLocalizeDNS(topo)
+    benchmark(scenario.apply, "GH", 1.0)
+    rows = []
+    for share in (0.0, 0.5, 1.0):
+        modified = scenario.apply("GH", share) if share else topo
+        outcome = scenario.outage_resolution_failure(
+            "GH", west, modified, domains=4)
+        rows.append([f"{share:.0%}", f"{outcome.modified:.0%}"])
+    emit(ascii_table(
+        ["resolvers localized", "DNS failure rate during cut"],
+        rows,
+        title="What-if: legislated resolver localisation for Ghana "
+              "(§5.2 takeaway)"))
+    full = scenario.outage_resolution_failure(
+        "GH", west, scenario.apply("GH", 1.0), domains=4)
+    assert full.modified <= full.baseline
+
+
+def test_whatif_mandated_peering(benchmark, topo):
+    scenario = WhatIfMandateLocalPeering(topo)
+    modified = benchmark(scenario.apply, "NG")
+    outcome = scenario.domestic_detour_rate("NG", modified)
+    emit(f"What-if mandated local peering in NG: domestic detour rate "
+         f"{outcome.baseline:.0%} -> {outcome.modified:.0%} "
+         f"(boomerang routing eliminated)")
+    assert outcome.modified <= outcome.baseline

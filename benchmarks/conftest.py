@@ -1,0 +1,78 @@
+"""Shared state for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures:
+it times the analysis with pytest-benchmark and emits the same
+rows/series the paper reports, both to stdout and to
+``benchmarks/results.txt`` (append-mode, truncated at session start) so
+EXPERIMENTS.md can quote measured numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import build_world
+from repro.datasets import build_ixp_directory, collect_snapshot
+from repro.measurement import (
+    GeolocationService,
+    MeasurementEngine,
+    build_atlas_platform,
+)
+from repro.routing import BGPRouting, PhysicalNetwork
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+DEFAULT_SEED = 2025
+
+
+def pytest_sessionstart(session):
+    RESULTS_PATH.write_text("")
+
+
+def emit(block: str) -> None:
+    """Print a result block and archive it for EXPERIMENTS.md."""
+    text = block.rstrip() + "\n\n"
+    print("\n" + text, end="")
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(text)
+
+
+@pytest.fixture(scope="session")
+def topo():
+    return build_world(seed=DEFAULT_SEED)
+
+
+@pytest.fixture(scope="session")
+def routing(topo):
+    return BGPRouting(topo)
+
+
+@pytest.fixture(scope="session")
+def phys(topo):
+    return PhysicalNetwork(topo)
+
+
+@pytest.fixture(scope="session")
+def engine(topo, routing, phys):
+    return MeasurementEngine(topo, routing, phys)
+
+
+@pytest.fixture(scope="session")
+def atlas(topo):
+    return build_atlas_platform(topo)
+
+
+@pytest.fixture(scope="session")
+def geo(topo):
+    return GeolocationService(topo)
+
+
+@pytest.fixture(scope="session")
+def directory(topo):
+    return build_ixp_directory(topo)
+
+
+@pytest.fixture(scope="session")
+def snapshot(topo, engine, atlas):
+    return collect_snapshot(topo, engine, atlas, max_pairs=1500)

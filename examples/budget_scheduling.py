@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Cost-conscious measurement scheduling across African pricing models.
+
+Defines a realistic monthly campaign (IXP traceroutes, resolver checks,
+cellular page loads), prices it per market, and schedules it across an
+Observatory fleet under different budgets — including the full
+experiment-vetting lifecycle of §7.1's "trusted cohort".
+
+Run:  python examples/budget_scheduling.py
+"""
+
+from repro import build_world
+from repro.measurement import AccessTech
+from repro.observatory import (
+    Experiment,
+    MeasurementTask,
+    ObservatoryPlatform,
+    PlacementObjective,
+    plan_for,
+    schedule_cost_aware,
+    schedule_round_robin,
+    wire_bytes,
+)
+from repro.reporting import ascii_table
+
+
+def campaign_tasks() -> list[MeasurementTask]:
+    tasks = []
+    for i in range(30):
+        tasks.append(MeasurementTask(
+            f"ixp-trace-{i}", "traceroute", f"ixp-member-{i % 8}",
+            app_bytes=150_000, runs_per_month=30, utility=2.0))
+    for i in range(15):
+        tasks.append(MeasurementTask(
+            f"dns-probe-{i}", "dns", f"resolver-{i % 5}",
+            app_bytes=20_000, runs_per_month=120, utility=1.5))
+    for i in range(8):
+        tasks.append(MeasurementTask(
+            f"mobile-pageload-{i}", "pageload", f"top-site-{i}",
+            app_bytes=2_500_000, runs_per_month=10, utility=3.0,
+            requires_access=AccessTech.CELLULAR))
+    return tasks
+
+
+def main() -> None:
+    topo = build_world(seed=2025)
+
+    # How the same gigabyte is billed across markets (§7.1).
+    rows = []
+    for iso2 in ("DE", "ZA", "KE", "NG", "GH", "CD"):
+        plan = plan_for(iso2)
+        rows.append([iso2, plan.model.value, f"${plan.usd_per_gb:.2f}",
+                     f"{plan.bundle_mb} MB"])
+    print(ascii_table(["country", "model", "USD/GB", "bundle"],
+                      rows, title="Pricing models per market"))
+    cellular = wire_bytes(1_000_000, AccessTech.CELLULAR)
+    print(f"\n1 MB of application traffic bills as "
+          f"{cellular / 1e6:.2f} MB on cellular (low-level accounting)")
+
+    # Full platform lifecycle: vet, approve, schedule.
+    platform = ObservatoryPlatform(
+        topo, objective=PlacementObjective.COUNTRY_COVERAGE,
+        probe_budget=30, monthly_budget_usd=8.0,
+        trusted_cohort={"observatory-core"})
+    experiment = Experiment("monthly-campaign", "observatory-core",
+                            "IXP + DNS + mobile QoE sweep",
+                            tasks=campaign_tasks())
+    platform.submit(experiment)
+    print(f"\nExperiment vetting: {experiment.status.value}")
+    schedule = platform.schedule_experiment("monthly-campaign")
+
+    naive = schedule_round_robin(platform.fleet.probes, campaign_tasks(),
+                                 8.0)
+    print(ascii_table(
+        ["scheduler", "tasks placed", "unplaced", "monthly spend",
+         "utility", "utility/$"],
+        [["cost-aware + reuse", len(schedule.assignments),
+          len(schedule.unplaced), f"${schedule.total_cost_usd:.2f}",
+          f"{schedule.total_utility:.0f}",
+          f"{schedule.utility_per_dollar():.1f}"],
+         ["round-robin", len(naive.assignments), len(naive.unplaced),
+          f"${naive.total_cost_usd:.2f}", f"{naive.total_utility:.0f}",
+          f"{naive.utility_per_dollar():.1f}"]],
+        title="Schedule under $8/probe/month"))
+
+
+if __name__ == "__main__":
+    main()

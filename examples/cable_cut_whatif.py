@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Replay the March-2024 cable cuts and test two interventions.
+
+Scenario 1 — the event (§5.1): one corridor incident near Abidjan cuts
+WACS, MainOne, SAT-3 and ACE at once.  We measure per-country traffic
+loss and DNS breakage.
+
+Scenario 2 — interventions (§5.1/§5.2 implications): a geographically
+diverse cable, and legislated DNS localisation for Ghana.
+
+Run:  python examples/cable_cut_whatif.py
+"""
+
+from repro import build_world
+from repro.observatory import (
+    DNSDependencyCampaign,
+    WhatIfAddCable,
+    WhatIfCutCables,
+    WhatIfLocalizeDNS,
+)
+from repro.outages import march_2024_scenario
+from repro.reporting import ascii_table
+from repro.routing import PhysicalNetwork
+
+
+def main() -> None:
+    topo = build_world(seed=2025)
+    phys = PhysicalNetwork(topo)
+    west, east = march_2024_scenario(topo)
+    names = {c.cable_id: c.name for c in topo.cables}
+    print("March-2024 west-coast event: cutting "
+          + ", ".join(names[c] for c in west))
+
+    cut = WhatIfCutCables(topo)
+    severities = cut.country_severities(west)
+    heavy = sorted(((cc, s) for cc, s in severities.items() if s > 0.2),
+                   key=lambda kv: -kv[1])
+    print(ascii_table(["country", "international traffic lost"],
+                      [[cc, f"{s:.0%}"] for cc, s in heavy],
+                      title="Impact (traffic-weighted capacity loss)"))
+
+    dns = DNSDependencyCampaign(topo, phys)
+    rows = dns.run(["GH", "CI", "NG", "SN"], west)
+    print(ascii_table(
+        ["country", "non-local resolvers", "DNS failures (baseline)",
+         "DNS failures (during cut)"],
+        [[r.iso2, f"{r.nonlocal_share:.0%}",
+          f"{r.baseline_failure_rate:.0%}",
+          f"{r.cable_cut_failure_rate:.0%}"] for r in rows],
+        title="Hidden DNS dependency (§5.2)"))
+
+    # Intervention 1: a diverse South-Atlantic cable for Ghana.
+    add = WhatIfAddCable(topo)
+    modified = add.apply("Ghana-Brazil-Diverse", ("GH", "BR"),
+                         capacity_tbps=80.0)
+    outcome = add.cut_severity("GH", west, modified)
+    print(f"\nWhat-if diverse cable: Ghana's severity "
+          f"{outcome.baseline:.0%} -> {outcome.modified:.0%}")
+
+    # Intervention 2: legislate resolver localisation in Ghana.
+    localize = WhatIfLocalizeDNS(topo)
+    local_world = localize.apply("GH", localized_share=1.0)
+    dns_outcome = localize.outage_resolution_failure(
+        "GH", west, local_world, domains=5)
+    print(f"What-if DNS localisation: Ghana's outage DNS failure rate "
+          f"{dns_outcome.baseline:.0%} -> {dns_outcome.modified:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Purpose-driven probe placement vs volunteer platforms (§7.3).
+
+Runs the footnote-1 greedy set cover (which ASes jointly cover all 77
+African IXPs), compares the result against an Atlas-style volunteer
+deployment, and replays the Kigali AS36924 experiment.
+
+Run:  python examples/probe_placement.py
+"""
+
+from repro import build_world
+from repro.datasets import build_ixp_directory
+from repro.measurement import MeasurementEngine, build_atlas_platform
+from repro.observatory import (
+    ObservatoryPlatform,
+    PlacementObjective,
+    compare_ixp_coverage,
+    ixp_cover_hosts,
+    kigali_comparison,
+)
+from repro.reporting import ascii_table
+from repro.routing import BGPRouting, PhysicalNetwork
+
+
+def main() -> None:
+    topo = build_world(seed=2025)
+    cover = ixp_cover_hosts(topo)
+    print(f"Greedy set cover: {len(cover.chosen)} host ASNs cover "
+          f"{len(cover.covered)}/77 African IXPs (paper: 34)")
+    rows = []
+    covered_so_far = 0
+    for i, asn in enumerate(cover.chosen[:10]):
+        gain = cover.curve[i] - covered_so_far
+        covered_so_far = cover.curve[i]
+        rows.append([i + 1, f"AS{asn}", topo.as_(asn).name, gain,
+                     covered_so_far])
+    print(ascii_table(
+        ["pick", "ASN", "network", "new IXPs", "total covered"],
+        rows, title="First ten picks"))
+
+    atlas = build_atlas_platform(topo)
+    comparison = compare_ixp_coverage(topo, atlas)
+    print(f"\nAtlas-like volunteers: {comparison.atlas_hosts} host ASes "
+          f"reach only {comparison.atlas_covered}/77 IXPs")
+
+    engine = MeasurementEngine(topo, BGPRouting(topo),
+                               PhysicalNetwork(topo))
+    obs, ref = kigali_comparison(
+        topo, engine, build_ixp_directory(topo, complete=True), atlas)
+    print(f"Kigali experiment: targeted probe on AS36924 surfaced "
+          f"{obs.detected_count()} African IXPs vs "
+          f"{ref.detected_count()} for Atlas builtins "
+          f"(+{obs.detected_count() - ref.detected_count()}; paper: +14)")
+
+    platform = ObservatoryPlatform(
+        topo, objective=PlacementObjective.IXP_COVERAGE)
+    print("\nDeployed Observatory fleet:",
+          platform.fleet_report())
+
+
+if __name__ == "__main__":
+    main()

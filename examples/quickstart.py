@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build the synthetic African Internet and look around.
+
+Builds the default world, runs a traceroute from the paper's Kigali
+vantage (AS36924) toward a Ghanaian eyeball, and prints the headline
+connectivity facts the paper revolves around.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_world
+from repro.datasets import build_ixp_directory, collect_snapshot
+from repro.measurement import (
+    AccessTech,
+    GeolocationService,
+    MeasurementEngine,
+    ProbeKind,
+    VantagePoint,
+    build_atlas_platform,
+)
+from repro.analysis import analyze_snapshot
+from repro.reporting import ascii_table, pct
+from repro.routing import BGPRouting, PhysicalNetwork
+
+
+def main() -> None:
+    print("Building world (seed=2025)...")
+    topo = build_world(seed=2025)
+    print(ascii_table(["metric", "value"],
+                      sorted(topo.summary().items()),
+                      title="World summary"))
+
+    routing = BGPRouting(topo)
+    phys = PhysicalNetwork(topo)
+    engine = MeasurementEngine(topo, routing, phys)
+
+    # A traceroute from Kigali (AS36924, §7.3) to a Ghanaian network.
+    probe = VantagePoint(probe_id=1, asn=36924, country_iso2="RW",
+                         kind=ProbeKind.RASPBERRY_PI,
+                         access=AccessTech.FIXED)
+    gh = next(a for a in topo.ases_in_country("GH") if a.kind.is_eyeball)
+    trace = engine.traceroute(probe, gh.prefixes[0].network + 20)
+    print(f"\nTraceroute AS36924 (Kigali) -> {gh.name}:")
+    for hop in trace.hops:
+        rtt = f"{hop.rtt_ms:6.1f} ms" if hop.rtt_ms else "      *"
+        fabric = "  [IXP fabric]" if hop.is_ixp_fabric else ""
+        print(f"  {hop.ttl:2d}  {hop.ip_str():15s} {rtt}  "
+              f"AS{hop.asn} ({hop.country_iso2}){fabric}")
+
+    # The paper's headline: how much intra-African traffic detours?
+    atlas = build_atlas_platform(topo)
+    snapshot = collect_snapshot(topo, engine, atlas, max_pairs=300)
+    report = analyze_snapshot(topo, snapshot, GeolocationService(topo),
+                              build_ixp_directory(topo))
+    print(f"\nIntra-African routes detouring off-continent: "
+          f"{pct(report.detour_rate())}")
+    print(f"Routes crossing any IXP: {pct(report.ixp_traversal_rate())}")
+    print(f"African IXPs in the world: {len(topo.african_ixps())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The full §4 connectivity report: detours, content, DNS, maturity.
+
+Reproduces the paper's section-4 pipeline end to end and prints the
+regional maturity ranking of §4.3 with its component scores.
+
+Run:  python examples/regional_maturity_report.py
+"""
+
+from repro import build_world
+from repro.analysis import (
+    analyze_content_locality,
+    analyze_dns_locality,
+    analyze_maturity,
+    analyze_snapshot,
+)
+from repro.datasets import (
+    build_ixp_directory,
+    build_resolver_usage,
+    collect_snapshot,
+    run_pulse_study,
+)
+from repro.measurement import (
+    GeolocationService,
+    MeasurementEngine,
+    build_atlas_platform,
+)
+from repro.reporting import ascii_table, pct
+from repro.routing import BGPRouting, PhysicalNetwork
+
+
+def main() -> None:
+    topo = build_world(seed=2025)
+    engine = MeasurementEngine(topo, BGPRouting(topo),
+                               PhysicalNetwork(topo))
+    atlas = build_atlas_platform(topo)
+
+    print("Collecting measurement snapshot...")
+    snapshot = collect_snapshot(topo, engine, atlas, max_pairs=1200)
+    detours = analyze_snapshot(topo, snapshot, GeolocationService(topo),
+                               build_ixp_directory(topo))
+    content = analyze_content_locality(run_pulse_study(topo))
+    dns = analyze_dns_locality(build_resolver_usage(topo))
+    maturity = analyze_maturity(detours, content, dns)
+
+    rows = []
+    for row in sorted(maturity.rows, key=lambda r: -r.composite):
+        rows.append([row.region.value,
+                     pct(row.route_locality),
+                     pct(row.content_locality),
+                     pct(row.dns_locality),
+                     pct(row.ixp_traversal),
+                     f"{row.composite:.2f}"])
+    print(ascii_table(
+        ["region", "route locality", "content locality", "DNS locality",
+         "IXP traversal", "maturity"],
+        rows,
+        title="Regional maturity (§4.3: Southern > Eastern > ... )"))
+
+    ranking = maturity.ranking()
+    print(f"\nMost mature region:  {ranking[0].value}")
+    print(f"Least mature region: {ranking[-1].value}")
+    print("\nPer-region strategy implication (§4.3): localisation "
+          "efforts pay most where maturity is lowest; in "
+          f"{ranking[0].value} they yield diminishing returns.")
+
+
+if __name__ == "__main__":
+    main()

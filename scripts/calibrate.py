@@ -1,0 +1,61 @@
+"""One-shot calibration dashboard: every headline number vs the paper."""
+import sys
+from repro import build_world, WorldParams
+from repro.routing import BGPRouting, PhysicalNetwork
+from repro.measurement import (MeasurementEngine, build_atlas_platform,
+                               GeolocationService, run_ant_hitlist,
+                               run_caida_prefix_scan, run_yarrp_scan)
+from repro.datasets import *
+from repro.analysis import *
+from repro.outages import OutageSimulator, DETECTION_THRESHOLD, OutageCause
+from repro.observatory.placement import ixp_cover_hosts, compare_ixp_coverage
+from repro.geo import Region, country
+
+seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2025
+t = build_world(params=WorldParams(seed=seed))
+r = BGPRouting(t); phys = PhysicalNetwork(t)
+eng = MeasurementEngine(t, r, phys)
+atlas = build_atlas_platform(t)
+snap = collect_snapshot(t, eng, atlas, max_pairs=2000)
+geo = GeolocationService(t); directory = build_ixp_directory(t)
+
+rep = analyze_snapshot(t, snap, geo, directory)
+print('== Fig2a/Fig3 ==')
+print('detour %.2f (regional var expected) | attribution %.2f (paper ~0.40) | ixp %.2f (paper ~0.10)'
+      % (rep.detour_rate(), rep.attribution_share(), rep.ixp_traversal_rate()))
+for reg in Region:
+    if reg.is_african:
+        print('  %-16s n=%-4d det %.2f ixp %.2f' % (reg.value, rep.sample_count(reg), rep.detour_rate(reg), rep.ixp_traversal_rate(reg)))
+
+content = analyze_content_locality(run_pulse_study(t))
+print('== Fig2b == overall %.2f (paper 0.30); S>E>...>W ordering:' % content.overall_africa_share(),
+      {row.region.value.split()[0]: round(row.africa_local_share,2) for row in content.rows})
+
+dnsrep = analyze_dns_locality(build_resolver_usage(t))
+print('== Fig2c ==', {row.region.value.split()[0]: round(row.local_share,2) for row in dnsrep.rows if row.region.is_african},
+      'cloudZA %.2f' % max(r.cloud_from_za_share for r in dnsrep.rows if r.region.is_african))
+
+sim = OutageSimulator(t, phys); res = sim.simulate(2.0)
+feed = build_radar_feed(res, seed=seed)
+imp = analyze_outages(res, feed)
+print('== Fig4 == ratio %.1f (paper 4x) | cable-hit countries %d (paper ~30) | longest cause: %s'
+      % (imp.rate_ratio(), len(res.countries_hit_by_cable_cuts()), imp.longest_cause()))
+
+delegated = build_delegated_file(t)
+scans = [run_ant_hitlist(t), run_caida_prefix_scan(t), run_yarrp_scan(t, r)]
+table = build_coverage_table(t, delegated, scans)
+print('== Table1 (paper: ANT 96/71.4/23.5, CAIDA 64.4/35.4/7.8, YARRP 56.1/27.2/2.9) ==')
+for row in table.rows:
+    print('  %-18s entries %-6d mob %.1f%% non %.1f%% ixp %.1f%%' % (
+        row.dataset, row.entries, 100*row.mobile_coverage, 100*row.non_mobile_coverage, 100*row.ixp_coverage))
+
+naut = analyze_nautilus(t, phys, snap, geo, slack_ms=8.0)
+print('== 6.2 == multi %.2f (paper >0.40) max %d (paper ~40) mean %.1f' % (naut.multi_cable_share(), naut.max_candidates(), naut.mean_candidates()))
+
+cover = ixp_cover_hosts(t)
+cmp = compare_ixp_coverage(t, atlas)
+print('== 7.3 == setcover %d ASNs for %d/77 (paper 34/77) | atlas %d hosts -> %d IXPs' % (
+    len(cover.chosen), len(cover.covered), cmp.atlas_hosts, cmp.atlas_covered))
+
+g = analyze_growth(t).africa()
+print('== Fig1 == ixp %+.0f%% (paper +600) cable %+.0f%% (paper +45) asn %+.0f%%' % (g.ixp_growth_pct, g.cable_growth_pct, g.asn_growth_pct))

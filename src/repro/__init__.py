@@ -1,0 +1,19 @@
+"""repro — African Internet Observatory reproduction library.
+
+A simulation and measurement-analysis framework reproducing
+"A Call to Arms: Motivating An Internet Measurements Observatory for
+Africa" (HotNets '25).  See DESIGN.md for the system inventory and the
+per-experiment index.
+
+Quickstart::
+
+    from repro import build_world
+    topo = build_world(seed=2025)
+    print(topo.summary())
+"""
+
+from repro.topology import Topology, WorldParams, build_world
+
+__version__ = "1.0.0"
+
+__all__ = ["Topology", "WorldParams", "build_world", "__version__"]

@@ -1,0 +1,74 @@
+"""Analyses reproducing the paper's figures and tables."""
+
+from repro.analysis.detours import (
+    DetourReport,
+    TraceClassification,
+    analyze_snapshot,
+    classify_trace,
+)
+from repro.analysis.locality import (
+    ContentLocalityReport,
+    ContentLocalityRow,
+    DNSLocalityReport,
+    DNSLocalityRow,
+    analyze_content_locality,
+    analyze_dns_locality,
+)
+from repro.analysis.coverage import (
+    CoverageRow,
+    CoverageTable,
+    RegionalCoverageRow,
+    build_coverage_table,
+    regional_coverage,
+    split_expected_groups,
+)
+from repro.analysis.nautilus import (
+    NautilusInference,
+    NautilusReport,
+    PathInference,
+)
+from repro.analysis.nautilus import analyze_snapshot as analyze_nautilus
+from repro.analysis.impact import (
+    CauseImpactRow,
+    CorrelationReport,
+    ImpactReport,
+    analyze_correlation,
+    analyze_outages,
+)
+from repro.analysis.growth import (
+    GrowthReport,
+    GrowthRow,
+    MaturityGap,
+    african_growth_series,
+    analyze_growth,
+    maturity_gap,
+)
+from repro.analysis.bias import (
+    BiasDimension,
+    BiasReport,
+    analyze_platform_bias,
+    total_variation,
+)
+from repro.analysis.maturity import (
+    MaturityReport,
+    MaturityRow,
+    analyze_maturity,
+)
+
+__all__ = [
+    "DetourReport", "TraceClassification", "analyze_snapshot",
+    "classify_trace",
+    "ContentLocalityReport", "ContentLocalityRow", "DNSLocalityReport",
+    "DNSLocalityRow", "analyze_content_locality", "analyze_dns_locality",
+    "CoverageRow", "CoverageTable", "RegionalCoverageRow",
+    "build_coverage_table", "regional_coverage", "split_expected_groups",
+    "NautilusInference", "NautilusReport", "PathInference",
+    "analyze_nautilus",
+    "CauseImpactRow", "CorrelationReport", "ImpactReport",
+    "analyze_correlation", "analyze_outages",
+    "GrowthReport", "GrowthRow", "MaturityGap", "african_growth_series",
+    "analyze_growth", "maturity_gap",
+    "MaturityReport", "MaturityRow", "analyze_maturity",
+    "BiasDimension", "BiasReport", "analyze_platform_bias",
+    "total_variation",
+]

@@ -1,0 +1,131 @@
+"""Measurement-platform bias analysis (§6.2, citing Sermpezis et al.).
+
+"Geographic bias in the platform deployments limits their
+representativeness, and consequently, this bias impacts the evaluation
+of our emerging methodologies."  We quantify that: compare a platform's
+probe distribution against the population it claims to represent along
+several dimensions (country, region, access technology, AS kind), each
+scored with total-variation distance (0 = perfectly representative,
+1 = completely skewed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.geo import AFRICAN_COUNTRIES, Region
+from repro.measurement import ProbePlatform
+from repro.topology import ASKind, Topology
+
+
+def total_variation(p: Mapping[str, float],
+                    q: Mapping[str, float]) -> float:
+    """Total-variation distance between two discrete distributions."""
+    keys = set(p) | set(q)
+    p_total = sum(p.values()) or 1.0
+    q_total = sum(q.values()) or 1.0
+    return 0.5 * sum(abs(p.get(k, 0.0) / p_total
+                         - q.get(k, 0.0) / q_total) for k in keys)
+
+
+@dataclass(frozen=True)
+class BiasDimension:
+    """One dimension's bias verdict."""
+
+    name: str
+    tv_distance: float
+    #: Most over-represented / under-represented categories.
+    most_over: str
+    most_under: str
+
+
+@dataclass
+class BiasReport:
+    platform_name: str
+    dimensions: list[BiasDimension] = field(default_factory=list)
+
+    def dimension(self, name: str) -> BiasDimension | None:
+        for d in self.dimensions:
+            if d.name == name:
+                return d
+        return None
+
+    def worst_dimension(self) -> BiasDimension:
+        return max(self.dimensions, key=lambda d: d.tv_distance)
+
+
+def _extremes(platform_dist: Mapping[str, float],
+              reference_dist: Mapping[str, float]) -> tuple[str, str]:
+    keys = set(platform_dist) | set(reference_dist)
+    p_total = sum(platform_dist.values()) or 1.0
+    q_total = sum(reference_dist.values()) or 1.0
+
+    def delta(k):
+        return (platform_dist.get(k, 0.0) / p_total
+                - reference_dist.get(k, 0.0) / q_total)
+
+    over = max(keys, key=delta)
+    under = min(keys, key=delta)
+    return over, under
+
+
+def analyze_platform_bias(topo: Topology,
+                          platform: ProbePlatform) -> BiasReport:
+    """Bias of an African deployment vs the population it represents."""
+    probes = [p for p in platform.probes if p.region.is_african]
+    report = BiasReport(platform_name=platform.name)
+    if not probes:
+        return report
+
+    # Dimension 1: country, vs population.
+    probe_cc = _count(p.country_iso2 for p in probes)
+    pop_cc = {cc: c.population_m for cc, c in AFRICAN_COUNTRIES.items()}
+    report.dimensions.append(_dimension("country vs population",
+                                        probe_cc, pop_cc))
+
+    # Dimension 2: region, vs population.
+    probe_region = _count(p.region.value for p in probes)
+    pop_region: dict[str, float] = {}
+    for c in AFRICAN_COUNTRIES.values():
+        pop_region[c.region.value] = pop_region.get(c.region.value, 0.0) \
+            + c.population_m
+    report.dimensions.append(_dimension("region vs population",
+                                        probe_region, pop_region))
+
+    # Dimension 3: access technology, vs subscription mix (§7.1:
+    # mobile dominates the African last mile).
+    probe_access = _count(p.access.value for p in probes)
+    weighted_mobile = sum(c.population_m * c.mobile_share
+                          for c in AFRICAN_COUNTRIES.values())
+    weighted_total = sum(c.population_m
+                         for c in AFRICAN_COUNTRIES.values())
+    access_truth = {"cellular": weighted_mobile,
+                    "fixed": weighted_total - weighted_mobile}
+    report.dimensions.append(_dimension("access technology",
+                                        probe_access, access_truth))
+
+    # Dimension 4: host-AS kind, vs the AS population.
+    probe_kind = _count(topo.as_(p.asn).kind.value for p in probes
+                        if p.asn in topo.ases)
+    as_kind = _count(a.kind.value for a in topo.african_ases()
+                     if a.kind.is_eyeball
+                     or a.kind is ASKind.EDUCATION)
+    report.dimensions.append(_dimension("host network kind",
+                                        probe_kind, as_kind))
+    return report
+
+
+def _count(items) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for item in items:
+        out[item] = out.get(item, 0.0) + 1.0
+    return out
+
+
+def _dimension(name, platform_dist, reference_dist) -> BiasDimension:
+    over, under = _extremes(platform_dist, reference_dist)
+    return BiasDimension(
+        name=name,
+        tv_distance=total_variation(platform_dist, reference_dist),
+        most_over=over, most_under=under)

@@ -1,0 +1,107 @@
+"""Scanner-coverage analysis (Table 1, §6.1).
+
+Coverage = |observed ASNs| / |expected ASNs| where the expected set
+comes from the AfriNIC delegated file, grouped as in the paper:
+Mobile ASNs, Non-mobile ASNs, and IXPs (the separate 77-exchange
+universe).  A regional breakdown mirrors §6.1's second paragraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.datasets.afrinic import DelegationRecord, expected_asns
+from repro.geo import AFRICAN_REGIONS, Region
+from repro.measurement import ScanResult
+from repro.topology import ASKind, Topology
+
+
+@dataclass(frozen=True)
+class CoverageRow:
+    """One scanner's Table 1 row."""
+
+    dataset: str
+    entries: int
+    mobile_coverage: float
+    non_mobile_coverage: float
+    ixp_coverage: float
+
+
+@dataclass
+class CoverageTable:
+    rows: list[CoverageRow] = field(default_factory=list)
+
+    def row_for(self, dataset: str) -> CoverageRow | None:
+        for row in self.rows:
+            if row.dataset == dataset:
+                return row
+        return None
+
+    def best_dataset(self) -> str:
+        """Dataset with the highest mean coverage across groups."""
+        return max(self.rows, key=lambda r: (
+            r.mobile_coverage + r.non_mobile_coverage + r.ixp_coverage
+        )).dataset
+
+
+def split_expected_groups(topo: Topology,
+                          delegated: list[DelegationRecord]
+                          ) -> tuple[set[int], set[int], set[int]]:
+    """(mobile ASNs, non-mobile ASNs, African IXP ids) denominators."""
+    expected = expected_asns(delegated)
+    mobile = {asn for asn in expected
+              if topo.as_(asn).kind is ASKind.MOBILE}
+    non_mobile = expected - mobile
+    ixps = {x.ixp_id for x in topo.african_ixps()}
+    return mobile, non_mobile, ixps
+
+
+def _ratio(numer: int, denom: int) -> float:
+    return numer / denom if denom else 0.0
+
+
+def build_coverage_table(topo: Topology,
+                         delegated: list[DelegationRecord],
+                         scans: Iterable[ScanResult]) -> CoverageTable:
+    """Compute Table 1 for a set of scan results."""
+    mobile, non_mobile, ixps = split_expected_groups(topo, delegated)
+    table = CoverageTable()
+    for scan in scans:
+        observed = scan.observed_african_asns(topo)
+        observed_ixps = scan.observed_african_ixps(topo)
+        table.rows.append(CoverageRow(
+            dataset=scan.dataset,
+            entries=scan.entries,
+            mobile_coverage=_ratio(len(observed & mobile), len(mobile)),
+            non_mobile_coverage=_ratio(len(observed & non_mobile),
+                                       len(non_mobile)),
+            ixp_coverage=_ratio(len(observed_ixps & ixps), len(ixps))))
+    return table
+
+
+@dataclass(frozen=True)
+class RegionalCoverageRow:
+    region: Region
+    mobile_coverage: float
+    non_mobile_coverage: float
+
+
+def regional_coverage(topo: Topology, delegated: list[DelegationRecord],
+                      scan: ScanResult) -> list[RegionalCoverageRow]:
+    """Per-region mobile/non-mobile coverage for one scanner."""
+    mobile, non_mobile, _ = split_expected_groups(topo, delegated)
+    observed = scan.observed_african_asns(topo)
+    rows = []
+    for region in AFRICAN_REGIONS:
+        in_region = {asn for asn in mobile | non_mobile
+                     if topo.as_(asn).region is region}
+        reg_mobile = in_region & mobile
+        reg_non = in_region & non_mobile
+        rows.append(RegionalCoverageRow(
+            region=region,
+            mobile_coverage=_ratio(len(observed & reg_mobile),
+                                   len(reg_mobile)),
+            non_mobile_coverage=_ratio(len(observed & reg_non),
+                                       len(reg_non))))
+    return rows

@@ -1,0 +1,136 @@
+"""Detour and IXP-prevalence analysis (Fig. 2a, Fig. 3, §4.1).
+
+Works exactly like the paper's pipeline: take traceroutes between
+African probes, geolocate every responding hop with the (imperfect)
+geolocation service, and flag a *detour* when any hop leaves the
+continent.  Detours are then attributed: those touching a Tier-1
+carrier (HE-style public list) or a European IXP fabric are the
+"peering-complexity" detours; the rest indicate transit bought from
+European Tier-2s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datasets.atlas import AtlasSnapshot
+from repro.geo import AFRICAN_REGIONS, Region, country
+from repro.measurement import (
+    GeolocationService,
+    IXPDirectory,
+    TracerouteResult,
+    detect_ixp_crossings,
+)
+from repro.topology import Topology
+
+
+@dataclass(frozen=True)
+class TraceClassification:
+    """Per-traceroute verdict."""
+
+    src_region: Region
+    dst_region: Region
+    detours: bool
+    #: Detour attributable to Tier-1 transit or an out-of-Africa IXP.
+    attributed_tier1_or_ixp: bool
+    crosses_african_ixp: bool
+    crossed_ixp_ids: tuple[int, ...] = ()
+
+
+@dataclass
+class DetourReport:
+    """Aggregated Fig. 2a / Fig. 3 numbers."""
+
+    classifications: list[TraceClassification] = field(default_factory=list)
+
+    # -- Fig. 2a ------------------------------------------------------
+    def detour_rate(self, region: Optional[Region] = None) -> float:
+        rows = self._rows(region)
+        if not rows:
+            return 0.0
+        return sum(r.detours for r in rows) / len(rows)
+
+    def attribution_share(self) -> float:
+        """Among detours, the share attributable to Tier-1/EU-IXP."""
+        detoured = [r for r in self.classifications if r.detours]
+        if not detoured:
+            return 0.0
+        return (sum(r.attributed_tier1_or_ixp for r in detoured)
+                / len(detoured))
+
+    # -- Fig. 3 -------------------------------------------------------
+    def ixp_traversal_rate(self, region: Optional[Region] = None) -> float:
+        rows = self._rows(region)
+        if not rows:
+            return 0.0
+        return sum(r.crosses_african_ixp for r in rows) / len(rows)
+
+    def sample_count(self, region: Optional[Region] = None) -> int:
+        return len(self._rows(region))
+
+    def regions_with_data(self) -> list[Region]:
+        """Regions with at least one intra-region pair *and* at least
+        one IXP visible in the data (Fig. 3 excludes Northern Africa
+        for lacking the latter)."""
+        out = []
+        for region in AFRICAN_REGIONS:
+            rows = self._rows(region)
+            if not rows:
+                continue
+            out.append(region)
+        return out
+
+    def _rows(self, region: Optional[Region]) -> list[TraceClassification]:
+        if region is None:
+            return self.classifications
+        return [r for r in self.classifications
+                if r.src_region is region and r.dst_region is region]
+
+
+def classify_trace(topo: Topology, trace: TracerouteResult,
+                   geo: GeolocationService, directory: IXPDirectory,
+                   src_region: Region, dst_region: Region
+                   ) -> TraceClassification:
+    """Geolocate a trace's hops and classify it."""
+    tier1_asns = {a.asn for a in topo.tier1_ases()}
+    detoured = False
+    attributed = False
+    crossings = detect_ixp_crossings(trace, directory)
+    african_ixps = tuple(sorted(
+        c.ixp_id for c in crossings
+        if country(topo.ixps[c.ixp_id].country_iso2).is_african))
+    foreign_ixp = any(
+        not country(topo.ixps[c.ixp_id].country_iso2).is_african
+        for c in crossings)
+    for hop in trace.hops:
+        if hop.ip is None:
+            continue
+        answer = geo.locate(hop.ip, true_iso2=hop.country_iso2)
+        if answer.iso2 is None:
+            continue
+        if not country(answer.iso2).is_african:
+            detoured = True
+        if hop.asn in tier1_asns:
+            attributed = True
+    if foreign_ixp:
+        attributed = True
+        detoured = True
+    return TraceClassification(
+        src_region=src_region, dst_region=dst_region, detours=detoured,
+        attributed_tier1_or_ixp=detoured and attributed,
+        crosses_african_ixp=bool(african_ixps),
+        crossed_ixp_ids=african_ixps)
+
+
+def analyze_snapshot(topo: Topology, snapshot: AtlasSnapshot,
+                     geo: GeolocationService,
+                     directory: IXPDirectory) -> DetourReport:
+    """Classify every intra-African trace of a snapshot."""
+    report = DetourReport()
+    for idx in snapshot.intra_african(topo):
+        trace = snapshot.traceroutes[idx]
+        src, dst = snapshot.pairs[idx]
+        report.classifications.append(classify_trace(
+            topo, trace, geo, directory, src.region, dst.region))
+    return report

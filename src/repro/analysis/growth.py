@@ -1,0 +1,122 @@
+"""Infrastructure-growth analysis (Fig. 1, §2).
+
+African series are measured from the generated world (deployment years
+of cables, IXPs and ASes); comparison regions come from the public
+reference statistics in :mod:`repro.datasets.reference_growth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.reference_growth import REFERENCE_GROWTH, growth_pct
+from repro.geo import Region
+from repro.topology import Topology
+
+
+@dataclass(frozen=True)
+class GrowthRow:
+    """One region's ten-year growth, per infrastructure class."""
+
+    region_label: str
+    ixps_before: int
+    ixps_after: int
+    cables_before: int
+    cables_after: int
+    asns_before: int
+    asns_after: int
+
+    @property
+    def ixp_growth_pct(self) -> float:
+        return growth_pct(self.ixps_before, self.ixps_after)
+
+    @property
+    def cable_growth_pct(self) -> float:
+        return growth_pct(self.cables_before, self.cables_after)
+
+    @property
+    def asn_growth_pct(self) -> float:
+        return growth_pct(self.asns_before, self.asns_after)
+
+
+@dataclass
+class GrowthReport:
+    rows: list[GrowthRow] = field(default_factory=list)
+
+    def africa(self) -> GrowthRow:
+        for row in self.rows:
+            if row.region_label == "Africa":
+                return row
+        raise LookupError("no Africa row")
+
+    def row_for(self, label: str) -> GrowthRow | None:
+        for row in self.rows:
+            if row.region_label == label:
+                return row
+        return None
+
+
+def _african_counts(topo: Topology, year: int) -> tuple[int, int, int]:
+    ixps = sum(1 for x in topo.african_ixps() if x.founded_year <= year)
+    cables = len(topo.african_cables(year))
+    asns = sum(1 for a in topo.african_ases()
+               if a.founded_year <= year)
+    return ixps, cables, asns
+
+
+def african_growth_series(topo: Topology
+                          ) -> list[tuple[int, int, int, int]]:
+    """Yearly (year, ixps, cables, asns) series for the Fig. 1 curve."""
+    params = topo.params
+    start = params.current_year - params.growth_window_years
+    series = []
+    for year in range(start, params.current_year + 1):
+        series.append((year, *_african_counts(topo, year)))
+    return series
+
+
+def analyze_growth(topo: Topology) -> GrowthReport:
+    """Fig. 1: 10-year growth of IXPs, cables and ASes per region."""
+    params = topo.params
+    after_year = params.current_year
+    before_year = after_year - params.growth_window_years
+    report = GrowthReport()
+    ixps_b, cables_b, asns_b = _african_counts(topo, before_year)
+    ixps_a, cables_a, asns_a = _african_counts(topo, after_year)
+    report.rows.append(GrowthRow(
+        region_label="Africa",
+        ixps_before=ixps_b, ixps_after=ixps_a,
+        cables_before=cables_b, cables_after=cables_a,
+        asns_before=asns_b, asns_after=asns_a))
+    for region, (before, after) in REFERENCE_GROWTH.items():
+        report.rows.append(GrowthRow(
+            region_label=region.value,
+            ixps_before=before.ixps, ixps_after=after.ixps,
+            cables_before=before.cables, cables_after=after.cables,
+            asns_before=before.asns, asns_after=after.asns))
+    return report
+
+
+@dataclass(frozen=True)
+class MaturityGap:
+    """§2's takeaway: growth is fast but absolute maturity lags."""
+
+    region_label: str
+    ixps_per_10m_population: float
+    asns_per_1m_population: float
+
+
+def maturity_gap(topo: Topology,
+                 population_m: dict[str, float]) -> list[MaturityGap]:
+    """Normalized infrastructure density, Africa vs references."""
+    report = analyze_growth(topo)
+    out = []
+    for row in report.rows:
+        pop = population_m.get(row.region_label)
+        if not pop:
+            continue
+        out.append(MaturityGap(
+            region_label=row.region_label,
+            ixps_per_10m_population=10.0 * row.ixps_after / pop,
+            asns_per_1m_population=row.asns_after / pop))
+    return out

@@ -1,0 +1,129 @@
+"""Outage-impact characterization (Fig. 4, §5.1).
+
+From the Radar-style feed: events per cause with durations and country
+footprints, the Africa-vs-reference outage-rate ratio, and the
+correlated-failure / backup-effectiveness statistics behind the §5.1
+implications.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.datasets.radar import RadarOutageEntry
+from repro.geo import COUNTRIES, Region, country
+from repro.outages import OutageCause, SimulationResult
+
+
+@dataclass(frozen=True)
+class CauseImpactRow:
+    """Fig. 4: one outage cause's characterization."""
+
+    cause: str
+    events: int
+    median_duration_days: float
+    max_duration_days: float
+    mean_countries_affected: float
+    countries_affected_total: int
+
+
+@dataclass
+class ImpactReport:
+    rows: list[CauseImpactRow] = field(default_factory=list)
+    africa_rate_per_country_year: float = 0.0
+    reference_rate_per_country_year: float = 0.0
+
+    def rate_ratio(self) -> float:
+        """Africa : EU/NA per-country outage rate (Fig. 2c's "4x")."""
+        if self.reference_rate_per_country_year <= 0:
+            return float("inf")
+        return (self.africa_rate_per_country_year
+                / self.reference_rate_per_country_year)
+
+    def longest_cause(self) -> str:
+        """The cause with the longest median outage (paper: cable cuts)."""
+        return max(self.rows, key=lambda r: r.median_duration_days).cause
+
+    def row_for(self, cause: str) -> CauseImpactRow | None:
+        for row in self.rows:
+            if row.cause == cause:
+                return row
+        return None
+
+
+def analyze_outages(result: SimulationResult,
+                    feed: list[RadarOutageEntry]) -> ImpactReport:
+    """Aggregate the simulation + feed into the Fig. 4 report."""
+    report = ImpactReport()
+    detected = result.detected()
+    for cause in OutageCause:
+        events = [e for e in detected if e.cause is cause]
+        if not events:
+            continue
+        durations = [e.longest_outage_days() for e in events]
+        per_event_countries = [len(e.impacts) for e in events]
+        all_countries = {i.iso2 for e in events for i in e.impacts}
+        report.rows.append(CauseImpactRow(
+            cause=cause.value,
+            events=len(events),
+            median_duration_days=statistics.median(durations),
+            max_duration_days=max(durations),
+            mean_countries_affected=statistics.mean(per_event_countries),
+            countries_affected_total=len(all_countries)))
+    african_ccs = sum(1 for c in COUNTRIES.values() if c.is_african)
+    reference_ccs = sum(
+        1 for c in COUNTRIES.values()
+        if c.region in (Region.EUROPE, Region.NORTH_AMERICA))
+    africa_entries = sum(
+        1 for entry in feed if country(entry.location).is_african)
+    reference_entries = sum(
+        1 for entry in feed
+        if country(entry.location).region in (Region.EUROPE,
+                                              Region.NORTH_AMERICA))
+    report.africa_rate_per_country_year = (
+        africa_entries / african_ccs / result.years)
+    report.reference_rate_per_country_year = (
+        reference_entries / reference_ccs / result.years)
+    return report
+
+
+@dataclass
+class CorrelationReport:
+    """§5.1: how correlated cable failures defeat backups."""
+
+    cable_events: int = 0
+    multi_cable_events: int = 0
+    mean_cables_per_event: float = 0.0
+    backup_activations: int = 0
+    backups_oversubscribed: int = 0
+
+    def multi_cable_share(self) -> float:
+        if not self.cable_events:
+            return 0.0
+        return self.multi_cable_events / self.cable_events
+
+    def oversubscription_rate(self) -> float:
+        if not self.backup_activations:
+            return 0.0
+        return self.backups_oversubscribed / self.backup_activations
+
+
+def analyze_correlation(result: SimulationResult) -> CorrelationReport:
+    """Correlated-failure statistics over all cable-cut events."""
+    report = CorrelationReport()
+    cable_events = result.by_cause(OutageCause.SUBSEA_CABLE_CUT)
+    report.cable_events = len(cable_events)
+    if not cable_events:
+        return report
+    report.multi_cable_events = sum(
+        1 for e in cable_events if len(e.cables_cut) > 1)
+    report.mean_cables_per_event = statistics.mean(
+        len(e.cables_cut) for e in cable_events)
+    for event in cable_events:
+        for impact in event.impacts:
+            if impact.backup_activated:
+                report.backup_activations += 1
+                if impact.backup_oversubscribed:
+                    report.backups_oversubscribed += 1
+    return report

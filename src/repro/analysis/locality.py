@@ -1,0 +1,129 @@
+"""Content and DNS locality analyses (Fig. 2b, Fig. 2c).
+
+Content locality follows the Pulse methodology: a site counts as local
+to Africa when its *measured* serving location is on the continent.
+DNS locality aggregates APNIC-style resolver-usage records per region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.apnic import ResolverUsageRecord
+from repro.datasets.pulse import PulseStudy
+from repro.geo import AFRICAN_REGIONS, Region, country
+from repro.topology import ResolverLocality
+
+
+@dataclass(frozen=True)
+class ContentLocalityRow:
+    """One region's content-locality figures (Fig. 2b)."""
+
+    region: Region
+    samples: int
+    africa_local_share: float
+    in_country_share: float
+    cdn_share: float
+
+
+@dataclass
+class ContentLocalityReport:
+    rows: list[ContentLocalityRow] = field(default_factory=list)
+
+    def overall_africa_share(self) -> float:
+        total = sum(r.samples for r in self.rows)
+        if not total:
+            return 0.0
+        return sum(r.africa_local_share * r.samples
+                   for r in self.rows) / total
+
+    def most_local_region(self) -> Region:
+        return max(self.rows, key=lambda r: r.africa_local_share).region
+
+    def least_local_region(self) -> Region:
+        return min(self.rows, key=lambda r: r.africa_local_share).region
+
+
+def analyze_content_locality(study: PulseStudy) -> ContentLocalityReport:
+    """Fig. 2b: share of top-site content served from within Africa."""
+    report = ContentLocalityReport()
+    for region in AFRICAN_REGIONS:
+        samples = [s for s in study.samples
+                   if country(s.client_country).region is region]
+        if not samples:
+            continue
+        local = sum(s.measured_local_to_africa for s in samples)
+        in_country = sum(
+            1 for s in samples
+            if s.measured_server_country == s.client_country)
+        cdn = sum(s.cdn_detected for s in samples)
+        report.rows.append(ContentLocalityRow(
+            region=region, samples=len(samples),
+            africa_local_share=local / len(samples),
+            in_country_share=in_country / len(samples),
+            cdn_share=cdn / len(samples)))
+    return report
+
+
+@dataclass(frozen=True)
+class DNSLocalityRow:
+    """One region's resolver-locality mix (Fig. 2c)."""
+
+    region: Region
+    countries: int
+    local_share: float
+    other_african_share: float
+    cloud_share: float
+    foreign_share: float
+    cloud_from_za_share: float
+
+
+@dataclass
+class DNSLocalityReport:
+    rows: list[DNSLocalityRow] = field(default_factory=list)
+
+    def row_for(self, region: Region) -> DNSLocalityRow | None:
+        for row in self.rows:
+            if row.region is region:
+                return row
+        return None
+
+    def african_nonlocal_share(self) -> float:
+        """Continent-wide share of users on non-local resolvers."""
+        african = [r for r in self.rows if r.region.is_african]
+        if not african:
+            return 0.0
+        total = sum(r.countries for r in african)
+        return sum((1.0 - r.local_share) * r.countries
+                   for r in african) / total
+
+
+def analyze_dns_locality(records: list[ResolverUsageRecord]
+                         ) -> DNSLocalityReport:
+    """Fig. 2c: resolver locality per region, cloud centralisation."""
+    report = DNSLocalityReport()
+    by_region: dict[Region, list[ResolverUsageRecord]] = {}
+    for record in records:
+        by_region.setdefault(record.region, []).append(record)
+    for region in sorted(by_region, key=lambda r: r.value):
+        recs = by_region[region]
+        n = len(recs)
+
+        def mean_share(*locs: ResolverLocality) -> float:
+            return sum(sum(r.shares.get(loc, 0.0) for loc in locs)
+                       for r in recs) / n
+
+        cloud_recs = [r for r in recs
+                      if r.shares.get(ResolverLocality.CLOUD, 0.0) > 0]
+        cloud_za = (sum(r.cloud_share_from_za for r in cloud_recs)
+                    / len(cloud_recs)) if cloud_recs else 0.0
+        report.rows.append(DNSLocalityRow(
+            region=region, countries=n,
+            local_share=mean_share(ResolverLocality.LOCAL_AS,
+                                   ResolverLocality.LOCAL_COUNTRY),
+            other_african_share=mean_share(
+                ResolverLocality.OTHER_AFRICAN_COUNTRY),
+            cloud_share=mean_share(ResolverLocality.CLOUD),
+            foreign_share=mean_share(ResolverLocality.FOREIGN),
+            cloud_from_za_share=cloud_za))
+    return report

@@ -1,0 +1,81 @@
+"""Regional maturity scoring (§4.3).
+
+Combines the section-4 analyses into one composite index per region:
+route locality (1 − detour rate), content locality, resolver locality,
+and IXP adoption.  The paper's qualitative ranking — Southern most
+mature, Eastern close behind, Western least — should emerge from the
+measured components, not be asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.detours import DetourReport
+from repro.analysis.locality import ContentLocalityReport, DNSLocalityReport
+from repro.geo import AFRICAN_REGIONS, Region
+
+
+@dataclass(frozen=True)
+class MaturityRow:
+    """One region's component scores and composite."""
+
+    region: Region
+    route_locality: float    # 1 - detour rate
+    content_locality: float
+    dns_locality: float
+    ixp_traversal: float
+
+    @property
+    def composite(self) -> float:
+        """Unweighted mean of components, each already in 0..1."""
+        parts = (self.route_locality, self.content_locality,
+                 self.dns_locality, self.ixp_traversal)
+        return sum(parts) / len(parts)
+
+
+@dataclass
+class MaturityReport:
+    rows: list[MaturityRow] = field(default_factory=list)
+
+    def ranking(self) -> list[Region]:
+        """Regions most-mature first."""
+        return [r.region for r in
+                sorted(self.rows, key=lambda r: -r.composite)]
+
+    def row_for(self, region: Region) -> MaturityRow | None:
+        for row in self.rows:
+            if row.region is region:
+                return row
+        return None
+
+
+def analyze_maturity(detours: DetourReport,
+                     content: ContentLocalityReport,
+                     dns: DNSLocalityReport,
+                     min_samples: int = 4) -> MaturityReport:
+    """Fuse the §4 analyses into the §4.3 maturity ranking.
+
+    Regions with fewer than ``min_samples`` intra-region traceroute
+    pairs keep their measurement-based route score but it is flagged by
+    simply being computed over what little data exists — mirroring how
+    thin Atlas coverage degrades the real analysis (§6.2).
+    """
+    report = MaturityReport()
+    for region in AFRICAN_REGIONS:
+        content_row = next((r for r in content.rows
+                            if r.region is region), None)
+        dns_row = dns.row_for(region)
+        if content_row is None or dns_row is None:
+            continue
+        samples = detours.sample_count(region)
+        route_locality = (1.0 - detours.detour_rate(region)
+                          if samples else 0.0)
+        report.rows.append(MaturityRow(
+            region=region,
+            route_locality=route_locality,
+            content_locality=content_row.africa_local_share,
+            dns_locality=dns_row.local_share,
+            ixp_traversal=(detours.ixp_traversal_rate(region)
+                           if samples >= min_samples else 0.0)))
+    return report

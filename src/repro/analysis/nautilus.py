@@ -1,0 +1,174 @@
+"""Nautilus-style passive subsea-cable inference and its ambiguity (§6.2).
+
+Nautilus maps wet IP links (consecutive traceroute hops on opposite
+sides of a sea crossing) to candidate submarine cables using hop
+geolocation and cable landing geometry.  The paper finds it maps >40%
+of paths to more than one cable, sometimes up to ~40 — useless for
+regulatory attribution.  The ambiguity has two roots, both modelled
+here:
+
+* geometric: corridors carry many parallel cables, so one country pair
+  is compatible with many systems;
+* geolocation error: mislocated hops produce nonsense country pairs,
+  for which the inference can only return every cable touching either
+  endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datasets.atlas import AtlasSnapshot
+from repro.geo import country
+from repro.measurement import GeolocationService, TracerouteResult
+from repro.routing import PhysicalNetwork
+from repro.topology import Topology
+
+
+@dataclass(frozen=True)
+class PathInference:
+    """Cable-candidate verdict for one traceroute path."""
+
+    candidate_cable_ids: frozenset[int]
+    true_cable_ids: frozenset[int]
+    wet_links: int
+
+    @property
+    def ambiguous(self) -> bool:
+        return len(self.candidate_cable_ids) > 1
+
+    @property
+    def correct(self) -> bool:
+        """True cables all appear among the candidates."""
+        return self.true_cable_ids <= self.candidate_cable_ids
+
+
+@dataclass
+class NautilusReport:
+    inferences: list[PathInference] = field(default_factory=list)
+
+    def paths_with_wet_links(self) -> list[PathInference]:
+        return [i for i in self.inferences if i.wet_links > 0]
+
+    def multi_cable_share(self) -> float:
+        wet = self.paths_with_wet_links()
+        if not wet:
+            return 0.0
+        return sum(i.ambiguous for i in wet) / len(wet)
+
+    def max_candidates(self) -> int:
+        return max((len(i.candidate_cable_ids)
+                    for i in self.inferences), default=0)
+
+    def mean_candidates(self) -> float:
+        wet = self.paths_with_wet_links()
+        if not wet:
+            return 0.0
+        return sum(len(i.candidate_cable_ids) for i in wet) / len(wet)
+
+    def recall(self) -> float:
+        """Share of wet paths whose true cables are among candidates."""
+        wet = self.paths_with_wet_links()
+        if not wet:
+            return 0.0
+        return sum(i.correct for i in wet) / len(wet)
+
+
+class NautilusInference:
+    """The passive cross-layer mapper."""
+
+    def __init__(self, topo: Topology, phys: PhysicalNetwork,
+                 geo: Optional[GeolocationService] = None,
+                 slack_ms: float = 25.0,
+                 rtt_filter: bool = False,
+                 rtt_tolerance_ms: float = 6.0) -> None:
+        self._topo = topo
+        self._phys = phys
+        self._geo = geo
+        self._slack = slack_ms
+        # The §6.2 implication: combine passive inference with a
+        # statistical constraint — here, the observed per-link RTT delta
+        # must be consistent with a candidate's route latency.
+        self._rtt_filter = rtt_filter
+        self._rtt_tolerance = rtt_tolerance_ms
+
+    def infer_path(self, trace: TracerouteResult) -> PathInference:
+        """Candidate cables for every wet crossing of one traceroute."""
+        hops = trace.responding_hops()
+        candidates: set[int] = set()
+        true_cables: set[int] = set()
+        wet_links = 0
+        for a, b in zip(hops, hops[1:]):
+            cc_a = self._located(a)
+            cc_b = self._located(b)
+            true_a, true_b = a.country_iso2, b.country_iso2
+            if true_a != true_b:
+                truth = self._phys.route(true_a, true_b,
+                                         avoid_satellite=True)
+                if truth is not None and truth.cables_used:
+                    true_cables |= truth.cables_used
+            if cc_a is None or cc_b is None or cc_a == cc_b:
+                continue
+            link_candidates = self._candidates_for(cc_a, cc_b)
+            if self._rtt_filter and a.rtt_ms is not None \
+                    and b.rtt_ms is not None and len(link_candidates) > 1:
+                link_candidates = self._filter_by_rtt(
+                    cc_a, cc_b, b.rtt_ms - a.rtt_ms, link_candidates)
+            if link_candidates:
+                wet_links += 1
+                candidates |= link_candidates
+        return PathInference(frozenset(candidates), frozenset(true_cables),
+                             wet_links)
+
+    def _filter_by_rtt(self, cc_a: str, cc_b: str, observed_delta: float,
+                       candidates: set[int]) -> set[int]:
+        """Keep candidates whose route latency matches the observed
+        inter-hop RTT delta; fall back to the full set if none do."""
+        kept: set[int] = set()
+        for cable_id in candidates:
+            others = candidates - {cable_id}
+            route = self._phys.route(cc_a, cc_b, down_cables=others,
+                                     avoid_satellite=True)
+            if route is None or cable_id not in route.cables_used:
+                continue
+            if abs(route.rtt_ms - observed_delta) <= self._rtt_tolerance:
+                kept.add(cable_id)
+        return kept or candidates
+
+    def _located(self, hop) -> Optional[str]:
+        if self._geo is None:
+            return hop.country_iso2
+        return self._geo.locate(hop.ip, true_iso2=hop.country_iso2).iso2
+
+    def _candidates_for(self, cc_a: str, cc_b: str) -> set[int]:
+        # Unambiguous case first: the two hop countries are adjacent
+        # landings of specific systems.
+        direct = self._phys.direct_cables(cc_a, cc_b)
+        if direct:
+            return direct
+        best = self._phys.route(cc_a, cc_b, avoid_satellite=True)
+        if best is not None and best.cables_used:
+            return self._phys.candidate_cables(cc_a, cc_b, self._slack)
+        if best is not None and not best.cables_used:
+            return set()  # purely terrestrial crossing
+        # Nonsense pair (typically a mislocated hop): fall back to
+        # "every cable touching either endpoint" — the error amplifier.
+        touching = set()
+        for cable in self._topo.active_cables():
+            countries = cable.countries
+            if cc_a in countries or cc_b in countries:
+                touching.add(cable.cable_id)
+        return touching
+
+
+def analyze_snapshot(topo: Topology, phys: PhysicalNetwork,
+                     snapshot: AtlasSnapshot,
+                     geo: Optional[GeolocationService] = None,
+                     slack_ms: float = 25.0) -> NautilusReport:
+    """Run the inference over every traceroute of a snapshot."""
+    inference = NautilusInference(topo, phys, geo, slack_ms)
+    report = NautilusReport()
+    for trace in snapshot.traceroutes:
+        report.inferences.append(inference.infer_path(trace))
+    return report

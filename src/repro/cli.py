@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror what a regulator or operator would actually ask the
+Observatory for:
+
+* ``summary``    — world inventory for a seed
+* ``detours``    — Fig. 2a/3 style connectivity report
+* ``coverage``   — Table 1 scanner coverage
+* ``outages``    — simulate N years of outages (Fig. 4)
+* ``cablecut``   — replay a named cable-cut scenario
+* ``watchdog``   — §5.2 policy-compliance report
+* ``placement``  — footnote-1 set-cover probe placement
+* ``save``/``load-check`` — world snapshots
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import build_world, WorldParams
+from repro.reporting import ascii_table, pct
+
+
+def _world(args):
+    return build_world(params=WorldParams(seed=args.seed))
+
+
+def cmd_summary(args) -> int:
+    topo = _world(args)
+    print(ascii_table(["metric", "value"],
+                      sorted(topo.summary().items()),
+                      title=f"World summary (seed={args.seed})"))
+    return 0
+
+
+def cmd_detours(args) -> int:
+    from repro.analysis import analyze_snapshot
+    from repro.datasets import build_ixp_directory, collect_snapshot
+    from repro.geo import AFRICAN_REGIONS
+    from repro.measurement import (GeolocationService, MeasurementEngine,
+                                   build_atlas_platform)
+    from repro.routing import BGPRouting, PhysicalNetwork
+    topo = _world(args)
+    engine = MeasurementEngine(topo, BGPRouting(topo),
+                               PhysicalNetwork(topo))
+    snapshot = collect_snapshot(topo, engine,
+                                build_atlas_platform(topo),
+                                max_pairs=args.pairs)
+    report = analyze_snapshot(topo, snapshot, GeolocationService(topo),
+                              build_ixp_directory(topo))
+    rows = [["All", report.sample_count(), pct(report.detour_rate()),
+             pct(report.ixp_traversal_rate())]]
+    for region in AFRICAN_REGIONS:
+        rows.append([region.value, report.sample_count(region),
+                     pct(report.detour_rate(region)),
+                     pct(report.ixp_traversal_rate(region))])
+    print(ascii_table(["scope", "pairs", "detour", "IXP traversal"],
+                      rows, title="Connectivity report"))
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    from repro.analysis import build_coverage_table
+    from repro.datasets import build_delegated_file
+    from repro.measurement import (run_ant_hitlist, run_caida_prefix_scan,
+                                   run_yarrp_scan)
+    from repro.routing import BGPRouting
+    topo = _world(args)
+    scans = [run_ant_hitlist(topo), run_caida_prefix_scan(topo),
+             run_yarrp_scan(topo, BGPRouting(topo))]
+    table = build_coverage_table(topo, build_delegated_file(topo), scans)
+    print(ascii_table(
+        ["dataset", "entries", "mobile", "non-mobile", "IXP"],
+        [[r.dataset, r.entries, pct(r.mobile_coverage),
+          pct(r.non_mobile_coverage), pct(r.ixp_coverage)]
+         for r in table.rows],
+        title="Scanner coverage of African infrastructure (Table 1)"))
+    return 0
+
+
+def cmd_outages(args) -> int:
+    from repro.analysis import analyze_outages
+    from repro.datasets import build_radar_feed
+    from repro.outages import OutageSimulator
+    topo = _world(args)
+    simulation = OutageSimulator(topo).simulate(years=args.years)
+    report = analyze_outages(simulation,
+                             build_radar_feed(simulation, seed=args.seed))
+    print(ascii_table(
+        ["cause", "events", "median days", "countries/event"],
+        [[r.cause, r.events, f"{r.median_duration_days:.2f}",
+          f"{r.mean_countries_affected:.1f}"]
+         for r in sorted(report.rows,
+                         key=lambda r: -r.median_duration_days)],
+        title=f"Outages over {args.years} simulated years"))
+    print(f"Africa/EU+NA outage-rate ratio: {report.rate_ratio():.1f}x")
+    return 0
+
+
+def cmd_cablecut(args) -> int:
+    from repro.observatory import WhatIfCutCables
+    from repro.outages import march_2024_scenario
+    topo = _world(args)
+    west, east = march_2024_scenario(topo)
+    cut = west if args.scenario == "west" else east
+    names = {c.cable_id: c.name for c in topo.cables}
+    print("Cutting: " + ", ".join(names[c] for c in cut))
+    severities = WhatIfCutCables(topo).country_severities(cut)
+    rows = sorted(((cc, s) for cc, s in severities.items() if s > 0.1),
+                  key=lambda kv: -kv[1])
+    print(ascii_table(["country", "traffic lost"],
+                      [[cc, f"{s:.0%}"] for cc, s in rows]))
+    return 0
+
+
+def cmd_watchdog(args) -> int:
+    from repro.observatory import DEFAULT_POLICY_PACKAGE, PolicyWatchdog
+    topo = _world(args)
+    watchdog = PolicyWatchdog(topo)
+    countries = args.countries.split(",") if args.countries else None
+    report = watchdog.assess(DEFAULT_POLICY_PACKAGE, countries)
+    rows = [[f.iso2, f.policy.kind.value,
+             "PASS" if f.compliant else "FAIL", f.detail]
+            for f in report.findings]
+    print(ascii_table(["country", "policy", "verdict", "measured"],
+                      rows, title="Policy compliance (§5.2 watchdog)"))
+    print(f"Overall compliance: {pct(report.compliance_rate())}")
+    return 0
+
+
+def cmd_placement(args) -> int:
+    from repro.observatory import ixp_cover_hosts
+    topo = _world(args)
+    cover = ixp_cover_hosts(topo, max_picks=args.budget)
+    rows = [[i + 1, f"AS{asn}", topo.as_(asn).name,
+             topo.as_(asn).country_iso2, cover.curve[i]]
+            for i, asn in enumerate(cover.chosen)]
+    print(ascii_table(
+        ["pick", "ASN", "network", "country", "IXPs covered"],
+        rows, title="Set-cover probe placement (footnote 1)"))
+    if cover.uncovered:
+        print(f"Uncovered IXPs: {sorted(cover.uncovered)}")
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    from repro.measurement import build_observatory_platform
+    from repro.observatory import (PlacementObjective, fleet_budget,
+                                   place_probes)
+    topo = _world(args)
+    objective = (PlacementObjective.IXP_COVERAGE
+                 if args.objective == "ixp"
+                 else PlacementObjective.COUNTRY_COVERAGE)
+    fleet = build_observatory_platform(
+        topo, place_probes(topo, objective))
+    budget = fleet_budget(fleet.probes, monthly_data_gb=args.data_gb)
+    print(ascii_table(
+        ["region", "monthly USD"],
+        [[region, f"${usd:,.0f}"]
+         for region, usd in sorted(budget.by_region().items())],
+        title=f"Fleet economics ({len(fleet)} probes, "
+              f"{args.data_gb} GB/probe/month)"))
+    print(f"Total: ${budget.monthly_usd:,.0f}/month "
+          f"(${budget.annual_usd:,.0f}/year)")
+    return 0
+
+
+def cmd_save(args) -> int:
+    from repro.topology import save_world
+    topo = _world(args)
+    save_world(topo, args.path)
+    print(f"Saved world (seed={args.seed}) to {args.path}")
+    return 0
+
+
+def cmd_load_check(args) -> int:
+    from repro.topology import load_world
+    topo = load_world(args.path)
+    print(ascii_table(["metric", "value"],
+                      sorted(topo.summary().items()),
+                      title=f"Loaded world from {args.path}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="African Internet Observatory reproduction toolkit")
+    parser.add_argument("--seed", type=int, default=2025,
+                        help="world seed (default 2025)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("summary", help="world inventory").set_defaults(
+        func=cmd_summary)
+    p = sub.add_parser("detours", help="Fig. 2a/3 connectivity report")
+    p.add_argument("--pairs", type=int, default=600)
+    p.set_defaults(func=cmd_detours)
+    sub.add_parser("coverage", help="Table 1 scanner coverage"
+                   ).set_defaults(func=cmd_coverage)
+    p = sub.add_parser("outages", help="Fig. 4 outage simulation")
+    p.add_argument("--years", type=float, default=2.0)
+    p.set_defaults(func=cmd_outages)
+    p = sub.add_parser("cablecut", help="replay a March-2024 scenario")
+    p.add_argument("--scenario", choices=("west", "east"),
+                   default="west")
+    p.set_defaults(func=cmd_cablecut)
+    p = sub.add_parser("watchdog", help="§5.2 compliance report")
+    p.add_argument("--countries", default="GH,NG,KE,ZA,CD,EG",
+                   help="comma-separated ISO2 list (default sample)")
+    p.set_defaults(func=cmd_watchdog)
+    p = sub.add_parser("placement", help="set-cover probe placement")
+    p.add_argument("--budget", type=int, default=None)
+    p.set_defaults(func=cmd_placement)
+    p = sub.add_parser("fleet", help="§7.2 fleet economics")
+    p.add_argument("--objective", choices=("ixp", "country"),
+                   default="ixp")
+    p.add_argument("--data-gb", type=float, default=2.0)
+    p.set_defaults(func=cmd_fleet)
+    p = sub.add_parser("save", help="save the world to a snapshot")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_save)
+    p = sub.add_parser("load-check", help="load + summarize a snapshot")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_load_check)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

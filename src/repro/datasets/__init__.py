@@ -1,0 +1,42 @@
+"""Synthetic equivalents of the paper's datasets (§3), same schemas."""
+
+from repro.datasets.radar import RadarOutageEntry, build_radar_feed
+from repro.datasets.pulse import PulseSample, PulseStudy, run_pulse_study
+from repro.datasets.apnic import (
+    ResolverUsageRecord,
+    build_resolver_usage,
+    SAMPLES_PER_COUNTRY,
+)
+from repro.datasets.atlas import (
+    AtlasSnapshot,
+    collect_snapshot,
+    probe_target_ip,
+)
+from repro.datasets.afrinic import (
+    DelegationRecord,
+    build_delegated_file,
+    expected_asns,
+    parse_delegated_file,
+    render_delegated_file,
+)
+from repro.datasets.peeringdb import (
+    build_ixp_directory,
+    membership_map,
+    LISTING_RATE,
+)
+from repro.datasets.reference_growth import (
+    REFERENCE_GROWTH,
+    RegionInfraCounts,
+    growth_pct,
+)
+
+__all__ = [
+    "RadarOutageEntry", "build_radar_feed",
+    "PulseSample", "PulseStudy", "run_pulse_study",
+    "ResolverUsageRecord", "build_resolver_usage", "SAMPLES_PER_COUNTRY",
+    "AtlasSnapshot", "collect_snapshot", "probe_target_ip",
+    "DelegationRecord", "build_delegated_file", "expected_asns",
+    "parse_delegated_file", "render_delegated_file",
+    "build_ixp_directory", "membership_map", "LISTING_RATE",
+    "REFERENCE_GROWTH", "RegionInfraCounts", "growth_pct",
+]

@@ -1,0 +1,73 @@
+"""Synthetic APNIC-Labs-style DNS resolver-usage dataset.
+
+APNIC (§3) measures which recursive resolvers real users sit behind by
+serving instrumented ads; the result is, per economy, the share of
+users whose queries arrive from each resolver operator/location.  We
+sample simulated users proportionally to AS size and report where their
+configured resolver actually runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo import Region, country
+from repro.topology import ResolverLocality, Topology
+from repro.util import derive_rng
+
+#: Ad-sampling volume per economy (samples, not users).
+SAMPLES_PER_COUNTRY = 400
+
+
+@dataclass(frozen=True)
+class ResolverUsageRecord:
+    """Aggregated resolver usage for one economy."""
+
+    iso2: str
+    region: Region
+    samples: int
+    #: Share of samples per locality class (sums to 1).
+    shares: dict[ResolverLocality, float] = field(default_factory=dict)
+    #: Share of cloud-resolver samples served from South Africa.
+    cloud_share_from_za: float = 0.0
+
+    def local_share(self) -> float:
+        """Samples resolved inside the user's own country."""
+        return (self.shares.get(ResolverLocality.LOCAL_AS, 0.0)
+                + self.shares.get(ResolverLocality.LOCAL_COUNTRY, 0.0))
+
+
+def build_resolver_usage(topo: Topology, seed: int | None = None,
+                         samples_per_country: int = SAMPLES_PER_COUNTRY
+                         ) -> list[ResolverUsageRecord]:
+    """Produce one usage record per modelled country."""
+    seed = seed if seed is not None else topo.params.seed
+    rng = derive_rng(seed, "datasets", "apnic")
+    records: list[ResolverUsageRecord] = []
+    by_country: dict[str, list[int]] = {}
+    for asn, cfg in topo.resolver_configs.items():
+        by_country.setdefault(topo.as_(asn).country_iso2, []).append(asn)
+    for iso2 in sorted(by_country):
+        asns = by_country[iso2]
+        # Weight eyeballs by their address-space size (user proxy).
+        weights = [sum(p.size for p in topo.as_(a).prefixes) or 1
+                   for a in asns]
+        counts: dict[ResolverLocality, int] = {}
+        cloud_total = 0
+        cloud_za = 0
+        for _ in range(samples_per_country):
+            asn = rng.choices(asns, weights=weights)[0]
+            cfg = topo.resolver_configs[asn]
+            counts[cfg.locality] = counts.get(cfg.locality, 0) + 1
+            if cfg.locality is ResolverLocality.CLOUD:
+                cloud_total += 1
+                if cfg.hosted_in == "ZA":
+                    cloud_za += 1
+        shares = {loc: n / samples_per_country
+                  for loc, n in counts.items()}
+        records.append(ResolverUsageRecord(
+            iso2=iso2, region=country(iso2).region,
+            samples=samples_per_country, shares=shares,
+            cloud_share_from_za=(cloud_za / cloud_total
+                                 if cloud_total else 0.0)))
+    return records

@@ -1,0 +1,83 @@
+"""RIPE-Atlas-style measurement snapshot.
+
+The paper uses two Atlas snapshots (§3): traceroutes/pings between
+African probes and anchors.  This module collects the analogous batch
+from whatever platform it is handed — Atlas-like for the §4/§6
+analyses, Observatory for the §7 comparisons — so the downstream
+analyses are platform-agnostic, exactly like the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.measurement import (
+    MeasurementEngine,
+    ProbePlatform,
+    TracerouteResult,
+    VantagePoint,
+)
+from repro.topology import Topology
+from repro.util import derive_rng
+
+
+@dataclass
+class AtlasSnapshot:
+    """One collected measurement campaign."""
+
+    platform_name: str
+    traceroutes: list[TracerouteResult] = field(default_factory=list)
+    #: (src probe, dst probe) per traceroute, aligned with traceroutes.
+    pairs: list[tuple[VantagePoint, VantagePoint]] = field(
+        default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.traceroutes)
+
+    def intra_african(self, topo: Topology) -> list[int]:
+        """Indices of traces with both endpoints in Africa."""
+        out = []
+        for idx, (src, dst) in enumerate(self.pairs):
+            if src.region.is_african and dst.region.is_african:
+                out.append(idx)
+        return out
+
+
+def probe_target_ip(topo: Topology, probe: VantagePoint,
+                    salt: int = 0) -> int:
+    """A pingable address inside a probe's network (anchor address)."""
+    prefixes = topo.as_(probe.asn).prefixes
+    if not prefixes:
+        raise ValueError(f"AS{probe.asn} has no prefixes")
+    prefix = prefixes[-1]
+    return prefix.network + 10 + ((probe.probe_id + salt) % 200)
+
+
+def collect_snapshot(topo: Topology, engine: MeasurementEngine,
+                     platform: ProbePlatform,
+                     max_pairs: Optional[int] = None,
+                     african_only: bool = True,
+                     seed: Optional[int] = None) -> AtlasSnapshot:
+    """Mesh traceroutes between the platform's probes.
+
+    ``african_only`` restricts to probes in Africa (the paper's §4.1
+    focus is intra-African paths); ``max_pairs`` caps the mesh by
+    deterministic subsampling.
+    """
+    seed = seed if seed is not None else topo.params.seed
+    rng = derive_rng(seed, "datasets", "atlas-pairs")
+    probes = [p for p in platform.probes
+              if not african_only or p.region.is_african]
+    pairs = [(a, b) for a, b in itertools.permutations(probes, 2)
+             if a.asn != b.asn]
+    if max_pairs is not None and len(pairs) > max_pairs:
+        pairs = rng.sample(pairs, max_pairs)
+        pairs.sort(key=lambda ab: (ab[0].probe_id, ab[1].probe_id))
+    snapshot = AtlasSnapshot(platform_name=platform.name)
+    for src, dst in pairs:
+        target = probe_target_ip(topo, dst)
+        snapshot.traceroutes.append(engine.traceroute(src, target))
+        snapshot.pairs.append((src, dst))
+    return snapshot

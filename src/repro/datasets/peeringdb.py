@@ -1,0 +1,80 @@
+"""PeeringDB/PCH-style IXP directory (synthetic, incomplete).
+
+IXP detection (traIXroute, §4.1/§6.1) relies on public directories of
+peering-LAN prefixes.  Directories are famously incomplete for Africa:
+small exchanges never register, and Northern African IXPs barely appear
+at all — the reason Fig. 3 excludes the region ("lack of IXPs showing
+up in our data set").  Listing probability therefore varies by region
+and exchange size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geo import Region
+from repro.measurement.ixp_detect import IXPDirectory, IXPDirectoryEntry
+from repro.topology import Topology
+from repro.util import derive_rng
+
+#: Base probability an IXP is listed in the public directory.
+LISTING_RATE: dict[Region, float] = {
+    Region.SOUTHERN_AFRICA: 0.95,
+    Region.EASTERN_AFRICA: 0.85,
+    Region.WESTERN_AFRICA: 0.80,
+    Region.CENTRAL_AFRICA: 0.75,
+    Region.NORTHERN_AFRICA: 0.35,
+    Region.EUROPE: 1.0,
+    Region.NORTH_AMERICA: 1.0,
+    Region.SOUTH_AMERICA: 0.9,
+    Region.ASIA_PACIFIC: 0.9,
+}
+
+#: Members below this make an exchange easy to overlook entirely.
+SMALL_IXP_MEMBERS = 3
+SMALL_IXP_PENALTY = 0.5
+#: Exchanges at or above this size are always registered — no flagship
+#: (NAPAfrica/KIXP/IXPN class) is ever missing from PeeringDB.
+ALWAYS_LISTED_MEMBERS = 8
+
+
+def build_ixp_directory(topo: Topology, seed: Optional[int] = None,
+                        complete: bool = False) -> IXPDirectory:
+    """The public IXP directory.
+
+    ``complete=True`` returns ground truth (what a perfect registry —
+    or the Observatory's own bookkeeping — would hold); the default
+    applies real-world incompleteness.
+    """
+    seed = seed if seed is not None else topo.params.seed
+    rng = derive_rng(seed, "datasets", "peeringdb")
+    directory = IXPDirectory()
+    for ixp in sorted(topo.ixps.values(), key=lambda x: x.ixp_id):
+        listed = True
+        if not complete and len(ixp.members) < ALWAYS_LISTED_MEMBERS:
+            rate = LISTING_RATE[ixp.region]
+            if len(ixp.members) <= SMALL_IXP_MEMBERS:
+                rate *= SMALL_IXP_PENALTY
+            listed = rng.random() < rate
+        if listed:
+            directory.entries.append(IXPDirectoryEntry(
+                ixp_id=ixp.ixp_id, name=ixp.name,
+                country_iso2=ixp.country_iso2,
+                lan_prefix=ixp.lan_prefix))
+    return directory
+
+
+def membership_map(topo: Topology,
+                   directory: IXPDirectory) -> dict[int, set[int]]:
+    """ASN -> set of (listed) IXP ids it peers at.
+
+    This is the peering dataset the Observatory's set-cover placement
+    consumes (§7.3 footnote 1 combines PCH, PeeringDB and BGP tools).
+    """
+    listed = directory.ixp_ids()
+    out: dict[int, set[int]] = {}
+    for ixp_id in sorted(listed):
+        ixp = topo.ixps[ixp_id]
+        for member in ixp.members:
+            out.setdefault(member, set()).add(ixp_id)
+    return out

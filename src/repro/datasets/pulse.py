@@ -1,0 +1,99 @@
+"""Synthetic ISOC-Pulse-style content-locality study.
+
+The paper's tool (§3) downloads each country's top-1000 sites through
+residential VPNs, detects CDN usage with an improved FindCDN, and
+geolocates the serving infrastructure.  We reproduce the pipeline with
+its imperfections: CDN detection has misses/false positives, and the
+serving country comes from the geolocation service (with its Africa
+error model), not from ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geo import AFRICAN_COUNTRIES, country
+from repro.measurement import GeolocationService
+from repro.topology import Topology, Website
+from repro.util import derive_rng
+
+#: FindCDN-style detector quality.
+CDN_DETECTION_RECALL = 0.92
+CDN_DETECTION_FALSE_POSITIVE = 0.03
+
+
+@dataclass(frozen=True)
+class PulseSample:
+    """One fetched site from one client country."""
+
+    client_country: str
+    domain: str
+    rank: int
+    cdn_detected: bool
+    #: Where the serving edge was geolocated (possibly wrong).
+    measured_server_country: Optional[str]
+    measured_server_asn: Optional[int]
+    #: Ground truth for evaluation.
+    true_server_country: str
+    true_hosting_class: str
+
+    @property
+    def measured_local_to_africa(self) -> bool:
+        if self.measured_server_country is None:
+            return False
+        return country(self.measured_server_country).is_african
+
+
+@dataclass
+class PulseStudy:
+    """A full crawl: every African country's top sites."""
+
+    samples: list[PulseSample] = field(default_factory=list)
+
+    def for_country(self, iso2: str) -> list[PulseSample]:
+        return [s for s in self.samples if s.client_country == iso2]
+
+    def countries(self) -> set[str]:
+        return {s.client_country for s in self.samples}
+
+
+def run_pulse_study(topo: Topology, seed: Optional[int] = None
+                    ) -> PulseStudy:
+    """Crawl every African country's top-site list."""
+    seed = seed if seed is not None else topo.params.seed
+    rng = derive_rng(seed, "datasets", "pulse")
+    geo = GeolocationService(topo, seed=seed)
+    study = PulseStudy()
+    for iso2 in sorted(AFRICAN_COUNTRIES):
+        for site in topo.websites.get(iso2, []):
+            study.samples.append(
+                _sample_site(topo, geo, site, rng))
+    return study
+
+
+def _sample_site(topo: Topology, geo: GeolocationService, site: Website,
+                 rng) -> PulseSample:
+    if site.uses_cdn:
+        cdn_detected = rng.random() < CDN_DETECTION_RECALL
+    else:
+        cdn_detected = rng.random() < CDN_DETECTION_FALSE_POSITIVE
+    server_as = topo.ases.get(site.server_asn)
+    measured_cc = None
+    measured_asn = None
+    if server_as is not None and server_as.prefixes:
+        # The serving edge answers from an address of the server AS; we
+        # geolocate it knowing its true deployment country.
+        ip = server_as.prefixes[0].network + (site.rank % 250) + 1
+        answer = geo.locate(ip, true_iso2=site.server_country)
+        measured_cc = answer.iso2
+        measured_asn = site.server_asn
+    return PulseSample(
+        client_country=site.client_country,
+        domain=site.domain,
+        rank=site.rank,
+        cdn_detected=cdn_detected,
+        measured_server_country=measured_cc,
+        measured_server_asn=measured_asn,
+        true_server_country=site.server_country,
+        true_hosting_class=site.hosting.value)

@@ -1,0 +1,51 @@
+"""Reference-region infrastructure counts for Fig. 1.
+
+The African series in Fig. 1 are *measured* from the generated world;
+the comparison regions (Europe, N. America, S. America, Asia-Pacific)
+are inputs, mirroring the public statistics the paper plots (PeeringDB
+/ PCH exchange counts, RIR ASN delegations, TeleGeography cable
+counts).  Values are approximate real-world 2015/2025 totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo import Region
+
+
+@dataclass(frozen=True)
+class RegionInfraCounts:
+    """Counts of the three infrastructure classes for one year."""
+
+    ixps: int
+    cables: int
+    asns: int
+
+
+#: (2015, 2025) counts per reference region.
+REFERENCE_GROWTH: dict[Region, tuple[RegionInfraCounts, RegionInfraCounts]] = {
+    Region.EUROPE: (
+        RegionInfraCounts(ixps=180, cables=110, asns=24000),
+        RegionInfraCounts(ixps=245, cables=140, asns=33500),
+    ),
+    Region.NORTH_AMERICA: (
+        RegionInfraCounts(ixps=85, cables=75, asns=26500),
+        RegionInfraCounts(ixps=130, cables=95, asns=33000),
+    ),
+    Region.SOUTH_AMERICA: (
+        RegionInfraCounts(ixps=35, cables=30, asns=5200),
+        RegionInfraCounts(ixps=95, cables=48, asns=13500),
+    ),
+    Region.ASIA_PACIFIC: (
+        RegionInfraCounts(ixps=95, cables=180, asns=9500),
+        RegionInfraCounts(ixps=190, cables=270, asns=21500),
+    ),
+}
+
+
+def growth_pct(before: int, after: int) -> float:
+    """Percentage growth; 0 when the baseline is empty."""
+    if before <= 0:
+        return 0.0
+    return 100.0 * (after - before) / before

@@ -1,0 +1,39 @@
+"""Geographic substrate: regions, countries, and distance/latency helpers.
+
+Everything downstream (topology generation, physical-layer routing,
+geolocation error models) is anchored on this package.  The registry is
+intentionally static data — the *simulation* is seeded and synthetic, but
+the map of Africa is real.
+"""
+
+from repro.geo.regions import Region, AFRICAN_REGIONS, REFERENCE_REGIONS
+from repro.geo.countries import (
+    Country,
+    COUNTRIES,
+    AFRICAN_COUNTRIES,
+    country,
+    countries_in_region,
+)
+from repro.geo.distance import (
+    haversine_km,
+    fiber_rtt_ms,
+    path_length_km,
+    EARTH_RADIUS_KM,
+    FIBER_KM_PER_MS,
+)
+
+__all__ = [
+    "Region",
+    "AFRICAN_REGIONS",
+    "REFERENCE_REGIONS",
+    "Country",
+    "COUNTRIES",
+    "AFRICAN_COUNTRIES",
+    "country",
+    "countries_in_region",
+    "haversine_km",
+    "fiber_rtt_ms",
+    "path_length_km",
+    "EARTH_RADIUS_KM",
+    "FIBER_KM_PER_MS",
+]

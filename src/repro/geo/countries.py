@@ -1,0 +1,181 @@
+"""Country registry.
+
+All 54 African countries plus the reference countries the paper compares
+against (European transit hubs, North/South America, Asia-Pacific).
+Coordinates are capital-city approximations; they feed the great-circle
+latency model and the subsea-cable landing geometry.
+
+Population figures (millions, ~2024) weight AS counts, probe placement
+and top-site sampling.  ``grid_reliability`` (0..1, fraction of time the
+power grid is up) drives the Observatory's power/intermittence model
+(§7.1 "unreliable or intermittent power").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.regions import Region
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country participating in the simulated Internet."""
+
+    iso2: str
+    name: str
+    region: Region
+    lat: float
+    lon: float
+    population_m: float
+    coastal: bool = True
+    #: Fraction of time grid power is available (Observatory power model).
+    grid_reliability: float = 0.95
+    #: Mobile share of last-mile subscriptions (drives AS mix + Table 1).
+    mobile_share: float = 0.6
+
+    @property
+    def is_african(self) -> bool:
+        return self.region.is_african
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.lat <= 90.0):
+            raise ValueError(f"bad latitude for {self.iso2}: {self.lat}")
+        if not (-180.0 <= self.lon <= 180.0):
+            raise ValueError(f"bad longitude for {self.iso2}: {self.lon}")
+        if self.population_m <= 0:
+            raise ValueError(f"bad population for {self.iso2}")
+
+
+def _c(iso2, name, region, lat, lon, pop, coastal=True, grid=0.75, mobile=0.80):
+    return Country(
+        iso2=iso2,
+        name=name,
+        region=region,
+        lat=lat,
+        lon=lon,
+        population_m=pop,
+        coastal=coastal,
+        grid_reliability=grid,
+        mobile_share=mobile,
+    )
+
+
+_N = Region.NORTHERN_AFRICA
+_W = Region.WESTERN_AFRICA
+_C = Region.CENTRAL_AFRICA
+_E = Region.EASTERN_AFRICA
+_S = Region.SOUTHERN_AFRICA
+
+
+_AFRICAN: list[Country] = [
+    # --- Northern Africa ---
+    _c("DZ", "Algeria", _N, 36.75, 3.06, 45.6, True, 0.93, 0.78),
+    _c("EG", "Egypt", _N, 30.04, 31.24, 112.7, True, 0.95, 0.72),
+    _c("LY", "Libya", _N, 32.89, 13.19, 6.9, True, 0.70, 0.80),
+    _c("MA", "Morocco", _N, 34.02, -6.84, 37.8, True, 0.96, 0.70),
+    _c("SD", "Sudan", _N, 15.50, 32.56, 48.1, True, 0.55, 0.85),
+    _c("TN", "Tunisia", _N, 36.81, 10.18, 12.5, True, 0.94, 0.68),
+    # --- Western Africa ---
+    _c("BJ", "Benin", _W, 6.37, 2.39, 13.7, True, 0.65, 0.88),
+    _c("BF", "Burkina Faso", _W, 12.37, -1.52, 23.0, False, 0.60, 0.90),
+    _c("CV", "Cabo Verde", _W, 14.93, -23.51, 0.6, True, 0.90, 0.75),
+    _c("CI", "Cote d'Ivoire", _W, 5.35, -4.02, 28.9, True, 0.78, 0.86),
+    _c("GM", "Gambia", _W, 13.45, -16.58, 2.7, True, 0.60, 0.90),
+    _c("GH", "Ghana", _W, 5.56, -0.20, 34.1, True, 0.80, 0.84),
+    _c("GN", "Guinea", _W, 9.64, -13.58, 14.2, True, 0.50, 0.90),
+    _c("GW", "Guinea-Bissau", _W, 11.86, -15.60, 2.2, True, 0.45, 0.92),
+    _c("LR", "Liberia", _W, 6.30, -10.80, 5.4, True, 0.40, 0.90),
+    _c("ML", "Mali", _W, 12.65, -8.00, 23.3, False, 0.55, 0.90),
+    _c("MR", "Mauritania", _W, 18.08, -15.98, 4.9, True, 0.60, 0.88),
+    _c("NE", "Niger", _W, 13.51, 2.11, 27.2, False, 0.45, 0.92),
+    _c("NG", "Nigeria", _W, 6.45, 3.39, 223.8, True, 0.55, 0.86),
+    _c("SN", "Senegal", _W, 14.72, -17.47, 18.4, True, 0.80, 0.84),
+    _c("SL", "Sierra Leone", _W, 8.48, -13.23, 8.8, True, 0.40, 0.90),
+    _c("TG", "Togo", _W, 6.13, 1.22, 9.0, True, 0.62, 0.88),
+    # --- Central Africa ---
+    _c("AO", "Angola", _C, -8.84, 13.23, 36.7, True, 0.68, 0.80),
+    _c("CM", "Cameroon", _C, 3.87, 11.52, 28.6, True, 0.65, 0.86),
+    _c("CF", "Central African Republic", _C, 4.39, 18.56, 5.7, False, 0.30, 0.92),
+    _c("TD", "Chad", _C, 12.13, 15.06, 18.3, False, 0.35, 0.92),
+    _c("CG", "Congo", _C, -4.27, 15.27, 6.1, True, 0.55, 0.88),
+    _c("CD", "DR Congo", _C, -4.32, 15.31, 102.3, True, 0.40, 0.90),
+    _c("GQ", "Equatorial Guinea", _C, 3.75, 8.78, 1.7, True, 0.60, 0.85),
+    _c("GA", "Gabon", _C, 0.39, 9.45, 2.4, True, 0.75, 0.82),
+    _c("ST", "Sao Tome and Principe", _C, 0.34, 6.73, 0.2, True, 0.65, 0.82),
+    # --- Eastern Africa ---
+    _c("BI", "Burundi", _E, -3.38, 29.36, 13.2, False, 0.40, 0.90),
+    _c("KM", "Comoros", _E, -11.70, 43.26, 0.9, True, 0.55, 0.85),
+    _c("DJ", "Djibouti", _E, 11.59, 43.15, 1.1, True, 0.75, 0.80),
+    _c("ER", "Eritrea", _E, 15.32, 38.93, 3.7, True, 0.45, 0.88),
+    _c("ET", "Ethiopia", _E, 9.03, 38.74, 126.5, False, 0.60, 0.85),
+    _c("KE", "Kenya", _E, -1.29, 36.82, 55.1, True, 0.82, 0.80),
+    _c("MG", "Madagascar", _E, -18.88, 47.51, 30.3, True, 0.55, 0.85),
+    _c("MW", "Malawi", _E, -13.96, 33.79, 20.9, False, 0.50, 0.88),
+    _c("MU", "Mauritius", _E, -20.16, 57.50, 1.3, True, 0.97, 0.60),
+    _c("MZ", "Mozambique", _E, -25.97, 32.57, 33.9, True, 0.60, 0.86),
+    _c("RW", "Rwanda", _E, -1.94, 30.06, 14.1, False, 0.80, 0.82),
+    _c("SC", "Seychelles", _E, -4.62, 55.45, 0.1, True, 0.95, 0.60),
+    _c("SO", "Somalia", _E, 2.05, 45.32, 17.6, True, 0.35, 0.92),
+    _c("SS", "South Sudan", _E, 4.85, 31.58, 11.1, False, 0.25, 0.92),
+    _c("TZ", "Tanzania", _E, -6.82, 39.28, 65.5, True, 0.70, 0.84),
+    _c("UG", "Uganda", _E, 0.35, 32.58, 47.2, False, 0.65, 0.86),
+    _c("ZM", "Zambia", _E, -15.42, 28.28, 20.6, False, 0.65, 0.84),
+    _c("ZW", "Zimbabwe", _E, -17.83, 31.05, 16.3, False, 0.55, 0.84),
+    # --- Southern Africa ---
+    _c("BW", "Botswana", _S, -24.63, 25.92, 2.7, False, 0.88, 0.76),
+    _c("SZ", "Eswatini", _S, -26.31, 31.14, 1.2, False, 0.80, 0.80),
+    _c("LS", "Lesotho", _S, -29.31, 27.48, 2.3, False, 0.75, 0.82),
+    _c("NA", "Namibia", _S, -22.56, 17.07, 2.6, True, 0.90, 0.74),
+    _c("ZA", "South Africa", _S, -26.20, 28.05, 60.4, True, 0.80, 0.62),
+]
+
+_REFERENCE: list[Country] = [
+    # Europe: transit hubs that carry African traffic (§2, §4.1).
+    _c("DE", "Germany", Region.EUROPE, 50.11, 8.68, 84.5, True, 0.999, 0.25),
+    _c("NL", "Netherlands", Region.EUROPE, 52.37, 4.90, 17.8, True, 0.999, 0.25),
+    _c("GB", "United Kingdom", Region.EUROPE, 51.51, -0.13, 67.7, True, 0.999, 0.28),
+    _c("FR", "France", Region.EUROPE, 48.86, 2.35, 68.2, True, 0.999, 0.26),
+    _c("PT", "Portugal", Region.EUROPE, 38.72, -9.14, 10.3, True, 0.998, 0.30),
+    _c("ES", "Spain", Region.EUROPE, 40.42, -3.70, 47.5, True, 0.998, 0.30),
+    _c("IT", "Italy", Region.EUROPE, 41.90, 12.50, 58.9, True, 0.997, 0.32),
+    # North America.
+    _c("US", "United States", Region.NORTH_AMERICA, 38.90, -77.04, 334.9, True, 0.999, 0.20),
+    _c("CA", "Canada", Region.NORTH_AMERICA, 45.42, -75.70, 38.8, True, 0.999, 0.20),
+    # South America.
+    _c("BR", "Brazil", Region.SOUTH_AMERICA, -23.55, -46.63, 216.4, True, 0.97, 0.55),
+    _c("AR", "Argentina", Region.SOUTH_AMERICA, -34.60, -58.38, 46.2, True, 0.96, 0.50),
+    _c("CO", "Colombia", Region.SOUTH_AMERICA, 4.71, -74.07, 52.1, True, 0.95, 0.55),
+    _c("CL", "Chile", Region.SOUTH_AMERICA, -33.45, -70.67, 19.6, True, 0.98, 0.48),
+    # Asia-Pacific.
+    _c("SG", "Singapore", Region.ASIA_PACIFIC, 1.35, 103.82, 5.9, True, 0.999, 0.35),
+    _c("IN", "India", Region.ASIA_PACIFIC, 19.08, 72.88, 1428.6, True, 0.90, 0.75),
+    _c("JP", "Japan", Region.ASIA_PACIFIC, 35.68, 139.69, 123.3, True, 0.999, 0.30),
+    _c("AU", "Australia", Region.ASIA_PACIFIC, -33.87, 151.21, 26.6, True, 0.999, 0.30),
+    _c("ID", "Indonesia", Region.ASIA_PACIFIC, -6.21, 106.85, 277.5, True, 0.92, 0.70),
+]
+
+#: All countries in the model, keyed by ISO-3166 alpha-2 code.
+COUNTRIES: dict[str, Country] = {c.iso2: c for c in _AFRICAN + _REFERENCE}
+
+#: African countries only, keyed by ISO2.
+AFRICAN_COUNTRIES: dict[str, Country] = {c.iso2: c for c in _AFRICAN}
+
+if len(COUNTRIES) != len(_AFRICAN) + len(_REFERENCE):  # pragma: no cover
+    raise RuntimeError("duplicate ISO2 codes in the country registry")
+
+
+def country(iso2: str) -> Country:
+    """Look up a country by ISO2 code; raises ``KeyError`` with context."""
+    try:
+        return COUNTRIES[iso2]
+    except KeyError:
+        raise KeyError(f"unknown country code {iso2!r}") from None
+
+
+def countries_in_region(region: Region) -> list[Country]:
+    """All registered countries in ``region``, ordered by ISO2 code."""
+    return sorted(
+        (c for c in COUNTRIES.values() if c.region is region),
+        key=lambda c: c.iso2,
+    )

@@ -1,0 +1,72 @@
+"""Great-circle distance and fiber-latency primitives.
+
+The physical-layer model (subsea cables, terrestrial links, traceroute
+RTTs) uses great-circle distance between endpoints scaled by a path
+inflation factor: real cables do not follow geodesics, and African
+terrestrial fiber is notoriously circuitous.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+EARTH_RADIUS_KM = 6371.0
+
+#: Light in fiber travels ~200 km per millisecond (c / refractive index).
+FIBER_KM_PER_MS = 200.0
+
+#: Default route-length inflation over great-circle distance.
+DEFAULT_PATH_INFLATION = 1.3
+
+
+def haversine_km(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle distance in kilometres between two (lat, lon) points."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def path_length_km(points: Sequence[tuple[float, float]]) -> float:
+    """Total great-circle length of a polyline of (lat, lon) points."""
+    if len(points) < 2:
+        return 0.0
+    total = 0.0
+    for (lat1, lon1), (lat2, lon2) in zip(points, points[1:]):
+        total += haversine_km(lat1, lon1, lat2, lon2)
+    return total
+
+
+def fiber_rtt_ms(
+    distance_km: float,
+    inflation: float = DEFAULT_PATH_INFLATION,
+    per_hop_ms: float = 0.0,
+) -> float:
+    """Round-trip time over ``distance_km`` of fiber.
+
+    ``inflation`` stretches the geodesic to a plausible route length;
+    ``per_hop_ms`` adds fixed processing/queueing delay (already
+    round-trip).
+    """
+    if distance_km < 0:
+        raise ValueError("distance must be non-negative")
+    one_way_ms = distance_km * inflation / FIBER_KM_PER_MS
+    return 2.0 * one_way_ms + per_hop_ms
+
+
+def centroid(points: Iterable[tuple[float, float]]) -> tuple[float, float]:
+    """Arithmetic centroid of (lat, lon) points (adequate at city scale)."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid of empty point set")
+    return (
+        sum(p[0] for p in pts) / len(pts),
+        sum(p[1] for p in pts) / len(pts),
+    )

@@ -1,0 +1,57 @@
+"""Region taxonomy used throughout the reproduction.
+
+The paper analyses Africa at the granularity of its five UN subregions
+(Northern, Western, Central, Eastern, Southern) and compares the
+continent against Europe, North America, South America and Asia-Pacific
+(Fig. 1, Fig. 2c).  We model exactly those buckets.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Region(enum.Enum):
+    """A geographic region; the unit of regional aggregation in the paper."""
+
+    NORTHERN_AFRICA = "Northern Africa"
+    WESTERN_AFRICA = "Western Africa"
+    CENTRAL_AFRICA = "Central Africa"
+    EASTERN_AFRICA = "Eastern Africa"
+    SOUTHERN_AFRICA = "Southern Africa"
+    EUROPE = "Europe"
+    NORTH_AMERICA = "North America"
+    SOUTH_AMERICA = "South America"
+    ASIA_PACIFIC = "Asia-Pacific"
+
+    @property
+    def is_african(self) -> bool:
+        return self in AFRICAN_REGIONS
+
+    @property
+    def continent(self) -> str:
+        """Continent-level label ('Africa', 'Europe', ...)."""
+        if self.is_african:
+            return "Africa"
+        return self.value
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: The five African subregions, in the paper's customary order.
+AFRICAN_REGIONS: tuple[Region, ...] = (
+    Region.NORTHERN_AFRICA,
+    Region.WESTERN_AFRICA,
+    Region.CENTRAL_AFRICA,
+    Region.EASTERN_AFRICA,
+    Region.SOUTHERN_AFRICA,
+)
+
+#: Non-African comparison regions used in Fig. 1 and Fig. 2c.
+REFERENCE_REGIONS: tuple[Region, ...] = (
+    Region.EUROPE,
+    Region.NORTH_AMERICA,
+    Region.SOUTH_AMERICA,
+    Region.ASIA_PACIFIC,
+)

@@ -1,0 +1,79 @@
+"""Measurement layer: probes, traceroute/ping/DNS, scanners, geolocation."""
+
+from repro.measurement.probes import (
+    AccessTech,
+    ProbeKind,
+    ProbePlatform,
+    VantagePoint,
+    build_atlas_platform,
+    build_observatory_platform,
+    ATLAS_HOST_RATE,
+)
+from repro.measurement.responsiveness import (
+    DEFAULT_RESPONSE_MODEL,
+    ResponseModel,
+    ixp_hitlist_inclusion_prob,
+    slash24s_of,
+)
+from repro.measurement.traceroute import (
+    Hop,
+    MeasurementEngine,
+    PingResult,
+    TracerouteResult,
+    PING_BYTES,
+    TRACEROUTE_BYTES_PER_HOP,
+)
+from repro.measurement.scanners import (
+    ScanResult,
+    default_yarrp_vantage,
+    run_ant_hitlist,
+    run_caida_prefix_scan,
+    run_yarrp_scan,
+)
+from repro.measurement.geolocate import GeoAnswer, GeolocationService
+from repro.measurement.ixp_detect import (
+    IXPCrossing,
+    IXPDirectory,
+    IXPDirectoryEntry,
+    detect_ixp_crossings,
+    detected_ixps,
+    traverses_ixp,
+)
+from repro.measurement.dns_measure import DNSMeasurement, DNSResult
+from repro.measurement.pageload import (
+    PageLoadResult,
+    PageLoadSimulator,
+    PageLoadStudy,
+    ThirdPartyDependency,
+    ThirdPartyKind,
+    dependencies_of,
+    run_pageload_study,
+)
+from repro.measurement.anycast import (
+    AnycastMeasurement,
+    AnycastService,
+    AnycastSite,
+    CatchmentCensus,
+    CatchmentObservation,
+    services_from_topology,
+)
+
+__all__ = [
+    "AccessTech", "ProbeKind", "ProbePlatform", "VantagePoint",
+    "build_atlas_platform", "build_observatory_platform", "ATLAS_HOST_RATE",
+    "DEFAULT_RESPONSE_MODEL", "ResponseModel", "ixp_hitlist_inclusion_prob",
+    "slash24s_of",
+    "Hop", "MeasurementEngine", "PingResult", "TracerouteResult",
+    "PING_BYTES", "TRACEROUTE_BYTES_PER_HOP",
+    "ScanResult", "default_yarrp_vantage", "run_ant_hitlist",
+    "run_caida_prefix_scan", "run_yarrp_scan",
+    "GeoAnswer", "GeolocationService",
+    "IXPCrossing", "IXPDirectory", "IXPDirectoryEntry",
+    "detect_ixp_crossings", "detected_ixps", "traverses_ixp",
+    "DNSMeasurement", "DNSResult",
+    "PageLoadResult", "PageLoadSimulator", "PageLoadStudy",
+    "ThirdPartyDependency", "ThirdPartyKind", "dependencies_of",
+    "run_pageload_study",
+    "AnycastMeasurement", "AnycastService", "AnycastSite",
+    "CatchmentCensus", "CatchmentObservation", "services_from_topology",
+]

@@ -1,0 +1,158 @@
+"""Anycast catchment measurement (MAnycast-style census).
+
+§7.2 lists anycast research among the Observatory's user communities
+([35, 36]).  Public-cloud resolvers and CDN front-ends are anycast: the
+same address is served from many sites, and *which* site an African
+client lands on decides whether their traffic stays on the continent.
+This module measures catchments from vantage points and quantifies the
+"African clients drain to Europe" phenomenon that underlies Fig. 2b/2c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.geo import country
+from repro.routing import PhysicalNetwork
+from repro.topology import Topology
+from repro.util import derive_rng
+
+
+@dataclass(frozen=True)
+class AnycastSite:
+    """One deployment site of an anycast service."""
+
+    iso2: str
+    #: Relative capacity weight; bigger sites win ties more often.
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class AnycastService:
+    """An anycast service and its site footprint."""
+
+    name: str
+    asn: int
+    sites: tuple[AnycastSite, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ValueError(f"anycast service {self.name} has no sites")
+
+
+@dataclass(frozen=True)
+class CatchmentObservation:
+    """One client's measured landing site."""
+
+    client_cc: str
+    service: str
+    site_cc: str
+    rtt_ms: float
+
+    @property
+    def stayed_in_africa(self) -> bool:
+        return (country(self.client_cc).is_african
+                and country(self.site_cc).is_african)
+
+
+@dataclass
+class CatchmentCensus:
+    observations: list[CatchmentObservation] = field(default_factory=list)
+
+    def african_locality(self) -> float:
+        """Share of African clients landing on African sites."""
+        african = [o for o in self.observations
+                   if country(o.client_cc).is_african]
+        if not african:
+            return 0.0
+        return sum(o.stayed_in_africa for o in african) / len(african)
+
+    def site_distribution(self, service: Optional[str] = None
+                          ) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for o in self.observations:
+            if service is not None and o.service != service:
+                continue
+            out[o.site_cc] = out.get(o.site_cc, 0) + 1
+        return out
+
+
+def services_from_topology(topo: Topology) -> list[AnycastService]:
+    """Anycast services implied by the world: cloud resolvers and CDNs.
+
+    African sites carry less capacity weight than the European ones —
+    the §4.2 catchment-spill mechanism.
+    """
+    services = []
+    for svc in topo.cloud_resolvers:
+        sites = tuple(
+            AnycastSite(cc, 1.0 if country(cc).is_african else 3.0)
+            for cc in svc.pop_countries)
+        services.append(AnycastService(svc.name, svc.asn, sites))
+    for cdn in topo.cdns:
+        sites = tuple(
+            AnycastSite(cc, 1.0 if country(cc).is_african else 3.0)
+            for cc in cdn.pop_countries)
+        services.append(AnycastService(cdn.name, cdn.asn, sites))
+    return services
+
+
+class AnycastMeasurement:
+    """Measures catchments by latency with capacity-weighted ties."""
+
+    def __init__(self, topo: Topology, phys: PhysicalNetwork,
+                 seed: Optional[int] = None,
+                 tie_window_ms: float = 80.0) -> None:
+        self._topo = topo
+        self._phys = phys
+        self._tie_window = tie_window_ms
+        self._seed = seed if seed is not None else topo.params.seed
+
+    def catchment(self, client_cc: str, service: AnycastService,
+                  down_cables: Sequence[int] = ()
+                  ) -> Optional[CatchmentObservation]:
+        """Which site a client lands on (None if nothing reachable).
+
+        BGP anycast is *not* lowest-latency: within a latency window,
+        the better-connected (heavier) site usually wins the routing
+        tie — which is exactly how African clients end up in Europe
+        despite a nearer African site.
+        """
+        reachable: list[tuple[float, AnycastSite]] = []
+        for site in service.sites:
+            if site.iso2 == client_cc:
+                reachable.append((5.0, site))
+                continue
+            route = self._phys.route(client_cc, site.iso2,
+                                     down_cables=down_cables)
+            if route is None or route.uses_satellite:
+                continue
+            reachable.append((route.rtt_ms, site))
+        if not reachable:
+            return None
+        reachable.sort(key=lambda pair: pair[0])
+        best_rtt = reachable[0][0]
+        contenders = [(rtt, site) for rtt, site in reachable
+                      if rtt <= best_rtt + self._tie_window]
+        rng = derive_rng(self._seed, "anycast", service.name, client_cc,
+                         *(str(c) for c in sorted(down_cables)))
+        weights = [site.weight for _, site in contenders]
+        rtt, site = rng.choices(contenders, weights=weights)[0]
+        return CatchmentObservation(client_cc, service.name, site.iso2,
+                                    rtt)
+
+    def census(self, client_ccs: Iterable[str],
+               services: Optional[Sequence[AnycastService]] = None,
+               down_cables: Sequence[int] = ()) -> CatchmentCensus:
+        """MAnycast-style sweep over clients x services."""
+        services = (list(services) if services is not None
+                    else services_from_topology(self._topo))
+        census = CatchmentCensus()
+        for client_cc in sorted(set(client_ccs)):
+            for service in services:
+                observation = self.catchment(client_cc, service,
+                                             down_cables)
+                if observation is not None:
+                    census.observations.append(observation)
+        return census

@@ -1,0 +1,159 @@
+"""DNS resolution measurement.
+
+Models the §5.2 failure mode end to end: a client's query must first
+reach its configured recursive resolver (which may sit in another
+country or on a cloud PoP), and the resolver must then reach
+authoritative servers — which for most zones live outside Africa.
+During a cable cut, an outsourced resolver is unreachable and even a
+reachable one cannot resolve uncached names, so "local" services with
+remote DNS still break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.routing import PhysicalNetwork
+from repro.topology import ResolverLocality, Topology
+from repro.util import derive_rng
+
+#: Probability a popular name is answerable from resolver cache.
+CACHE_HIT_RATE = 0.65
+#: Server-side processing (ms) per resolution leg.
+RESOLVER_PROCESSING_MS = 3.0
+#: Authoritative infrastructure for most zones is hosted here.
+AUTHORITATIVE_COUNTRIES = ("US", "GB", "DE", "NL")
+
+
+@dataclass(frozen=True)
+class DNSResult:
+    """Outcome of one simulated resolution."""
+
+    client_asn: int
+    domain: str
+    ok: bool
+    rtt_ms: Optional[float]
+    resolver_country: str
+    locality: ResolverLocality
+    cache_hit: bool
+    failure_reason: Optional[str] = None
+
+
+class DNSMeasurement:
+    """Resolution simulator over the physical layer.
+
+    Failure has two modes: hard partition (no physical route / satellite
+    fallback) and *congestion collapse* — when a country has lost a
+    large share of its lit international capacity, the surviving links
+    saturate and queries time out in proportion to the loss.  The
+    congestion mode is what made March 2024 a DNS event even for
+    countries that kept some fiber (§5.2).
+    """
+
+    def __init__(self, topo: Topology, phys: PhysicalNetwork,
+                 seed: Optional[int] = None,
+                 cache_hit_rate: float = CACHE_HIT_RATE,
+                 congestion_onset: float = 0.35) -> None:
+        self._topo = topo
+        self._phys = phys
+        self._cache_hit_rate = cache_hit_rate
+        self._congestion_onset = congestion_onset
+        self._severity_cache: dict[tuple, float] = {}
+        self._rng = derive_rng(
+            seed if seed is not None else topo.params.seed,
+            "measurement", "dns")
+
+    def _congestion(self, iso2: str, down: tuple) -> float:
+        """Timeout probability for international legs from ``iso2``."""
+        if not down:
+            return 0.0
+        key = (iso2, down)
+        if key not in self._severity_cache:
+            before = self._phys.international_traffic_weight(iso2)
+            if before <= 0:
+                severity = 0.0
+            else:
+                after = self._phys.international_traffic_weight(
+                    iso2, down_cables=down)
+                severity = max(0.0, 1.0 - after / before)
+            self._severity_cache[key] = severity
+        severity = self._severity_cache[key]
+        if severity <= self._congestion_onset:
+            return 0.0
+        return min(0.95, (severity - self._congestion_onset)
+                   / (1.0 - self._congestion_onset))
+
+    def resolve(self, client_asn: int, domain: str,
+                down_cables: Sequence[int] = ()) -> DNSResult:
+        """Resolve ``domain`` for a client inside ``client_asn``."""
+        topo = self._topo
+        cfg = topo.resolver_configs.get(client_asn)
+        if cfg is None:
+            raise KeyError(f"AS{client_asn} has no resolver config")
+        client_cc = topo.as_(client_asn).country_iso2
+        down = tuple(down_cables)
+
+        # Cloud resolvers re-anchor when the in-Africa PoP is cut off.
+        resolver_cc = cfg.hosted_in
+        if cfg.locality is ResolverLocality.CLOUD and down:
+            leg = self._phys.route(client_cc, resolver_cc,
+                                   down_cables=down)
+            if leg is None or leg.uses_satellite:
+                svc = next((s for s in topo.cloud_resolvers
+                            if s.asn == cfg.operator_asn), None)
+                if svc is not None:
+                    resolver_cc = svc.nearest_pop(client_cc,
+                                                  african_pops_up=False)
+
+        # Leg 1: client -> resolver.
+        rtt = 0.0
+        congestion = self._congestion(client_cc, down)
+        if resolver_cc != client_cc:
+            leg = self._phys.route(client_cc, resolver_cc,
+                                   down_cables=down)
+            if leg is None:
+                return self._fail(client_asn, domain, cfg, resolver_cc,
+                                  "resolver unreachable")
+            if leg.uses_satellite and self._rng.random() < 0.6:
+                return self._fail(client_asn, domain, cfg, resolver_cc,
+                                  "resolver unreachable (congested fallback)")
+            if self._rng.random() < congestion:
+                return self._fail(client_asn, domain, cfg, resolver_cc,
+                                  "resolver timeout (congestion)")
+            rtt += leg.rtt_ms
+        rtt += RESOLVER_PROCESSING_MS
+
+        # Leg 2: resolver -> authoritative (skipped on cache hit).
+        cache_hit = self._rng.random() < self._cache_hit_rate
+        if not cache_hit:
+            auth_leg = self._best_authoritative_leg(resolver_cc, down)
+            if auth_leg is None:
+                return self._fail(client_asn, domain, cfg, resolver_cc,
+                                  "authoritative unreachable", cache_hit)
+            if self._rng.random() < self._congestion(resolver_cc, down):
+                return self._fail(client_asn, domain, cfg, resolver_cc,
+                                  "authoritative timeout (congestion)",
+                                  cache_hit)
+            rtt += auth_leg + RESOLVER_PROCESSING_MS
+        return DNSResult(client_asn, domain, True,
+                         max(1.0, rtt + self._rng.gauss(0.0, 1.0)),
+                         resolver_cc, cfg.locality, cache_hit)
+
+    def _best_authoritative_leg(self, resolver_cc: str,
+                                down: tuple) -> Optional[float]:
+        best: Optional[float] = None
+        for auth_cc in AUTHORITATIVE_COUNTRIES:
+            if auth_cc == resolver_cc:
+                return RESOLVER_PROCESSING_MS
+            leg = self._phys.route(resolver_cc, auth_cc, down_cables=down)
+            if leg is None or leg.uses_satellite:
+                continue
+            if best is None or leg.rtt_ms < best:
+                best = leg.rtt_ms
+        return best
+
+    def _fail(self, client_asn, domain, cfg, resolver_cc, reason,
+              cache_hit: bool = False) -> DNSResult:
+        return DNSResult(client_asn, domain, False, None, resolver_cc,
+                         cfg.locality, cache_hit, failure_reason=reason)

@@ -1,0 +1,117 @@
+"""IP geolocation with an Africa-calibrated error model.
+
+Section 6.2: "Techniques for probing and identifying subsea cables face
+challenges due to known geolocation accuracy problems in Africa."
+Commercial geolocation databases routinely place African IPs at the
+operator's headquarters (often Johannesburg or Europe for multinational
+carriers) or in the wrong country outright.  The error model here is
+what inflates Nautilus' candidate-cable ambiguity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geo import AFRICAN_COUNTRIES, country
+from repro.topology import ASKind, Topology
+from repro.util import derive_rng
+
+#: Country-level accuracy for African IPs (fraction located correctly).
+AFRICA_ACCURACY = 0.72
+#: Accuracy elsewhere (mature markets).
+REFERENCE_ACCURACY = 0.95
+#: When an African IP is mis-located, where it lands.
+MISLOCATION_MIX = (
+    ("operator_hq", 0.45),   # the AS's registered home country
+    ("south_africa", 0.25),  # the classic "everything is ZA" failure
+    ("europe", 0.08),        # RIPE-registered space mapped to Europe
+    ("neighbor", 0.22),      # adjacent-country confusion
+)
+
+
+@dataclass(frozen=True)
+class GeoAnswer:
+    """A geolocation verdict for one address."""
+
+    ip: int
+    iso2: Optional[str]
+    lat: Optional[float]
+    lon: Optional[float]
+    #: Ground-truth country (for evaluation only; analyses must not use).
+    true_iso2: Optional[str]
+
+    @property
+    def correct(self) -> bool:
+        return self.iso2 is not None and self.iso2 == self.true_iso2
+
+
+class GeolocationService:
+    """An IPInfo-like lookup over the simulated address space.
+
+    Deterministic per (seed, ip): the same address always geolocates to
+    the same (possibly wrong) place, as with a real database snapshot.
+    """
+
+    def __init__(self, topo: Topology, seed: Optional[int] = None,
+                 africa_accuracy: float = AFRICA_ACCURACY,
+                 reference_accuracy: float = REFERENCE_ACCURACY) -> None:
+        self._topo = topo
+        self._seed = seed if seed is not None else topo.params.seed
+        self._africa_accuracy = africa_accuracy
+        self._reference_accuracy = reference_accuracy
+        self._cache: dict[int, GeoAnswer] = {}
+
+    def locate(self, ip: int, true_iso2: Optional[str] = None) -> GeoAnswer:
+        """Geolocate one address.
+
+        ``true_iso2`` tells the model where the address *really* is
+        (e.g. the PoP a traceroute hop sits in); when omitted, the
+        owning AS's home country is assumed.
+        """
+        key = ip if true_iso2 is None else hash((ip, true_iso2))
+        if key in self._cache:
+            return self._cache[key]
+        owner = self._topo.as_for_ip(ip)
+        ixp = self._topo.ixp_for_ip(ip)
+        if true_iso2 is None:
+            if owner is not None:
+                true_iso2 = owner.country_iso2
+            elif ixp is not None:
+                true_iso2 = ixp.country_iso2
+        answer = self._decide(ip, owner, true_iso2)
+        self._cache[key] = answer
+        return answer
+
+    def _decide(self, ip, owner, true_iso2) -> GeoAnswer:
+        if true_iso2 is None:
+            return GeoAnswer(ip, None, None, None, None)
+        rng = derive_rng(self._seed, "geolocate", str(ip), str(true_iso2))
+        truth = country(true_iso2)
+        accuracy = (self._africa_accuracy if truth.is_african
+                    else self._reference_accuracy)
+        if rng.random() < accuracy:
+            return GeoAnswer(ip, true_iso2, truth.lat, truth.lon,
+                             true_iso2)
+        mode = rng.choices([m for m, _ in MISLOCATION_MIX],
+                           weights=[w for _, w in MISLOCATION_MIX])[0]
+        wrong = self._mislocate(mode, owner, true_iso2, rng)
+        c = country(wrong)
+        return GeoAnswer(ip, wrong, c.lat, c.lon, true_iso2)
+
+    def _mislocate(self, mode, owner, true_iso2, rng) -> str:
+        if mode == "operator_hq" and owner is not None:
+            return owner.country_iso2
+        if mode == "south_africa":
+            return "ZA"
+        if mode == "europe":
+            return rng.choice(("DE", "GB", "FR", "NL"))
+        # neighbor confusion: nearest other African country.
+        truth = country(true_iso2)
+        if truth.is_african:
+            from repro.geo import haversine_km
+            others = [c for cc, c in sorted(AFRICAN_COUNTRIES.items())
+                      if cc != true_iso2]
+            return min(others, key=lambda c: haversine_km(
+                truth.lat, truth.lon, c.lat, c.lon)).iso2
+        return "DE"

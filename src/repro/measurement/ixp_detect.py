@@ -1,0 +1,84 @@
+"""traIXroute-style IXP detection in traceroute paths.
+
+An IXP crossing is detected when a hop address falls inside a peering
+LAN listed in an *IXP directory* (PeeringDB/PCH analogue).  Detection
+is therefore only as good as the directory: exchanges absent from it
+are invisible — the mechanism behind Fig. 3 excluding Northern Africa
+("lack of IXPs showing up in our data set").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.measurement.traceroute import TracerouteResult
+from repro.topology import IXP, Prefix, Topology
+
+
+@dataclass(frozen=True)
+class IXPDirectoryEntry:
+    """One exchange as listed in the public directory."""
+
+    ixp_id: int
+    name: str
+    country_iso2: str
+    lan_prefix: Prefix
+
+
+@dataclass
+class IXPDirectory:
+    """A PeeringDB/PCH-like registry of exchanges and their LANs."""
+
+    entries: list[IXPDirectoryEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def ixp_ids(self) -> set[int]:
+        return {e.ixp_id for e in self.entries}
+
+    def lookup(self, ip: int) -> Optional[IXPDirectoryEntry]:
+        for entry in self.entries:
+            if entry.lan_prefix.contains_ip(ip):
+                return entry
+        return None
+
+
+@dataclass(frozen=True)
+class IXPCrossing:
+    """A detected IXP traversal inside one traceroute."""
+
+    ixp_id: int
+    name: str
+    hop_index: int
+    fabric_ip: int
+
+
+def detect_ixp_crossings(trace: TracerouteResult,
+                         directory: IXPDirectory) -> list[IXPCrossing]:
+    """All IXP crossings visible in ``trace`` per the directory."""
+    crossings: list[IXPCrossing] = []
+    for idx, hop in enumerate(trace.hops):
+        if hop.ip is None:
+            continue
+        entry = directory.lookup(hop.ip)
+        if entry is not None:
+            crossings.append(IXPCrossing(entry.ixp_id, entry.name, idx,
+                                         hop.ip))
+    return crossings
+
+
+def traverses_ixp(trace: TracerouteResult,
+                  directory: IXPDirectory) -> bool:
+    return bool(detect_ixp_crossings(trace, directory))
+
+
+def detected_ixps(traces: Iterable[TracerouteResult],
+                  directory: IXPDirectory) -> set[int]:
+    """Union of IXPs detected across a batch of traceroutes."""
+    out: set[int] = set()
+    for trace in traces:
+        for crossing in detect_ixp_crossings(trace, directory):
+            out.add(crossing.ixp_id)
+    return out

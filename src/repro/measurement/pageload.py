@@ -1,0 +1,226 @@
+"""Application-layer measurement: full page loads.
+
+The paper's §1 motivation is user-facing: the 2024 cable cuts
+"disrupted banking transactions and digital payments of utilities".
+A page load is the unit of that experience, and it fails in more ways
+than a ping: DNS must resolve (§5.2), the TCP/TLS handshakes pay the
+detour RTT several times over (§4.1), the transfer rides congested
+links, and *third-party dependencies* (analytics, fonts, payment APIs
+— Kashaf et al., cited as [45]) each add their own remote fetch.
+
+The Observatory's "rich application frameworks" requirement (§7) exists
+precisely because packet-level platforms cannot see this composite
+failure mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.geo import country
+from repro.measurement.dns_measure import DNSMeasurement
+from repro.measurement.probes import AccessTech
+from repro.routing import PhysicalNetwork
+from repro.topology import Topology, Website
+from repro.util import derive_rng
+
+#: Handshake round trips before the first content byte (TCP + TLS1.3).
+HANDSHAKE_RTTS = 3
+#: Access-technology peak rates (Mbps) for the transfer model.
+ACCESS_MBPS = {AccessTech.FIXED: 40.0, AccessTech.CELLULAR: 12.0,
+               AccessTech.VPN_PROXY: 20.0}
+#: TCP throughput degrades with RTT (window-limited transfer).
+RTT_REFERENCE_MS = 50.0
+#: Page weight (bytes) for the main document + assets.
+PAGE_BYTES_MAIN = 1_600_000
+PAGE_BYTES_PER_DEPENDENCY = 350_000
+
+
+class ThirdPartyKind(enum.Enum):
+    """Categories of third-party services embedded in pages."""
+
+    ANALYTICS = "analytics"       # hosted US
+    FONTS_CDN = "fonts/assets"    # hosted EU
+    PAYMENT_API = "payment API"   # hosted EU/US, *critical*
+    CAPTCHA = "captcha/auth"      # hosted US, *critical*
+
+    @property
+    def critical(self) -> bool:
+        """Critical dependencies block the page when unreachable."""
+        return self in (ThirdPartyKind.PAYMENT_API,
+                        ThirdPartyKind.CAPTCHA)
+
+    @property
+    def hosted_in(self) -> str:
+        if self in (ThirdPartyKind.FONTS_CDN, ThirdPartyKind.PAYMENT_API):
+            return "DE"
+        return "US"
+
+
+@dataclass(frozen=True)
+class ThirdPartyDependency:
+    kind: ThirdPartyKind
+    hosted_in: str
+
+
+def dependencies_of(site: Website) -> tuple[ThirdPartyDependency, ...]:
+    """Deterministic third-party dependency set for a site.
+
+    Derived from the domain so every client sees the same page
+    composition; higher-ranked (more commercial) sites carry more
+    dependencies, matching the [45] observation that African sites lean
+    heavily on foreign third parties.
+    """
+    rng = derive_rng(0, "pageload", "deps", site.domain)
+    kinds = [ThirdPartyKind.ANALYTICS]
+    if rng.random() < 0.8:
+        kinds.append(ThirdPartyKind.FONTS_CDN)
+    if rng.random() < (0.45 if site.rank <= 20 else 0.25):
+        kinds.append(ThirdPartyKind.PAYMENT_API)
+    if rng.random() < 0.3:
+        kinds.append(ThirdPartyKind.CAPTCHA)
+    return tuple(ThirdPartyDependency(k, k.hosted_in) for k in kinds)
+
+
+@dataclass(frozen=True)
+class PageLoadResult:
+    """One simulated page load."""
+
+    client_asn: int
+    domain: str
+    ok: bool
+    total_ms: Optional[float]
+    dns_ms: Optional[float] = None
+    handshake_ms: Optional[float] = None
+    transfer_ms: Optional[float] = None
+    dependencies_fetched: int = 0
+    failure_reason: Optional[str] = None
+
+
+@dataclass
+class PageLoadStudy:
+    """Aggregate of many loads (per country, per condition)."""
+
+    results: list[PageLoadResult] = field(default_factory=list)
+
+    def failure_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(not r.ok for r in self.results) / len(self.results)
+
+    def median_load_ms(self) -> Optional[float]:
+        times = sorted(r.total_ms for r in self.results
+                       if r.ok and r.total_ms is not None)
+        if not times:
+            return None
+        return times[len(times) // 2]
+
+
+class PageLoadSimulator:
+    """Composite application-level measurement over all substrates."""
+
+    def __init__(self, topo: Topology, phys: PhysicalNetwork,
+                 dns: Optional[DNSMeasurement] = None,
+                 seed: Optional[int] = None) -> None:
+        self._topo = topo
+        self._phys = phys
+        self._dns = dns or DNSMeasurement(topo, phys, seed=seed)
+        self._rng = derive_rng(
+            seed if seed is not None else topo.params.seed,
+            "measurement", "pageload")
+
+    # ------------------------------------------------------------------
+    def load(self, client_asn: int, site: Website,
+             access: AccessTech = AccessTech.CELLULAR,
+             down_cables: Sequence[int] = ()) -> PageLoadResult:
+        """Load one page for a client in ``client_asn``."""
+        down = tuple(down_cables)
+        dns_result = self._dns.resolve(client_asn, site.domain,
+                                       down_cables=down)
+        if not dns_result.ok:
+            return PageLoadResult(client_asn, site.domain, False, None,
+                                  failure_reason="DNS: "
+                                  + (dns_result.failure_reason or "?"))
+        client_cc = self._topo.as_(client_asn).country_iso2
+
+        rtt = self._rtt(client_cc, site.server_country, down)
+        if rtt is None:
+            return PageLoadResult(
+                client_asn, site.domain, False, None,
+                dns_ms=dns_result.rtt_ms,
+                failure_reason="server unreachable")
+        handshake = HANDSHAKE_RTTS * rtt
+        transfer = self._transfer_ms(PAGE_BYTES_MAIN, rtt, access)
+
+        # Third-party dependencies each cost a resolution + fetch; a
+        # failed *critical* dependency blocks the page.
+        deps_ms = 0.0
+        fetched = 0
+        for dep in dependencies_of(site):
+            dep_rtt = self._rtt(client_cc, dep.hosted_in, down)
+            if dep_rtt is None:
+                if dep.kind.critical:
+                    return PageLoadResult(
+                        client_asn, site.domain, False, None,
+                        dns_ms=dns_result.rtt_ms,
+                        failure_reason=f"critical dependency "
+                        f"({dep.kind.value}) unreachable")
+                continue
+            fetched += 1
+            deps_ms += 2 * dep_rtt + self._transfer_ms(
+                PAGE_BYTES_PER_DEPENDENCY, dep_rtt, access)
+        total = (dns_result.rtt_ms or 0.0) + handshake + transfer \
+            + deps_ms
+        return PageLoadResult(
+            client_asn, site.domain, True,
+            max(1.0, total + self._rng.gauss(0.0, 20.0)),
+            dns_ms=dns_result.rtt_ms, handshake_ms=handshake,
+            transfer_ms=transfer, dependencies_fetched=fetched)
+
+    # ------------------------------------------------------------------
+    def _rtt(self, client_cc: str, server_cc: str,
+             down: tuple) -> Optional[float]:
+        if client_cc == server_cc:
+            return 8.0
+        route = self._phys.route(client_cc, server_cc, down_cables=down)
+        if route is None:
+            return None
+        if route.uses_satellite and self._rng.random() < 0.6:
+            return None  # congested fallback drops the connection
+        congestion = self._congestion(client_cc, down)
+        if self._rng.random() < congestion:
+            return None
+        return route.rtt_ms * (1.0 + congestion)
+
+    def _congestion(self, iso2: str, down: tuple) -> float:
+        return self._dns._congestion(iso2, down)
+
+    @staticmethod
+    def _transfer_ms(nbytes: int, rtt_ms: float,
+                     access: AccessTech) -> float:
+        peak = ACCESS_MBPS[access]
+        # Window-limited: throughput shrinks as RTT grows.
+        effective = peak * min(1.0, RTT_REFERENCE_MS / max(rtt_ms, 1.0))
+        effective = max(0.3, effective)
+        return nbytes * 8 / (effective * 1e6) * 1000.0
+
+
+def run_pageload_study(topo: Topology, phys: PhysicalNetwork,
+                       client_country: str,
+                       down_cables: Sequence[int] = (),
+                       sites_per_client: int = 10,
+                       access: AccessTech = AccessTech.CELLULAR,
+                       seed: Optional[int] = None) -> PageLoadStudy:
+    """Load each client's top sites; the §1 user-experience metric."""
+    simulator = PageLoadSimulator(topo, phys, seed=seed)
+    study = PageLoadStudy()
+    sites = topo.websites.get(client_country, [])[:sites_per_client]
+    clients = [a.asn for a in topo.ases_in_country(client_country)
+               if a.asn in topo.resolver_configs]
+    for asn in clients:
+        for site in sites:
+            study.results.append(simulator.load(
+                asn, site, access=access, down_cables=down_cables))
+    return study

@@ -1,0 +1,220 @@
+"""Vantage points and measurement platforms.
+
+Two platform archetypes matter to the paper:
+
+* **Atlas-like** (§6.2, §7.1): volunteer-driven, so probe placement
+  follows where volunteers are — biased toward mature markets and
+  fixed-line/academic networks, thin on mobile networks and on many
+  African countries entirely ("geographic bias in the platform
+  deployments limits their representativeness").
+* **Observatory** (§7): intentionally placed probes — Raspberry Pis
+  with wired *and* cellular uplinks, mobile handsets, and residential
+  VPN proxies — selected to cover specific infrastructure (IXPs, cable
+  landings, resolvers).
+
+Both produce :class:`VantagePoint` objects the measurement primitives
+consume; the difference is *where* they are, which is the whole point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.geo import AFRICAN_COUNTRIES, Region, country
+from repro.topology import ASKind, Topology
+from repro.util import derive_rng
+
+
+class AccessTech(enum.Enum):
+    """Access technology of a vantage point's uplink."""
+
+    FIXED = "fixed"
+    CELLULAR = "cellular"
+    VPN_PROXY = "vpn-proxy"
+
+
+class ProbeKind(enum.Enum):
+    """Hardware/deployment class of a probe."""
+
+    ATLAS_PROBE = "atlas-probe"
+    ATLAS_ANCHOR = "atlas-anchor"
+    RASPBERRY_PI = "raspberry-pi"
+    MOBILE_HANDSET = "mobile-handset"
+    RESIDENTIAL_VPN = "residential-vpn"
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """A measurement vantage point inside some AS."""
+
+    probe_id: int
+    asn: int
+    country_iso2: str
+    kind: ProbeKind
+    access: AccessTech
+    #: Second uplink (Observatory RPis carry a cellular dongle, §7.1).
+    secondary_access: Optional[AccessTech] = None
+
+    @property
+    def region(self) -> Region:
+        return country(self.country_iso2).region
+
+    @property
+    def is_mobile(self) -> bool:
+        return self.access is AccessTech.CELLULAR
+
+    def uplinks(self) -> tuple[AccessTech, ...]:
+        if self.secondary_access is None:
+            return (self.access,)
+        return (self.access, self.secondary_access)
+
+
+@dataclass
+class ProbePlatform:
+    """A set of vantage points plus platform metadata."""
+
+    name: str
+    probes: list[VantagePoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.probes)
+
+    def in_region(self, region: Region) -> list[VantagePoint]:
+        return [p for p in self.probes if p.region is region]
+
+    def in_country(self, iso2: str) -> list[VantagePoint]:
+        return [p for p in self.probes if p.country_iso2 == iso2]
+
+    def asns(self) -> set[int]:
+        return {p.asn for p in self.probes}
+
+    def countries(self) -> set[str]:
+        return {p.country_iso2 for p in self.probes}
+
+    def mobile_share(self) -> float:
+        if not self.probes:
+            return 0.0
+        return sum(p.is_mobile for p in self.probes) / len(self.probes)
+
+
+#: Per-region probability that a given eyeball AS hosts any Atlas-like
+#: probe, reflecting the volunteer-driven geographic bias the paper
+#: measures (§6.2): dense in Europe/NA, concentrated in ZA/KE/NG within
+#: Africa, near-absent in Central Africa.
+ATLAS_HOST_RATE: dict[Region, float] = {
+    Region.SOUTHERN_AFRICA: 0.60,
+    Region.EASTERN_AFRICA: 0.38,
+    Region.NORTHERN_AFRICA: 0.28,
+    Region.WESTERN_AFRICA: 0.26,
+    Region.CENTRAL_AFRICA: 0.12,
+    Region.EUROPE: 0.85,
+    Region.NORTH_AMERICA: 0.75,
+    Region.SOUTH_AMERICA: 0.35,
+    Region.ASIA_PACIFIC: 0.40,
+}
+
+
+def build_atlas_platform(topo: Topology, seed: Optional[int] = None
+                         ) -> ProbePlatform:
+    """Synthesize an Atlas-like deployment over the topology.
+
+    Volunteer bias: probes land in fixed-line and academic networks of
+    better-connected markets; mobile networks are underrepresented
+    (volunteers plug probes into home broadband, not SIM dongles).
+    """
+    seed = seed if seed is not None else topo.params.seed
+    rng = derive_rng(seed, "platform", "atlas")
+    platform = ProbePlatform(name="atlas-like")
+    probe_id = 1
+    for a in sorted(topo.ases.values(), key=lambda x: x.asn):
+        if a.tier != 3 and a.kind is not ASKind.EDUCATION:
+            continue
+        if not (a.kind.is_eyeball or a.kind is ASKind.EDUCATION):
+            continue
+        host_rate = ATLAS_HOST_RATE[a.region]
+        # Fixed-line and academic networks attract volunteers; mobile
+        # carriers rarely host probes.
+        if a.kind is ASKind.MOBILE:
+            host_rate *= 0.18
+        if rng.random() >= host_rate:
+            continue
+        n = 1 + (rng.random() < 0.3)
+        for _ in range(n):
+            is_anchor = rng.random() < 0.12
+            platform.probes.append(VantagePoint(
+                probe_id=probe_id,
+                asn=a.asn,
+                country_iso2=a.country_iso2,
+                kind=(ProbeKind.ATLAS_ANCHOR if is_anchor
+                      else ProbeKind.ATLAS_PROBE),
+                access=(AccessTech.CELLULAR if a.kind is ASKind.MOBILE
+                        else AccessTech.FIXED),
+            ))
+            probe_id += 1
+    # Anchors: the NCC co-locates anchors with African IXPs and NRENs,
+    # so countries with a sizeable exchange get one regardless of
+    # volunteer luck — this is how intra-country paths enter the data.
+    anchors_per_cc: dict[str, int] = {}
+    for ixp in sorted(topo.ixps.values(), key=lambda x: x.ixp_id):
+        if not ixp.is_african or len(ixp.members) < 4:
+            continue
+        if anchors_per_cc.get(ixp.country_iso2, 0) >= 3:
+            continue
+        hosted = {p.asn for p in platform.probes
+                  if p.country_iso2 == ixp.country_iso2}
+        hosts = [m for m in sorted(ixp.members)
+                 if topo.as_(m).tier == 3 and m not in hosted
+                 and topo.as_(m).country_iso2 == ixp.country_iso2]
+        if not hosts:
+            continue
+        # Anchors are typically hosted by NRENs and universities.
+        nren_hosts = [m for m in hosts
+                      if topo.as_(m).kind is ASKind.EDUCATION]
+        if nren_hosts:
+            hosts = nren_hosts + [m for m in hosts if m not in nren_hosts]
+            hosts = hosts[:max(2, len(nren_hosts))]
+        # Large exchanges co-host two anchors (different member ASes).
+        n_anchors = 2 if len(ixp.members) >= 8 else 1
+        for asn in rng.sample(hosts, k=min(n_anchors, len(hosts))):
+            platform.probes.append(VantagePoint(
+                probe_id=probe_id, asn=asn,
+                country_iso2=ixp.country_iso2, kind=ProbeKind.ATLAS_ANCHOR,
+                access=AccessTech.FIXED))
+            anchors_per_cc[ixp.country_iso2] = \
+                anchors_per_cc.get(ixp.country_iso2, 0) + 1
+            probe_id += 1
+    return platform
+
+
+def build_observatory_platform(topo: Topology, host_asns: Iterable[int],
+                               seed: Optional[int] = None,
+                               probes_per_asn: int = 1) -> ProbePlatform:
+    """Deploy Observatory probes inside an explicit set of host ASes.
+
+    The host list normally comes from
+    :func:`repro.observatory.placement.place_probes`; each RPi probe
+    carries a wired uplink plus a cellular dongle (§7.1 "Mobile-focus"),
+    and mobile-network hosts get handset probes.
+    """
+    seed = seed if seed is not None else topo.params.seed
+    rng = derive_rng(seed, "platform", "observatory")
+    platform = ProbePlatform(name="observatory")
+    probe_id = 100_000
+    for asn in sorted(set(host_asns)):
+        a = topo.as_(asn)
+        for _ in range(probes_per_asn):
+            if a.kind is ASKind.MOBILE:
+                kind, access, secondary = (ProbeKind.MOBILE_HANDSET,
+                                           AccessTech.CELLULAR, None)
+            else:
+                kind, access, secondary = (ProbeKind.RASPBERRY_PI,
+                                           AccessTech.FIXED,
+                                           AccessTech.CELLULAR)
+            platform.probes.append(VantagePoint(
+                probe_id=probe_id, asn=asn,
+                country_iso2=a.country_iso2, kind=kind, access=access,
+                secondary_access=secondary))
+            probe_id += 1
+    return platform

@@ -1,0 +1,108 @@
+"""Probe-response model: who answers active measurements.
+
+Coverage differences between scanners (Table 1) are driven by *how*
+targets are chosen, not by magic: a harvested hitlist (ANT) remembers
+which addresses historically answered, while prefix-guided scanners
+(CAIDA Routed /24, YARRP) fire at random addresses and mostly miss the
+sparse responsive population of African networks — CGN'd mobile space
+in particular.  This module centralises those per-/24 response
+probabilities so scanners, traceroute synthesis, and tests all agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology import ASKind, IXP, Topology
+from repro.topology.calibration import REFERENCE_PROFILE, REGION_PROFILES
+
+
+@dataclass(frozen=True)
+class ResponseModel:
+    """Per-/24 response probabilities by targeting strategy."""
+
+    #: P(a /24 of this AS yields a responder for a *harvested* hitlist
+    #: that accumulated known-good addresses over years of scanning).
+    harvested_p24: dict[ASKind, float]
+    #: P(one *random* address in a /24 answers a probe) — the
+    #: prefix-guided strategies.
+    random_p24: dict[ASKind, float]
+    #: Per-probe probability that a YARRP traceroute toward a random
+    #: address elicits a response from inside the destination AS (the
+    #: target itself or its edge router answering TTL exhaustion).
+    yarrp_dest_p24: dict[ASKind, float] | None = None
+    #: P(an IXP fabric address responds when probed directly).
+    ixp_fabric_response: float = 0.85
+    #: P(an intermediate router hop reveals itself in a traceroute).
+    hop_response: float = 0.80
+
+    def region_multiplier(self, topo: Topology, asn: int) -> float:
+        a = topo.as_(asn)
+        profile = (REGION_PROFILES[a.region] if a.is_african
+                   else REFERENCE_PROFILE)
+        return profile.responsiveness
+
+    def harvested(self, topo: Topology, asn: int) -> float:
+        a = topo.as_(asn)
+        return min(0.95, self.harvested_p24[a.kind]
+                   * self.region_multiplier(topo, asn))
+
+    def random(self, topo: Topology, asn: int) -> float:
+        a = topo.as_(asn)
+        return min(0.95, self.random_p24[a.kind]
+                   * self.region_multiplier(topo, asn))
+
+    def yarrp(self, topo: Topology, asn: int) -> float:
+        a = topo.as_(asn)
+        table = self.yarrp_dest_p24 or self.random_p24
+        return min(0.95, table[a.kind]
+                   * self.region_multiplier(topo, asn))
+
+
+#: Default calibration.  Mobile networks have many allocated /24s whose
+#: gateways answered *some* probe historically (high harvested rate)
+#: but whose random addresses are CGN pool space that answers nothing
+#: (very low random rate).  Enterprises hold mostly dark space.
+DEFAULT_RESPONSE_MODEL = ResponseModel(
+    harvested_p24={
+        ASKind.MOBILE: 0.042,
+        ASKind.FIXED: 0.026,
+        ASKind.TRANSIT: 0.032,
+        ASKind.CLOUD: 0.060,
+        ASKind.CONTENT: 0.055,
+        ASKind.EDUCATION: 0.070,
+        ASKind.ENTERPRISE: 0.095,
+    },
+    random_p24={
+        ASKind.MOBILE: 0.012,
+        ASKind.FIXED: 0.010,
+        ASKind.TRANSIT: 0.013,
+        ASKind.CLOUD: 0.030,
+        ASKind.CONTENT: 0.026,
+        ASKind.EDUCATION: 0.020,
+        ASKind.ENTERPRISE: 0.028,
+    },
+    yarrp_dest_p24={
+        ASKind.MOBILE: 0.034,
+        ASKind.FIXED: 0.022,
+        ASKind.TRANSIT: 0.022,
+        ASKind.CLOUD: 0.045,
+        ASKind.CONTENT: 0.040,
+        ASKind.EDUCATION: 0.050,
+        ASKind.ENTERPRISE: 0.060,
+    },
+)
+
+
+def slash24s_of(topo: Topology, asn: int) -> int:
+    """Number of /24 blocks allocated to an AS."""
+    return sum(p.slash24_count() for p in topo.as_(asn).prefixes)
+
+
+def ixp_hitlist_inclusion_prob(ixp: IXP) -> float:
+    """P(a harvested hitlist carries an address from this IXP's LAN).
+
+    Fabric addresses enter hitlists only via archived traceroutes that
+    crossed the exchange, so bigger fabrics are likelier to be seen.
+    """
+    return min(0.90, 0.14 + 0.045 * len(ixp.members))

@@ -1,0 +1,155 @@
+"""Internet-scanning strategies: hitlists and randomized traceroute.
+
+Reproduces the three methodologies of §6.1 / Table 1:
+
+* **ANT-style harvested hitlist** — one known-responsive representative
+  per /24, accumulated from historical probing; includes legacy and
+  unrouted space (even some IXP fabric addresses seen in archived
+  traceroutes).
+* **CAIDA Routed /24-style prefix scan** — one random address per /24
+  *present in the global BGP table*; IXP LANs are normally unrouted
+  (RFC 7454) and hence invisible.
+* **YARRP-style randomized traceroute** — traceroutes to random
+  addresses across the routed table from a single vantage point;
+  observes destinations *and* the transit path, but from one viewpoint.
+
+Each strategy yields a :class:`ScanResult` with the observed African
+ASNs/IXPs; :mod:`repro.analysis.coverage` turns those into Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.measurement.responsiveness import (
+    DEFAULT_RESPONSE_MODEL,
+    ResponseModel,
+    ixp_hitlist_inclusion_prob,
+    slash24s_of,
+)
+from repro.routing import BGPRouting, as_path_geography
+from repro.topology import ASKind, IXPOwner, Topology
+from repro.util import derive_rng
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one scanning campaign."""
+
+    dataset: str
+    entries: int
+    observed_asns: set[int] = field(default_factory=set)
+    observed_ixps: set[int] = field(default_factory=set)
+
+    def observed_african_asns(self, topo: Topology) -> set[int]:
+        return {asn for asn in self.observed_asns
+                if topo.as_(asn).is_african}
+
+    def observed_african_ixps(self, topo: Topology) -> set[int]:
+        return {i for i in self.observed_ixps if topo.ixps[i].is_african}
+
+
+def _routed_ixps(topo: Topology):
+    return [x for x in topo.ixps.values() if x.lan_routed]
+
+
+def run_ant_hitlist(topo: Topology,
+                    model: ResponseModel = DEFAULT_RESPONSE_MODEL,
+                    seed: Optional[int] = None) -> ScanResult:
+    """Harvested hitlist scan (ANT IPv4 hitlist analogue)."""
+    seed = seed if seed is not None else topo.params.seed
+    rng = derive_rng(seed, "scan", "ant")
+    result = ScanResult(dataset="ANT Hitlist", entries=0)
+    for a in sorted(topo.ases.values(), key=lambda x: x.asn):
+        p24 = model.harvested(topo, a.asn)
+        n24 = slash24s_of(topo, a.asn)
+        hits = sum(rng.random() < p24 for _ in range(n24))
+        # The hitlist keeps a representative per /24 it has *ever*
+        # probed — including legacy, unrouted and long-dead entries —
+        # which is why it is much larger than the routed-space scans.
+        result.entries += round(n24 * 1.55)
+        if hits:
+            result.observed_asns.add(a.asn)
+    for ixp in sorted(topo.ixps.values(), key=lambda x: x.ixp_id):
+        included = rng.random() < ixp_hitlist_inclusion_prob(ixp)
+        if included and rng.random() < model.ixp_fabric_response:
+            result.observed_ixps.add(ixp.ixp_id)
+            result.entries += max(1, len(ixp.members) // 3)
+    return result
+
+
+def run_caida_prefix_scan(topo: Topology,
+                          model: ResponseModel = DEFAULT_RESPONSE_MODEL,
+                          seed: Optional[int] = None) -> ScanResult:
+    """Prefix-guided scan: one random address per routed /24."""
+    seed = seed if seed is not None else topo.params.seed
+    rng = derive_rng(seed, "scan", "caida")
+    result = ScanResult(dataset="CAIDA Routed /24", entries=0)
+    for a in sorted(topo.ases.values(), key=lambda x: x.asn):
+        p24 = model.random(topo, a.asn)
+        n24 = slash24s_of(topo, a.asn)
+        result.entries += n24  # one probe target per routed /24
+        hits = sum(rng.random() < p24 for _ in range(n24))
+        if hits:
+            result.observed_asns.add(a.asn)
+    # Only leaked IXP LANs appear in the routed table at all.
+    for ixp in _routed_ixps(topo):
+        result.entries += 1
+        if rng.random() < model.ixp_fabric_response:
+            result.observed_ixps.add(ixp.ixp_id)
+    return result
+
+
+def default_yarrp_vantage(topo: Topology) -> int:
+    """The paper ran YARRP "in Rwanda using both a residential network
+    and a campus network" — the campus NREN is the default vantage."""
+    for a in sorted(topo.ases.values(), key=lambda x: x.asn):
+        if a.country_iso2 == "RW" and a.kind is ASKind.EDUCATION:
+            return a.asn
+    raise LookupError("no Rwandan campus network in this world")
+
+
+def run_yarrp_scan(topo: Topology, routing: BGPRouting,
+                   vantage_asn: int | None = None,
+                   model: ResponseModel = DEFAULT_RESPONSE_MODEL,
+                   seed: Optional[int] = None,
+                   sample_rate: float = 0.3) -> ScanResult:
+    """Randomized traceroute scan from one vantage AS.
+
+    Targets random addresses in routed /24s (destination responsiveness
+    as in the prefix scan, scaled by ``yarrp_factor``) and additionally
+    observes every AS/IXP that reveals itself on the forward path.
+    """
+    if vantage_asn is None:
+        vantage_asn = default_yarrp_vantage(topo)
+    seed = seed if seed is not None else topo.params.seed
+    rng = derive_rng(seed, "scan", "yarrp")
+    result = ScanResult(dataset="YARRP", entries=0)
+    path_cache: dict[int, Optional[list]] = {}
+    for a in sorted(topo.ases.values(), key=lambda x: x.asn):
+        n24 = slash24s_of(topo, a.asn)
+        probed = sum(rng.random() < sample_rate for _ in range(n24))
+        result.entries += probed
+        if not probed:
+            continue
+        p_dst = model.yarrp(topo, a.asn)
+        dst_hits = sum(rng.random() < p_dst for _ in range(probed))
+        if dst_hits:
+            result.observed_asns.add(a.asn)
+        # Transit visibility: the traced path reveals intermediate ASes
+        # and IXP fabric crossings regardless of destination response.
+        if a.asn not in path_cache:
+            sites = as_path_geography(topo, routing, vantage_asn, a.asn)
+            path_cache[a.asn] = sites
+        sites = path_cache[a.asn]
+        if sites is None:
+            continue
+        for site in sites[:-1]:
+            if rng.random() >= model.hop_response:
+                continue
+            if site.is_ixp and site.ixp_id is not None:
+                result.observed_ixps.add(site.ixp_id)
+            else:
+                result.observed_asns.add(site.asn)
+    return result

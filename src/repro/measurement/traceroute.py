@@ -1,0 +1,273 @@
+"""Traceroute and ping simulation.
+
+Synthesizes IP-level traceroutes over the BGP + physical layers the
+same way real paths would look to a measurement probe:
+
+* each AS on the path contributes one or two router hops numbered from
+  its own address space,
+* an IXP crossing contributes the *member's fabric port address* from
+  the exchange's LAN prefix (what traIXroute keys on),
+* per-hop RTTs accumulate physical latency plus jitter, and some hops
+  silently drop TTL-expired responses,
+* cable cuts (``down_cables``) reroute or sever the physical path —
+  severed paths fall back to satellite-class latency and heavy loss,
+  which is how outage degradation becomes visible to measurement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.routing import (
+    BGPRouting,
+    HopSite,
+    PhysicalNetwork,
+    as_path_geography,
+)
+from repro.routing.latency import (
+    FIXED_LAST_MILE_MS,
+    INTRA_AS_MS,
+    MOBILE_LAST_MILE_MS,
+)
+from repro.measurement.probes import AccessTech, VantagePoint
+from repro.measurement.responsiveness import (
+    DEFAULT_RESPONSE_MODEL,
+    ResponseModel,
+)
+from repro.topology import ASKind, Topology, format_ip
+from repro.util import derive_rng
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One TTL step of a traceroute."""
+
+    ttl: int
+    ip: Optional[int]            # None == no reply ("* * *")
+    rtt_ms: Optional[float]
+    asn: Optional[int]           # ground truth (hidden from analyses)
+    country_iso2: Optional[str]  # ground truth
+    is_ixp_fabric: bool = False
+    ixp_id: Optional[int] = None
+
+    @property
+    def responded(self) -> bool:
+        return self.ip is not None
+
+    def ip_str(self) -> str:
+        return format_ip(self.ip) if self.ip is not None else "*"
+
+
+@dataclass
+class TracerouteResult:
+    """A completed traceroute measurement."""
+
+    probe_id: int
+    src_asn: int
+    src_country: str
+    target_ip: int
+    dst_asn: Optional[int]
+    hops: list[Hop] = field(default_factory=list)
+    reached: bool = False
+    #: Bytes on the wire (for the Observatory budget model).
+    bytes_used: int = 0
+
+    def responding_hops(self) -> list[Hop]:
+        return [h for h in self.hops if h.responded]
+
+    def hop_ips(self) -> list[int]:
+        return [h.ip for h in self.hops if h.ip is not None]
+
+    def end_to_end_rtt(self) -> Optional[float]:
+        for hop in reversed(self.hops):
+            if hop.rtt_ms is not None:
+                return hop.rtt_ms
+        return None
+
+
+@dataclass(frozen=True)
+class PingResult:
+    probe_id: int
+    target_ip: int
+    sent: int
+    received: int
+    rtt_ms: Optional[float]
+
+    @property
+    def loss_rate(self) -> float:
+        return 1.0 - self.received / self.sent if self.sent else 1.0
+
+
+#: Approximate wire cost of measurements (request+responses, bytes).
+TRACEROUTE_BYTES_PER_HOP = 3 * 120
+PING_BYTES = 4 * 84
+
+
+class MeasurementEngine:
+    """Issues simulated measurements from vantage points."""
+
+    def __init__(self, topo: Topology, routing: BGPRouting,
+                 phys: PhysicalNetwork,
+                 response_model: ResponseModel = DEFAULT_RESPONSE_MODEL,
+                 down_cables: Sequence[int] = (),
+                 seed: Optional[int] = None) -> None:
+        self._topo = topo
+        self._routing = routing
+        self._phys = phys
+        self._model = response_model
+        self._down = tuple(down_cables)
+        self._rng = derive_rng(
+            seed if seed is not None else topo.params.seed,
+            "measurement", "engine")
+
+    # ------------------------------------------------------------------
+    def resolve_target_asn(self, target_ip: int) -> Optional[int]:
+        """Origin AS of a target address (IXP LANs resolve to members)."""
+        a = self._topo.as_for_ip(target_ip)
+        if a is not None:
+            return a.asn
+        ixp = self._topo.ixp_for_ip(target_ip)
+        if ixp is not None and ixp.members:
+            offset = target_ip - ixp.lan_prefix.network
+            host_bits = ixp.lan_prefix.size - 2
+            for member in sorted(ixp.members):
+                if 1 + (member % host_bits) == offset:
+                    return member
+            return min(ixp.members)
+        return None
+
+    # ------------------------------------------------------------------
+    def traceroute(self, probe: VantagePoint, target_ip: int,
+                   access: Optional[AccessTech] = None
+                   ) -> TracerouteResult:
+        """Run one traceroute from ``probe`` toward ``target_ip``."""
+        dst_asn = self.resolve_target_asn(target_ip)
+        result = TracerouteResult(
+            probe_id=probe.probe_id, src_asn=probe.asn,
+            src_country=probe.country_iso2, target_ip=target_ip,
+            dst_asn=dst_asn)
+        if dst_asn is None:
+            result.bytes_used = 5 * TRACEROUTE_BYTES_PER_HOP
+            return result
+        sites = as_path_geography(self._topo, self._routing, probe.asn,
+                                  dst_asn)
+        if sites is None:
+            result.bytes_used = 5 * TRACEROUTE_BYTES_PER_HOP
+            return result
+        access = access or probe.access
+        self._emit_hops(result, sites, target_ip, access)
+        result.bytes_used = len(result.hops) * TRACEROUTE_BYTES_PER_HOP
+        return result
+
+    def _emit_hops(self, result: TracerouteResult,
+                   sites: Sequence[HopSite], target_ip: int,
+                   access: AccessTech) -> None:
+        rng = self._rng
+        cumulative = (MOBILE_LAST_MILE_MS
+                      if access is AccessTech.CELLULAR
+                      else FIXED_LAST_MILE_MS)
+        severed = False
+        ttl = 0
+        prev_cc = sites[0].country_iso2
+        for idx, site in enumerate(sites):
+            ttl += 1
+            cumulative += INTRA_AS_MS
+            if site.country_iso2 != prev_cc:
+                route = self._phys.route(prev_cc, site.country_iso2,
+                                         down_cables=self._down)
+                if route is None:
+                    severed = True
+                else:
+                    cumulative += route.rtt_ms
+                    if route.uses_satellite:
+                        # Oversubscribed fallback: high loss, jitter.
+                        severed = rng.random() < 0.5
+            else:
+                cumulative += 1.0
+            prev_cc = site.country_iso2
+            if severed:
+                result.hops.append(Hop(ttl, None, None, site.asn,
+                                       site.country_iso2))
+                continue
+            is_last = idx == len(sites) - 1
+            hop_ip, responds = self._hop_address(site, target_ip, is_last,
+                                                 rng)
+            if not responds:
+                result.hops.append(Hop(ttl, None, None, site.asn,
+                                       site.country_iso2,
+                                       is_ixp_fabric=site.is_ixp,
+                                       ixp_id=site.ixp_id))
+                continue
+            rtt = max(0.5, cumulative + rng.gauss(0.0, 2.0))
+            result.hops.append(Hop(ttl, hop_ip, rtt, site.asn,
+                                   site.country_iso2,
+                                   is_ixp_fabric=site.is_ixp,
+                                   ixp_id=site.ixp_id))
+            if is_last:
+                result.reached = True
+
+    def _hop_address(self, site: HopSite, target_ip: int, is_last: bool,
+                     rng: random.Random) -> tuple[Optional[int], bool]:
+        topo = self._topo
+        if site.is_ixp and site.ixp_id is not None:
+            ixp = topo.ixps[site.ixp_id]
+            try:
+                ip = ixp.lan_ip_for(site.asn)
+            except ValueError:
+                return None, False
+            return ip, rng.random() < self._model.hop_response
+        if is_last:
+            # Destination probe-response: the target address itself.
+            owner = topo.as_for_ip(target_ip)
+            if owner is not None and owner.asn == site.asn:
+                return target_ip, rng.random() < self._model.hop_response
+        a = topo.as_(site.asn)
+        # Routers of *transit* exchange members often answer from their
+        # fabric port address when it is the preferred source on the
+        # reverse path — the classic way traIXroute spots carriers at
+        # IXPs even on customer-bound traffic.  Stub routers answer
+        # from their own space.
+        for ixp_id in sorted(a.ixps if a.tier <= 2 else ()):
+            ixp = topo.ixps.get(ixp_id)
+            if ixp is None or ixp.country_iso2 != site.country_iso2:
+                continue
+            if rng.random() < 0.3:
+                try:
+                    ip = ixp.lan_ip_for(site.asn)
+                except ValueError:
+                    break
+                return ip, rng.random() < self._model.hop_response
+            break
+        if not a.prefixes:
+            return None, False
+        prefix = a.prefixes[0]
+        # Deterministic router loopback: low addresses of the first
+        # prefix, varied per country so multi-PoP ASes differ.
+        offset = 1 + (hash((site.asn, site.country_iso2)) % 240)
+        ip = prefix.network + offset
+        return ip, rng.random() < self._model.hop_response
+
+    # ------------------------------------------------------------------
+    def ping(self, probe: VantagePoint, target_ip: int,
+             count: int = 4) -> PingResult:
+        """ICMP echo round: loss and median RTT."""
+        dst_asn = self.resolve_target_asn(target_ip)
+        if dst_asn is None:
+            return PingResult(probe.probe_id, target_ip, count, 0, None)
+        sites = as_path_geography(self._topo, self._routing, probe.asn,
+                                  dst_asn)
+        if sites is None:
+            return PingResult(probe.probe_id, target_ip, count, 0, None)
+        from repro.routing import path_rtt_ms
+        base = path_rtt_ms(self._topo, self._phys, sites,
+                           down_cables=self._down)
+        if base is None:
+            return PingResult(probe.probe_id, target_ip, count, 0, None)
+        respond_p = self._model.hop_response
+        received = sum(self._rng.random() < respond_p
+                       for _ in range(count))
+        rtt = (max(0.5, base + self._rng.gauss(0.0, 1.5))
+               if received else None)
+        return PingResult(probe.probe_id, target_ip, count, received, rtt)

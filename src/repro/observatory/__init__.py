@@ -1,0 +1,115 @@
+"""The African Internet Observatory — the paper's core contribution.
+
+Purpose-driven probe placement (set cover over peering data),
+cost-conscious scheduling under per-country pricing models, a power
+model for intermittent grids, targeted measurement campaigns, and the
+what-if simulators §8 calls for.
+"""
+
+from repro.observatory.placement import (
+    PlacementComparison,
+    PlacementObjective,
+    SetCoverResult,
+    compare_ixp_coverage,
+    greedy_set_cover,
+    ixp_cover_hosts,
+    place_probes,
+)
+from repro.observatory.budget import (
+    BudgetAccount,
+    BudgetExceeded,
+    DataPlan,
+    PricingModel,
+    plan_for,
+    wire_bytes,
+    WIRE_OVERHEAD_CELLULAR,
+    WIRE_OVERHEAD_FIXED,
+)
+from repro.observatory.power import (
+    PowerProfile,
+    expected_completed_slots,
+    is_powered,
+    probe_power_profile,
+)
+from repro.observatory.scheduler import (
+    Assignment,
+    MeasurementTask,
+    Schedule,
+    schedule_cost_aware,
+    schedule_round_robin,
+)
+from repro.observatory.campaigns import (
+    CableDisambiguationCampaign,
+    DisambiguationResult,
+    DNSDependencyCampaign,
+    DNSDependencyRow,
+    IXPDiscoveryCampaign,
+    IXPDiscoveryResult,
+    kigali_comparison,
+)
+from repro.observatory.whatif import (
+    WhatIfAddCable,
+    WhatIfCutCables,
+    WhatIfLEOBackup,
+    WhatIfLocalizeDNS,
+    WhatIfMandateLocalPeering,
+    WhatIfOutcome,
+)
+from repro.observatory.watchdog import (
+    ComplianceFinding,
+    ComplianceReport,
+    DEFAULT_POLICY_PACKAGE,
+    Policy,
+    PolicyKind,
+    PolicyWatchdog,
+)
+from repro.observatory.runner import (
+    DailyHealth,
+    DetectedAnomaly,
+    MonitoringReport,
+    MonitoringRunner,
+)
+from repro.observatory.incentives import (
+    FleetBudget,
+    ProbeCost,
+    fleet_budget,
+    probe_monthly_cost,
+    BILL_SUBSIDY_USD,
+)
+from repro.observatory.stakeholder import (
+    StakeholderReport,
+    generate_report,
+)
+from repro.observatory.platform import (
+    Experiment,
+    ExperimentStatus,
+    ObservatoryPlatform,
+    MAX_TASKS_PER_EXPERIMENT,
+)
+
+__all__ = [
+    "PlacementComparison", "PlacementObjective", "SetCoverResult",
+    "compare_ixp_coverage", "greedy_set_cover", "ixp_cover_hosts",
+    "place_probes",
+    "BudgetAccount", "BudgetExceeded", "DataPlan", "PricingModel",
+    "plan_for", "wire_bytes", "WIRE_OVERHEAD_CELLULAR",
+    "WIRE_OVERHEAD_FIXED",
+    "PowerProfile", "expected_completed_slots", "is_powered",
+    "probe_power_profile",
+    "Assignment", "MeasurementTask", "Schedule", "schedule_cost_aware",
+    "schedule_round_robin",
+    "CableDisambiguationCampaign", "DisambiguationResult",
+    "DNSDependencyCampaign", "DNSDependencyRow",
+    "IXPDiscoveryCampaign", "IXPDiscoveryResult", "kigali_comparison",
+    "WhatIfAddCable", "WhatIfCutCables", "WhatIfLEOBackup",
+    "WhatIfLocalizeDNS", "WhatIfMandateLocalPeering", "WhatIfOutcome",
+    "Experiment", "ExperimentStatus", "ObservatoryPlatform",
+    "MAX_TASKS_PER_EXPERIMENT",
+    "ComplianceFinding", "ComplianceReport", "DEFAULT_POLICY_PACKAGE",
+    "Policy", "PolicyKind", "PolicyWatchdog",
+    "DailyHealth", "DetectedAnomaly", "MonitoringReport",
+    "MonitoringRunner",
+    "StakeholderReport", "generate_report",
+    "FleetBudget", "ProbeCost", "fleet_budget", "probe_monthly_cost",
+    "BILL_SUBSIDY_USD",
+]

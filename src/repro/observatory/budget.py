@@ -1,0 +1,153 @@
+"""Cost-conscious measurement budgeting (§7.1).
+
+"A key challenge in performing network measurements is the cost of
+mobile devices ... there is a need to judiciously allocate the
+bandwidth budget to the different measurement tasks."  The paper calls
+for supporting (1) multiple pricing models across countries and (2)
+accounting for *low-level* network usage rather than application-level
+bytes, because billing happens on everything on the wire.
+
+This module prices measurement tasks under per-country data plans.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.geo import country
+from repro.topology.calibration import DEFAULT_PRICING
+from repro.measurement.probes import AccessTech
+
+
+class PricingModel(enum.Enum):
+    """How a country's mobile data is billed."""
+
+    PREPAID_BUNDLE = "prepaid_bundle"   # buy N MB up front, expires
+    PAYG = "payg"                       # per-MB metering
+    POSTPAID_CAP = "postpaid_cap"       # monthly cap, overage billed
+
+
+#: Application bytes understate what the carrier bills: L2/L3/L4
+#: headers, retransmissions, TLS and DNS chatter.  Cellular links add
+#: RAN-level retransmission overhead on top.
+WIRE_OVERHEAD_FIXED = 1.12
+WIRE_OVERHEAD_CELLULAR = 1.32
+
+
+@dataclass(frozen=True)
+class DataPlan:
+    """One probe's data plan."""
+
+    iso2: str
+    model: PricingModel
+    usd_per_gb: float
+    bundle_mb: int = 1024
+
+    @property
+    def bundle_price_usd(self) -> float:
+        return self.usd_per_gb * self.bundle_mb / 1024.0
+
+    def __post_init__(self) -> None:
+        if self.usd_per_gb < 0:
+            raise ValueError("negative price")
+        if self.bundle_mb <= 0:
+            raise ValueError("bundle must be positive")
+
+
+def plan_for(iso2: str) -> DataPlan:
+    """The default data plan of a country (regional pricing medians)."""
+    pricing = DEFAULT_PRICING[country(iso2).region]
+    return DataPlan(iso2=iso2, model=PricingModel(pricing.model),
+                    usd_per_gb=pricing.usd_per_gb,
+                    bundle_mb=pricing.bundle_mb)
+
+
+def wire_bytes(application_bytes: int, access: AccessTech) -> int:
+    """Low-level (billed) bytes for an application-level transfer."""
+    factor = (WIRE_OVERHEAD_CELLULAR if access is AccessTech.CELLULAR
+              else WIRE_OVERHEAD_FIXED)
+    return math.ceil(application_bytes * factor)
+
+
+class BudgetAccount:
+    """Tracks one probe's spend against its plan and monthly budget.
+
+    Prepaid markets buy whole bundles: the *first* byte of a new bundle
+    costs the entire bundle, which is exactly why naive schedulers
+    overspend in Central/Western Africa (see the budget ablation).
+    """
+
+    def __init__(self, plan: DataPlan, monthly_budget_usd: float) -> None:
+        if monthly_budget_usd < 0:
+            raise ValueError("negative budget")
+        self.plan = plan
+        self.monthly_budget_usd = monthly_budget_usd
+        self.bytes_used = 0
+        self.bundles_bought = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def spent_usd(self) -> float:
+        plan = self.plan
+        if plan.model is PricingModel.PREPAID_BUNDLE:
+            return self.bundles_bought * plan.bundle_price_usd
+        gb = self.bytes_used / 2**30
+        if plan.model is PricingModel.PAYG:
+            return gb * plan.usd_per_gb
+        # POSTPAID_CAP: flat subscription once the line is used at all,
+        # per-GB overage beyond the cap.
+        if self.bytes_used == 0:
+            return 0.0
+        cap_gb = plan.bundle_mb / 1024.0
+        base = cap_gb * plan.usd_per_gb * 0.5  # flat rate discount
+        overage = max(0.0, gb - cap_gb) * plan.usd_per_gb * 1.5
+        return base + overage
+
+    @property
+    def remaining_usd(self) -> float:
+        return self.monthly_budget_usd - self.spent_usd
+
+    def cost_of(self, additional_bytes: int) -> float:
+        """Marginal cost of spending ``additional_bytes`` now."""
+        before = self.spent_usd
+        after = self._spend_preview(additional_bytes)
+        return after - before
+
+    def _spend_preview(self, additional_bytes: int) -> float:
+        saved = (self.bytes_used, self.bundles_bought)
+        try:
+            self._account(additional_bytes)
+            return self.spent_usd
+        finally:
+            self.bytes_used, self.bundles_bought = saved
+
+    def can_afford(self, additional_bytes: int) -> bool:
+        return self._spend_preview(additional_bytes) \
+            <= self.monthly_budget_usd + 1e-9
+
+    def charge(self, nbytes: int) -> float:
+        """Spend bytes; returns the marginal cost.  Raises if over
+        budget — callers must check :meth:`can_afford` first."""
+        if not self.can_afford(nbytes):
+            raise BudgetExceeded(
+                f"{nbytes} bytes would exceed the "
+                f"${self.monthly_budget_usd:.2f} budget for "
+                f"{self.plan.iso2}")
+        before = self.spent_usd
+        self._account(nbytes)
+        return self.spent_usd - before
+
+    def _account(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("negative bytes")
+        self.bytes_used += nbytes
+        if self.plan.model is PricingModel.PREPAID_BUNDLE:
+            bundle_bytes = self.plan.bundle_mb * 2**20
+            needed = math.ceil(self.bytes_used / bundle_bytes)
+            self.bundles_bought = max(self.bundles_bought, needed)
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when a charge would exceed the probe's monthly budget."""

@@ -1,0 +1,287 @@
+"""Targeted measurement campaigns (§7, §7.3).
+
+Unlike broad-coverage scanning, Observatory campaigns aim probes at
+specific infrastructure:
+
+* :class:`IXPDiscoveryCampaign` — reproduce the Kigali result: a probe
+  inside AS36924 traceroutes toward in-continent targets and surfaces
+  the IXPs its providers peer at, far beyond what Atlas-placed probes
+  see ("detected 14 additional IXPs").
+* :class:`DNSDependencyCampaign` — the §5.2 watchdog: measure resolver
+  locality per country and what breaks under a cable cut.
+* :class:`CableDisambiguationCampaign` — the §6.2 implication: active
+  measurements across maintenance windows pin a wet link to a single
+  system where passive Nautilus inference returns many candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.geo import AFRICAN_COUNTRIES, country
+from repro.measurement import (
+    DNSMeasurement,
+    GeolocationService,
+    IXPDirectory,
+    MeasurementEngine,
+    ProbePlatform,
+    VantagePoint,
+    detect_ixp_crossings,
+)
+from repro.routing import PhysicalNetwork
+from repro.topology import ASKind, ResolverLocality, Topology
+
+
+# ----------------------------------------------------------------------
+# IXP discovery (§7.3)
+# ----------------------------------------------------------------------
+@dataclass
+class IXPDiscoveryResult:
+    """IXPs surfaced by one platform's campaign."""
+
+    platform_name: str
+    probes_used: int
+    traceroutes: int
+    detected_ixp_ids: set[int] = field(default_factory=set)
+
+    def detected_count(self) -> int:
+        return len(self.detected_ixp_ids)
+
+
+class IXPDiscoveryCampaign:
+    """Traceroute sweep aimed at surfacing exchange fabrics."""
+
+    def __init__(self, topo: Topology, engine: MeasurementEngine,
+                 directory: IXPDirectory) -> None:
+        self._topo = topo
+        self._engine = engine
+        self._directory = directory
+
+    def _targets(self) -> list[int]:
+        """Targets chosen per the §6.1 implication: measurements must be
+        "targeted at a customer of the IX" — so for every exchange in
+        the peering directory we aim at a couple of member networks,
+        plus one large eyeball per country and the CDN off-nets."""
+        targets: list[int] = []
+        directory_ids = self._directory.ixp_ids()
+        for ixp in sorted(self._topo.ixps.values(),
+                          key=lambda x: x.ixp_id):
+            if not ixp.is_african or ixp.ixp_id not in directory_ids:
+                continue
+            members = [self._topo.as_(m) for m in sorted(ixp.members)]
+            members = [m for m in members if m.tier == 3 and m.prefixes]
+            for member in members[:4]:
+                targets.append(member.prefixes[0].network + 66)
+        for iso2 in sorted(AFRICAN_COUNTRIES):
+            eyeballs = [a for a in self._topo.ases_in_country(iso2)
+                        if a.kind.is_eyeball and a.prefixes]
+            if eyeballs:
+                best = max(eyeballs,
+                           key=lambda a: (sum(p.size for p in a.prefixes),
+                                          -a.asn))
+                targets.append(best.prefixes[0].network + 55)
+        for cdn in self._topo.cdns:
+            a = self._topo.ases.get(cdn.asn)
+            if a is not None and a.prefixes:
+                targets.append(a.prefixes[0].network + 80)
+        return targets
+
+    def run(self, probes: Sequence[VantagePoint],
+            platform_name: str) -> IXPDiscoveryResult:
+        result = IXPDiscoveryResult(platform_name=platform_name,
+                                    probes_used=len(probes),
+                                    traceroutes=0)
+        targets = self._targets()
+        for probe in probes:
+            for target in targets:
+                trace = self._engine.traceroute(probe, target)
+                result.traceroutes += 1
+                for crossing in detect_ixp_crossings(trace,
+                                                     self._directory):
+                    ixp = self._topo.ixps[crossing.ixp_id]
+                    if ixp.is_african:
+                        result.detected_ixp_ids.add(crossing.ixp_id)
+        return result
+
+
+def atlas_builtin_discovery(topo: Topology, engine: MeasurementEngine,
+                            directory: IXPDirectory,
+                            probes: Sequence[VantagePoint],
+                            max_targets: int = 60
+                            ) -> IXPDiscoveryResult:
+    """What an Atlas-style platform surfaces *without* targeting.
+
+    Atlas probes run builtin measurements toward anchors and root
+    infrastructure — broad-coverage targets, not IXP customers.  This
+    is the "RIPE Atlas approaches" baseline of §7.3.
+    """
+    result = IXPDiscoveryResult(platform_name="atlas-builtins",
+                                probes_used=len(probes), traceroutes=0)
+    anchors = []
+    for a in sorted(topo.ases.values(), key=lambda x: x.asn):
+        if a.kind in (ASKind.CLOUD, ASKind.CONTENT) and a.prefixes:
+            anchors.append(a.prefixes[0].network + 33)
+        elif a.kind is ASKind.EDUCATION and a.prefixes \
+                and len(anchors) < max_targets:
+            anchors.append(a.prefixes[0].network + 44)
+    anchors = anchors[:max_targets]
+    for probe in probes:
+        for target in anchors:
+            trace = engine.traceroute(probe, target)
+            result.traceroutes += 1
+            for crossing in detect_ixp_crossings(trace, directory):
+                ixp = topo.ixps[crossing.ixp_id]
+                if ixp.is_african:
+                    result.detected_ixp_ids.add(crossing.ixp_id)
+    return result
+
+
+def kigali_comparison(topo: Topology, engine: MeasurementEngine,
+                      directory: IXPDirectory,
+                      atlas: ProbePlatform,
+                      vantage_asn: int = 36924
+                      ) -> tuple[IXPDiscoveryResult, IXPDiscoveryResult]:
+    """§7.3: the AS36924 Kigali probe vs "RIPE Atlas approaches".
+
+    The observatory vantage runs the *targeted* campaign (aimed at IXP
+    customers); the Atlas baseline is its probes in the same country
+    running their builtin anchor measurements.  The paper reports the
+    observatory vantage detecting 14 additional IXPs.
+    """
+    from repro.measurement.probes import (AccessTech, ProbeKind,
+                                          VantagePoint)
+    campaign = IXPDiscoveryCampaign(topo, engine, directory)
+    vantage_cc = topo.as_(vantage_asn).country_iso2
+    observatory_probe = VantagePoint(
+        probe_id=999_001, asn=vantage_asn, country_iso2=vantage_cc,
+        kind=ProbeKind.RASPBERRY_PI, access=AccessTech.FIXED,
+        secondary_access=AccessTech.CELLULAR)
+    obs = campaign.run([observatory_probe], "observatory-kigali")
+    atlas_local = [p for p in atlas.probes if p.country_iso2 == vantage_cc]
+    ref = atlas_builtin_discovery(topo, engine, directory, atlas_local)
+    return obs, ref
+
+
+# ----------------------------------------------------------------------
+# DNS dependency watchdog (§5.2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DNSDependencyRow:
+    """One country's resolver-dependency exposure."""
+
+    iso2: str
+    clients_measured: int
+    nonlocal_share: float
+    baseline_failure_rate: float
+    cable_cut_failure_rate: float
+
+    @property
+    def outage_amplification(self) -> float:
+        if self.baseline_failure_rate <= 0:
+            return float("inf") if self.cable_cut_failure_rate > 0 else 1.0
+        return self.cable_cut_failure_rate / self.baseline_failure_rate
+
+
+class DNSDependencyCampaign:
+    """Measures resolver locality and cable-cut DNS fragility."""
+
+    def __init__(self, topo: Topology, phys: PhysicalNetwork,
+                 seed: Optional[int] = None) -> None:
+        self._topo = topo
+        self._dns = DNSMeasurement(topo, phys, seed=seed)
+
+    def run(self, countries: Iterable[str],
+            cut_cable_ids: Sequence[int],
+            domains: Sequence[str] = ("example.org", "bank.local",
+                                      "gov.portal", "news.site"),
+            ) -> list[DNSDependencyRow]:
+        rows = []
+        for iso2 in sorted(set(countries)):
+            clients = [a.asn for a in self._topo.ases_in_country(iso2)
+                       if a.asn in self._topo.resolver_configs]
+            if not clients:
+                continue
+            nonlocal_count = 0
+            base_fail = 0
+            cut_fail = 0
+            total = 0
+            for asn in clients:
+                cfg = self._topo.resolver_configs[asn]
+                if not cfg.locality.survives_cable_cut:
+                    nonlocal_count += 1
+                for domain in domains:
+                    total += 1
+                    if not self._dns.resolve(asn, domain).ok:
+                        base_fail += 1
+                    if not self._dns.resolve(
+                            asn, domain,
+                            down_cables=cut_cable_ids).ok:
+                        cut_fail += 1
+            rows.append(DNSDependencyRow(
+                iso2=iso2, clients_measured=len(clients),
+                nonlocal_share=nonlocal_count / len(clients),
+                baseline_failure_rate=base_fail / total,
+                cable_cut_failure_rate=cut_fail / total))
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Cable disambiguation (§6.2 implication)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DisambiguationResult:
+    """Active identification of the cable behind one wet link."""
+
+    cc_a: str
+    cc_b: str
+    passive_candidates: int
+    identified_cable_id: Optional[int]
+    correct: bool
+
+
+class CableDisambiguationCampaign:
+    """Pin wet links to single systems via differential measurements.
+
+    During a known single-cable maintenance window the RTT between two
+    countries shifts only if the link actually rides the cable under
+    maintenance; iterating over candidates isolates the true system —
+    the "combination of active measurements and statistical approaches"
+    §6.2 argues for.
+    """
+
+    def __init__(self, topo: Topology, phys: PhysicalNetwork,
+                 rtt_shift_threshold_ms: float = 3.0) -> None:
+        self._topo = topo
+        self._phys = phys
+        self._threshold = rtt_shift_threshold_ms
+
+    def disambiguate(self, cc_a: str, cc_b: str,
+                     passive_candidates: set[int]
+                     ) -> DisambiguationResult:
+        baseline = self._phys.route(cc_a, cc_b, avoid_satellite=True)
+        if baseline is None or not baseline.cables_used:
+            return DisambiguationResult(cc_a, cc_b,
+                                        len(passive_candidates), None,
+                                        False)
+        true_cables = baseline.cables_used
+        identified: Optional[int] = None
+        for cable_id in sorted(passive_candidates):
+            with_window = self._phys.route(cc_a, cc_b,
+                                           down_cables=(cable_id,),
+                                           avoid_satellite=True)
+            # Observable signals during the window: loss of the path,
+            # an RTT shift, or (via traceroute) the path moving onto
+            # different wet segments.
+            shifted = (with_window is None
+                       or with_window.rtt_ms - baseline.rtt_ms
+                       > self._threshold
+                       or with_window.cables_used != baseline.cables_used)
+            if shifted:
+                identified = cable_id
+                break
+        return DisambiguationResult(
+            cc_a=cc_a, cc_b=cc_b,
+            passive_candidates=len(passive_candidates),
+            identified_cable_id=identified,
+            correct=identified in true_cables)

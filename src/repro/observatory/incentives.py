@@ -1,0 +1,115 @@
+"""Volunteer incentives and fleet economics (§7.2).
+
+"The group running Bismark used payments of monthly Internet bills to
+grow their deployment.  We intend to start by engaging local operators
+... and incentivize community volunteers" — so the Observatory's
+operating cost is hardware amortisation + the volunteer's subsidised
+bill + measurement data.  This module prices a fleet so a grant
+proposal (the project is ICANN-grant funded) can be sized honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.geo import Region, country
+from repro.measurement.probes import ProbeKind, VantagePoint
+from repro.observatory.budget import plan_for
+
+#: Hardware cost (USD) amortised over 36 months.
+HARDWARE_USD = {
+    ProbeKind.RASPBERRY_PI: 120.0,      # Pi + dongle + SD + PSU
+    ProbeKind.MOBILE_HANDSET: 180.0,
+    ProbeKind.RESIDENTIAL_VPN: 0.0,     # software-only
+    ProbeKind.ATLAS_PROBE: 80.0,
+    ProbeKind.ATLAS_ANCHOR: 900.0,
+}
+AMORTISATION_MONTHS = 36
+
+#: Monthly home-connectivity bill subsidy (USD) by region — the
+#: Bismark-style volunteer incentive.
+BILL_SUBSIDY_USD: dict[Region, float] = {
+    Region.NORTHERN_AFRICA: 18.0,
+    Region.WESTERN_AFRICA: 35.0,
+    Region.CENTRAL_AFRICA: 55.0,
+    Region.EASTERN_AFRICA: 28.0,
+    Region.SOUTHERN_AFRICA: 30.0,
+    Region.EUROPE: 30.0,
+    Region.NORTH_AMERICA: 45.0,
+    Region.SOUTH_AMERICA: 25.0,
+    Region.ASIA_PACIFIC: 25.0,
+}
+
+#: Battery/solar add-on for unreliable-grid sites (one-off USD).
+POWER_KIT_USD = 60.0
+POWER_KIT_GRID_THRESHOLD = 0.7
+
+
+@dataclass(frozen=True)
+class ProbeCost:
+    """Monthly cost breakdown for one probe."""
+
+    probe_id: int
+    iso2: str
+    hardware_usd: float
+    subsidy_usd: float
+    data_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.hardware_usd + self.subsidy_usd + self.data_usd
+
+
+@dataclass
+class FleetBudget:
+    """Monthly economics of a deployment."""
+
+    probes: list[ProbeCost] = field(default_factory=list)
+
+    @property
+    def monthly_usd(self) -> float:
+        return sum(p.total_usd for p in self.probes)
+
+    @property
+    def annual_usd(self) -> float:
+        return 12.0 * self.monthly_usd
+
+    def by_region(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for p in self.probes:
+            region = country(p.iso2).region.value
+            out[region] = out.get(region, 0.0) + p.total_usd
+        return out
+
+    def costliest_probe(self) -> Optional[ProbeCost]:
+        if not self.probes:
+            return None
+        return max(self.probes, key=lambda p: p.total_usd)
+
+
+def probe_monthly_cost(probe: VantagePoint,
+                       monthly_data_gb: float = 2.0) -> ProbeCost:
+    """Monthly cost of hosting one probe at a volunteer site."""
+    c = country(probe.country_iso2)
+    hardware = HARDWARE_USD[probe.kind]
+    if probe.kind is ProbeKind.RASPBERRY_PI \
+            and c.grid_reliability < POWER_KIT_GRID_THRESHOLD:
+        hardware += POWER_KIT_USD
+    plan = plan_for(probe.country_iso2)
+    data = monthly_data_gb * plan.usd_per_gb
+    return ProbeCost(
+        probe_id=probe.probe_id,
+        iso2=probe.country_iso2,
+        hardware_usd=hardware / AMORTISATION_MONTHS,
+        subsidy_usd=BILL_SUBSIDY_USD[c.region],
+        data_usd=data)
+
+
+def fleet_budget(probes: Iterable[VantagePoint],
+                 monthly_data_gb: float = 2.0) -> FleetBudget:
+    """Price an entire deployment."""
+    budget = FleetBudget()
+    for probe in probes:
+        budget.probes.append(probe_monthly_cost(probe, monthly_data_gb))
+    return budget

@@ -1,0 +1,177 @@
+"""Probe placement: targeted, purpose-driven vantage selection (§7).
+
+The Observatory's defining difference from volunteer platforms is that
+probe locations are *chosen* against an objective.  Footnote 1 is the
+canonical instance: "Using a greedy set-cover analysis of peering data,
+we identified a minimal set of 34 ASNs that jointly cover all 77
+African IXPs."  This module implements that set cover plus the other
+placement objectives (country coverage, mobile representativeness) and
+the comparison against Atlas-style volunteer placement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Optional, TypeVar
+
+from repro.geo import AFRICAN_COUNTRIES, country
+from repro.measurement import ProbePlatform
+from repro.topology import ASKind, Topology
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V", bound=Hashable)
+
+
+@dataclass
+class SetCoverResult:
+    """Outcome of a greedy set cover."""
+
+    chosen: list = field(default_factory=list)
+    covered: set = field(default_factory=set)
+    uncovered: set = field(default_factory=set)
+    #: Cumulative coverage size after each pick (the coverage curve).
+    curve: list[int] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.uncovered
+
+    def picks_needed(self, fraction: float) -> Optional[int]:
+        """Picks required to reach a coverage fraction, or None."""
+        total = len(self.covered) + len(self.uncovered)
+        target = fraction * total
+        for i, size in enumerate(self.curve, start=1):
+            if size >= target:
+                return i
+        return None
+
+
+def greedy_set_cover(universe: Iterable[V],
+                     sets: Mapping[K, set[V]],
+                     max_picks: Optional[int] = None) -> SetCoverResult:
+    """Classic greedy set cover with deterministic tie-breaking.
+
+    Picks the set covering the most yet-uncovered elements; ties break
+    on the smallest key so runs are reproducible.
+    """
+    remaining = set(universe)
+    result = SetCoverResult(uncovered=remaining)
+    available = {k: set(v) & remaining for k, v in sets.items()}
+    covered: set[V] = set()
+    while remaining and (max_picks is None or len(result.chosen) < max_picks):
+        best_key, best_gain = None, 0
+        for key in sorted(available):
+            gain = len(available[key] & remaining)
+            if gain > best_gain:
+                best_key, best_gain = key, gain
+        if best_key is None or best_gain == 0:
+            break
+        result.chosen.append(best_key)
+        newly = available.pop(best_key) & remaining
+        covered |= newly
+        remaining -= newly
+        result.curve.append(len(covered))
+    result.covered = covered
+    result.uncovered = remaining
+    return result
+
+
+class PlacementObjective(enum.Enum):
+    """What a probe deployment is optimised for."""
+
+    IXP_COVERAGE = "cover all African IXPs"
+    COUNTRY_COVERAGE = "at least one probe per African country"
+    MOBILE_REPRESENTATIVE = "population-weighted mobile networks"
+
+
+def ixp_cover_hosts(topo: Topology,
+                    membership: Optional[Mapping[int, set[int]]] = None,
+                    max_picks: Optional[int] = None) -> SetCoverResult:
+    """Footnote 1: the minimal AS set covering all African IXPs.
+
+    ``membership`` maps ASN -> IXP ids (defaults to ground truth; pass
+    :func:`repro.datasets.peeringdb.membership_map` for the
+    directory-limited view).
+    """
+    universe = {x.ixp_id for x in topo.african_ixps()}
+    if membership is None:
+        membership = {
+            asn: {i for i in a.ixps if topo.ixps[i].is_african}
+            for asn, a in topo.ases.items() if a.ixps}
+    african_membership = {
+        asn: ixps & universe for asn, ixps in membership.items()
+        if ixps & universe}
+    return greedy_set_cover(universe, african_membership,
+                            max_picks=max_picks)
+
+
+def place_probes(topo: Topology, objective: PlacementObjective,
+                 budget: Optional[int] = None) -> list[int]:
+    """Choose host ASNs for a deployment of ``budget`` probes."""
+    if objective is PlacementObjective.IXP_COVERAGE:
+        return list(ixp_cover_hosts(topo, max_picks=budget).chosen)
+    if objective is PlacementObjective.COUNTRY_COVERAGE:
+        chosen: list[int] = []
+        for iso2 in sorted(AFRICAN_COUNTRIES):
+            candidates = [a for a in topo.ases_in_country(iso2)
+                          if a.kind.is_eyeball]
+            if not candidates:
+                continue
+            # Prefer the biggest mobile network, then the biggest fixed.
+            candidates.sort(key=lambda a: (
+                a.kind is not ASKind.MOBILE,
+                -sum(p.size for p in a.prefixes), a.asn))
+            chosen.append(candidates[0].asn)
+            if budget is not None and len(chosen) >= budget:
+                break
+        return chosen
+    if objective is PlacementObjective.MOBILE_REPRESENTATIVE:
+        mobiles = [a for a in topo.african_ases()
+                   if a.kind is ASKind.MOBILE]
+        mobiles.sort(key=lambda a: (
+            -AFRICAN_COUNTRIES[a.country_iso2].population_m, a.asn))
+        picks = mobiles if budget is None else mobiles[:budget]
+        return [a.asn for a in picks]
+    raise ValueError(f"unknown objective {objective}")
+
+
+@dataclass(frozen=True)
+class PlacementComparison:
+    """Observatory vs Atlas-style placement on one objective."""
+
+    objective: PlacementObjective
+    observatory_hosts: int
+    observatory_covered: int
+    atlas_hosts: int
+    atlas_covered: int
+    universe: int
+
+    @property
+    def coverage_gain(self) -> int:
+        return self.observatory_covered - self.atlas_covered
+
+
+def compare_ixp_coverage(topo: Topology,
+                         atlas: ProbePlatform) -> PlacementComparison:
+    """How many African IXPs each platform's host ASes can see.
+
+    A platform "covers" an IXP when it has a probe inside a member AS —
+    the prerequisite for its traceroutes ever crossing that fabric
+    (§6.1 implication).
+    """
+    universe = {x.ixp_id for x in topo.african_ixps()}
+    cover = ixp_cover_hosts(topo)
+    atlas_asns = {p.asn for p in atlas.probes if p.region.is_african}
+    atlas_covered = set()
+    for asn in atlas_asns:
+        if asn in topo.ases:
+            atlas_covered |= {i for i in topo.as_(asn).ixps
+                              if i in universe}
+    return PlacementComparison(
+        objective=PlacementObjective.IXP_COVERAGE,
+        observatory_hosts=len(cover.chosen),
+        observatory_covered=len(cover.covered),
+        atlas_hosts=len(atlas_asns),
+        atlas_covered=len(atlas_covered),
+        universe=len(universe))

@@ -1,0 +1,132 @@
+"""Observatory platform orchestration (§7).
+
+Ties the pieces together: a probe fleet (from placement), experiment
+vetting ("experiments will need to be vetted and run by a small,
+trusted cohort" — §7.1), budget-aware scheduling, and execution against
+the measurement engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.measurement import (
+    MeasurementEngine,
+    ProbePlatform,
+    build_observatory_platform,
+)
+from repro.observatory.budget import plan_for
+from repro.observatory.placement import PlacementObjective, place_probes
+from repro.observatory.power import probe_power_profile
+from repro.observatory.scheduler import (
+    MeasurementTask,
+    Schedule,
+    schedule_cost_aware,
+)
+from repro.topology import Topology
+
+#: Hard per-experiment caps enforced at vetting time.
+MAX_TASKS_PER_EXPERIMENT = 500
+MAX_BYTES_PER_TASK = 50 * 2**20
+
+
+class ExperimentStatus(enum.Enum):
+    SUBMITTED = "submitted"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+    COMPLETED = "completed"
+
+
+@dataclass
+class Experiment:
+    """A researcher's proposed measurement experiment."""
+
+    experiment_id: str
+    owner: str
+    description: str
+    tasks: list[MeasurementTask] = field(default_factory=list)
+    status: ExperimentStatus = ExperimentStatus.SUBMITTED
+    rejection_reason: Optional[str] = None
+    schedule: Optional[Schedule] = None
+
+
+class ObservatoryPlatform:
+    """The deployed Observatory: fleet + governance + scheduling."""
+
+    def __init__(self, topo: Topology,
+                 objective: PlacementObjective =
+                 PlacementObjective.IXP_COVERAGE,
+                 probe_budget: Optional[int] = None,
+                 monthly_budget_usd: float = 20.0,
+                 trusted_cohort: Iterable[str] = ()) -> None:
+        self._topo = topo
+        host_asns = place_probes(topo, objective, budget=probe_budget)
+        self.fleet: ProbePlatform = build_observatory_platform(
+            topo, host_asns)
+        self.monthly_budget_usd = monthly_budget_usd
+        self.trusted_cohort = set(trusted_cohort)
+        self.experiments: dict[str, Experiment] = {}
+
+    # ------------------------------------------------------------------
+    def add_trusted_researcher(self, name: str) -> None:
+        self.trusted_cohort.add(name)
+
+    def submit(self, experiment: Experiment) -> Experiment:
+        """Vet an experiment (trusted cohort + resource caps)."""
+        if experiment.experiment_id in self.experiments:
+            raise ValueError(
+                f"duplicate experiment id {experiment.experiment_id!r}")
+        self.experiments[experiment.experiment_id] = experiment
+        if experiment.owner not in self.trusted_cohort:
+            experiment.status = ExperimentStatus.REJECTED
+            experiment.rejection_reason = (
+                "owner is not in the trusted cohort (§7.1)")
+            return experiment
+        if len(experiment.tasks) > MAX_TASKS_PER_EXPERIMENT:
+            experiment.status = ExperimentStatus.REJECTED
+            experiment.rejection_reason = "too many tasks"
+            return experiment
+        oversized = [t for t in experiment.tasks
+                     if t.app_bytes > MAX_BYTES_PER_TASK]
+        if oversized:
+            experiment.status = ExperimentStatus.REJECTED
+            experiment.rejection_reason = (
+                f"task {oversized[0].task_id} exceeds the per-task "
+                "byte cap")
+            return experiment
+        experiment.status = ExperimentStatus.APPROVED
+        return experiment
+
+    # ------------------------------------------------------------------
+    def schedule_experiment(self, experiment_id: str) -> Schedule:
+        """Budget-aware schedule for an approved experiment."""
+        experiment = self.experiments[experiment_id]
+        if experiment.status is not ExperimentStatus.APPROVED:
+            raise PermissionError(
+                f"experiment {experiment_id} is {experiment.status.value}")
+        schedule = schedule_cost_aware(
+            self.fleet.probes, experiment.tasks, self.monthly_budget_usd)
+        experiment.schedule = schedule
+        experiment.status = ExperimentStatus.COMPLETED
+        return schedule
+
+    # ------------------------------------------------------------------
+    def fleet_report(self) -> dict[str, float]:
+        """Operational summary: size, mobile share, power, data cost."""
+        probes = self.fleet.probes
+        if not probes:
+            return {"probes": 0}
+        availability = [probe_power_profile(p).effective_availability
+                        for p in probes]
+        monthly_gb_price = [plan_for(p.country_iso2).usd_per_gb
+                            for p in probes]
+        return {
+            "probes": len(probes),
+            "countries": len(self.fleet.countries()),
+            "mobile_share": self.fleet.mobile_share(),
+            "mean_availability": sum(availability) / len(availability),
+            "mean_usd_per_gb": sum(monthly_gb_price)
+            / len(monthly_gb_price),
+        }

@@ -1,0 +1,63 @@
+"""Power/intermittence model (§7.1: "unreliable or intermittent power").
+
+A probe is only useful while powered.  Grid reliability varies wildly
+across the continent; Observatory RPis can carry a battery that rides
+through short interruptions, which raises *effective* availability
+well above raw grid uptime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo import country
+from repro.measurement.probes import ProbeKind, VantagePoint
+from repro.util import derive_rng
+
+#: Fraction of grid downtime a battery-backed probe rides through.
+BATTERY_RIDE_THROUGH = 0.75
+#: Probe kinds shipped with battery backup.
+BATTERY_BACKED = (ProbeKind.RASPBERRY_PI, ProbeKind.MOBILE_HANDSET)
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Effective availability of one probe."""
+
+    probe_id: int
+    grid_availability: float
+    effective_availability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.effective_availability <= 1.0:
+            raise ValueError("availability out of range")
+
+
+def probe_power_profile(probe: VantagePoint) -> PowerProfile:
+    """Availability of a probe given its country's grid and hardware."""
+    grid = country(probe.country_iso2).grid_reliability
+    if probe.kind in BATTERY_BACKED:
+        effective = grid + (1.0 - grid) * BATTERY_RIDE_THROUGH
+    else:
+        effective = grid
+    return PowerProfile(probe_id=probe.probe_id,
+                        grid_availability=grid,
+                        effective_availability=min(1.0, effective))
+
+
+def is_powered(probe: VantagePoint, day: float, hour: int,
+               seed: int = 0) -> bool:
+    """Deterministic powered/unpowered state for one probe-hour.
+
+    Used by the scheduler to decide whether a task slot completes; the
+    same (probe, day, hour, seed) always gives the same answer.
+    """
+    profile = probe_power_profile(probe)
+    rng = derive_rng(seed, "power", str(probe.probe_id),
+                     str(int(day)), str(hour))
+    return rng.random() < profile.effective_availability
+
+
+def expected_completed_slots(probe: VantagePoint, slots: int) -> float:
+    """Expected number of task slots that survive power interruptions."""
+    return slots * probe_power_profile(probe).effective_availability

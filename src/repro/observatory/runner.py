@@ -1,0 +1,221 @@
+"""Longitudinal monitoring: the Observatory running day after day.
+
+§5.2 calls for watchdogs that *continuously* assess the ecosystem, and
+§7's platform exists to feed them.  This module simulates the
+Observatory in operation over a multi-month window that contains real
+(simulated) outages: every day, powered probes run their scheduled
+measurements; the resulting health time-series feeds an anomaly
+detector; detected anomalies are compared against ground truth.
+
+The headline comparison: a traffic-drop monitor (Radar-style) only sees
+outages big enough to dent *national* traffic, while the Observatory's
+active per-country probing also catches partial degradations — at the
+cost of a fleet to run.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.geo import country
+from repro.measurement import DNSMeasurement, ProbePlatform
+from repro.outages import OutageEvent, SimulationResult
+from repro.outages.engine import DETECTION_THRESHOLD
+from repro.observatory.power import is_powered
+from repro.routing import PhysicalNetwork
+from repro.topology import Topology
+from repro.util import derive_rng
+
+#: Degradation (reachability drop) the anomaly detector alarms on.
+ANOMALY_THRESHOLD = 0.10
+#: Sampling times within each day (hours) — sub-day outages are caught
+#: by whichever sample lands inside them.
+SAMPLE_HOURS = (0, 6, 12, 18)
+#: Resolutions attempted per probe per sample in the health check.
+CHECKS_PER_PROBE_SAMPLE = 2
+
+
+@dataclass(frozen=True)
+class DailyHealth:
+    """One country-day of measured health."""
+
+    day: int
+    iso2: str
+    probes_active: int
+    checks: int
+    success_rate: float
+
+
+@dataclass(frozen=True)
+class DetectedAnomaly:
+    """An Observatory alarm: a country-day below baseline health."""
+
+    day: int
+    iso2: str
+    success_rate: float
+    baseline: float
+
+
+@dataclass
+class MonitoringReport:
+    """Outcome of a monitoring window."""
+
+    days: int = 0
+    health: list[DailyHealth] = field(default_factory=list)
+    anomalies: list[DetectedAnomaly] = field(default_factory=list)
+    #: Ground-truth (event, country) pairs active in the window with
+    #: severity >= the given threshold.
+    truth: set[tuple[int, str]] = field(default_factory=set)
+    #: Truth pairs the Observatory alarmed on.
+    detected_truth: set[tuple[int, str]] = field(default_factory=set)
+    #: Truth pairs a Radar-style national-traffic monitor would list.
+    radar_truth: set[tuple[int, str]] = field(default_factory=set)
+
+    def recall(self) -> float:
+        if not self.truth:
+            return 1.0
+        return len(self.detected_truth) / len(self.truth)
+
+    def radar_recall(self) -> float:
+        if not self.truth:
+            return 1.0
+        return len(self.radar_truth) / len(self.truth)
+
+    def sub_threshold_truth(self) -> set[tuple[int, str]]:
+        """Impacts too small for a traffic-drop monitor to list."""
+        return self.truth - self.radar_truth
+
+    def sub_threshold_recall(self) -> float:
+        """Observatory recall on what Radar misses by definition."""
+        sub = self.sub_threshold_truth()
+        if not sub:
+            return 1.0
+        return len(self.detected_truth & sub) / len(sub)
+
+    def false_alarm_days(self) -> int:
+        truth_country_days = set()
+        for event, iso2 in self.truth:
+            truth_country_days.add(iso2)
+        return sum(1 for a in self.anomalies
+                   if a.iso2 not in truth_country_days)
+
+
+class MonitoringRunner:
+    """Drives the fleet through a simulated outage timeline."""
+
+    def __init__(self, topo: Topology, phys: PhysicalNetwork,
+                 platform: ProbePlatform,
+                 seed: Optional[int] = None) -> None:
+        self._topo = topo
+        self._phys = phys
+        self._platform = platform
+        self._seed = seed if seed is not None else topo.params.seed
+        self._dns = DNSMeasurement(topo, phys, seed=self._seed)
+
+    # ------------------------------------------------------------------
+    def run(self, simulation: SimulationResult, days: int,
+            truth_threshold: float = 0.10) -> MonitoringReport:
+        """Monitor ``days`` of the simulated outage timeline."""
+        report = MonitoringReport(days=days)
+        rng = derive_rng(self._seed, "monitoring", "run")
+        probes_by_cc: dict[str, list] = {}
+        for probe in self._platform.probes:
+            if probe.region.is_african:
+                probes_by_cc.setdefault(probe.country_iso2,
+                                        []).append(probe)
+        baselines: dict[str, list[float]] = {cc: []
+                                             for cc in probes_by_cc}
+        for day in range(days):
+            for iso2, probes in sorted(probes_by_cc.items()):
+                health, active_for_cc = self._country_day(
+                    day, iso2, probes, simulation, rng)
+                if health is None:
+                    continue
+                report.health.append(health)
+                baseline_window = baselines[iso2][-14:]
+                baseline = (statistics.mean(baseline_window)
+                            if len(baseline_window) >= 3 else 1.0)
+                if health.success_rate < baseline - ANOMALY_THRESHOLD:
+                    report.anomalies.append(DetectedAnomaly(
+                        day, iso2, health.success_rate, baseline))
+                    self._credit_detection(report, active_for_cc, iso2,
+                                           truth_threshold)
+                else:
+                    baselines[iso2].append(health.success_rate)
+        self._fill_truth(report, simulation, days, truth_threshold)
+        return report
+
+    # ------------------------------------------------------------------
+    def _events_at(self, simulation: SimulationResult, t: float,
+                   iso2: str) -> list[OutageEvent]:
+        """Events whose impact on ``iso2`` spans instant ``t``."""
+        out = []
+        for event in simulation.events:
+            impact = event.impact_for(iso2)
+            if impact is None:
+                continue
+            if event.start_day <= t < event.start_day + impact.outage_days:
+                out.append(event)
+        return out
+
+    def _country_day(self, day, iso2, probes, simulation, rng
+                     ) -> tuple[Optional[DailyHealth], list[OutageEvent]]:
+        successes = checks = 0
+        powered_max = 0
+        seen_events: list[OutageEvent] = []
+        for hour in SAMPLE_HOURS:
+            powered = [p for p in probes
+                       if is_powered(p, day, hour, seed=self._seed)]
+            powered_max = max(powered_max, len(powered))
+            if not powered:
+                continue
+            t = day + hour / 24.0
+            active = self._events_at(simulation, t, iso2)
+            for event in active:
+                if event not in seen_events:
+                    seen_events.append(event)
+            severity = max((event.impact_for(iso2).severity
+                            for event in active), default=0.0)
+            down = tuple(sorted({cid for event in active
+                                 for cid in event.cables_cut}))
+            for probe in powered:
+                for i in range(CHECKS_PER_PROBE_SAMPLE):
+                    checks += 1
+                    if rng.random() < severity:
+                        continue  # measurement lost to the outage
+                    result = self._dns.resolve(
+                        probe.asn, f"health-{day}-{hour}-{i}.check",
+                        down_cables=down)
+                    successes += result.ok
+        if not checks:
+            return None, seen_events
+        return DailyHealth(day, iso2, powered_max, checks,
+                           successes / checks), seen_events
+
+    def _credit_detection(self, report, active, iso2,
+                          truth_threshold) -> None:
+        for event in active:
+            impact = event.impact_for(iso2)
+            if impact is not None and impact.severity >= truth_threshold:
+                report.detected_truth.add((event.event_id, iso2))
+
+    def _fill_truth(self, report, simulation, days,
+                    truth_threshold) -> None:
+        monitored = {p.country_iso2 for p in self._platform.probes
+                     if p.region.is_african}
+        for event in simulation.events:
+            if event.start_day >= days:
+                continue
+            for impact in event.impacts:
+                if impact.iso2 not in monitored:
+                    continue
+                if not country(impact.iso2).is_african:
+                    continue
+                if impact.severity < truth_threshold:
+                    continue
+                key = (event.event_id, impact.iso2)
+                report.truth.add(key)
+                if impact.severity >= DETECTION_THRESHOLD:
+                    report.radar_truth.add(key)

@@ -1,0 +1,207 @@
+"""Budget- and power-aware measurement scheduling (§7.1).
+
+Allocates recurring measurement tasks to probes so that total utility
+is maximised subject to each probe's monthly data budget (priced by its
+country's plan) and its power availability.  Two policies:
+
+* :func:`schedule_cost_aware` — greedy by utility per marginal dollar,
+  with task *reuse* (one traceroute serving several objectives is
+  charged once);
+* :func:`schedule_round_robin` — the naive baseline the budget ablation
+  compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.measurement.probes import AccessTech, VantagePoint
+from repro.observatory.budget import (
+    BudgetAccount,
+    DataPlan,
+    plan_for,
+    wire_bytes,
+)
+from repro.observatory.power import probe_power_profile
+
+
+@dataclass(frozen=True)
+class MeasurementTask:
+    """A recurring measurement requirement."""
+
+    task_id: str
+    kind: str                  # "traceroute" | "ping" | "dns" | "pageload"
+    target: str                # opaque label (IP, domain, campaign key)
+    #: Application-level bytes per run.
+    app_bytes: int
+    #: Runs wanted per month.
+    runs_per_month: int
+    #: Utility per completed run (objective weight).
+    utility: float
+    #: Restrict to a country (None = anywhere useful).
+    country: Optional[str] = None
+    #: Required uplink (cellular-only tasks measure the mobile path).
+    requires_access: Optional[AccessTech] = None
+
+    def __post_init__(self) -> None:
+        if self.app_bytes <= 0 or self.runs_per_month <= 0:
+            raise ValueError(f"bad task sizing for {self.task_id}")
+        if self.utility < 0:
+            raise ValueError("negative utility")
+
+
+@dataclass
+class Assignment:
+    """One task placed on one probe."""
+
+    task: MeasurementTask
+    probe_id: int
+    runs: int
+    billed_bytes: int
+    cost_usd: float
+    #: True when this task shares measurements with an earlier one.
+    reused: bool = False
+
+
+@dataclass
+class Schedule:
+    """A month's measurement plan."""
+
+    assignments: list[Assignment] = field(default_factory=list)
+    unplaced: list[MeasurementTask] = field(default_factory=list)
+    accounts: dict[int, BudgetAccount] = field(default_factory=dict)
+
+    @property
+    def total_utility(self) -> float:
+        return sum(a.task.utility * a.runs for a in self.assignments)
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(acct.spent_usd for acct in self.accounts.values())
+
+    def utility_per_dollar(self) -> float:
+        cost = self.total_cost_usd
+        return self.total_utility / cost if cost > 0 else 0.0
+
+    def placed_task_ids(self) -> set[str]:
+        return {a.task.task_id for a in self.assignments}
+
+
+def _eligible(probe: VantagePoint, task: MeasurementTask) -> bool:
+    if task.country is not None and probe.country_iso2 != task.country:
+        return False
+    if task.requires_access is not None \
+            and task.requires_access not in probe.uplinks():
+        return False
+    return True
+
+
+def _billed_access(probe: VantagePoint,
+                   task: MeasurementTask) -> AccessTech:
+    if task.requires_access is not None:
+        return task.requires_access
+    return probe.access
+
+
+def _effective_runs(probe: VantagePoint, runs: int) -> int:
+    """Runs that survive power interruptions (rounded down)."""
+    availability = probe_power_profile(probe).effective_availability
+    return int(runs * availability)
+
+
+def schedule_cost_aware(probes: Iterable[VantagePoint],
+                        tasks: Iterable[MeasurementTask],
+                        monthly_budget_usd: float,
+                        plans: Optional[dict[str, DataPlan]] = None
+                        ) -> Schedule:
+    """Greedy utility-per-dollar scheduling with measurement reuse."""
+    probes = list(probes)
+    schedule = Schedule()
+    for probe in probes:
+        plan = (plans or {}).get(probe.country_iso2) \
+            or plan_for(probe.country_iso2)
+        schedule.accounts[probe.probe_id] = BudgetAccount(
+            plan, monthly_budget_usd)
+    # Reuse ledger: (probe, kind, target) already measured this month.
+    measured: dict[tuple[int, str, str], Assignment] = {}
+    ordered = sorted(tasks, key=lambda t: (-t.utility / t.app_bytes,
+                                           t.task_id))
+    for task in ordered:
+        placed = False
+        candidates = [p for p in probes if _eligible(p, task)]
+        # Cheapest capable probe first (marginal cost of the full task).
+        def marginal(probe: VantagePoint) -> float:
+            account = schedule.accounts[probe.probe_id]
+            billed = wire_bytes(task.app_bytes * task.runs_per_month,
+                                _billed_access(probe, task))
+            return account.cost_of(billed)
+
+        for probe in sorted(candidates,
+                            key=lambda p: (marginal(p), p.probe_id)):
+            key = (probe.probe_id, task.kind, task.target)
+            if key in measured:
+                prior = measured[key]
+                runs = min(prior.runs, task.runs_per_month)
+                schedule.assignments.append(Assignment(
+                    task=task, probe_id=probe.probe_id, runs=runs,
+                    billed_bytes=0, cost_usd=0.0, reused=True))
+                placed = True
+                break
+            account = schedule.accounts[probe.probe_id]
+            billed = wire_bytes(task.app_bytes * task.runs_per_month,
+                                _billed_access(probe, task))
+            if not account.can_afford(billed):
+                continue
+            cost = account.charge(billed)
+            assignment = Assignment(
+                task=task, probe_id=probe.probe_id,
+                runs=_effective_runs(probe, task.runs_per_month),
+                billed_bytes=billed, cost_usd=cost)
+            schedule.assignments.append(assignment)
+            measured[key] = assignment
+            placed = True
+            break
+        if not placed:
+            schedule.unplaced.append(task)
+    return schedule
+
+
+def schedule_round_robin(probes: Iterable[VantagePoint],
+                         tasks: Iterable[MeasurementTask],
+                         monthly_budget_usd: float,
+                         plans: Optional[dict[str, DataPlan]] = None
+                         ) -> Schedule:
+    """Naive baseline: tasks dealt to eligible probes in turn, no
+    cost-awareness, no reuse."""
+    probes = list(probes)
+    schedule = Schedule()
+    for probe in probes:
+        plan = (plans or {}).get(probe.country_iso2) \
+            or plan_for(probe.country_iso2)
+        schedule.accounts[probe.probe_id] = BudgetAccount(
+            plan, monthly_budget_usd)
+    cursor = 0
+    for task in sorted(tasks, key=lambda t: t.task_id):
+        candidates = [p for p in probes if _eligible(p, task)]
+        if not candidates:
+            schedule.unplaced.append(task)
+            continue
+        placed = False
+        for offset in range(len(candidates)):
+            probe = candidates[(cursor + offset) % len(candidates)]
+            account = schedule.accounts[probe.probe_id]
+            billed = wire_bytes(task.app_bytes * task.runs_per_month,
+                                _billed_access(probe, task))
+            if account.can_afford(billed):
+                cost = account.charge(billed)
+                schedule.assignments.append(Assignment(
+                    task=task, probe_id=probe.probe_id,
+                    runs=_effective_runs(probe, task.runs_per_month),
+                    billed_bytes=billed, cost_usd=cost))
+                placed = True
+                cursor += 1
+                break
+        if not placed:
+            schedule.unplaced.append(task)
+    return schedule

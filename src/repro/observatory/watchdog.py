@@ -1,0 +1,184 @@
+"""Policy-compliance watchdog (§5.2 takeaway).
+
+"We argue that similar efforts should be made to legislate these
+critical dependencies and that watchdogs should be created to
+continuously assess policy adherence."  This module is that watchdog:
+declarative resilience policies evaluated continuously against
+measured state, producing per-country compliance reports regulators
+(ITU/NCC-style working groups, §1) can act on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.geo import AFRICAN_COUNTRIES, country
+from repro.routing import PhysicalNetwork
+from repro.topology import Topology
+from repro.outages.correlate import corridor_chokepoints
+
+
+class PolicyKind(enum.Enum):
+    """The §5 policy levers."""
+
+    #: Minimum share of eyeball networks with in-country resolvers.
+    DNS_LOCALIZATION = "resolver localisation"
+    #: Minimum share of top-site content served from within the country
+    #: or the continent.
+    CONTENT_LOCALIZATION = "content localisation"
+    #: Minimum number of *physically diverse* international paths (§5.1:
+    #: "legislation may mandate backup paths ... these cables may still
+    #: be correlated due to physical collocation").
+    CABLE_DIVERSITY = "cable diversity"
+    #: Mobile operators must retain capacity under single-corridor loss
+    #: (Ghana's backup-connectivity law, §5.1).
+    BACKUP_CAPACITY = "backup capacity"
+
+
+@dataclass(frozen=True)
+class Policy:
+    """One legislated requirement."""
+
+    kind: PolicyKind
+    #: Threshold semantics depend on kind (share in 0..1, or a count).
+    threshold: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError("negative threshold")
+
+
+@dataclass(frozen=True)
+class ComplianceFinding:
+    """One country's verdict for one policy."""
+
+    iso2: str
+    policy: Policy
+    measured: float
+    compliant: bool
+    detail: str = ""
+
+
+@dataclass
+class ComplianceReport:
+    findings: list[ComplianceFinding] = field(default_factory=list)
+
+    def compliance_rate(self, kind: Optional[PolicyKind] = None) -> float:
+        rows = [f for f in self.findings
+                if kind is None or f.policy.kind is kind]
+        if not rows:
+            return 0.0
+        return sum(f.compliant for f in rows) / len(rows)
+
+    def violations(self) -> list[ComplianceFinding]:
+        return [f for f in self.findings if not f.compliant]
+
+    def for_country(self, iso2: str) -> list[ComplianceFinding]:
+        return [f for f in self.findings if f.iso2 == iso2]
+
+
+class PolicyWatchdog:
+    """Evaluates resilience policies against the measured world."""
+
+    def __init__(self, topo: Topology,
+                 phys: Optional[PhysicalNetwork] = None) -> None:
+        self._topo = topo
+        self._phys = phys or PhysicalNetwork(topo)
+
+    # ------------------------------------------------------------------
+    def assess(self, policies: Iterable[Policy],
+               countries: Optional[Iterable[str]] = None
+               ) -> ComplianceReport:
+        """One compliance pass over the given countries."""
+        report = ComplianceReport()
+        targets = sorted(countries) if countries is not None \
+            else sorted(AFRICAN_COUNTRIES)
+        for iso2 in targets:
+            for policy in policies:
+                report.findings.append(self._check(iso2, policy))
+        return report
+
+    # ------------------------------------------------------------------
+    def _check(self, iso2: str, policy: Policy) -> ComplianceFinding:
+        if policy.kind is PolicyKind.DNS_LOCALIZATION:
+            measured = self.resolver_local_share(iso2)
+            return ComplianceFinding(
+                iso2, policy, measured, measured >= policy.threshold,
+                f"{measured:.0%} of eyeball networks resolve in-country")
+        if policy.kind is PolicyKind.CONTENT_LOCALIZATION:
+            measured = self.content_african_share(iso2)
+            return ComplianceFinding(
+                iso2, policy, measured, measured >= policy.threshold,
+                f"{measured:.0%} of top sites served from Africa")
+        if policy.kind is PolicyKind.CABLE_DIVERSITY:
+            measured = float(self.diverse_path_count(iso2))
+            return ComplianceFinding(
+                iso2, policy, measured, measured >= policy.threshold,
+                f"{measured:.0f} physically diverse international paths")
+        if policy.kind is PolicyKind.BACKUP_CAPACITY:
+            measured = self.worst_corridor_survival(iso2)
+            return ComplianceFinding(
+                iso2, policy, measured, measured >= policy.threshold,
+                f"{measured:.0%} of traffic capacity survives the worst "
+                "single corridor loss")
+        raise ValueError(f"unknown policy {policy.kind}")
+
+    # ------------------------------------------------------------------
+    # Measured quantities
+    # ------------------------------------------------------------------
+    def resolver_local_share(self, iso2: str) -> float:
+        configs = [cfg for asn, cfg in self._topo.resolver_configs.items()
+                   if self._topo.as_(asn).country_iso2 == iso2]
+        if not configs:
+            return 0.0
+        return sum(cfg.locality.survives_cable_cut
+                   for cfg in configs) / len(configs)
+
+    def content_african_share(self, iso2: str) -> float:
+        sites = self._topo.websites.get(iso2, [])
+        if not sites:
+            return 0.0
+        return sum(s.is_served_from_africa() for s in sites) / len(sites)
+
+    def diverse_path_count(self, iso2: str) -> int:
+        """Distinct corridors (plus terrestrial) carrying the country's
+        international connectivity — collocated cables count once."""
+        corridors = {c.corridor
+                     for c in self._topo.cables_landing_in(iso2)}
+        count = len(corridors)
+        if any(link.involves(iso2) for link in self._topo.terrestrial):
+            count += 1
+        return count
+
+    def worst_corridor_survival(self, iso2: str) -> float:
+        """Surviving traffic share after losing the worst single
+        corridor entirely (the §5.1 correlated-failure test)."""
+        before = self._phys.international_traffic_weight(iso2)
+        if before <= 0:
+            return 0.0
+        worst = 1.0
+        corridors = {c.corridor
+                     for c in self._topo.cables_landing_in(iso2)}
+        for corridor in corridors:
+            cut = [c.cable_id for c in self._topo.cables
+                   if c.corridor is corridor]
+            after = self._phys.international_traffic_weight(
+                iso2, down_cables=cut)
+            worst = min(worst, after / before)
+        return worst
+
+
+#: A reasonable legislative package, usable as a starting point.
+DEFAULT_POLICY_PACKAGE: tuple[Policy, ...] = (
+    Policy(PolicyKind.DNS_LOCALIZATION, 0.5,
+           "half of eyeball networks must resolve in-country"),
+    Policy(PolicyKind.CONTENT_LOCALIZATION, 0.3,
+           "30% of popular content served from Africa"),
+    Policy(PolicyKind.CABLE_DIVERSITY, 2,
+           "two physically diverse international paths"),
+    Policy(PolicyKind.BACKUP_CAPACITY, 0.5,
+           "survive the worst corridor with half of capacity"),
+)

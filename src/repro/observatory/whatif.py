@@ -1,0 +1,292 @@
+"""What-if scenario engine (§8: "a set of 'what-if' simulators tailored
+to the realities of Africa's current ecosystem").
+
+Scenarios answer the questions regulators ask in §1: how would a
+specific intervention — a geographically diverse cable, localized DNS,
+an IXP with mandated local peering — change resilience and locality?
+Each scenario builds a modified world and re-measures; results are
+always (baseline, modified) pairs of the same metric.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.geo import country
+from repro.routing import BGPRouting, PhysicalNetwork
+from repro.topology import (
+    ASLink,
+    CableCorridor,
+    Landing,
+    Relationship,
+    ResolverConfig,
+    ResolverLocality,
+    SubseaCable,
+    Topology,
+)
+from repro.topology.cables import landing_site
+
+
+@dataclass(frozen=True)
+class WhatIfOutcome:
+    """A metric before and after an intervention."""
+
+    metric: str
+    baseline: float
+    modified: float
+
+    @property
+    def delta(self) -> float:
+        return self.modified - self.baseline
+
+    @property
+    def relative_change(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.modified else 0.0
+        return self.delta / self.baseline
+
+
+def _cloned(topo: Topology) -> Topology:
+    """Deep copy the world so interventions never leak into baseline."""
+    return copy.deepcopy(topo)
+
+
+# ----------------------------------------------------------------------
+class WhatIfAddCable:
+    """Deploy a new (geographically diverse) cable and re-measure the
+    severity of a given multi-cable cut (§5.1 implication)."""
+
+    def __init__(self, topo: Topology) -> None:
+        self._topo = topo
+
+    def apply(self, name: str, landing_keys: Sequence[str],
+              capacity_tbps: float = 60.0,
+              rfs_year: Optional[int] = None) -> Topology:
+        modified = _cloned(self._topo)
+        year = rfs_year if rfs_year is not None else \
+            modified.params.current_year - 4  # lit capacity by "now"
+        landings = []
+        for key in landing_keys:
+            iso2, site, lat, lon = landing_site(key)
+            landings.append(Landing(iso2, site, lat, lon))
+        new_id = max(c.cable_id for c in modified.cables) + 1
+        modified.cables.append(SubseaCable(
+            cable_id=new_id, name=name,
+            corridor=CableCorridor.SOUTH_ATLANTIC,
+            landings=landings, rfs_year=year,
+            capacity_tbps=capacity_tbps, diverse_route=True))
+        return modified
+
+    def cut_severity(self, iso2: str, cut_ids: Sequence[int],
+                     modified: Topology) -> WhatIfOutcome:
+        """Severity of the cut for one country, before vs after."""
+        def severity(topo: Topology) -> float:
+            phys = PhysicalNetwork(topo)
+            before = phys.international_traffic_weight(iso2)
+            if before <= 0:
+                return 0.0
+            after = phys.international_traffic_weight(
+                iso2, down_cables=cut_ids)
+            return max(0.0, 1.0 - after / before)
+        return WhatIfOutcome(
+            metric=f"cable-cut severity for {iso2}",
+            baseline=severity(self._topo),
+            modified=severity(modified))
+
+
+# ----------------------------------------------------------------------
+class WhatIfLocalizeDNS:
+    """Legislated resolver localisation (§5.2 takeaway): move a share
+    of a country's outsourced resolvers in-country."""
+
+    def __init__(self, topo: Topology) -> None:
+        self._topo = topo
+
+    def apply(self, iso2: str, localized_share: float = 1.0) -> Topology:
+        if not 0.0 <= localized_share <= 1.0:
+            raise ValueError("share out of range")
+        modified = _cloned(self._topo)
+        affected = sorted(
+            asn for asn, cfg in modified.resolver_configs.items()
+            if modified.as_(asn).country_iso2 == iso2
+            and not cfg.locality.survives_cable_cut)
+        n_move = round(len(affected) * localized_share)
+        for asn in affected[:n_move]:
+            modified.resolver_configs[asn] = ResolverConfig(
+                asn=asn, locality=ResolverLocality.LOCAL_COUNTRY,
+                hosted_in=iso2, operator_asn=asn)
+        return modified
+
+    def outage_resolution_failure(self, iso2: str,
+                                  cut_ids: Sequence[int],
+                                  modified: Topology,
+                                  domains: int = 6) -> WhatIfOutcome:
+        """DNS failure rate during the cut, before vs after."""
+        from repro.measurement import DNSMeasurement
+
+        def failure_rate(topo: Topology) -> float:
+            phys = PhysicalNetwork(topo)
+            dns = DNSMeasurement(topo, phys)
+            clients = [a.asn for a in topo.ases_in_country(iso2)
+                       if a.asn in topo.resolver_configs]
+            if not clients:
+                return 0.0
+            failures = total = 0
+            for asn in clients:
+                for i in range(domains):
+                    total += 1
+                    result = dns.resolve(asn, f"site{i}.example",
+                                         down_cables=cut_ids)
+                    failures += not result.ok
+            return failures / total
+        return WhatIfOutcome(
+            metric=f"DNS failure rate during cut ({iso2})",
+            baseline=failure_rate(self._topo),
+            modified=failure_rate(modified))
+
+
+# ----------------------------------------------------------------------
+class WhatIfMandateLocalPeering:
+    """Regulate that a country's networks must peer at the local IXP
+    (the ISOC/ICANN localisation lever, §2/§4.1)."""
+
+    def __init__(self, topo: Topology) -> None:
+        self._topo = topo
+
+    def apply(self, iso2: str) -> Topology:
+        modified = _cloned(self._topo)
+        local_ixps = modified.ixps_in_country(iso2)
+        if not local_ixps:
+            raise ValueError(f"{iso2} has no IXP to mandate peering at")
+        ixp = max(local_ixps, key=lambda x: len(x.members))
+        locals_ = [a for a in modified.ases_in_country(iso2)
+                   if a.tier == 3]
+        for a in locals_:
+            ixp.members.add(a.asn)
+            a.ixps.add(ixp.ixp_id)
+        # Full bilateral peering across the (now complete) fabric.
+        members = sorted(asn for asn in ixp.members
+                         if modified.as_(asn).country_iso2 == iso2)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                if modified.link_between(a, b) is not None:
+                    continue
+                link = ASLink(a, b, Relationship.PEER_TO_PEER,
+                              ixp_id=ixp.ixp_id)
+                modified.links.append(link)
+                modified._link_index[Topology._key(a, b)] = link
+                modified.as_(a).peers.add(b)
+                modified.as_(b).peers.add(a)
+        return modified
+
+    def domestic_detour_rate(self, iso2: str,
+                             modified: Topology) -> WhatIfOutcome:
+        """Share of domestic AS pairs routed through another country."""
+        def rate(topo: Topology) -> float:
+            routing = BGPRouting(topo)
+            from repro.routing import as_path_geography
+            locals_ = sorted(a.asn for a in topo.ases_in_country(iso2)
+                             if a.tier == 3)
+            pairs = total = detoured = 0
+            for a in locals_:
+                for b in locals_:
+                    if a >= b:
+                        continue
+                    sites = as_path_geography(topo, routing, a, b)
+                    if sites is None:
+                        continue
+                    total += 1
+                    if any(s.country_iso2 != iso2 for s in sites):
+                        detoured += 1
+            return detoured / total if total else 0.0
+        return WhatIfOutcome(
+            metric=f"domestic detour rate ({iso2})",
+            baseline=rate(self._topo),
+            modified=rate(modified))
+
+
+# ----------------------------------------------------------------------
+class WhatIfLEOBackup:
+    """Low-earth-orbit backup capacity (§2 mentions satellite routes;
+    LEO changes the economics: ~40 ms instead of geostationary ~550 ms,
+    and meaningful capacity).
+
+    Measured as: what share of a country's lit capacity survives a
+    given cable cut once a LEO layer of ``capacity_tbps`` is available
+    everywhere, and what the RTT penalty of failing over is.
+    """
+
+    LEO_RTT_MS = 40.0
+
+    def __init__(self, topo: Topology,
+                 leo_capacity_tbps: float = 0.4) -> None:
+        self._topo = topo
+        self._leo_capacity = leo_capacity_tbps
+        self._phys = PhysicalNetwork(topo)
+
+    def cut_severity(self, iso2: str,
+                     cut_ids: Sequence[int]) -> WhatIfOutcome:
+        before = self._phys.international_traffic_weight(iso2)
+        after = self._phys.international_traffic_weight(
+            iso2, down_cables=cut_ids)
+        if before <= 0:
+            return WhatIfOutcome(f"LEO severity {iso2}", 0.0, 0.0)
+        baseline = max(0.0, 1.0 - after / before)
+        # LEO adds a capacity floor with weight ~ sqrt(capacity) like
+        # the cable model (see SubseaCable.traffic_weight).
+        import math
+        leo_weight = math.sqrt(self._leo_capacity)
+        modified = max(0.0, 1.0 - (after + leo_weight)
+                       / (before + leo_weight))
+        return WhatIfOutcome(
+            metric=f"cable-cut severity for {iso2} (with LEO backup)",
+            baseline=baseline, modified=modified)
+
+    def failover_rtt_penalty(self, iso2: str, peer_cc: str,
+                             cut_ids: Sequence[int]) -> WhatIfOutcome:
+        base = self._phys.route(iso2, peer_cc, avoid_satellite=True)
+        base_rtt = base.rtt_ms if base else float("inf")
+        cut = self._phys.route(iso2, peer_cc, down_cables=cut_ids,
+                               avoid_satellite=True)
+        cut_rtt = cut.rtt_ms if cut else self.LEO_RTT_MS * 2
+        return WhatIfOutcome(
+            metric=f"RTT {iso2}->{peer_cc} under cut with LEO",
+            baseline=base_rtt,
+            modified=min(cut_rtt, base_rtt + self.LEO_RTT_MS))
+
+
+# ----------------------------------------------------------------------
+class WhatIfCutCables:
+    """Pure failure scenario: re-measure reachability metrics under an
+    arbitrary set of cable cuts (the March-2024 replay)."""
+
+    def __init__(self, topo: Topology) -> None:
+        self._topo = topo
+        self._phys = PhysicalNetwork(topo)
+
+    def country_severities(self, cut_ids: Sequence[int]
+                           ) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for iso2 in sorted({cc for cable in self._topo.cables
+                            for cc in cable.countries
+                            if country(cc).is_african}):
+            before = self._phys.international_traffic_weight(iso2)
+            if before <= 0:
+                continue
+            after = self._phys.international_traffic_weight(
+                iso2, down_cables=cut_ids)
+            severity = max(0.0, 1.0 - after / before)
+            if severity > 0:
+                out[iso2] = severity
+        return out
+
+    def rtt_inflation(self, src_cc: str, dst_cc: str,
+                      cut_ids: Sequence[int]) -> WhatIfOutcome:
+        base = self._phys.route(src_cc, dst_cc)
+        cut = self._phys.route(src_cc, dst_cc, down_cables=cut_ids)
+        return WhatIfOutcome(
+            metric=f"RTT {src_cc}->{dst_cc} (ms)",
+            baseline=base.rtt_ms if base else float("inf"),
+            modified=cut.rtt_ms if cut else float("inf"))

@@ -1,0 +1,30 @@
+"""Outage substrate: events, corridor correlation, recovery, simulation."""
+
+from repro.outages.events import CountryImpact, OutageCause, OutageEvent
+from repro.outages.correlate import (
+    CorridorIncident,
+    cables_in_corridor,
+    draw_corridor_incident,
+    expected_joint_failures,
+    DIVERSE_CUT_PROB,
+)
+from repro.outages.recovery import (
+    RecoveryModel,
+    RecoveryOutcome,
+    PREARRANGED_BACKUP_RATE,
+)
+from repro.outages.engine import (
+    OutageSimulator,
+    SimulationResult,
+    march_2024_scenario,
+    DETECTION_THRESHOLD,
+)
+
+__all__ = [
+    "CountryImpact", "OutageCause", "OutageEvent",
+    "CorridorIncident", "cables_in_corridor", "draw_corridor_incident",
+    "expected_joint_failures", "DIVERSE_CUT_PROB",
+    "RecoveryModel", "RecoveryOutcome", "PREARRANGED_BACKUP_RATE",
+    "OutageSimulator", "SimulationResult", "march_2024_scenario",
+    "DETECTION_THRESHOLD",
+]

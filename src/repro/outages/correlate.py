@@ -1,0 +1,98 @@
+"""Corridor-correlated cable failures.
+
+Section 5.1: "many cables are laid along similar paths and thus
+failures are correlated.  For example, during the outage in March 2024,
+... four cables (WACS, MainOne, SAT3, ACE) were cut due to a rock slide
+under the sea near Abidjan."  A corridor incident therefore damages
+each co-located cable with high probability; geographically diverse
+systems (Equiano, 2Africa) escape with a much lower one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.topology import CableCorridor, SubseaCable, Topology
+
+#: Probability a corridor incident also damages a *diverse-route* cable
+#: sharing only the corridor's broad region.
+DIVERSE_CUT_PROB = 0.08
+
+
+@dataclass(frozen=True)
+class CorridorIncident:
+    """One physical incident (anchor drag, rock slide) in a corridor."""
+
+    corridor: CableCorridor
+    #: Country whose offshore approach the incident happened in (the
+    #: "near Abidjan" of March 2024).
+    chokepoint: str
+    cut_cable_ids: tuple[int, ...]
+
+    @property
+    def multi_cable(self) -> bool:
+        return len(self.cut_cable_ids) > 1
+
+
+def cables_in_corridor(topo: Topology, corridor: CableCorridor,
+                       year: int | None = None) -> list[SubseaCable]:
+    """Active cables exposed to a given corridor."""
+    return [c for c in topo.active_cables(year)
+            if c.corridor is corridor]
+
+
+def corridor_chokepoints(topo: Topology, corridor: CableCorridor,
+                         year: int | None = None) -> dict[str, int]:
+    """Landing countries of a corridor weighted by co-located cables.
+
+    The count is how many systems pass the same offshore approach —
+    the geographic concentration that makes failures correlated.
+    """
+    counts: dict[str, int] = {}
+    for cable in cables_in_corridor(topo, corridor, year):
+        for cc in cable.countries:
+            counts[cc] = counts.get(cc, 0) + 1
+    return counts
+
+
+def draw_corridor_incident(topo: Topology, corridor: CableCorridor,
+                           rng: random.Random,
+                           cut_prob: float,
+                           year: int | None = None
+                           ) -> CorridorIncident | None:
+    """Sample one localized corridor incident.
+
+    A physical event (rock slide, anchor drag) happens in *one*
+    country's offshore approach — chosen proportionally to how many
+    systems pass it — and severs each co-located cable with
+    ``cut_prob`` (much less for geographically diverse systems).
+    Returns ``None`` when the incident misses everything.
+    """
+    chokepoints = corridor_chokepoints(topo, corridor, year)
+    if not chokepoints:
+        return None
+    countries = sorted(chokepoints)
+    weights = [chokepoints[cc] for cc in countries]
+    anchor = rng.choices(countries, weights=weights)[0]
+    cut: list[int] = []
+    for cable in cables_in_corridor(topo, corridor, year):
+        if anchor not in cable.countries:
+            continue
+        prob = DIVERSE_CUT_PROB if cable.diverse_route else cut_prob
+        if rng.random() < prob:
+            cut.append(cable.cable_id)
+    if not cut:
+        return None
+    return CorridorIncident(corridor=corridor, chokepoint=anchor,
+                            cut_cable_ids=tuple(cut))
+
+
+def expected_joint_failures(topo: Topology, corridor: CableCorridor,
+                            cut_prob: float,
+                            year: int | None = None) -> float:
+    """Expected number of cables severed by one corridor incident."""
+    total = 0.0
+    for cable in cables_in_corridor(topo, corridor, year):
+        total += DIVERSE_CUT_PROB if cable.diverse_route else cut_prob
+    return total

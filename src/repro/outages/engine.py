@@ -1,0 +1,269 @@
+"""Outage simulation engine.
+
+Runs a multi-year event process over the world:
+
+* corridor incidents (possibly severing several co-located cables at
+  once), plus independent single-cable faults,
+* country-level power-grid failures, government shutdowns, terrestrial
+  fiber cuts / natural disasters.
+
+Cable-cut impact is *computed*, not asserted: a country's severity is
+the fraction of its international capacity lost after rerouting over
+surviving cables and terrestrial links, and its outage duration comes
+from the recovery model (backup activation vs. ad-hoc renegotiation).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geo import AFRICAN_COUNTRIES, COUNTRIES, country
+from repro.outages.correlate import draw_corridor_incident
+from repro.outages.events import CountryImpact, OutageCause, OutageEvent
+from repro.outages.recovery import RecoveryModel
+from repro.routing import PhysicalNetwork
+from repro.topology import CableCorridor, Topology
+from repro.topology.calibration import OutageRates
+from repro.util import derive_rng
+
+#: Minimum severity for an event to register on a Radar-style monitor.
+DETECTION_THRESHOLD = 0.25
+#: Cable repair: ship mobilisation + splice, days (lognormal-ish).
+REPAIR_DAYS_MIN, REPAIR_DAYS_MODE, REPAIR_DAYS_MAX = 4.0, 11.0, 35.0
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's algorithm; adequate for the small rates used here."""
+    if lam <= 0:
+        return 0
+    threshold = math.exp(-lam)
+    k, p = 0, 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1
+
+
+@dataclass
+class SimulationResult:
+    """All events of one simulated window."""
+
+    events: list[OutageEvent] = field(default_factory=list)
+    years: float = 2.0
+
+    def by_cause(self, cause: OutageCause) -> list[OutageEvent]:
+        return [e for e in self.events if e.cause is cause]
+
+    def detected(self, threshold: float = DETECTION_THRESHOLD
+                 ) -> list[OutageEvent]:
+        """Events visible to a traffic-drop monitor (Radar analogue)."""
+        return [e for e in self.events if e.max_severity() >= threshold]
+
+    def countries_hit_by_cable_cuts(self,
+                                    threshold: float = DETECTION_THRESHOLD,
+                                    african_only: bool = True) -> set[str]:
+        out: set[str] = set()
+        for event in self.by_cause(OutageCause.SUBSEA_CABLE_CUT):
+            for impact in event.impacts:
+                if impact.severity < threshold:
+                    continue
+                if african_only and not country(impact.iso2).is_african:
+                    continue
+                out.add(impact.iso2)
+        return out
+
+
+class OutageSimulator:
+    """Seeded multi-year outage process over a topology."""
+
+    def __init__(self, topo: Topology, phys: Optional[PhysicalNetwork] = None,
+                 rates: Optional[OutageRates] = None,
+                 seed: Optional[int] = None) -> None:
+        self._topo = topo
+        self._phys = phys or PhysicalNetwork(topo)
+        self._rates = rates or topo.params.outage_rates
+        self._seed = seed if seed is not None else topo.params.seed
+        self._recovery = RecoveryModel(self._seed)
+        self._next_event_id = 1
+
+    # ------------------------------------------------------------------
+    def simulate(self, years: float = 2.0) -> SimulationResult:
+        """Run the full event process for ``years``."""
+        rng = derive_rng(self._seed, "outage", "simulate")
+        result = SimulationResult(years=years)
+        self._simulate_cable_cuts(result, years, rng)
+        self._simulate_country_events(result, years, rng)
+        result.events.sort(key=lambda e: e.start_day)
+        return result
+
+    # ------------------------------------------------------------------
+    def _new_id(self) -> int:
+        event_id = self._next_event_id
+        self._next_event_id += 1
+        return event_id
+
+    def _repair_days(self, rng: random.Random) -> float:
+        return rng.triangular(REPAIR_DAYS_MIN, REPAIR_DAYS_MAX,
+                              REPAIR_DAYS_MODE)
+
+    def _simulate_cable_cuts(self, result: SimulationResult, years: float,
+                             rng: random.Random) -> None:
+        rates = self._rates
+        for corridor in CableCorridor:
+            rate = rates.corridor_event_rate.get(corridor.value, 0.0)
+            for _ in range(_poisson(rng, rate * years)):
+                incident = draw_corridor_incident(
+                    self._topo, corridor, rng, rates.corridor_cut_prob)
+                if incident is None:
+                    continue
+                self._emit_cable_event(result, incident.cut_cable_ids,
+                                       years, rng,
+                                       f"corridor incident ({corridor})")
+        # Independent single-cable faults (component failure, isolated
+        # anchor drag) — these are the uncorrelated baseline.
+        for cable in self._topo.active_cables():
+            lam = rates.independent_cable_fault_rate * years
+            for _ in range(_poisson(rng, lam)):
+                self._emit_cable_event(result, (cable.cable_id,), years,
+                                       rng, f"isolated fault on {cable.name}")
+
+    def _emit_cable_event(self, result: SimulationResult,
+                          cut_ids: tuple[int, ...], years: float,
+                          rng: random.Random, description: str) -> None:
+        start = rng.uniform(0.0, years * 365.0)
+        repair = self._repair_days(rng)
+        correlated = len(cut_ids) > 1
+        # Directly exposed: landing countries of the severed systems.
+        exposed = {cc for cable_id in cut_ids
+                   for cc in self._cable_countries(cable_id)}
+        severity_by_cc: dict[str, float] = {}
+        for iso2 in sorted(exposed):
+            severity = self._capacity_loss(iso2, cut_ids)
+            if severity >= 0.02:
+                severity_by_cc[iso2] = severity
+        # Landlocked countries transit through their coastal neighbors
+        # (§2): they inherit a quality-weighted share of the impact.
+        for link in self._topo.terrestrial:
+            for iso2, neighbor in ((link.a, link.b), (link.b, link.a)):
+                if iso2 in exposed or not country(iso2).is_african:
+                    continue
+                if country(iso2).coastal:
+                    continue
+                neighbor_sev = severity_by_cc.get(neighbor, 0.0)
+                if neighbor_sev <= 0:
+                    continue
+                inherited = self._inherited_severity(iso2, severity_by_cc)
+                if inherited >= 0.02:
+                    severity_by_cc[iso2] = max(
+                        severity_by_cc.get(iso2, 0.0), inherited)
+        impacts = []
+        for iso2, severity in sorted(severity_by_cc.items()):
+            recovery = self._recovery.recover(iso2, severity, repair,
+                                              correlated, rng)
+            impacts.append(CountryImpact(
+                iso2=iso2, severity=severity,
+                outage_days=recovery.restore_days,
+                backup_activated=recovery.backup_activated,
+                backup_oversubscribed=recovery.backup_oversubscribed))
+        if not impacts:
+            return
+        result.events.append(OutageEvent(
+            event_id=self._new_id(), cause=OutageCause.SUBSEA_CABLE_CUT,
+            start_day=start, repair_days=repair, impacts=impacts,
+            cables_cut=cut_ids, description=description))
+
+    def _cable_countries(self, cable_id: int) -> list[str]:
+        for cable in self._topo.cables:
+            if cable.cable_id == cable_id:
+                return cable.countries
+        return []
+
+    def _capacity_loss(self, iso2: str, cut_ids: tuple[int, ...]) -> float:
+        """Fraction of *lit* international traffic capacity lost."""
+        before = self._phys.international_traffic_weight(iso2)
+        if before <= 0:
+            return 0.0
+        after = self._phys.international_traffic_weight(
+            iso2, down_cables=cut_ids)
+        return max(0.0, min(1.0, 1.0 - after / before))
+
+    def _inherited_severity(self, iso2: str,
+                            severity_by_cc: dict[str, float]) -> float:
+        """Impact a landlocked country inherits from transit neighbors."""
+        weight_total = 0.0
+        weighted = 0.0
+        for link in self._topo.terrestrial:
+            if not link.involves(iso2):
+                continue
+            neighbor = link.other(iso2)
+            weight_total += link.quality
+            weighted += link.quality * severity_by_cc.get(neighbor, 0.0)
+        if weight_total <= 0:
+            return 0.0
+        return weighted / weight_total
+
+    # ------------------------------------------------------------------
+    def _simulate_country_events(self, result: SimulationResult,
+                                 years: float, rng: random.Random) -> None:
+        rates = self._rates
+        for iso2 in sorted(COUNTRIES):
+            c = COUNTRIES[iso2]
+            # Power-grid failures scale with grid unreliability.
+            lam_power = rates.power_outage_scale * (1.0 - c.grid_reliability)
+            for _ in range(_poisson(rng, lam_power * years)):
+                severity = rng.uniform(0.15, 0.85)
+                duration = rng.uniform(0.05, 0.6)  # hours to half a day
+                result.events.append(OutageEvent(
+                    event_id=self._new_id(),
+                    cause=OutageCause.POWER_OUTAGE,
+                    start_day=rng.uniform(0.0, years * 365.0),
+                    repair_days=duration,
+                    impacts=[CountryImpact(iso2, severity, duration)],
+                    description=f"grid failure in {c.name}"))
+            shutdown_rate = (rates.shutdown_rate_africa if c.is_african
+                             else rates.shutdown_rate_reference)
+            for _ in range(_poisson(rng, shutdown_rate * years)):
+                duration = rng.uniform(0.3, 6.0)
+                result.events.append(OutageEvent(
+                    event_id=self._new_id(),
+                    cause=OutageCause.GOVERNMENT_SHUTDOWN,
+                    start_day=rng.uniform(0.0, years * 365.0),
+                    repair_days=duration,
+                    impacts=[CountryImpact(iso2, rng.uniform(0.7, 1.0),
+                                           duration)],
+                    description=f"directed shutdown in {c.name}"))
+            misc_rate = (rates.misc_rate_africa if c.is_african
+                         else rates.misc_rate_reference)
+            for _ in range(_poisson(rng, misc_rate * years)):
+                cause = (OutageCause.TERRESTRIAL_FIBER_CUT
+                         if rng.random() < 0.7
+                         else OutageCause.NATURAL_DISASTER)
+                duration = rng.uniform(0.1, 2.5)
+                severity = rng.uniform(0.1, 0.7)
+                if not c.is_african:
+                    severity *= 0.85  # redundancy absorbs part of it
+                result.events.append(OutageEvent(
+                    event_id=self._new_id(), cause=cause,
+                    start_day=rng.uniform(0.0, years * 365.0),
+                    repair_days=duration,
+                    impacts=[CountryImpact(iso2, severity, duration)],
+                    description=f"{cause.value} in {c.name}"))
+
+
+def march_2024_scenario(topo: Topology) -> tuple[tuple[int, ...],
+                                                 tuple[int, ...]]:
+    """The paper's concrete March-2024 events as cable-id tuples.
+
+    Returns (west_coast_cut, east_coast_cut): WACS/MainOne/SAT-3/ACE
+    near Abidjan, and EIG/Seacom/AAE-1 in the Red Sea (§5.1).
+    """
+    by_name = {c.name: c.cable_id for c in topo.cables}
+    west = tuple(by_name[n] for n in ("WACS", "MainOne", "SAT-3/WASC", "ACE")
+                 if n in by_name)
+    east = tuple(by_name[n] for n in ("EIG", "SEACOM", "AAE-1")
+                 if n in by_name)
+    return west, east

@@ -1,0 +1,76 @@
+"""Outage event model.
+
+Events are what Cloudflare Radar's outage center records (§3): a cause,
+a time window, and the set of affected countries with how hard each was
+hit.  The engine (:mod:`repro.outages.engine`) produces them from the
+physical layer; the synthetic Radar feed and the Fig. 4 analysis
+consume them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OutageCause(enum.Enum):
+    """Root cause taxonomy (mirrors Radar's verification categories)."""
+
+    SUBSEA_CABLE_CUT = "subsea cable cut"
+    POWER_OUTAGE = "power outage"
+    GOVERNMENT_SHUTDOWN = "government-directed shutdown"
+    TERRESTRIAL_FIBER_CUT = "terrestrial fiber cut"
+    NATURAL_DISASTER = "natural disaster"
+
+
+@dataclass(frozen=True)
+class CountryImpact:
+    """How one country was affected by one event."""
+
+    iso2: str
+    #: Peak fraction of the country's traffic lost (0..1).
+    severity: float
+    #: Time until service was fully restored for this country (days).
+    outage_days: float
+    #: Whether a prearranged backup was activated (§4.1 — KENET-style).
+    backup_activated: bool = False
+    #: Whether that backup was oversubscribed and ineffective (§4.1).
+    backup_oversubscribed: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError(f"bad severity {self.severity}")
+        if self.outage_days < 0:
+            raise ValueError("negative outage duration")
+
+
+@dataclass
+class OutageEvent:
+    """One outage as simulated by the engine."""
+
+    event_id: int
+    cause: OutageCause
+    #: Day offset from simulation start.
+    start_day: float
+    #: Time until the root cause was repaired (e.g. cable splice).
+    repair_days: float
+    impacts: list[CountryImpact] = field(default_factory=list)
+    #: Cables severed (cable-cut events only).
+    cables_cut: tuple[int, ...] = ()
+    description: str = ""
+
+    @property
+    def affected_countries(self) -> list[str]:
+        return [i.iso2 for i in self.impacts]
+
+    def impact_for(self, iso2: str) -> CountryImpact | None:
+        for impact in self.impacts:
+            if impact.iso2 == iso2:
+                return impact
+        return None
+
+    def max_severity(self) -> float:
+        return max((i.severity for i in self.impacts), default=0.0)
+
+    def longest_outage_days(self) -> float:
+        return max((i.outage_days for i in self.impacts), default=0.0)

@@ -1,0 +1,85 @@
+"""Recovery dynamics after connectivity failures.
+
+Section 4.1: during cable cuts "many ASes are cut off from their
+providers and will need to re-negotiate new peering relationships" —
+Ghana's ministry documented exactly this in March 2024 — while
+prearranged backups (KENET via South Africa) "are often
+over-subscribed, rendering them ineffective".
+
+The model: each country either has a prearranged backup transit
+arrangement (probability rising with regional maturity) or must
+renegotiate ad hoc.  During *correlated* multi-cable events backups are
+likely oversubscribed because everyone fails onto them at once.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.geo import Region, country
+from repro.util import derive_rng
+
+#: P(country has prearranged backup transit), by region maturity.
+PREARRANGED_BACKUP_RATE: dict[Region, float] = {
+    Region.SOUTHERN_AFRICA: 0.75,
+    Region.EASTERN_AFRICA: 0.55,
+    Region.NORTHERN_AFRICA: 0.55,
+    Region.WESTERN_AFRICA: 0.35,
+    Region.CENTRAL_AFRICA: 0.20,
+    Region.EUROPE: 0.98,
+    Region.NORTH_AMERICA: 0.98,
+    Region.SOUTH_AMERICA: 0.85,
+    Region.ASIA_PACIFIC: 0.90,
+}
+
+#: P(backup is oversubscribed) when the failure is correlated
+#: (multi-cable) vs. isolated (single cable).
+OVERSUBSCRIBED_PROB_CORRELATED = 0.70
+OVERSUBSCRIBED_PROB_ISOLATED = 0.20
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """How one country restored service after losing capacity."""
+
+    iso2: str
+    backup_prearranged: bool
+    backup_activated: bool
+    backup_oversubscribed: bool
+    #: Days until the country restored acceptable service (may be well
+    #: before the physical repair completes).
+    restore_days: float
+
+
+class RecoveryModel:
+    """Samples per-country recovery outcomes."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+
+    def has_prearranged_backup(self, iso2: str) -> bool:
+        rng = derive_rng(self._seed, "recovery", "prearranged", iso2)
+        return rng.random() < PREARRANGED_BACKUP_RATE[country(iso2).region]
+
+    def recover(self, iso2: str, severity: float, repair_days: float,
+                correlated: bool, rng: random.Random) -> RecoveryOutcome:
+        """Sample the restoration path for one affected country."""
+        prearranged = self.has_prearranged_backup(iso2)
+        oversub_p = (OVERSUBSCRIBED_PROB_CORRELATED if correlated
+                     else OVERSUBSCRIBED_PROB_ISOLATED)
+        if prearranged:
+            oversubscribed = rng.random() < oversub_p
+            if not oversubscribed:
+                # Backup soaks the load within hours.
+                restore = min(repair_days, rng.uniform(0.1, 0.6))
+                return RecoveryOutcome(iso2, True, True, False, restore)
+            # Backup exists but is saturated: fall through to ad-hoc
+            # renegotiation with more expensive carriers (§4.1).
+            renegotiate = rng.uniform(1.0, 5.0)
+            restore = min(repair_days, renegotiate)
+            return RecoveryOutcome(iso2, True, True, True, restore)
+        # No prearrangement: manual negotiations prolong the outage.
+        renegotiate = rng.uniform(2.0, 8.0)
+        restore = min(repair_days, renegotiate + rng.uniform(0.0, 2.0))
+        return RecoveryOutcome(iso2, False, False, False, restore)

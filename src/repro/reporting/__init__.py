@@ -1,0 +1,5 @@
+"""Plain-text rendering of figures and tables."""
+
+from repro.reporting.tables import ascii_table, bar_chart, pct, series
+
+__all__ = ["ascii_table", "bar_chart", "pct", "series"]

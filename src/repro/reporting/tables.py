@@ -1,0 +1,58 @@
+"""Plain-text table/series rendering for benchmark output.
+
+Every benchmark prints the rows/series its figure or table reports in
+the paper; these helpers keep the output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a 0..1 share as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def ascii_table(headers: Sequence[str],
+                rows: Iterable[Sequence[object]],
+                title: str | None = None) -> str:
+    """Render a fixed-width table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def series(label: str, points: Iterable[tuple[str, float]],
+           fmt: str = "{:.2f}") -> str:
+    """Render a named series as 'label: k=v k=v ...'."""
+    body = "  ".join(f"{k}={fmt.format(v)}" for k, v in points)
+    return f"{label}: {body}"
+
+
+def bar_chart(points: Iterable[tuple[str, float]], width: int = 40,
+              fmt: str = "{:.2f}", title: str | None = None) -> str:
+    """A horizontal ASCII bar chart (for figure-shaped results)."""
+    pts = list(points)
+    if not pts:
+        return title or ""
+    peak = max(abs(v) for _, v in pts) or 1.0
+    label_w = max(len(k) for k, _ in pts)
+    lines = [title] if title else []
+    for key, value in pts:
+        bar = "#" * max(0, round(width * abs(value) / peak))
+        lines.append(f"{key.ljust(label_w)} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)

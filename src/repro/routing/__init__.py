@@ -1,0 +1,27 @@
+"""Routing layer: valley-free BGP + the physical cable/terrestrial map."""
+
+from repro.routing.bgp import BGPRouting, RouteEntry, RouteKind, is_valley_free
+from repro.routing.latency import (
+    HopSite,
+    as_path_geography,
+    countries_on_path,
+    path_rtt_ms,
+    pop_countries,
+    INTRA_AS_MS,
+    MOBILE_LAST_MILE_MS,
+)
+from repro.routing.flows import CORE_COUNTRIES, FlowAnalyzer
+from repro.routing.physical import (
+    PhysicalEdge,
+    PhysicalNetwork,
+    PhysicalRoute,
+    SATELLITE_RTT_MS,
+)
+
+__all__ = [
+    "BGPRouting", "RouteEntry", "RouteKind", "is_valley_free",
+    "HopSite", "as_path_geography", "countries_on_path", "path_rtt_ms",
+    "pop_countries", "INTRA_AS_MS", "MOBILE_LAST_MILE_MS",
+    "PhysicalEdge", "PhysicalNetwork", "PhysicalRoute", "SATELLITE_RTT_MS",
+    "CORE_COUNTRIES", "FlowAnalyzer",
+]

@@ -1,0 +1,220 @@
+"""Valley-free (Gao-Rexford) interdomain routing.
+
+Route computation follows the standard model:
+
+* An AS prefers routes learned from customers over peers over providers
+  (economics: customers pay you), then shorter AS paths, then a
+  deterministic tie-break (lowest next-hop ASN).
+* Export rules: routes learned from customers are exported to everyone;
+  routes learned from peers/providers are exported only to customers.
+
+These policies — not shortest paths — are what produce the paper's
+detours: two African stubs whose only common upstream is a European
+carrier will exchange traffic through Europe even though a shorter
+geographic path exists (§4.1).  The ablation benchmark
+``bench_ablation_routing`` quantifies exactly this gap.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.topology import ASLink, Relationship, Topology
+
+
+class RouteKind(enum.IntEnum):
+    """How a route was learned; lower is more preferred."""
+
+    SELF = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """Best route of one AS toward the current destination."""
+
+    kind: RouteKind
+    length: int
+    next_hop: int  # == own ASN for the destination itself
+    #: IXP id if the first hop crosses an IXP fabric.
+    via_ixp: Optional[int] = None
+
+
+#: Predicate deciding whether a link is usable (outage injection).
+LinkFilter = Callable[[ASLink], bool]
+
+
+class BGPRouting:
+    """Per-destination valley-free routing over a :class:`Topology`.
+
+    Routing tables are computed lazily per destination AS and cached;
+    pass ``link_filter`` to exclude failed adjacencies (the outage
+    engine builds one from the physical layer).
+    """
+
+    def __init__(self, topo: Topology,
+                 link_filter: Optional[LinkFilter] = None) -> None:
+        self._topo = topo
+        self._tables: dict[int, dict[int, RouteEntry]] = {}
+        # Adjacency lists split by role, pre-filtered once.
+        self._providers_of: dict[int, list[tuple[int, Optional[int]]]] = {}
+        self._customers_of: dict[int, list[tuple[int, Optional[int]]]] = {}
+        self._peers_of: dict[int, list[tuple[int, Optional[int]]]] = {}
+        for asn in topo.ases:
+            self._providers_of[asn] = []
+            self._customers_of[asn] = []
+            self._peers_of[asn] = []
+        for link in topo.links:
+            if link_filter is not None and not link_filter(link):
+                continue
+            if link.rel is Relationship.PROVIDER_TO_CUSTOMER:
+                self._customers_of[link.a].append((link.b, link.ixp_id))
+                self._providers_of[link.b].append((link.a, link.ixp_id))
+            else:
+                self._peers_of[link.a].append((link.b, link.ixp_id))
+                self._peers_of[link.b].append((link.a, link.ixp_id))
+        for index in (self._providers_of, self._customers_of,
+                      self._peers_of):
+            for lst in index.values():
+                lst.sort()
+
+    # ------------------------------------------------------------------
+    def routes_to(self, dst: int) -> dict[int, RouteEntry]:
+        """Best route of every AS that can reach ``dst``."""
+        if dst not in self._topo.ases:
+            raise KeyError(f"unknown destination AS{dst}")
+        cached = self._tables.get(dst)
+        if cached is None:
+            cached = self._compute(dst)
+            self._tables[dst] = cached
+        return cached
+
+    def path(self, src: int, dst: int) -> Optional[list[int]]:
+        """AS path from ``src`` to ``dst`` (inclusive), or ``None``."""
+        if src == dst:
+            return [src]
+        table = self.routes_to(dst)
+        if src not in table:
+            return None
+        path = [src]
+        cursor = src
+        while cursor != dst:
+            cursor = table[cursor].next_hop
+            if cursor in path:  # pragma: no cover - defensive
+                raise RuntimeError(f"routing loop toward AS{dst}: {path}")
+            path.append(cursor)
+        return path
+
+    def path_links(self, src: int, dst: int
+                   ) -> Optional[list[tuple[int, int, Optional[int]]]]:
+        """The (a, b, ixp_id) hops of the path, or ``None``."""
+        path = self.path(src, dst)
+        if path is None:
+            return None
+        table = self.routes_to(dst)
+        hops = []
+        for a in path[:-1]:
+            entry = table[a]
+            hops.append((a, entry.next_hop, entry.via_ixp))
+        return hops
+
+    def reachable_from(self, dst: int) -> set[int]:
+        """ASes with any route to ``dst`` (including ``dst``)."""
+        return set(self.routes_to(dst))
+
+    # ------------------------------------------------------------------
+    def _compute(self, dst: int) -> dict[int, RouteEntry]:
+        best: dict[int, RouteEntry] = {
+            dst: RouteEntry(RouteKind.SELF, 0, dst)}
+
+        def better(candidate: RouteEntry, incumbent: Optional[RouteEntry]
+                   ) -> bool:
+            if incumbent is None:
+                return True
+            return (candidate.kind, candidate.length, candidate.next_hop) < \
+                   (incumbent.kind, incumbent.length, incumbent.next_hop)
+
+        # Phase 1 — customer routes: BFS "up" provider edges from dst.
+        # An AS whose (transitive) customer originates the route learns
+        # it from a customer.
+        frontier = deque([dst])
+        while frontier:
+            current = frontier.popleft()
+            length = best[current].length
+            for provider, ixp_id in self._providers_of[current]:
+                candidate = RouteEntry(RouteKind.CUSTOMER, length + 1,
+                                       current, ixp_id)
+                if better(candidate, best.get(provider)):
+                    best[provider] = candidate
+                    frontier.append(provider)
+
+        # Phase 2 — peer routes: one hop across a peering edge from any
+        # AS holding a customer (or self) route.  Peer routes are not
+        # re-exported to peers/providers, so no propagation.
+        exporters = [(asn, entry) for asn, entry in best.items()
+                     if entry.kind in (RouteKind.SELF, RouteKind.CUSTOMER)]
+        for asn, entry in sorted(exporters):
+            for peer, ixp_id in self._peers_of[asn]:
+                candidate = RouteEntry(RouteKind.PEER, entry.length + 1,
+                                       asn, ixp_id)
+                if better(candidate, best.get(peer)):
+                    best[peer] = candidate
+
+        # Phase 3 — provider routes: BFS "down" customer edges from every
+        # routed AS (providers export everything to customers, and those
+        # customers re-export provider routes to their own customers).
+        ordered = sorted(best.items(), key=lambda kv: (kv[1].length, kv[0]))
+        frontier = deque(asn for asn, _ in ordered)
+        while frontier:
+            current = frontier.popleft()
+            entry = best.get(current)
+            if entry is None:  # pragma: no cover - defensive
+                continue
+            for customer, ixp_id in self._customers_of[current]:
+                candidate = RouteEntry(RouteKind.PROVIDER, entry.length + 1,
+                                       current, ixp_id)
+                if better(candidate, best.get(customer)):
+                    best[customer] = candidate
+                    frontier.append(customer)
+        return best
+
+
+def is_valley_free(topo: Topology, path: list[int]) -> bool:
+    """Check the Gao-Rexford pattern: zero+ up, ≤1 peer, zero+ down.
+
+    Used by tests and the routing ablation to validate produced paths.
+    """
+    if len(path) < 2:
+        return True
+    # Classify each step from the perspective of the *sender*.
+    steps = []
+    for a, b in zip(path, path[1:]):
+        link = topo.link_between(a, b)
+        if link is None:
+            return False
+        if link.rel is Relationship.PEER_TO_PEER:
+            steps.append("peer")
+        elif link.a == a:  # a is provider, moving down to customer
+            steps.append("down")
+        else:
+            steps.append("up")
+    # Valid pattern: up* (peer)? down*
+    state = "up"
+    for step in steps:
+        if state == "up":
+            if step == "up":
+                continue
+            state = "down" if step == "down" else "peered"
+        elif state == "peered":
+            if step != "down":
+                return False
+            state = "down"
+        else:  # down
+            if step != "down":
+                return False
+    return True

@@ -1,0 +1,129 @@
+"""Mapping AS-level paths onto geography and latency.
+
+Given an AS path from :class:`~repro.routing.bgp.BGPRouting`, this
+module decides *where on the planet* each hop sits (which PoP of each
+AS handles the traffic, where IXP interconnection happens) and prices
+the path in milliseconds over the physical layer.  Traceroute synthesis
+and the detour analysis both consume the resulting hop geography — the
+analysis then "geolocates" hops exactly the way the paper does with
+real traceroutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.geo import country, haversine_km
+from repro.routing.bgp import BGPRouting
+from repro.routing.physical import PhysicalNetwork
+from repro.topology import ASKind, Topology
+
+#: Intra-AS traversal cost (round-trip ms) added per AS hop.
+INTRA_AS_MS = 1.6
+#: Extra last-mile RTT for mobile eyeball networks (RAN latency).
+MOBILE_LAST_MILE_MS = 28.0
+FIXED_LAST_MILE_MS = 6.0
+
+
+@dataclass(frozen=True)
+class HopSite:
+    """One geographic hop of a routed path."""
+
+    asn: int                  # owning AS (or IXP member side for fabric)
+    country_iso2: str
+    is_ixp: bool = False
+    ixp_id: Optional[int] = None
+
+
+def pop_countries(topo: Topology, asn: int) -> tuple[str, ...]:
+    """Countries where an AS has points of presence."""
+    a = topo.as_(asn)
+    footprint = getattr(a, "footprint", None)
+    if footprint:
+        return tuple(footprint)
+    if a.kind in (ASKind.CLOUD, ASKind.CONTENT):
+        # Clouds/CDNs are globally deployed: PoPs wherever they are IXP
+        # members or have a data center (approximated by IXP presence).
+        ccs = sorted({topo.ixps[i].country_iso2 for i in a.ixps})
+        return tuple(ccs) or (a.country_iso2,)
+    return (a.country_iso2,)
+
+
+def _nearest(topo: Topology, candidates: Sequence[str],
+             anchor: str) -> str:
+    """The candidate country geographically nearest to ``anchor``."""
+    if anchor in candidates:
+        return anchor
+    ac = country(anchor)
+    return min(candidates,
+               key=lambda cc: (haversine_km(ac.lat, ac.lon,
+                                            country(cc).lat,
+                                            country(cc).lon), cc))
+
+
+def as_path_geography(topo: Topology, routing: BGPRouting,
+                      src: int, dst: int,
+                      dst_country: Optional[str] = None
+                      ) -> Optional[list[HopSite]]:
+    """Geographic hop sequence for the routed path src→dst.
+
+    Returns ``None`` when no route exists.  IXP crossings appear as
+    explicit pseudo-hops located in the IXP's country — mirroring the
+    fabric IP that shows up in a real traceroute.
+    """
+    hops_links = routing.path_links(src, dst)
+    if hops_links is None:
+        return None
+    sites: list[HopSite] = []
+    current_cc = topo.as_(src).country_iso2
+    sites.append(HopSite(src, current_cc))
+    for a, b, ixp_id in hops_links:
+        if ixp_id is not None and ixp_id in topo.ixps:
+            ixp = topo.ixps[ixp_id]
+            sites.append(HopSite(b, ixp.country_iso2, is_ixp=True,
+                                 ixp_id=ixp_id))
+            current_cc = ixp.country_iso2
+        candidates = pop_countries(topo, b)
+        if b == dst and dst_country is not None:
+            next_cc = dst_country
+        else:
+            next_cc = _nearest(topo, candidates, current_cc)
+        sites.append(HopSite(b, next_cc))
+        current_cc = next_cc
+    return sites
+
+
+def path_rtt_ms(topo: Topology, phys: PhysicalNetwork,
+                sites: Sequence[HopSite],
+                down_cables: Sequence[int] = ()) -> Optional[float]:
+    """End-to-end RTT for a hop geography, or ``None`` if physically cut.
+
+    Sums physical country-to-country latencies plus per-AS processing
+    and the access-technology last mile of the source network.
+    """
+    if not sites:
+        return None
+    first = topo.as_(sites[0].asn)
+    total = (MOBILE_LAST_MILE_MS if first.kind is ASKind.MOBILE
+             else FIXED_LAST_MILE_MS)
+    for prev, nxt in zip(sites, sites[1:]):
+        total += INTRA_AS_MS
+        if prev.country_iso2 == nxt.country_iso2:
+            total += 1.0  # metro interconnect
+            continue
+        route = phys.route(prev.country_iso2, nxt.country_iso2,
+                           down_cables=down_cables)
+        if route is None:
+            return None
+        total += route.rtt_ms
+    return total
+
+
+def countries_on_path(sites: Sequence[HopSite]) -> list[str]:
+    """Ordered distinct countries traversed (the detour analysis input)."""
+    seen: list[str] = []
+    for site in sites:
+        if not seen or seen[-1] != site.country_iso2:
+            seen.append(site.country_iso2)
+    return seen

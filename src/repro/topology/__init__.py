@@ -1,0 +1,61 @@
+"""Topology substrate: the synthetic African Internet.
+
+Public surface: the :class:`Topology` container, the generator, and the
+building-block models (ASes, IXPs, cables, prefixes, DNS, content).
+"""
+
+from repro.topology.asn import AS, ASKind, ASLink, Relationship
+from repro.topology.cables import (
+    CableCorridor,
+    CableSegment,
+    Landing,
+    SubseaCable,
+    REAL_CABLE_SPECS,
+)
+from repro.topology.calibration import (
+    REGION_PROFILES,
+    REFERENCE_PROFILE,
+    WorldParams,
+    OutageRates,
+    DEFAULT_PRICING,
+    CountryPricing,
+)
+from repro.topology.content import CDNProvider, HostingClass, Website
+from repro.topology.datacenters import DataCenter, FacilityTier
+from repro.topology.dns import (
+    CloudResolverService,
+    ResolverConfig,
+    ResolverLocality,
+)
+from repro.topology.generator import TopologyGenerator, build_world
+from repro.topology.ixp import IXP
+from repro.topology.model import IXPOwner, Topology
+from repro.topology.prefixes import (
+    Prefix,
+    PrefixAllocator,
+    PrefixRegistry,
+    format_ip,
+)
+from repro.topology.serialize import (
+    load_world,
+    save_world,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.topology.terrestrial import TERRESTRIAL_LINKS, TerrestrialLink
+
+__all__ = [
+    "AS", "ASKind", "ASLink", "Relationship",
+    "CableCorridor", "CableSegment", "Landing", "SubseaCable",
+    "REAL_CABLE_SPECS",
+    "REGION_PROFILES", "REFERENCE_PROFILE", "WorldParams", "OutageRates",
+    "DEFAULT_PRICING", "CountryPricing",
+    "CDNProvider", "HostingClass", "Website",
+    "DataCenter", "FacilityTier",
+    "CloudResolverService", "ResolverConfig", "ResolverLocality",
+    "TopologyGenerator", "build_world",
+    "IXP", "IXPOwner", "Topology",
+    "Prefix", "PrefixAllocator", "PrefixRegistry", "format_ip",
+    "TERRESTRIAL_LINKS", "TerrestrialLink",
+    "load_world", "save_world", "topology_from_dict", "topology_to_dict",
+]

@@ -1,0 +1,104 @@
+"""Autonomous systems and inter-AS business relationships.
+
+The paper's structural claims hinge on the AS-level make-up of Africa's
+ecosystem: no African Tier-1s, few Tier-2s, mobile-dominated eyeballs,
+and transit bought from European carriers (§2).  The :class:`AS` model
+carries exactly the attributes those analyses need — kind, tier,
+country, prefixes, and founding year (for Fig. 1 growth).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geo import Region, country
+from repro.topology.prefixes import Prefix
+
+
+class ASKind(enum.Enum):
+    """Functional classification of an AS (drives Table 1 grouping)."""
+
+    MOBILE = "mobile"          # mobile carrier eyeball network
+    FIXED = "fixed"            # fixed-line / wireless ISP eyeball
+    TRANSIT = "transit"        # wholesale transit carrier
+    CLOUD = "cloud"            # public cloud / hosting
+    CONTENT = "content"        # CDN / content provider
+    EDUCATION = "education"    # NREN / campus network
+    ENTERPRISE = "enterprise"  # corporate / government network
+
+    @property
+    def is_eyeball(self) -> bool:
+        return self in (ASKind.MOBILE, ASKind.FIXED)
+
+
+class Relationship(enum.Enum):
+    """CAIDA-style inter-AS business relationship."""
+
+    PROVIDER_TO_CUSTOMER = "p2c"
+    PEER_TO_PEER = "p2p"
+
+
+@dataclass
+class AS:
+    """An autonomous system in the simulated Internet."""
+
+    asn: int
+    name: str
+    country_iso2: str
+    kind: ASKind
+    #: 1 = global transit-free carrier; 2 = regional transit; 3 = stub/edge.
+    tier: int = 3
+    founded_year: int = 2005
+    prefixes: list[Prefix] = field(default_factory=list)
+    #: Providers / peers / customers by ASN (filled by the generator).
+    providers: set[int] = field(default_factory=set)
+    peers: set[int] = field(default_factory=set)
+    customers: set[int] = field(default_factory=set)
+    #: IXPs (by id) at which this AS is present.
+    ixps: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"bad ASN {self.asn}")
+        if self.tier not in (1, 2, 3):
+            raise ValueError(f"bad tier {self.tier} for AS{self.asn}")
+
+    @property
+    def region(self) -> Region:
+        return country(self.country_iso2).region
+
+    @property
+    def is_african(self) -> bool:
+        return self.region.is_african
+
+    @property
+    def degree(self) -> int:
+        return len(self.providers) + len(self.peers) + len(self.customers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AS(asn={self.asn}, name={self.name!r}, cc={self.country_iso2},"
+            f" kind={self.kind.value}, tier={self.tier})"
+        )
+
+
+@dataclass(frozen=True)
+class ASLink:
+    """A relationship edge.  For P2C, ``a`` is the provider."""
+
+    a: int
+    b: int
+    rel: Relationship
+    #: IXP id if this adjacency is established across an IXP fabric.
+    ixp_id: int | None = None
+
+    def involves(self, asn: int) -> bool:
+        return asn in (self.a, self.b)
+
+    def other(self, asn: int) -> int:
+        if asn == self.a:
+            return self.b
+        if asn == self.b:
+            return self.a
+        raise ValueError(f"AS{asn} not on link {self}")

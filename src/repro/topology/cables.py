@@ -1,0 +1,338 @@
+"""Subsea cables, landing sites, and corridors.
+
+Section 5.1's core observation is that African cables are laid along a
+small number of shared corridors ("cables are often laid next to each
+other, resulting in correlated failures"): four west-coast cables (WACS,
+MainOne, SAT3, ACE) were severed by one rock slide near Abidjan in March
+2024, and three east-coast cables (EIG, Seacom, AAE-1) by one Red Sea
+incident.  We therefore attach every cable to a :class:`CableCorridor`;
+the outage engine draws *corridor events* that cut all co-located
+cables at once.
+
+The catalog below lists the real African cable systems the paper names,
+with their actual landing sequences (approximate) and ready-for-service
+years; the generator tops this up with synthetic systems to match
+AfriNIC-scale counts and the Fig. 1 growth rates.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.geo import country, haversine_km
+
+
+class CableCorridor(enum.Enum):
+    """A physical corridor shared by multiple cable systems."""
+
+    WEST_AFRICA = "West Africa Atlantic"
+    EAST_AFRICA = "East Africa Indian Ocean"
+    RED_SEA = "Red Sea"
+    MEDITERRANEAN = "Mediterranean"
+    SOUTH_ATLANTIC = "South Atlantic"
+    INDIAN_OCEAN_ISLANDS = "Indian Ocean Islands"
+    GLOBAL_BACKBONE = "Global backbone"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Coastal landing sites.  Most countries get one; South Africa and
+#: Egypt land cables on two coasts.  Keys with a ``:suffix`` select the
+#: alternate site.
+LANDING_SITES: dict[str, tuple[str, float, float]] = {
+    "ZA": ("Melkbosstrand", -33.72, 18.44),
+    "ZA:east": ("Mtunzini", -28.95, 31.75),
+    "EG": ("Alexandria", 31.20, 29.92),
+    "EG:redsea": ("Zafarana", 29.11, 32.65),
+    "NG": ("Lagos", 6.42, 3.40),
+    "KE": ("Mombasa", -4.04, 39.67),
+    "TZ": ("Dar es Salaam", -6.82, 39.29),
+    "MZ": ("Maputo", -25.97, 32.57),
+    "CI": ("Abidjan", 5.30, -4.02),
+    "GH": ("Accra", 5.56, -0.20),
+    "SN": ("Dakar", 14.72, -17.47),
+    "AO": ("Luanda", -8.84, 13.23),
+    "CM": ("Douala", 4.05, 9.70),
+    "DJ": ("Djibouti City", 11.59, 43.15),
+    "MA": ("Casablanca", 33.57, -7.59),
+    "TN": ("Bizerte", 37.27, 9.87),
+    "DZ": ("Algiers", 36.75, 3.06),
+    "LY": ("Tripoli", 32.89, 13.19),
+    "SD": ("Port Sudan", 19.62, 37.22),
+    "NA": ("Swakopmund", -22.68, 14.53),
+    "CD": ("Muanda", -5.93, 12.35),
+    "CG": ("Pointe-Noire", -4.78, 11.86),
+    "GA": ("Libreville", 0.39, 9.45),
+    "BJ": ("Cotonou", 6.37, 2.39),
+    "TG": ("Lome", 6.13, 1.22),
+    "LR": ("Monrovia", 6.30, -10.80),
+    "SL": ("Freetown", 8.48, -13.23),
+    "GN": ("Conakry", 9.64, -13.58),
+    "GW": ("Bissau", 11.86, -15.60),
+    "GM": ("Banjul", 13.45, -16.58),
+    "MR": ("Nouakchott", 18.08, -15.98),
+    "CV": ("Praia", 14.93, -23.51),
+    "ST": ("Sao Tome", 0.34, 6.73),
+    "GQ": ("Bata", 1.86, 9.77),
+    "SO": ("Mogadishu", 2.05, 45.32),
+    "ER": ("Massawa", 15.61, 39.45),
+    "MG": ("Toliara", -23.35, 43.67),
+    "MU": ("Baie du Jacotet", -20.16, 57.50),
+    "SC": ("Victoria", -4.62, 55.45),
+    "KM": ("Moroni", -11.70, 43.26),
+    # European / intercontinental landings.
+    "PT": ("Sesimbra", 38.44, -9.10),
+    "FR": ("Marseille", 43.30, 5.37),
+    "GB": ("Bude", 50.83, -4.55),
+    "ES": ("Barcelona", 41.39, 2.17),
+    "IT": ("Genoa", 44.41, 8.93),
+    "BR": ("Fortaleza", -3.73, -38.52),
+    "IN": ("Mumbai", 19.08, 72.88),
+    "SG": ("Singapore", 1.35, 103.82),
+    "US": ("Virginia Beach", 36.85, -75.98),
+}
+
+
+def landing_site(key: str) -> tuple[str, str, float, float]:
+    """Resolve a landing key (``"ZA"`` or ``"ZA:east"``) to its site.
+
+    Returns ``(iso2, site_name, lat, lon)``; falls back to the country's
+    capital coordinates if no coastal site is registered.
+    """
+    iso2 = key.split(":")[0]
+    if key in LANDING_SITES:
+        name, lat, lon = LANDING_SITES[key]
+        return iso2, name, lat, lon
+    c = country(iso2)
+    return iso2, c.name, c.lat, c.lon
+
+
+@dataclass(frozen=True)
+class Landing:
+    """One cable landing: a country plus the physical site."""
+
+    iso2: str
+    site: str
+    lat: float
+    lon: float
+
+
+@dataclass
+class SubseaCable:
+    """A subsea cable system as an ordered chain of landings."""
+
+    cable_id: int
+    name: str
+    corridor: CableCorridor
+    landings: list[Landing]
+    rfs_year: int
+    capacity_tbps: float = 10.0
+    #: Geographically diverse systems (Equiano, 2Africa) avoid the
+    #: legacy chokepoints and are exempt from corridor-correlated cuts.
+    diverse_route: bool = False
+    retired_year: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.landings) < 2:
+            raise ValueError(f"cable {self.name} needs >= 2 landings")
+        if self.capacity_tbps <= 0:
+            raise ValueError(f"cable {self.name} has non-positive capacity")
+
+    @property
+    def countries(self) -> list[str]:
+        """Landing countries in order (duplicates removed, order kept)."""
+        seen: list[str] = []
+        for landing in self.landings:
+            if landing.iso2 not in seen:
+                seen.append(landing.iso2)
+        return seen
+
+    @property
+    def african_countries(self) -> list[str]:
+        return [cc for cc in self.countries if country(cc).is_african]
+
+    def active_in(self, year: int) -> bool:
+        if year < self.rfs_year:
+            return False
+        return self.retired_year is None or year < self.retired_year
+
+    def traffic_weight(self, year: int) -> float:
+        """Share-of-traffic weight this cable carries in ``year``.
+
+        Installed capacity is not lit capacity: operators migrate onto a
+        new system over ~5 years, so a freshly landed giant (2Africa)
+        initially carries far less traffic than its design capacity —
+        which is why cutting the *legacy* corridor cables still cripples
+        a country that nominally has huge new capacity (§5.1).
+        """
+        if not self.active_in(year):
+            return 0.0
+        ramp = min(1.0, (year - self.rfs_year + 1) / 5.0)
+        return math.sqrt(self.capacity_tbps) * ramp
+
+    def segments(self) -> list["CableSegment"]:
+        """Adjacent landing pairs with great-circle segment lengths."""
+        out = []
+        for idx, (a, b) in enumerate(zip(self.landings, self.landings[1:])):
+            length = haversine_km(a.lat, a.lon, b.lat, b.lon)
+            out.append(CableSegment(self.cable_id, idx, a, b, length))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        chain = "-".join(self.countries)
+        return f"SubseaCable({self.name!r}, {self.corridor.name}, {chain})"
+
+
+@dataclass(frozen=True)
+class CableSegment:
+    """One wet segment between adjacent landings of a cable."""
+
+    cable_id: int
+    index: int
+    a: Landing
+    b: Landing
+    length_km: float
+
+
+@dataclass(frozen=True)
+class CableSpec:
+    """Static description used to instantiate real cable systems."""
+
+    name: str
+    corridor: CableCorridor
+    landing_keys: tuple[str, ...]
+    rfs_year: int
+    capacity_tbps: float
+    diverse_route: bool = False
+
+
+#: Real African cable systems (approximate landing chains).  The March
+#: 2024 incidents cut {WACS, MainOne, SAT-3, ACE} in the west and
+#: {EIG, Seacom, AAE-1} in the east — all present here.
+REAL_CABLE_SPECS: tuple[CableSpec, ...] = (
+    CableSpec("SAT-3/WASC", CableCorridor.WEST_AFRICA,
+              ("PT", "SN", "CI", "GH", "BJ", "NG", "CM", "GA", "AO", "ZA"),
+              2002, 0.8),
+    CableSpec("WACS", CableCorridor.WEST_AFRICA,
+              ("GB", "PT", "CV", "CI", "GH", "TG", "NG", "CM", "CD", "AO",
+               "NA", "ZA"), 2012, 14.5),
+    CableSpec("ACE", CableCorridor.WEST_AFRICA,
+              ("FR", "PT", "MR", "SN", "GM", "GW", "GN", "SL", "LR", "CI",
+               "GH", "BJ", "NG", "CM", "GA", "ST"), 2012, 12.8),
+    CableSpec("MainOne", CableCorridor.WEST_AFRICA,
+              ("PT", "GH", "NG"), 2010, 10.0),
+    CableSpec("Glo-1", CableCorridor.WEST_AFRICA,
+              ("GB", "GH", "NG"), 2010, 2.5),
+    CableSpec("NCSCS", CableCorridor.WEST_AFRICA,
+              ("NG", "CM"), 2015, 12.8),
+    CableSpec("Ceiba-2", CableCorridor.WEST_AFRICA,
+              ("CM", "GQ"), 2017, 8.0),
+    CableSpec("Equiano", CableCorridor.WEST_AFRICA,
+              ("PT", "TG", "NG", "NA", "ZA"), 2022, 144.0,
+              diverse_route=True),
+    CableSpec("2Africa-West", CableCorridor.WEST_AFRICA,
+              ("GB", "PT", "SN", "CI", "GH", "NG", "GA", "CG", "CD", "AO",
+               "NA", "ZA"), 2023, 180.0, diverse_route=True),
+    CableSpec("Amilcar-Cabral", CableCorridor.WEST_AFRICA,
+              ("SN", "GW", "CV"), 2019, 4.0),
+    # East coast / Indian Ocean.
+    CableSpec("SEACOM", CableCorridor.EAST_AFRICA,
+              ("ZA:east", "MZ", "TZ", "KE", "DJ", "EG:redsea"), 2009, 12.0),
+    CableSpec("EASSy", CableCorridor.EAST_AFRICA,
+              ("ZA:east", "MZ", "KM", "TZ", "KE", "SO", "DJ", "SD"),
+              2010, 36.0),
+    CableSpec("TEAMS", CableCorridor.EAST_AFRICA,
+              ("KE", "DJ"), 2009, 5.0),
+    CableSpec("DARE1", CableCorridor.EAST_AFRICA,
+              ("KE", "SO", "DJ"), 2021, 36.0),
+    CableSpec("2Africa-East", CableCorridor.EAST_AFRICA,
+              ("ZA:east", "MZ", "MG", "TZ", "KE", "SO", "DJ", "EG:redsea"),
+              2024, 180.0, diverse_route=True),
+    # Red Sea transit toward Europe/Asia (the Egypt chokepoint).
+    CableSpec("EIG", CableCorridor.RED_SEA,
+              ("GB", "PT", "EG", "DJ", "IN"), 2011, 3.8),
+    CableSpec("AAE-1", CableCorridor.RED_SEA,
+              ("FR", "EG", "DJ", "IN", "SG"), 2017, 40.0),
+    CableSpec("SMW4", CableCorridor.RED_SEA,
+              ("FR", "DZ", "EG", "DJ", "IN", "SG"), 2005, 4.6),
+    CableSpec("SMW5", CableCorridor.RED_SEA,
+              ("FR", "EG", "DJ", "IN", "SG"), 2016, 24.0),
+    CableSpec("PEACE", CableCorridor.RED_SEA,
+              ("FR", "EG", "DJ", "KE"), 2022, 60.0),
+    # Mediterranean (Northern Africa).
+    CableSpec("SeaMeWe-4-Med", CableCorridor.MEDITERRANEAN,
+              ("FR", "IT", "TN", "DZ", "EG"), 2005, 4.6),
+    CableSpec("Medusa", CableCorridor.MEDITERRANEAN,
+              ("PT", "ES", "MA", "DZ", "TN", "LY", "EG"), 2024, 20.0,
+              diverse_route=True),
+    CableSpec("Hannibal", CableCorridor.MEDITERRANEAN,
+              ("TN", "IT"), 2009, 3.2),
+    CableSpec("Didon", CableCorridor.MEDITERRANEAN,
+              ("TN", "FR"), 2014, 3.2),
+    CableSpec("Atlas-Offshore", CableCorridor.MEDITERRANEAN,
+              ("MA", "FR"), 2007, 0.32),
+    CableSpec("Tamares-North", CableCorridor.MEDITERRANEAN,
+              ("LY", "IT"), 2013, 1.0),
+    # South Atlantic (direct Brazil links).
+    CableSpec("SACS", CableCorridor.SOUTH_ATLANTIC,
+              ("AO", "BR"), 2018, 40.0, diverse_route=True),
+    CableSpec("SAIL", CableCorridor.SOUTH_ATLANTIC,
+              ("CM", "BR"), 2020, 32.0, diverse_route=True),
+    CableSpec("Atlantis-2", CableCorridor.SOUTH_ATLANTIC,
+              ("PT", "SN", "CV", "BR"), 2000, 0.16),
+    # Indian Ocean islands.
+    CableSpec("LION2", CableCorridor.INDIAN_OCEAN_ISLANDS,
+              ("MU", "MG", "KE"), 2012, 1.3),
+    CableSpec("METISS", CableCorridor.INDIAN_OCEAN_ISLANDS,
+              ("MU", "MG", "ZA:east"), 2021, 24.0),
+    CableSpec("SAFE", CableCorridor.INDIAN_OCEAN_ISLANDS,
+              ("ZA:east", "MU", "IN"), 2002, 0.44),
+)
+
+#: Intercontinental backbone among the reference regions.  These exist
+#: so the non-African comparison world has realistic fiber paths; the
+#: African outage engine never touches them.
+REFERENCE_CABLE_SPECS: tuple[CableSpec, ...] = (
+    CableSpec("TransAtlantic-North", CableCorridor.GLOBAL_BACKBONE,
+              ("US", "GB"), 2001, 160.0),
+    CableSpec("TransAtlantic-South", CableCorridor.GLOBAL_BACKBONE,
+              ("US", "FR"), 2003, 160.0),
+    CableSpec("TransAtlantic-Iberia", CableCorridor.GLOBAL_BACKBONE,
+              ("US", "ES"), 2017, 200.0),
+    CableSpec("Americas-Express", CableCorridor.GLOBAL_BACKBONE,
+              ("US", "CO", "BR"), 2000, 80.0),
+    CableSpec("SAm-East", CableCorridor.GLOBAL_BACKBONE,
+              ("BR", "AR"), 2001, 40.0),
+    CableSpec("SAm-Pacific", CableCorridor.GLOBAL_BACKBONE,
+              ("CL", "CO", "US"), 2007, 40.0),
+    CableSpec("TransPacific-North", CableCorridor.GLOBAL_BACKBONE,
+              ("US", "JP"), 2008, 120.0),
+    CableSpec("TransPacific-South", CableCorridor.GLOBAL_BACKBONE,
+              ("US", "AU"), 2009, 80.0),
+    CableSpec("IntraAsia-North", CableCorridor.GLOBAL_BACKBONE,
+              ("JP", "SG"), 2006, 100.0),
+    CableSpec("IntraAsia-South", CableCorridor.GLOBAL_BACKBONE,
+              ("SG", "ID", "AU"), 2011, 60.0),
+    CableSpec("Bengal-Link", CableCorridor.GLOBAL_BACKBONE,
+              ("IN", "SG"), 2004, 80.0),
+)
+
+
+def build_cable(cable_id: int, spec: CableSpec) -> SubseaCable:
+    """Instantiate a :class:`SubseaCable` from a spec."""
+    landings = []
+    for key in spec.landing_keys:
+        iso2, site, lat, lon = landing_site(key)
+        landings.append(Landing(iso2, site, lat, lon))
+    return SubseaCable(
+        cable_id=cable_id,
+        name=spec.name,
+        corridor=spec.corridor,
+        landings=landings,
+        rfs_year=spec.rfs_year,
+        capacity_tbps=spec.capacity_tbps,
+        diverse_route=spec.diverse_route,
+    )

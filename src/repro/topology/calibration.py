@@ -1,0 +1,217 @@
+"""Calibration constants for the synthetic world.
+
+This module is the **only** place tuned against the paper's reported
+magnitudes.  Everything here is an *input* to the generative model
+(probabilities, rates, counts); every number the benchmarks report is
+*measured* from the simulated world, never copied from here.
+
+The calibration encodes the paper's structural story per region:
+
+* Southern Africa is the most mature market (highest content/route
+  locality, Fig. 2b + §4.3), anchored on South Africa; Eastern follows,
+  anchored on Kenya; Western is the least mature.
+* Central Africa has very few ASes but the ones that exist concentrate
+  on a single exchange, which is why its *IXP traversal share* is the
+  regional outlier in Fig. 3 (~55%) even though the region is immature.
+* Northern Africa is dominated by state telcos: decent local resolver
+  share, but IXPs effectively absent from measurement data (Fig. 3
+  excludes it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo import Region
+from repro.topology.dns import ResolverLocality
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Per-region generative parameters."""
+
+    #: ASes per million population (scaled world).
+    asn_density: float
+    #: Probability a local eyeball/enterprise AS joins an IXP in its
+    #: country (when one exists).
+    ixp_join_rate: float
+    #: Probability two IXP members actually peer across the fabric.
+    ixp_peering_rate: float
+    #: Probability an AS buys transit from an African regional transit
+    #: provider (vs. going straight to a European carrier).
+    regional_transit_rate: float
+    #: Probability a CDN deploys an off-net cache at a given IXP here.
+    offnet_cache_rate: float
+    #: Probability a top site (non-CDN) is hosted in-country.
+    local_hosting_rate: float
+    #: Resolver locality distribution for eyeball ASes.
+    resolver_mix: dict[ResolverLocality, float]
+    #: Per-/24 probe responsiveness multiplier (infrastructure density).
+    responsiveness: float
+    #: Number of IXPs to seed in the region (2025 totals).
+    ixp_count_2025: int
+    #: IXPs already existing in 2015 (drives Fig. 1 growth).
+    ixp_count_2015: int
+
+
+def _mix(local_as, local_cc, other_cc, cloud, foreign):
+    mix = {
+        ResolverLocality.LOCAL_AS: local_as,
+        ResolverLocality.LOCAL_COUNTRY: local_cc,
+        ResolverLocality.OTHER_AFRICAN_COUNTRY: other_cc,
+        ResolverLocality.CLOUD: cloud,
+        ResolverLocality.FOREIGN: foreign,
+    }
+    total = sum(mix.values())
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"resolver mix sums to {total}, not 1.0")
+    return mix
+
+
+#: African IXP totals sum to 77 (paper footnote 1); the 2015 totals sum
+#: to 11, giving the ~600% ten-year growth reported in §2.
+REGION_PROFILES: dict[Region, RegionProfile] = {
+    Region.SOUTHERN_AFRICA: RegionProfile(
+        asn_density=1.6, ixp_join_rate=0.75, ixp_peering_rate=0.70,
+        regional_transit_rate=0.75, offnet_cache_rate=0.60,
+        local_hosting_rate=0.30,
+        resolver_mix=_mix(0.30, 0.25, 0.08, 0.27, 0.10),
+        responsiveness=1.0, ixp_count_2025=11, ixp_count_2015=3),
+    Region.EASTERN_AFRICA: RegionProfile(
+        asn_density=0.55, ixp_join_rate=0.60, ixp_peering_rate=0.60,
+        regional_transit_rate=0.55, offnet_cache_rate=0.40,
+        local_hosting_rate=0.18,
+        resolver_mix=_mix(0.20, 0.20, 0.18, 0.27, 0.15),
+        responsiveness=0.85, ixp_count_2025=26, ixp_count_2015=4),
+    Region.NORTHERN_AFRICA: RegionProfile(
+        asn_density=0.30, ixp_join_rate=0.15, ixp_peering_rate=0.30,
+        regional_transit_rate=0.38, offnet_cache_rate=0.15,
+        local_hosting_rate=0.22,
+        resolver_mix=_mix(0.28, 0.22, 0.03, 0.17, 0.30),
+        responsiveness=0.9, ixp_count_2025=4, ixp_count_2015=1),
+    Region.WESTERN_AFRICA: RegionProfile(
+        asn_density=0.50, ixp_join_rate=0.45, ixp_peering_rate=0.45,
+        regional_transit_rate=0.30, offnet_cache_rate=0.25,
+        local_hosting_rate=0.08,
+        resolver_mix=_mix(0.10, 0.15, 0.25, 0.30, 0.20),
+        responsiveness=0.7, ixp_count_2025=28, ixp_count_2015=2),
+    Region.CENTRAL_AFRICA: RegionProfile(
+        asn_density=0.28, ixp_join_rate=0.90, ixp_peering_rate=0.95,
+        regional_transit_rate=0.22, offnet_cache_rate=0.15,
+        local_hosting_rate=0.05,
+        resolver_mix=_mix(0.07, 0.08, 0.30, 0.30, 0.25),
+        responsiveness=0.55, ixp_count_2025=8, ixp_count_2015=1),
+}
+
+#: P(a CDN-served request from this region lands on an African PoP
+#: rather than spilling to Europe).  Anycast catchments follow the PoP
+#: map: Southern clients sit next to the ZA deployments, Western/Central
+#: clients frequently drain to Europe despite nominal NG/KE PoPs (§4.2).
+REGION_CDN_CATCHMENT: dict[Region, float] = {
+    Region.SOUTHERN_AFRICA: 0.80,
+    Region.EASTERN_AFRICA: 0.50,
+    Region.NORTHERN_AFRICA: 0.35,
+    Region.WESTERN_AFRICA: 0.25,
+    Region.CENTRAL_AFRICA: 0.22,
+}
+
+#: Reference (non-African) regions: dense, mature, locally-served.
+REFERENCE_PROFILE = RegionProfile(
+    asn_density=0.9, ixp_join_rate=0.9, ixp_peering_rate=0.85,
+    regional_transit_rate=0.95, offnet_cache_rate=0.95,
+    local_hosting_rate=0.80,
+    resolver_mix=_mix(0.55, 0.30, 0.0, 0.13, 0.02),
+    responsiveness=1.2, ixp_count_2025=0, ixp_count_2015=0)
+
+
+@dataclass(frozen=True)
+class OutageRates:
+    """Annual outage rates (events/year) by cause, per region group."""
+
+    #: Corridor-level subsea incidents per year (each may cut several
+    #: co-located cables — §5.1).
+    corridor_event_rate: dict[str, float] = field(default_factory=lambda: {
+        "West Africa Atlantic": 0.55,
+        "East Africa Indian Ocean": 0.40,
+        "Red Sea": 0.55,
+        "Mediterranean": 0.25,
+        "South Atlantic": 0.05,
+        "Indian Ocean Islands": 0.15,
+    })
+    #: Probability a corridor event cuts each individual non-diverse
+    #: cable in the corridor (physical co-location).
+    corridor_cut_prob: float = 0.72
+    #: Independent per-cable fault rate (events/cable/year).
+    independent_cable_fault_rate: float = 0.04
+    #: Country-level *national-scale* grid failure rate per year
+    #: (multiplied by (1 - grid_reliability) of the country).  Radar
+    #: only registers outages big enough to dent national traffic, so
+    #: this is far below the rate of everyday load shedding.
+    power_outage_scale: float = 2.6
+    #: Government-ordered shutdown rate per African country per year.
+    shutdown_rate_africa: float = 0.22
+    shutdown_rate_reference: float = 0.005
+    #: Other outages (fiber cuts inland, natural disaster) per country/yr.
+    misc_rate_africa: float = 0.35
+    misc_rate_reference: float = 0.45
+
+
+@dataclass(frozen=True)
+class WorldParams:
+    """Top-level knobs for the world generator."""
+
+    seed: int = 2025
+    #: Scaling factor from the real Internet to the simulated one.
+    scale: float = 0.25
+    #: Simulation "now" and the Fig. 1 look-back window.
+    current_year: int = 2025
+    growth_window_years: int = 10
+    #: Target number of African subsea cables in 2015 / 2025 (the real
+    #: catalog plus synthetic fill; +45% growth per §2).
+    cable_count_2015: int = 22
+    cable_count_2025: int = 32
+    #: African IXP total (2025) — footnote 1's universe of 77.
+    african_ixp_target: int = 77
+    #: Content ecosystem.
+    top_sites_per_country: int = 50
+    cdn_top_site_share: float = 0.72
+    #: Per-/24 base responsiveness by AS kind (before region multiplier).
+    base_responsiveness: dict[str, float] = field(default_factory=lambda: {
+        "mobile": 0.60, "fixed": 0.42, "transit": 0.30, "cloud": 0.55,
+        "content": 0.50, "education": 0.22, "enterprise": 0.12,
+    })
+    #: Fraction of IXPs whose LAN prefix leaks into the global table
+    #: (RFC 7454 notwithstanding) — the only way prefix-guided scanners
+    #: see them (Table 1).
+    ixp_lan_leak_rate: float = 0.08
+    outage_rates: OutageRates = field(default_factory=OutageRates)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.scale > 1:
+            raise ValueError("scale must be in (0, 1]")
+        if self.cable_count_2025 < self.cable_count_2015:
+            raise ValueError("cable counts must grow")
+
+
+#: Mobile data pricing by country group (USD per GB, 2024-ish medians)
+#: and the pricing model in force — §7.1's "different countries have
+#: different pricing models".
+@dataclass(frozen=True)
+class CountryPricing:
+    usd_per_gb: float
+    model: str  # "prepaid_bundle" | "payg" | "postpaid_cap"
+    #: Typical bundle size (MB) for prepaid markets.
+    bundle_mb: int = 1024
+
+
+DEFAULT_PRICING: dict[Region, CountryPricing] = {
+    Region.NORTHERN_AFRICA: CountryPricing(1.05, "prepaid_bundle", 2048),
+    Region.WESTERN_AFRICA: CountryPricing(3.30, "prepaid_bundle", 512),
+    Region.CENTRAL_AFRICA: CountryPricing(5.80, "prepaid_bundle", 256),
+    Region.EASTERN_AFRICA: CountryPricing(2.10, "prepaid_bundle", 1024),
+    Region.SOUTHERN_AFRICA: CountryPricing(2.80, "postpaid_cap", 4096),
+    Region.EUROPE: CountryPricing(0.80, "postpaid_cap", 20480),
+    Region.NORTH_AMERICA: CountryPricing(3.00, "postpaid_cap", 20480),
+    Region.SOUTH_AMERICA: CountryPricing(1.20, "prepaid_bundle", 2048),
+    Region.ASIA_PACIFIC: CountryPricing(0.60, "prepaid_bundle", 2048),
+}

@@ -1,0 +1,62 @@
+"""Web content hosting: popular sites, CDNs, and off-net caches.
+
+Fig. 2b measures how much of each country's popular content is served
+from inside Africa (ISOC Pulse methodology: fetch the top sites per
+country, detect CDN usage, geolocate the serving edge).  We model each
+country's top-N sites and where each is actually served from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class HostingClass(enum.Enum):
+    """Where a site is served from, for a given client country."""
+
+    LOCAL_CACHE = "IXP off-net cache in-country"
+    LOCAL_DC = "in-country data center"
+    AFRICAN_DC = "data center elsewhere in Africa"
+    EUROPE = "Europe"
+    OTHER_FOREIGN = "outside Africa (non-Europe)"
+
+    @property
+    def is_african(self) -> bool:
+        return self in (HostingClass.LOCAL_CACHE, HostingClass.LOCAL_DC,
+                        HostingClass.AFRICAN_DC)
+
+
+@dataclass(frozen=True)
+class Website:
+    """One entry of a country's top-site list."""
+
+    domain: str
+    rank: int
+    #: Country whose top list this site belongs to.
+    client_country: str
+    uses_cdn: bool
+    #: AS serving this site for clients in ``client_country``.
+    server_asn: int
+    #: Country the serving infrastructure sits in.
+    server_country: str
+    hosting: HostingClass
+
+    def is_served_from_africa(self) -> bool:
+        return self.hosting.is_african
+
+
+@dataclass(frozen=True)
+class CDNProvider:
+    """A content-delivery network and its African footprint."""
+
+    asn: int
+    name: str
+    #: Countries with full CDN PoPs (data-center deployments).
+    pop_countries: tuple[str, ...]
+    #: Share of the global top-site market this CDN serves.
+    market_share: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.market_share <= 1.0:
+            raise ValueError(f"bad market share for {self.name}")

@@ -1,0 +1,92 @@
+"""Data centers and cloud regions.
+
+Africa "lacks data centers" and large public clouds are "generally
+centralized in South Africa" (§2, §5.2).  The data-center map drives
+where content origins, CDN PoPs, cloud DNS resolvers, and off-net
+caches can physically live.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geo import Region, country
+
+
+class FacilityTier(enum.Enum):
+    """Rough size class of a data-center market."""
+
+    HYPERSCALE = "hyperscale"   # full public-cloud region
+    REGIONAL = "regional"       # carrier-neutral colo market
+    EDGE = "edge"               # small colo / IXP-adjacent cache site
+
+
+@dataclass(frozen=True)
+class DataCenter:
+    """A data-center market in one country."""
+
+    dc_id: int
+    country_iso2: str
+    tier: FacilityTier
+    opened_year: int
+    #: Relative hosting capacity (arbitrary units; weights placement).
+    capacity: float
+
+    @property
+    def region(self) -> Region:
+        return country(self.country_iso2).region
+
+    @property
+    def is_african(self) -> bool:
+        return self.region.is_african
+
+
+@dataclass(frozen=True)
+class DataCenterSpec:
+    country_iso2: str
+    tier: FacilityTier
+    opened_year: int
+    capacity: float
+
+
+#: The data-center geography the paper describes: hyperscale regions in
+#: Europe/US, one mature African market (ZA), a few regional markets
+#: (KE, NG, EG), and edge sites elsewhere.
+DATACENTER_SPECS: tuple[DataCenterSpec, ...] = (
+    # Hyperscale cloud regions outside Africa.
+    DataCenterSpec("DE", FacilityTier.HYPERSCALE, 2008, 100.0),
+    DataCenterSpec("NL", FacilityTier.HYPERSCALE, 2008, 90.0),
+    DataCenterSpec("GB", FacilityTier.HYPERSCALE, 2008, 90.0),
+    DataCenterSpec("FR", FacilityTier.HYPERSCALE, 2010, 80.0),
+    DataCenterSpec("US", FacilityTier.HYPERSCALE, 2006, 150.0),
+    DataCenterSpec("SG", FacilityTier.HYPERSCALE, 2010, 70.0),
+    DataCenterSpec("IN", FacilityTier.HYPERSCALE, 2015, 60.0),
+    DataCenterSpec("BR", FacilityTier.HYPERSCALE, 2012, 50.0),
+    # Africa: ZA is the only hyperscale market (AWS/Azure Cape Town &
+    # Johannesburg); KE/NG/EG are growing regional colo markets.
+    DataCenterSpec("ZA", FacilityTier.HYPERSCALE, 2019, 40.0),
+    DataCenterSpec("KE", FacilityTier.REGIONAL, 2013, 8.0),
+    DataCenterSpec("NG", FacilityTier.REGIONAL, 2014, 9.0),
+    DataCenterSpec("EG", FacilityTier.REGIONAL, 2012, 7.0),
+    DataCenterSpec("MA", FacilityTier.REGIONAL, 2015, 4.0),
+    DataCenterSpec("GH", FacilityTier.EDGE, 2016, 2.0),
+    DataCenterSpec("CI", FacilityTier.EDGE, 2017, 1.5),
+    DataCenterSpec("SN", FacilityTier.EDGE, 2018, 1.5),
+    DataCenterSpec("TZ", FacilityTier.EDGE, 2017, 1.2),
+    DataCenterSpec("UG", FacilityTier.EDGE, 2018, 1.0),
+    DataCenterSpec("RW", FacilityTier.EDGE, 2019, 1.0),
+    DataCenterSpec("AO", FacilityTier.EDGE, 2019, 1.0),
+    DataCenterSpec("MU", FacilityTier.EDGE, 2015, 1.0),
+    DataCenterSpec("TN", FacilityTier.EDGE, 2016, 1.0),
+    DataCenterSpec("DJ", FacilityTier.EDGE, 2018, 1.0),
+)
+
+
+def build_datacenters() -> list[DataCenter]:
+    """Instantiate the registry with stable ids."""
+    return [
+        DataCenter(dc_id=i, country_iso2=s.country_iso2, tier=s.tier,
+                   opened_year=s.opened_year, capacity=s.capacity)
+        for i, s in enumerate(DATACENTER_SPECS)
+    ]

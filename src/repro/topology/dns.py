@@ -1,0 +1,83 @@
+"""DNS resolver ecosystem.
+
+Section 5.2 is about *hidden dependencies*: "many organizations do not
+have a local resolver, and thus when disconnected from other countries,
+they are unable to make the DNS queries required to connect to the
+local infrastructure".  Each eyeball AS is assigned a resolver
+configuration — where the recursive resolver its users hit actually
+runs — in one of four locality classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ResolverLocality(enum.Enum):
+    """Where an eyeball AS's recursive resolver is hosted."""
+
+    #: Resolver inside the AS itself, in-country.
+    LOCAL_AS = "local (same AS)"
+    #: Resolver run by another organisation in the same country.
+    LOCAL_COUNTRY = "local (same country)"
+    #: Outsourced to a resolver in a *different African* country (§5.2:
+    #: "the use of local resolvers in other countries" as a cost centre).
+    OTHER_AFRICAN_COUNTRY = "other African country"
+    #: Public cloud resolver (8.8.8.8 / 1.1.1.1 class) — served from the
+    #: nearest cloud PoP, which in Africa is usually South Africa.
+    CLOUD = "cloud resolver"
+    #: Resolver hosted outside Africa entirely (usually Europe).
+    FOREIGN = "outside Africa"
+
+    @property
+    def survives_cable_cut(self) -> bool:
+        """Whether resolution keeps working when the country is cut off
+        from international connectivity."""
+        return self in (ResolverLocality.LOCAL_AS,
+                        ResolverLocality.LOCAL_COUNTRY)
+
+
+@dataclass(frozen=True)
+class ResolverConfig:
+    """The resolver arrangement of one eyeball AS."""
+
+    asn: int
+    locality: ResolverLocality
+    #: Country hosting the resolver service.
+    hosted_in: str
+    #: AS actually operating the resolver (cloud ASN, other ISP, self).
+    operator_asn: int
+
+    def is_local_to(self, iso2: str) -> bool:
+        return self.hosted_in == iso2
+
+
+@dataclass(frozen=True)
+class CloudResolverService:
+    """A public cloud resolver service and its PoP countries."""
+
+    asn: int
+    name: str
+    #: Countries with serving PoPs, in priority order per continent.
+    pop_countries: tuple[str, ...]
+
+    def nearest_pop(self, client_iso2: str, african_pops_up: bool = True
+                    ) -> str:
+        """The PoP country a client in ``client_iso2`` is mapped to.
+
+        Anycast catchments are coarse: African clients land on an
+        African PoP when one exists (almost always South Africa),
+        otherwise — or when African PoPs are unreachable — on Europe.
+        """
+        from repro.geo import country
+        client = country(client_iso2)
+        african = [cc for cc in self.pop_countries
+                   if country(cc).is_african]
+        european = [cc for cc in self.pop_countries
+                    if country(cc).region.value == "Europe"]
+        if client.is_african and african and african_pops_up:
+            return african[0]
+        if european:
+            return european[0]
+        return self.pop_countries[0]

@@ -1,0 +1,849 @@
+"""Seeded generator for the synthetic Internet.
+
+Builds a :class:`~repro.topology.model.Topology` whose *structure*
+matches the paper's description of Africa's ecosystem (§2): no African
+Tier-1s, a thin layer of regional Tier-2s, mobile-dominated eyeballs,
+IXPs concentrated in a few markets, European transit and hosting
+dependence, and a subsea-cable map with shared corridors.
+
+Everything is derived deterministically from ``WorldParams.seed``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+
+from repro.geo import (
+    AFRICAN_COUNTRIES,
+    COUNTRIES,
+    Region,
+    country,
+)
+from repro.topology.asn import AS, ASKind, ASLink, Relationship
+from repro.topology.cables import (
+    CableCorridor,
+    CableSpec,
+    REAL_CABLE_SPECS,
+    REFERENCE_CABLE_SPECS,
+    SubseaCable,
+    build_cable,
+)
+from repro.topology.calibration import (
+    REFERENCE_PROFILE,
+    REGION_CDN_CATCHMENT,
+    REGION_PROFILES,
+    WorldParams,
+)
+from repro.topology.content import CDNProvider, HostingClass, Website
+from repro.topology.datacenters import FacilityTier, build_datacenters
+from repro.topology.dns import (
+    CloudResolverService,
+    ResolverConfig,
+    ResolverLocality,
+)
+from repro.topology.ixp import IXP
+from repro.topology.model import IXPOwner, Topology
+from repro.topology.prefixes import Prefix, PrefixAllocator
+from repro.topology.terrestrial import (
+    REFERENCE_TERRESTRIAL_LINKS,
+    TERRESTRIAL_LINKS,
+)
+from repro.util import derive_rng
+
+
+# ----------------------------------------------------------------------
+# Static rosters: the named players of the ecosystem
+# ----------------------------------------------------------------------
+
+#: Global transit-free carriers (all outside Africa — the paper's point).
+TIER1_SPECS = (
+    (174, "Cogent", "US"),
+    (1299, "Arelion", "DE"),
+    (3356, "Lumen", "US"),
+    (2914, "NTT-GIN", "US"),
+    (3257, "GTT", "DE"),
+    (5511, "Orange-OTI", "FR"),
+    (6762, "TI-Sparkle", "IT"),
+    (3491, "PCCW-Global", "GB"),
+)
+
+#: Public clouds / large hosters.
+CLOUD_SPECS = (
+    (16509, "AWS", "US"),
+    (8075, "Microsoft", "US"),
+    (15169, "Google", "US"),
+    (16276, "OVH", "FR"),
+    (24940, "Hetzner", "DE"),
+)
+
+#: CDNs with their African PoP footprint and top-site market share.
+CDN_SPECS = (
+    (13335, "Cloudflare", ("ZA", "KE", "NG", "EG", "DE", "GB", "US"), 0.32),
+    (20940, "Akamai", ("ZA", "KE", "NG", "DE", "FR", "US"), 0.24),
+    (15169, "Google-CDN", ("ZA", "NG", "KE", "DE", "US"), 0.22),
+    (32934, "Meta-CDN", ("ZA", "DE", "US"), 0.12),
+    (54113, "Fastly", ("ZA", "DE", "US"), 0.10),
+)
+
+#: Public cloud resolver services (§5.2: anycast catchments put African
+#: clients on the South Africa PoP when it is reachable).
+CLOUD_RESOLVER_SPECS = (
+    (15169, "GooglePublicDNS", ("ZA", "DE", "US")),
+    (13335, "Cloudflare-1111", ("ZA", "KE", "NG", "DE", "US")),
+    (19281, "Quad9", ("ZA", "DE", "US")),
+)
+
+#: African regional transit carriers (the thin Tier-2 layer, §4.1) with
+#: their multi-country footprints.
+AFRICAN_TRANSIT_SPECS = (
+    (30844, "LiquidTelecom", "ZA",
+     ("ZA", "ZW", "ZM", "KE", "UG", "RW", "TZ", "CD", "BW", "MZ", "MW")),
+    (37100, "SEACOM-AS", "ZA", ("ZA", "KE", "TZ", "MZ", "UG")),
+    (37662, "WIOCC", "KE",
+     ("KE", "TZ", "DJ", "ZA", "NG", "GH", "UG", "RW", "ET")),
+    (16637, "MTN-GlobalConnect", "ZA",
+     ("ZA", "NG", "GH", "CI", "CM", "UG", "RW", "BJ", "SN")),
+    (8452, "TelecomEgypt-Intl", "EG", ("EG", "SD", "LY")),
+    (6713, "MarocTelecom-Intl", "MA", ("MA", "MR", "ML", "BF", "GA")),
+    (8346, "Sonatel-Transit", "SN", ("SN", "ML", "GN", "GM", "GW")),
+    (37282, "MainOne-AS", "NG", ("NG", "GH", "CI")),
+    (37468, "Angola-Cables", "AO", ("AO", "CD", "NA", "BR")),
+    (37273, "Bofinet-Transit", "BW", ("BW", "ZA", "ZM")),
+)
+
+#: Flagship African IXPs that existed before 2015 (drives the Fig. 1
+#: baseline: 11 IXPs continent-wide in 2015, per calibration).
+FLAGSHIP_IXPS = {
+    Region.SOUTHERN_AFRICA: (("JINX", "ZA", 1996), ("NAPAfrica", "ZA", 2012),
+                             ("CINX", "ZA", 2009)),
+    Region.EASTERN_AFRICA: (("KIXP", "KE", 2002), ("TIX", "TZ", 2004),
+                            ("RINEX", "RW", 2004), ("UIXP", "UG", 2001)),
+    Region.NORTHERN_AFRICA: (("CAIX", "EG", 2013),),
+    Region.WESTERN_AFRICA: (("IXPN", "NG", 2007), ("GIXA", "GH", 2005)),
+    Region.CENTRAL_AFRICA: (("KINIX", "CD", 2012),),
+}
+
+#: European exchanges where African ASes meet their transit providers.
+EU_IXP_SPECS = (
+    ("LINX", "GB", 1994), ("AMS-IX", "NL", 1997), ("DE-CIX", "DE", 1995),
+    ("France-IX", "FR", 2010), ("ESPANIX", "ES", 1997), ("MIX-Milan", "IT", 2000),
+)
+
+#: AfriNIC-style IPv4 pools for African allocations (196/8 is reserved
+#: below for IXP LANs so pools never overlap).
+AFRINIC_POOLS = ("41.0.0.0/8", "102.0.0.0/8", "105.0.0.0/8",
+                 "154.0.0.0/8", "197.0.0.0/8")
+AFRINIC_IXP_LAN_POOL = "196.60.0.0/16"
+REFERENCE_POOLS = {
+    Region.EUROPE: ("62.0.0.0/8", "80.0.0.0/8", "93.0.0.0/8"),
+    Region.NORTH_AMERICA: ("23.0.0.0/8", "34.0.0.0/8"),
+    Region.SOUTH_AMERICA: ("177.0.0.0/8", "181.0.0.0/8"),
+    Region.ASIA_PACIFIC: ("101.0.0.0/8", "110.0.0.0/8"),
+}
+REFERENCE_IXP_LAN_POOL = "185.1.0.0/16"
+
+#: Synthetic pre-2015 regional cables to complete the Fig. 1 baseline
+#: (the real catalog under-counts small festoon systems).
+SYNTHETIC_OLD_CABLE_SPECS = (
+    CableSpec("GLO-Coastal", CableCorridor.WEST_AFRICA,
+              ("NG", "GH", "CI"), 2011, 1.0),
+    CableSpec("Benguela-Link", CableCorridor.WEST_AFRICA,
+              ("AO", "NA"), 2013, 1.5),
+    CableSpec("RedSea-Festoon", CableCorridor.RED_SEA,
+              ("EG:redsea", "SD", "DJ"), 2008, 0.6),
+    CableSpec("Comoros-Link", CableCorridor.INDIAN_OCEAN_ISLANDS,
+              ("KM", "MG", "MU"), 2012, 0.4),
+    CableSpec("Maghreb-Festoon", CableCorridor.MEDITERRANEAN,
+              ("MA", "DZ", "TN"), 2010, 0.8),
+    CableSpec("Gulf-of-Guinea", CableCorridor.WEST_AFRICA,
+              ("CM", "GQ", "ST", "GA"), 2012, 0.8),
+    CableSpec("Mauritania-Link", CableCorridor.WEST_AFRICA,
+              ("MR", "SN"), 2013, 0.5),
+    CableSpec("Canaries-Festoon", CableCorridor.WEST_AFRICA,
+              ("MA", "MR", "SN"), 2012, 0.6),
+    CableSpec("Monrovia-Link", CableCorridor.WEST_AFRICA,
+              ("LR", "CI"), 2013, 0.4),
+    CableSpec("Bight-Festoon", CableCorridor.WEST_AFRICA,
+              ("NG", "CM", "GQ"), 2014, 0.7),
+    CableSpec("Nile-Bay", CableCorridor.MEDITERRANEAN,
+              ("EG", "IT"), 2011, 1.2),
+    CableSpec("Cyrene-Link", CableCorridor.MEDITERRANEAN,
+              ("LY", "EG"), 2012, 0.5),
+    CableSpec("Swahili-Coast", CableCorridor.EAST_AFRICA,
+              ("KE", "TZ"), 2014, 0.8),
+    CableSpec("Pemba-Link", CableCorridor.EAST_AFRICA,
+              ("TZ", "MZ"), 2013, 0.5),
+    CableSpec("Aden-Gateway", CableCorridor.RED_SEA,
+              ("DJ", "EG:redsea"), 2010, 0.9),
+    CableSpec("Agulhas-Festoon", CableCorridor.EAST_AFRICA,
+              ("ZA:east", "MZ"), 2012, 0.7),
+)
+
+#: Synthetic post-2015 builds (new entrants through 2025).
+SYNTHETIC_NEW_CABLE_SPECS = (
+    CableSpec("WestLink-2", CableCorridor.WEST_AFRICA,
+              ("SN", "CV", "PT"), 2019, 8.0),
+    CableSpec("EastBay", CableCorridor.EAST_AFRICA,
+              ("TZ", "KE", "SO"), 2020, 12.0),
+    CableSpec("Horn-Connect", CableCorridor.RED_SEA,
+              ("DJ", "ER", "SD", "EG:redsea"), 2021, 16.0),
+    CableSpec("Atlantic-South-2", CableCorridor.SOUTH_ATLANTIC,
+              ("NA", "BR"), 2024, 48.0, diverse_route=True),
+    CableSpec("Mozambique-Channel", CableCorridor.INDIAN_OCEAN_ISLANDS,
+              ("MZ", "MG", "KM"), 2022, 10.0),
+)
+
+
+@dataclass
+class _Counters:
+    """Mutable id/ASN counters used during generation."""
+
+    next_african_asn: int = 37300
+    next_reference_asn: int = 12000
+    next_eu_transit_asn: int = 8800
+    next_ixp_id: int = 1
+    next_cable_id: int = 1
+
+    def african_asn(self, used: set[int]) -> int:
+        while self.next_african_asn in used:
+            self.next_african_asn += 1
+        asn = self.next_african_asn
+        self.next_african_asn += 1
+        return asn
+
+    def reference_asn(self, used: set[int]) -> int:
+        while self.next_reference_asn in used:
+            self.next_reference_asn += 1
+        asn = self.next_reference_asn
+        self.next_reference_asn += 1
+        return asn
+
+
+class TopologyGenerator:
+    """Builds the world from :class:`WorldParams`."""
+
+    def __init__(self, params: WorldParams | None = None) -> None:
+        self.params = params or WorldParams()
+
+    # ------------------------------------------------------------------
+    def build(self) -> Topology:
+        p = self.params
+        seed = p.seed
+        counters = _Counters()
+        ases: dict[int, AS] = {}
+        used_asns: set[int] = set()
+
+        def add_as(a: AS) -> AS:
+            if a.asn in ases:
+                raise ValueError(f"duplicate ASN {a.asn}")
+            ases[a.asn] = a
+            used_asns.add(a.asn)
+            return a
+
+        self._build_backbone(ases, add_as)
+        self._build_african_transit(add_as)
+        self._build_african_edge(add_as, counters, used_asns)
+        self._build_reference_edge(add_as, counters, used_asns)
+
+        ixps = self._build_ixps(counters)
+        self._populate_ixp_members(ases, ixps, seed)
+
+        links = self._build_relationships(ases, ixps, seed)
+
+        cables = self._build_cables(counters)
+        datacenters = build_datacenters()
+        cdns = [CDNProvider(asn=a, name=n, pop_countries=pc, market_share=s)
+                for a, n, pc, s in CDN_SPECS]
+        cloud_resolvers = [CloudResolverService(asn=a, name=n,
+                                                pop_countries=pc)
+                           for a, n, pc in CLOUD_RESOLVER_SPECS]
+
+        self._assign_prefixes(ases, ixps, seed)
+        resolver_configs = self._assign_resolvers(ases, cloud_resolvers,
+                                                  seed)
+        websites = self._build_websites(ases, ixps, cdns, datacenters, seed)
+
+        topo = Topology(
+            params=p,
+            ases=ases,
+            links=links,
+            ixps=ixps,
+            cables=cables,
+            terrestrial=list(TERRESTRIAL_LINKS
+                             + REFERENCE_TERRESTRIAL_LINKS),
+            datacenters=datacenters,
+            cdns=cdns,
+            cloud_resolvers=cloud_resolvers,
+            resolver_configs=resolver_configs,
+            websites=websites,
+        )
+        self._register_prefixes(topo)
+        topo.validate()
+        return topo
+
+    # ------------------------------------------------------------------
+    # AS population
+    # ------------------------------------------------------------------
+    def _build_backbone(self, ases, add_as) -> None:
+        for asn, name, cc in TIER1_SPECS:
+            add_as(AS(asn=asn, name=name, country_iso2=cc,
+                      kind=ASKind.TRANSIT, tier=1, founded_year=1995))
+        for asn, name, cc in CLOUD_SPECS:
+            add_as(AS(asn=asn, name=name, country_iso2=cc,
+                      kind=ASKind.CLOUD, tier=2, founded_year=2006))
+        for asn, name, pops, _share in CDN_SPECS:
+            if asn in ases:  # Google runs CDN and cloud on one ASN
+                continue
+            add_as(AS(asn=asn, name=name, country_iso2="US",
+                      kind=ASKind.CONTENT, tier=2, founded_year=2008))
+        add_as(AS(asn=19281, name="Quad9", country_iso2="US",
+                  kind=ASKind.CONTENT, tier=3, founded_year=2016))
+        # European wholesale Tier-2s: the carriers African ISPs buy from.
+        eu_homes = ("DE", "NL", "GB", "FR", "PT", "ES", "IT")
+        for i in range(14):
+            cc = eu_homes[i % len(eu_homes)]
+            add_as(AS(asn=8800 + i, name=f"EU-Transit-{i + 1}",
+                      country_iso2=cc, kind=ASKind.TRANSIT, tier=2,
+                      founded_year=1998 + (i % 8)))
+
+    def _build_african_transit(self, add_as) -> None:
+        for asn, name, home, footprint in AFRICAN_TRANSIT_SPECS:
+            a = add_as(AS(asn=asn, name=name, country_iso2=home,
+                          kind=ASKind.TRANSIT, tier=2, founded_year=2009))
+            a.footprint = tuple(footprint)  # type: ignore[attr-defined]
+
+    def _build_african_edge(self, add_as, counters, used_asns) -> None:
+        p = self.params
+        rng = derive_rng(p.seed, "topology", "african-edge")
+        for iso2 in sorted(AFRICAN_COUNTRIES):
+            c = AFRICAN_COUNTRIES[iso2]
+            profile = REGION_PROFILES[c.region]
+            n_eyeballs = max(2, round(profile.asn_density
+                                      * c.population_m * p.scale))
+            n_mobile = max(1, round(n_eyeballs * c.mobile_share))
+            for i in range(n_eyeballs):
+                kind = ASKind.MOBILE if i < n_mobile else ASKind.FIXED
+                if iso2 == "RW" and i == n_eyeballs - 1:
+                    # The paper's Kigali vantage (GVA/Canalbox, §7.3).
+                    kind = ASKind.FIXED
+                    asn = 36924
+                    used_asns.add(asn)
+                    name = "GVA-Canalbox-RW"
+                else:
+                    asn = counters.african_asn(used_asns)
+                    label = "Mobile" if kind is ASKind.MOBILE else "ISP"
+                    name = f"{iso2}-{label}-{i + 1}"
+                founded = (rng.randint(2016, 2025) if rng.random() < 0.55
+                           else rng.randint(1998, 2015))
+                add_as(AS(asn=asn, name=name, country_iso2=iso2, kind=kind,
+                          tier=3, founded_year=founded))
+            # One NREN per country, plus a couple of enterprise networks
+            # in the bigger economies.
+            add_as(AS(asn=counters.african_asn(used_asns),
+                      name=f"{iso2}-NREN", country_iso2=iso2,
+                      kind=ASKind.EDUCATION, tier=3,
+                      founded_year=rng.randint(2004, 2018)))
+            n_ent = 1 + (c.population_m > 30) + (c.population_m > 80)
+            for j in range(n_ent):
+                add_as(AS(asn=counters.african_asn(used_asns),
+                          name=f"{iso2}-Enterprise-{j + 1}",
+                          country_iso2=iso2, kind=ASKind.ENTERPRISE, tier=3,
+                          founded_year=rng.randint(2008, 2023)))
+
+    def _build_reference_edge(self, add_as, counters, used_asns) -> None:
+        p = self.params
+        rng = derive_rng(p.seed, "topology", "reference-edge")
+        for iso2 in sorted(COUNTRIES):
+            c = COUNTRIES[iso2]
+            if c.is_african:
+                continue
+            n = min(10, max(3, round(REFERENCE_PROFILE.asn_density
+                                     * c.population_m * p.scale * 0.25)))
+            n_mobile = max(1, round(n * c.mobile_share))
+            for i in range(n):
+                kind = ASKind.MOBILE if i < n_mobile else ASKind.FIXED
+                label = "Mobile" if kind is ASKind.MOBILE else "ISP"
+                add_as(AS(asn=counters.reference_asn(used_asns),
+                          name=f"{iso2}-{label}-{i + 1}", country_iso2=iso2,
+                          kind=kind, tier=3,
+                          founded_year=rng.randint(1995, 2020)))
+
+    # ------------------------------------------------------------------
+    # IXPs
+    # ------------------------------------------------------------------
+    def _build_ixps(self, counters) -> dict[int, IXP]:
+        p = self.params
+        rng = derive_rng(p.seed, "topology", "ixps")
+        lan_alloc = PrefixAllocator([Prefix.parse(AFRINIC_IXP_LAN_POOL)])
+        eu_lan_alloc = PrefixAllocator([Prefix.parse(REFERENCE_IXP_LAN_POOL)])
+        ixps: dict[int, IXP] = {}
+
+        def new_ixp(name, cc, year, alloc) -> IXP:
+            ixp = IXP(ixp_id=counters.next_ixp_id, name=name,
+                      country_iso2=cc, lan_prefix=alloc.allocate(24),
+                      founded_year=year,
+                      lan_routed=rng.random() < p.ixp_lan_leak_rate)
+            counters.next_ixp_id += 1
+            ixps[ixp.ixp_id] = ixp
+            return ixp
+
+        for region, flagships in FLAGSHIP_IXPS.items():
+            profile = REGION_PROFILES[region]
+            for name, cc, year in flagships:
+                new_ixp(name, cc, year, lan_alloc)
+            remaining_old = profile.ixp_count_2015 - len(flagships)
+            remaining_new = profile.ixp_count_2025 - profile.ixp_count_2015
+            region_countries = sorted(
+                c.iso2 for c in AFRICAN_COUNTRIES.values()
+                if c.region is region)
+            weights = [AFRICAN_COUNTRIES[cc].population_m
+                       for cc in region_countries]
+            for k in range(max(0, remaining_old) + max(0, remaining_new)):
+                cc = rng.choices(region_countries, weights=weights)[0]
+                year = (rng.randint(2006, 2014) if k < remaining_old
+                        else rng.randint(2016, 2025))
+                serial = sum(1 for x in ixps.values()
+                             if x.country_iso2 == cc) + 1
+                new_ixp(f"{cc}-IX-{serial}", cc, year, lan_alloc)
+
+        for name, cc, year in EU_IXP_SPECS:
+            new_ixp(name, cc, year, eu_lan_alloc)
+        return ixps
+
+    def _populate_ixp_members(self, ases, ixps, seed) -> None:
+        rng = derive_rng(seed, "topology", "ixp-members")
+        cdn_asns = {spec[0] for spec in CDN_SPECS}
+        transit = [a for a in ases.values()
+                   if a.kind is ASKind.TRANSIT and a.tier == 2
+                   and a.is_african]
+        for ixp in sorted(ixps.values(), key=lambda x: x.ixp_id):
+            cc = ixp.country_iso2
+            region = ixp.region
+
+            def join(asn: int) -> None:
+                ixp.members.add(asn)
+                ases[asn].ixps.add(ixp.ixp_id)
+
+            if ixp.is_african:
+                pass  # handled below, AS-by-AS (stubs join 1-2 exchanges)
+            else:
+                # European exchanges: EU Tier-2s, clouds, CDNs, and the
+                # occasional remote-peering African carrier.
+                for a in sorted(ases.values(), key=lambda x: x.asn):
+                    if a.is_african:
+                        continue
+                    if a.kind is ASKind.TRANSIT and a.tier == 2 \
+                            and rng.random() < 0.35:
+                        join(a.asn)
+                    elif a.kind in (ASKind.CLOUD, ASKind.CONTENT) \
+                            and rng.random() < 0.9:
+                        join(a.asn)
+                    elif a.kind.is_eyeball and a.region is Region.EUROPE \
+                            and rng.random() < 0.5:
+                        join(a.asn)
+                for t in transit:
+                    if rng.random() < 0.35:
+                        join(t.asn)
+
+        # African exchanges, from the member side: a stub connects to
+        # its primary local exchange and only sometimes to a second —
+        # real ISPs rarely maintain ports at many fabrics.  Regional
+        # transit providers pick up to two exchanges per footprint
+        # country.
+        african_ixps_by_cc: dict[str, list[IXP]] = {}
+        for ixp in sorted(ixps.values(), key=lambda x: x.ixp_id):
+            if ixp.is_african:
+                african_ixps_by_cc.setdefault(ixp.country_iso2,
+                                              []).append(ixp)
+        for a in sorted(ases.values(), key=lambda x: x.asn):
+            if not a.is_african or a.tier != 3:
+                continue
+            local = african_ixps_by_cc.get(a.country_iso2, [])
+            if not local:
+                continue
+            profile = REGION_PROFILES[a.region]
+            # Everyone's first port goes to the flagship (the oldest,
+            # biggest exchange — NAPAfrica, KIXP, IXPN...); secondary
+            # ports at younger fabrics are much rarer.
+            order = sorted(local, key=lambda x: (x.founded_year, x.ixp_id))
+            rate = profile.ixp_join_rate
+            for ixp in order:
+                if rng.random() < rate:
+                    ixp.members.add(a.asn)
+                    a.ixps.add(ixp.ixp_id)
+                rate *= 0.25  # steep drop-off after the primary port
+        for t in transit:
+            footprint = getattr(t, "footprint", (t.country_iso2,))
+            for cc in footprint:
+                local = african_ixps_by_cc.get(cc, [])
+                for ixp in local[:2]:
+                    if rng.random() < 0.85:
+                        ixp.members.add(t.asn)
+                        ases[t.asn].ixps.add(ixp.ixp_id)
+        # The Kigali vantage joins its local exchange (RINEX).
+        if 36924 in ases:
+            for ixp in african_ixps_by_cc.get("RW", [])[:1]:
+                ixp.members.add(36924)
+                ases[36924].ixps.add(ixp.ixp_id)
+        # Every exchange that exists has at least two local members.
+        for cc, local in sorted(african_ixps_by_cc.items()):
+            candidates = sorted(
+                (x for x in ases.values()
+                 if x.country_iso2 == cc and x.tier == 3),
+                key=lambda x: -sum(p.size for p in x.prefixes))
+            for ixp in local:
+                for x in candidates:
+                    if len(ixp.members) >= 2:
+                        break
+                    ixp.members.add(x.asn)
+                    x.ixps.add(ixp.ixp_id)
+        # CDN off-nets at the larger exchanges (§2).
+        for ixp in sorted(ixps.values(), key=lambda x: x.ixp_id):
+            if not ixp.is_african or len(ixp.members) < 4:
+                continue
+            profile = REGION_PROFILES[ixp.region]
+            for cdn_asn in sorted(cdn_asns):
+                if rng.random() < profile.offnet_cache_rate:
+                    ixp.members.add(cdn_asn)
+                    ases[cdn_asn].ixps.add(ixp.ixp_id)
+                    ixp.offnet_providers.add(cdn_asn)
+
+    # ------------------------------------------------------------------
+    # Relationships
+    # ------------------------------------------------------------------
+    def _build_relationships(self, ases, ixps, seed) -> list[ASLink]:
+        rng = derive_rng(seed, "topology", "relationships")
+        links: list[ASLink] = []
+        linked: set[tuple[int, int]] = set()
+
+        def key(a, b):
+            return (a, b) if a <= b else (b, a)
+
+        def p2c(provider: int, customer: int) -> None:
+            if provider == customer or key(provider, customer) in linked:
+                return
+            linked.add(key(provider, customer))
+            links.append(ASLink(provider, customer,
+                                Relationship.PROVIDER_TO_CUSTOMER))
+            ases[provider].customers.add(customer)
+            ases[customer].providers.add(provider)
+
+        def p2p(a: int, b: int, ixp_id: int | None = None) -> None:
+            if a == b or key(a, b) in linked:
+                return
+            linked.add(key(a, b))
+            links.append(ASLink(a, b, Relationship.PEER_TO_PEER,
+                                ixp_id=ixp_id))
+            ases[a].peers.add(b)
+            ases[b].peers.add(a)
+
+        tier1s = sorted(a.asn for a in ases.values() if a.tier == 1)
+        for a, b in itertools.combinations(tier1s, 2):
+            p2p(a, b)
+
+        eu_tier2 = sorted(a.asn for a in ases.values()
+                          if a.kind is ASKind.TRANSIT and a.tier == 2
+                          and not a.is_african)
+        for asn in eu_tier2:
+            for provider in rng.sample(tier1s, k=rng.randint(1, 3)):
+                p2c(provider, asn)
+        for a, b in itertools.combinations(eu_tier2, 2):
+            if rng.random() < 0.10:
+                p2p(a, b)
+
+        clouds = sorted(a.asn for a in ases.values()
+                        if a.kind in (ASKind.CLOUD, ASKind.CONTENT))
+        for asn in clouds:
+            for provider in rng.sample(tier1s, k=2):
+                p2c(provider, asn)
+            for t2 in eu_tier2:
+                if rng.random() < 0.5:
+                    p2p(asn, t2)
+
+        african_transit = sorted(a.asn for a in ases.values()
+                                 if a.kind is ASKind.TRANSIT and a.tier == 2
+                                 and a.is_african)
+        for asn in african_transit:
+            choices = rng.sample(eu_tier2, k=rng.randint(1, 2))
+            for provider in choices:
+                p2c(provider, asn)
+            if rng.random() < 0.4:
+                p2c(rng.choice(tier1s), asn)
+        for a, b in itertools.combinations(african_transit, 2):
+            if rng.random() < 0.55:
+                p2p(a, b)
+
+        # African edge networks buy transit; the regional_transit_rate is
+        # the probability they can find an African upstream at all (§4.1:
+        # "a lack of sufficient Tier-2 providers in Africa").
+        transit_by_cc: dict[str, list[int]] = {}
+        for asn in african_transit:
+            for cc in getattr(ases[asn], "footprint",
+                              (ases[asn].country_iso2,)):
+                transit_by_cc.setdefault(cc, []).append(asn)
+        for a in sorted(ases.values(), key=lambda x: x.asn):
+            if not a.is_african or a.tier != 3:
+                continue
+            if a.asn == 36924:
+                continue  # the Kigali vantage is wired explicitly below
+            profile = REGION_PROFILES[a.region]
+            if a.kind is ASKind.EDUCATION:
+                # NRENs buy international academic transit from Europe
+                # (GEANT-style), regardless of the local market.
+                p2c(rng.choice(eu_tier2), a.asn)
+                continue
+            local_upstreams = transit_by_cc.get(a.country_iso2, [])
+            if local_upstreams and rng.random() < profile.regional_transit_rate:
+                p2c(rng.choice(local_upstreams), a.asn)
+                if rng.random() < 0.3:
+                    p2c(rng.choice(eu_tier2), a.asn)
+            else:
+                p2c(rng.choice(eu_tier2), a.asn)
+                if rng.random() < 0.25:
+                    p2c(rng.choice(eu_tier2), a.asn)
+
+        # The Kigali vantage of §7.3 is wired the way the paper
+        # describes it: peering locally and buying regional transit
+        # whose providers peer at exchanges across the continent.
+        if 36924 in ases:
+            for provider in (30844, 37662):  # Liquid, WIOCC
+                if provider in ases:
+                    p2c(provider, 36924)
+
+        # Reference eyeballs: single-homed to in-region wholesale.
+        for a in sorted(ases.values(), key=lambda x: x.asn):
+            if a.is_african or a.tier != 3 or a.kind is ASKind.CONTENT:
+                continue
+            if a.region is Region.EUROPE:
+                p2c(rng.choice(eu_tier2), a.asn)
+            else:
+                p2c(rng.choice(tier1s), a.asn)
+
+        # IXP fabrics: bilateral peering between members.  Big networks
+        # (transit, cloud, content) that meet at an exchange frequently
+        # interconnect via private cross-connects (PNI) instead of the
+        # shared LAN, so the fabric IP never shows in traceroutes; stub
+        # networks use the route-server fabric.
+        for ixp in sorted(ixps.values(), key=lambda x: x.ixp_id):
+            profile = (REGION_PROFILES[ixp.region] if ixp.is_african
+                       else REFERENCE_PROFILE)
+            members = sorted(ixp.members)
+            for a, b in itertools.combinations(members, 2):
+                if key(a, b) in linked:
+                    continue
+                # CDNs peer with everyone at the exchange; everyone else
+                # peers with the fabric's base rate.
+                rate = profile.ixp_peering_rate
+                both_big = (ases[a].tier <= 2 and ases[b].tier <= 2)
+                if ases[a].kind is ASKind.CONTENT \
+                        or ases[b].kind is ASKind.CONTENT:
+                    rate = min(0.95, rate + 0.25)
+                # Route servers make transit<->stub fabric sessions easy.
+                if ixp.is_african and not both_big and \
+                        (ases[a].tier == 2 or ases[b].tier == 2):
+                    rate = min(0.95, rate + 0.30)
+                if rng.random() < rate:
+                    pni = both_big and rng.random() < 0.55
+                    p2p(a, b, ixp_id=None if pni else ixp.ixp_id)
+        return links
+
+    # ------------------------------------------------------------------
+    # Cables
+    # ------------------------------------------------------------------
+    def _build_cables(self, counters) -> list[SubseaCable]:
+        cables = []
+        for spec in (REAL_CABLE_SPECS + SYNTHETIC_OLD_CABLE_SPECS
+                     + SYNTHETIC_NEW_CABLE_SPECS + REFERENCE_CABLE_SPECS):
+            cables.append(build_cable(counters.next_cable_id, spec))
+            counters.next_cable_id += 1
+        return cables
+
+    # ------------------------------------------------------------------
+    # Address space
+    # ------------------------------------------------------------------
+    _PREFIX_BUDGET = {
+        ASKind.MOBILE: (4, 10), ASKind.FIXED: (2, 6),
+        ASKind.TRANSIT: (2, 4), ASKind.CLOUD: (8, 12),
+        ASKind.CONTENT: (4, 8), ASKind.EDUCATION: (1, 2),
+        ASKind.ENTERPRISE: (1, 1),
+    }
+
+    def _assign_prefixes(self, ases, ixps, seed) -> None:
+        rng = derive_rng(seed, "topology", "prefixes")
+        african_alloc = PrefixAllocator(
+            [Prefix.parse(p) for p in AFRINIC_POOLS])
+        ref_allocs = {region: PrefixAllocator(
+            [Prefix.parse(p) for p in pools])
+            for region, pools in REFERENCE_POOLS.items()}
+        for a in sorted(ases.values(), key=lambda x: x.asn):
+            lo, hi = self._PREFIX_BUDGET[a.kind]
+            n = rng.randint(lo, hi)
+            alloc = (african_alloc if a.is_african
+                     else ref_allocs[a.region])
+            a.prefixes = [alloc.allocate(20) for _ in range(n)]
+
+    def _register_prefixes(self, topo: Topology) -> None:
+        for a in topo.ases.values():
+            for prefix in a.prefixes:
+                topo.prefix_registry.add(prefix, a.asn)
+        for ixp in topo.ixps.values():
+            topo.prefix_registry.add(ixp.lan_prefix, IXPOwner(ixp.ixp_id))
+
+    # ------------------------------------------------------------------
+    # DNS resolver assignments
+    # ------------------------------------------------------------------
+    def _assign_resolvers(self, ases, cloud_resolvers, seed
+                          ) -> dict[int, ResolverConfig]:
+        rng = derive_rng(seed, "topology", "resolvers")
+        configs: dict[int, ResolverConfig] = {}
+        # Outsourcing destinations skew to the hub markets (§5.2).
+        hub_ccs = ("ZA", "KE", "NG", "EG", "MU")
+        eu_ccs = ("DE", "NL", "GB", "FR")
+        by_country: dict[str, list[int]] = {}
+        for a in ases.values():
+            if a.kind.is_eyeball or a.kind is ASKind.TRANSIT:
+                by_country.setdefault(a.country_iso2, []).append(a.asn)
+
+        for a in sorted(ases.values(), key=lambda x: x.asn):
+            if not a.kind.is_eyeball and a.kind is not ASKind.EDUCATION \
+                    and a.kind is not ASKind.ENTERPRISE:
+                continue
+            profile = (REGION_PROFILES[a.region] if a.is_african
+                       else REFERENCE_PROFILE)
+            localities = list(profile.resolver_mix.keys())
+            weights = list(profile.resolver_mix.values())
+            locality = rng.choices(localities, weights=weights)[0]
+            if locality is ResolverLocality.LOCAL_AS:
+                cfg = ResolverConfig(a.asn, locality, a.country_iso2, a.asn)
+            elif locality is ResolverLocality.LOCAL_COUNTRY:
+                candidates = [x for x in by_country.get(a.country_iso2, [])
+                              if x != a.asn]
+                op = rng.choice(candidates) if candidates else a.asn
+                cfg = ResolverConfig(a.asn, locality, a.country_iso2, op)
+            elif locality is ResolverLocality.OTHER_AFRICAN_COUNTRY:
+                cc = rng.choice([c for c in hub_ccs
+                                 if c != a.country_iso2])
+                ops = by_country.get(cc, [])
+                op = rng.choice(ops) if ops else a.asn
+                cfg = ResolverConfig(a.asn, locality, cc, op)
+            elif locality is ResolverLocality.CLOUD:
+                svc = rng.choice(cloud_resolvers)
+                pop = svc.nearest_pop(a.country_iso2)
+                cfg = ResolverConfig(a.asn, locality, pop, svc.asn)
+            else:  # FOREIGN
+                cc = rng.choice(eu_ccs)
+                cfg = ResolverConfig(a.asn, locality, cc, 24940)
+            configs[a.asn] = cfg
+        return configs
+
+    # ------------------------------------------------------------------
+    # Content / top sites
+    # ------------------------------------------------------------------
+    _GLOBAL_DOMAINS = (
+        "google.com", "youtube.com", "facebook.com", "whatsapp.com",
+        "wikipedia.org", "twitter.com", "instagram.com", "tiktok.com",
+        "netflix.com", "amazon.com", "office.com", "zoom.us",
+        "linkedin.com", "reddit.com", "telegram.org",
+    )
+
+    def _build_websites(self, ases, ixps, cdns, datacenters, seed
+                        ) -> dict[str, list[Website]]:
+        p = self.params
+        rng = derive_rng(seed, "topology", "websites")
+        dc_countries = {d.country_iso2 for d in datacenters}
+        african_dc_ccs = [d.country_iso2 for d in datacenters
+                          if d.is_african]
+        cdn_weights = [c.market_share for c in cdns]
+        offnet_ccs_by_cdn: dict[int, set[str]] = {c.asn: set() for c in cdns}
+        for ixp in ixps.values():
+            for cdn_asn in ixp.offnet_providers:
+                offnet_ccs_by_cdn.setdefault(cdn_asn, set()).add(
+                    ixp.country_iso2)
+
+        clouds = [a for a in ases.values() if a.kind is ASKind.CLOUD]
+        websites: dict[str, list[Website]] = {}
+        for iso2 in sorted(AFRICAN_COUNTRIES):
+            c = AFRICAN_COUNTRIES[iso2]
+            profile = REGION_PROFILES[c.region]
+            sites: list[Website] = []
+            for rank in range(1, p.top_sites_per_country + 1):
+                if rank <= len(self._GLOBAL_DOMAINS):
+                    domain = self._GLOBAL_DOMAINS[rank - 1]
+                else:
+                    domain = f"site{rank}.{iso2.lower()}"
+                uses_cdn = rng.random() < p.cdn_top_site_share
+                if uses_cdn:
+                    cdn = rng.choices(cdns, weights=cdn_weights)[0]
+                    site = self._place_cdn_site(
+                        domain, rank, iso2, cdn,
+                        offnet_ccs_by_cdn.get(cdn.asn, set()), rng)
+                else:
+                    site = self._place_origin_site(
+                        domain, rank, iso2, profile, clouds,
+                        dc_countries, african_dc_ccs, rng)
+                sites.append(site)
+            websites[iso2] = sites
+        return websites
+
+    def _place_cdn_site(self, domain, rank, client_cc, cdn, offnet_ccs,
+                        rng) -> Website:
+        if client_cc in offnet_ccs:
+            return Website(domain, rank, client_cc, True, cdn.asn,
+                           client_cc, HostingClass.LOCAL_CACHE)
+        african_pops = [cc for cc in cdn.pop_countries
+                        if cc in AFRICAN_COUNTRIES]
+        # Anycast catchment: an African PoP may exist, but capacity and
+        # catchment quirks push a region-dependent share of requests to
+        # Europe (§4.2: "a significant amount of content is also
+        # sourced from Europe").
+        catchment = REGION_CDN_CATCHMENT[AFRICAN_COUNTRIES[client_cc].region]
+        if african_pops and rng.random() < catchment:
+            cc = self._nearest_pop(client_cc, african_pops)
+            cls = (HostingClass.LOCAL_DC if cc == client_cc
+                   else HostingClass.AFRICAN_DC)
+            return Website(domain, rank, client_cc, True, cdn.asn, cc, cls)
+        eu_pops = [cc for cc in cdn.pop_countries
+                   if cc in ("DE", "GB", "FR", "NL")]
+        cc = eu_pops[0] if eu_pops else "US"
+        cls = (HostingClass.EUROPE if cc in ("DE", "GB", "FR", "NL")
+               else HostingClass.OTHER_FOREIGN)
+        return Website(domain, rank, client_cc, True, cdn.asn, cc, cls)
+
+    @staticmethod
+    def _nearest_pop(client_cc: str, pops: list[str]) -> str:
+        from repro.geo import haversine_km
+        client = AFRICAN_COUNTRIES[client_cc]
+        return min(pops, key=lambda cc: (haversine_km(
+            client.lat, client.lon, country(cc).lat, country(cc).lon), cc))
+
+    def _place_origin_site(self, domain, rank, client_cc, profile, clouds,
+                           dc_countries, african_dc_ccs, rng) -> Website:
+        if client_cc in dc_countries \
+                and rng.random() < profile.local_hosting_rate:
+            host = rng.choice(clouds)
+            return Website(domain, rank, client_cc, False, host.asn,
+                           client_cc, HostingClass.LOCAL_DC)
+        if rng.random() < 0.10 and african_dc_ccs:
+            cc = "ZA" if rng.random() < 0.6 else rng.choice(african_dc_ccs)
+            host = rng.choice(clouds)
+            return Website(domain, rank, client_cc, False, host.asn, cc,
+                           HostingClass.AFRICAN_DC)
+        host = rng.choice(clouds)
+        if rng.random() < 0.75:
+            return Website(domain, rank, client_cc, False, host.asn,
+                           rng.choice(("DE", "NL", "GB", "FR")),
+                           HostingClass.EUROPE)
+        return Website(domain, rank, client_cc, False, host.asn, "US",
+                       HostingClass.OTHER_FOREIGN)
+
+
+def build_world(seed: int = 2025, params: WorldParams | None = None
+                ) -> Topology:
+    """Build the default world; the one-liner every example starts with."""
+    if params is None:
+        params = WorldParams(seed=seed)
+    elif params.seed != seed and seed != 2025:
+        raise ValueError("pass the seed via params when supplying params")
+    return TopologyGenerator(params).build()

@@ -1,0 +1,66 @@
+"""Internet exchange points.
+
+IXPs are central to the paper: they are the instrument of traffic
+localisation (§2), the blind spot of global scanners (Table 1 — LAN
+prefixes are not announced in the global table), and the coverage
+universe of the Observatory's set-cover probe placement (§7.3,
+footnote 1: 34 ASNs cover all 77 African IXPs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo import Region, country
+from repro.topology.prefixes import Prefix
+
+
+@dataclass
+class IXP:
+    """An Internet exchange point with a peering LAN."""
+
+    ixp_id: int
+    name: str
+    country_iso2: str
+    lan_prefix: Prefix
+    founded_year: int
+    #: ASNs present on the peering fabric.
+    members: set[int] = field(default_factory=set)
+    #: Content/CDN ASNs with off-net caches hosted at this IXP (§2).
+    offnet_providers: set[int] = field(default_factory=set)
+    #: Whether the LAN prefix leaks into the global BGP table (rare;
+    #: RFC 7454 recommends against announcing peering LANs).
+    lan_routed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lan_prefix.plen < 22 or self.lan_prefix.plen > 24:
+            raise ValueError(
+                f"IXP LAN should be /22../24, got {self.lan_prefix}"
+            )
+
+    @property
+    def region(self) -> Region:
+        return country(self.country_iso2).region
+
+    @property
+    def is_african(self) -> bool:
+        return self.region.is_african
+
+    def lan_ip_for(self, asn: int) -> int:
+        """Deterministic fabric address for a member AS.
+
+        Real IXPs assign each member a stable address on the peering
+        LAN; we derive one from the member ASN so traceroute synthesis
+        and IXP detection agree.
+        """
+        if asn not in self.members:
+            raise ValueError(f"AS{asn} is not a member of {self.name}")
+        host_bits = self.lan_prefix.size - 2
+        offset = 1 + (asn % host_bits)
+        return self.lan_prefix.network + offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IXP(id={self.ixp_id}, name={self.name!r},"
+            f" cc={self.country_iso2}, members={len(self.members)})"
+        )

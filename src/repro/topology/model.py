@@ -1,0 +1,181 @@
+"""The :class:`Topology` container — the fully built synthetic world.
+
+Produced by :mod:`repro.topology.generator`; consumed by routing,
+measurement, outage and observatory layers.  All lookups the analyses
+need (IP → AS, IP → IXP, region rosters, cable geography) live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.geo import Region, country, AFRICAN_REGIONS
+from repro.topology.asn import AS, ASKind, ASLink, Relationship
+from repro.topology.cables import SubseaCable
+from repro.topology.calibration import WorldParams
+from repro.topology.content import CDNProvider, Website
+from repro.topology.datacenters import DataCenter
+from repro.topology.dns import CloudResolverService, ResolverConfig
+from repro.topology.ixp import IXP
+from repro.topology.prefixes import PrefixRegistry
+from repro.topology.terrestrial import TerrestrialLink
+
+
+@dataclass(frozen=True)
+class IXPOwner:
+    """Prefix-registry owner marker for IXP LAN prefixes."""
+
+    ixp_id: int
+
+
+@dataclass
+class Topology:
+    """The simulated Internet."""
+
+    params: WorldParams
+    ases: dict[int, AS]
+    links: list[ASLink]
+    ixps: dict[int, IXP]
+    cables: list[SubseaCable]
+    terrestrial: list[TerrestrialLink]
+    datacenters: list[DataCenter]
+    cdns: list[CDNProvider]
+    cloud_resolvers: list[CloudResolverService]
+    resolver_configs: dict[int, ResolverConfig]
+    #: client country ISO2 -> its top-site list.
+    websites: dict[str, list[Website]]
+    prefix_registry: PrefixRegistry = field(default_factory=PrefixRegistry)
+    #: (min(a, b), max(a, b)) -> ASLink index for O(1) adjacency checks.
+    _link_index: dict[tuple[int, int], ASLink] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._link_index:
+            for link in self.links:
+                self._link_index[self._key(link.a, link.b)] = link
+
+    @staticmethod
+    def _key(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    # ------------------------------------------------------------------
+    # AS lookups
+    # ------------------------------------------------------------------
+    def as_(self, asn: int) -> AS:
+        try:
+            return self.ases[asn]
+        except KeyError:
+            raise KeyError(f"unknown ASN {asn}") from None
+
+    def ases_in_country(self, iso2: str) -> list[AS]:
+        return [a for a in self.ases.values() if a.country_iso2 == iso2]
+
+    def ases_in_region(self, region: Region) -> list[AS]:
+        return [a for a in self.ases.values() if a.region is region]
+
+    def african_ases(self) -> list[AS]:
+        return [a for a in self.ases.values() if a.is_african]
+
+    def eyeball_ases(self, region: Optional[Region] = None) -> list[AS]:
+        out = [a for a in self.ases.values() if a.kind.is_eyeball]
+        if region is not None:
+            out = [a for a in out if a.region is region]
+        return out
+
+    def tier1_ases(self) -> list[AS]:
+        return [a for a in self.ases.values() if a.tier == 1]
+
+    def link_between(self, a: int, b: int) -> Optional[ASLink]:
+        return self._link_index.get(self._key(a, b))
+
+    def shared_ixps(self, a: int, b: int) -> list[IXP]:
+        """IXPs where both ASes are members."""
+        common = self.as_(a).ixps & self.as_(b).ixps
+        return [self.ixps[i] for i in sorted(common)]
+
+    # ------------------------------------------------------------------
+    # IP-space lookups
+    # ------------------------------------------------------------------
+    def owner_of_ip(self, ip: int):
+        """Registry owner of ``ip``: an ASN (int), IXPOwner, or None."""
+        return self.prefix_registry.lookup(ip)
+
+    def as_for_ip(self, ip: int) -> Optional[AS]:
+        owner = self.owner_of_ip(ip)
+        if isinstance(owner, int):
+            return self.ases.get(owner)
+        return None
+
+    def ixp_for_ip(self, ip: int) -> Optional[IXP]:
+        owner = self.owner_of_ip(ip)
+        if isinstance(owner, IXPOwner):
+            return self.ixps.get(owner.ixp_id)
+        return None
+
+    # ------------------------------------------------------------------
+    # Infrastructure rosters
+    # ------------------------------------------------------------------
+    def african_ixps(self) -> list[IXP]:
+        return [x for x in self.ixps.values() if x.is_african]
+
+    def ixps_in_country(self, iso2: str) -> list[IXP]:
+        return [x for x in self.ixps.values() if x.country_iso2 == iso2]
+
+    def cables_landing_in(self, iso2: str,
+                          year: Optional[int] = None) -> list[SubseaCable]:
+        year = year if year is not None else self.params.current_year
+        return [c for c in self.cables
+                if iso2 in c.countries and c.active_in(year)]
+
+    def active_cables(self, year: Optional[int] = None) -> list[SubseaCable]:
+        year = year if year is not None else self.params.current_year
+        return [c for c in self.cables if c.active_in(year)]
+
+    def african_cables(self, year: Optional[int] = None) -> list[SubseaCable]:
+        return [c for c in self.active_cables(year) if c.african_countries]
+
+    def datacenters_in(self, iso2: str) -> list[DataCenter]:
+        return [d for d in self.datacenters if d.country_iso2 == iso2]
+
+    # ------------------------------------------------------------------
+    # Summary / sanity
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        """Headline counts, handy for logging and sanity tests."""
+        african = self.african_ases()
+        return {
+            "ases_total": len(self.ases),
+            "ases_african": len(african),
+            "links": len(self.links),
+            "ixps_total": len(self.ixps),
+            "ixps_african": len(self.african_ixps()),
+            "cables": len(self.cables),
+            "cables_african": len(self.african_cables()),
+            "terrestrial_links": len(self.terrestrial),
+            "datacenters": len(self.datacenters),
+            "countries_african": len(
+                {a.country_iso2 for a in african}),
+        }
+
+    def validate(self) -> None:
+        """Structural invariants; raises ``AssertionError`` on violation."""
+        for link in self.links:
+            if link.a not in self.ases or link.b not in self.ases:
+                raise AssertionError(f"dangling link {link}")
+            if link.rel is Relationship.PROVIDER_TO_CUSTOMER:
+                if link.b not in self.ases[link.a].customers:
+                    raise AssertionError(f"unrecorded customer on {link}")
+                if link.a not in self.ases[link.b].providers:
+                    raise AssertionError(f"unrecorded provider on {link}")
+        for ixp in self.ixps.values():
+            for member in ixp.members:
+                if member not in self.ases:
+                    raise AssertionError(
+                        f"IXP {ixp.name} has unknown member AS{member}")
+                if ixp.ixp_id not in self.ases[member].ixps:
+                    raise AssertionError(
+                        f"membership not mirrored for AS{member}")
+        for asn, cfg in self.resolver_configs.items():
+            if asn not in self.ases:
+                raise AssertionError(f"resolver config for unknown AS{asn}")
+            country(cfg.hosted_in)  # raises if bogus

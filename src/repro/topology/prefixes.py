@@ -1,0 +1,192 @@
+"""IPv4 prefixes and an allocation registry.
+
+We model real address-space structure where it matters to the paper:
+
+* African networks are numbered out of AfriNIC supernets (41/8, 102/8,
+  105/8, 154/8, 196/8, 197/8) so that AfriNIC "delegated" statistics can
+  be synthesised (§6.1 uses them as the coverage denominator).
+* IXP LAN prefixes come from dedicated pools and are **not announced**
+  in the global BGP table — the mechanism behind the poor IXP coverage
+  of prefix-guided scanners in Table 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+def _parse_dotted(dotted: str) -> int:
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad IPv4 octet in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 prefix (network base + mask length)."""
+
+    network: int
+    plen: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.plen <= 32:
+            raise ValueError(f"bad prefix length {self.plen}")
+        if self.network & (self.size - 1):
+            raise ValueError(
+                f"network {format_ip(self.network)} not aligned to /{self.plen}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` into a :class:`Prefix`."""
+        addr, _, plen = text.partition("/")
+        if not plen:
+            raise ValueError(f"missing prefix length in {text!r}")
+        return cls(_parse_dotted(addr), int(plen))
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (32 - self.plen)
+
+    @property
+    def last(self) -> int:
+        return self.network + self.size - 1
+
+    def contains_ip(self, ip: int) -> bool:
+        return self.network <= ip <= self.last
+
+    def contains(self, other: "Prefix") -> bool:
+        return self.plen <= other.plen and self.contains_ip(other.network)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        return self.network <= other.last and other.network <= self.last
+
+    def subnets(self, new_plen: int) -> Iterator["Prefix"]:
+        """Iterate the sub-prefixes of length ``new_plen``."""
+        if new_plen < self.plen:
+            raise ValueError("new prefix length must not be shorter")
+        step = 1 << (32 - new_plen)
+        for base in range(self.network, self.network + self.size, step):
+            yield Prefix(base, new_plen)
+
+    def slash24_count(self) -> int:
+        """How many /24 blocks this prefix spans (1 if longer than /24)."""
+        if self.plen >= 24:
+            return 1
+        return 1 << (24 - self.plen)
+
+    def random_ip(self, rng: random.Random) -> int:
+        """A uniformly random address inside the prefix (host part free)."""
+        return self.network + rng.randrange(self.size)
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.network)}/{self.plen}"
+
+
+class PrefixRegistry:
+    """Maps addresses to owners via non-overlapping allocated prefixes.
+
+    Supports longest-possible lookup by binary search; allocations must
+    not overlap (enforced at insert), which mirrors RIR delegation.
+    """
+
+    def __init__(self) -> None:
+        self._prefixes: list[Prefix] = []
+        self._owners: list[object] = []
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    def add(self, prefix: Prefix, owner: object) -> None:
+        """Register ``prefix`` as owned by ``owner``."""
+        self._prefixes.append(prefix)
+        self._owners.append(owner)
+        self._sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted:
+            return
+        order = sorted(range(len(self._prefixes)), key=lambda i: self._prefixes[i])
+        self._prefixes = [self._prefixes[i] for i in order]
+        self._owners = [self._owners[i] for i in order]
+        for a, b in zip(self._prefixes, self._prefixes[1:]):
+            if a.overlaps(b):
+                raise ValueError(f"overlapping allocations: {a} and {b}")
+        self._sorted = True
+
+    def lookup(self, ip: int) -> Optional[object]:
+        """Owner of the allocation covering ``ip``, or ``None``."""
+        self._ensure_sorted()
+        idx = self._bisect(ip)
+        if idx < 0:
+            return None
+        return self._owners[idx]
+
+    def _bisect(self, ip: int) -> int:
+        lo, hi = 0, len(self._prefixes)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._prefixes[mid].network <= ip:
+                lo = mid + 1
+            else:
+                hi = mid
+        idx = lo - 1
+        if idx >= 0 and self._prefixes[idx].contains_ip(ip):
+            return idx
+        return -1
+
+    def lookup_prefix(self, ip: int) -> Optional[Prefix]:
+        """The allocated prefix covering ``ip``, or ``None``."""
+        self._ensure_sorted()
+        idx = self._bisect(ip)
+        return self._prefixes[idx] if idx >= 0 else None
+
+    def items(self) -> Iterator[tuple[Prefix, object]]:
+        self._ensure_sorted()
+        return iter(list(zip(self._prefixes, self._owners)))
+
+
+class PrefixAllocator:
+    """Carves successive aligned prefixes out of a pool of supernets."""
+
+    def __init__(self, supernets: list[Prefix]) -> None:
+        if not supernets:
+            raise ValueError("allocator needs at least one supernet")
+        self._supernets = sorted(supernets)
+        for a, b in zip(self._supernets, self._supernets[1:]):
+            if a.overlaps(b):
+                raise ValueError(f"overlapping supernets: {a} and {b}")
+        self._pool_idx = 0
+        self._cursor = self._supernets[0].network
+
+    def allocate(self, plen: int) -> Prefix:
+        """Allocate the next free prefix of length ``plen``."""
+        size = 1 << (32 - plen)
+        while self._pool_idx < len(self._supernets):
+            pool = self._supernets[self._pool_idx]
+            base = (self._cursor + size - 1) & ~(size - 1)  # align up
+            if base + size - 1 <= pool.last and base >= pool.network:
+                self._cursor = base + size
+                return Prefix(base, plen)
+            self._pool_idx += 1
+            if self._pool_idx < len(self._supernets):
+                self._cursor = self._supernets[self._pool_idx].network
+        raise RuntimeError(f"address pool exhausted allocating /{plen}")

@@ -1,0 +1,207 @@
+"""World serialization: save/load a generated topology as JSON.
+
+Lets downstream users pin a world artifact (e.g. ship the exact world a
+report was produced from) instead of relying on seed + code version.
+Round-trips every structure the analyses touch; the prefix registry is
+rebuilt from the allocations on load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import json
+import pathlib
+from typing import Any
+
+from repro.topology.asn import AS, ASKind, ASLink, Relationship
+from repro.topology.cables import CableCorridor, Landing, SubseaCable
+from repro.topology.calibration import OutageRates, WorldParams
+from repro.topology.content import CDNProvider, HostingClass, Website
+from repro.topology.datacenters import DataCenter, FacilityTier
+from repro.topology.dns import (
+    CloudResolverService,
+    ResolverConfig,
+    ResolverLocality,
+)
+from repro.topology.ixp import IXP
+from repro.topology.model import IXPOwner, Topology
+from repro.topology.prefixes import Prefix
+from repro.topology.terrestrial import TerrestrialLink
+
+FORMAT_VERSION = 1
+
+
+def _prefix(p: Prefix) -> str:
+    return str(p)
+
+
+def _params_to_dict(params: WorldParams) -> dict:
+    d = dataclasses.asdict(params)
+    d["outage_rates"] = dataclasses.asdict(params.outage_rates)
+    return d
+
+
+def _params_from_dict(d: dict) -> WorldParams:
+    d = dict(d)
+    d["outage_rates"] = OutageRates(**d["outage_rates"])
+    return WorldParams(**d)
+
+
+def topology_to_dict(topo: Topology) -> dict[str, Any]:
+    """A JSON-serializable snapshot of the world."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "params": _params_to_dict(topo.params),
+        "ases": [{
+            "asn": a.asn, "name": a.name, "cc": a.country_iso2,
+            "kind": a.kind.value, "tier": a.tier,
+            "founded": a.founded_year,
+            "prefixes": [_prefix(p) for p in a.prefixes],
+            "footprint": list(getattr(a, "footprint", ())),
+        } for a in sorted(topo.ases.values(), key=lambda x: x.asn)],
+        "links": [{
+            "a": l.a, "b": l.b, "rel": l.rel.value, "ixp": l.ixp_id,
+        } for l in topo.links],
+        "ixps": [{
+            "id": x.ixp_id, "name": x.name, "cc": x.country_iso2,
+            "lan": _prefix(x.lan_prefix), "founded": x.founded_year,
+            "members": sorted(x.members),
+            "offnet": sorted(x.offnet_providers),
+            "lan_routed": x.lan_routed,
+        } for x in sorted(topo.ixps.values(), key=lambda x: x.ixp_id)],
+        "cables": [{
+            "id": c.cable_id, "name": c.name,
+            "corridor": c.corridor.value,
+            "landings": [[g.iso2, g.site, g.lat, g.lon]
+                         for g in c.landings],
+            "rfs": c.rfs_year, "capacity": c.capacity_tbps,
+            "diverse": c.diverse_route, "retired": c.retired_year,
+        } for c in topo.cables],
+        "terrestrial": [{
+            "a": t.a, "b": t.b, "quality": t.quality,
+            "built": t.built_year,
+        } for t in topo.terrestrial],
+        "datacenters": [{
+            "id": d.dc_id, "cc": d.country_iso2, "tier": d.tier.value,
+            "opened": d.opened_year, "capacity": d.capacity,
+        } for d in topo.datacenters],
+        "cdns": [{
+            "asn": c.asn, "name": c.name, "pops": list(c.pop_countries),
+            "share": c.market_share,
+        } for c in topo.cdns],
+        "cloud_resolvers": [{
+            "asn": s.asn, "name": s.name, "pops": list(s.pop_countries),
+        } for s in topo.cloud_resolvers],
+        "resolver_configs": [{
+            "asn": cfg.asn, "locality": cfg.locality.value,
+            "hosted_in": cfg.hosted_in, "operator": cfg.operator_asn,
+        } for cfg in (topo.resolver_configs[a]
+                      for a in sorted(topo.resolver_configs))],
+        "websites": {cc: [{
+            "domain": s.domain, "rank": s.rank, "cdn": s.uses_cdn,
+            "server_asn": s.server_asn, "server_cc": s.server_country,
+            "hosting": s.hosting.value,
+        } for s in sites] for cc, sites in sorted(topo.websites.items())},
+    }
+
+
+def topology_from_dict(data: dict[str, Any]) -> Topology:
+    """Rebuild a :class:`Topology` from a snapshot dict."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported world format {data.get('format_version')!r}")
+    ases: dict[int, AS] = {}
+    for row in data["ases"]:
+        a = AS(asn=row["asn"], name=row["name"], country_iso2=row["cc"],
+               kind=ASKind(row["kind"]), tier=row["tier"],
+               founded_year=row["founded"],
+               prefixes=[Prefix.parse(p) for p in row["prefixes"]])
+        if row["footprint"]:
+            a.footprint = tuple(row["footprint"])  # type: ignore
+        ases[a.asn] = a
+    links = []
+    for row in data["links"]:
+        link = ASLink(row["a"], row["b"], Relationship(row["rel"]),
+                      ixp_id=row["ixp"])
+        links.append(link)
+        if link.rel is Relationship.PROVIDER_TO_CUSTOMER:
+            ases[link.a].customers.add(link.b)
+            ases[link.b].providers.add(link.a)
+        else:
+            ases[link.a].peers.add(link.b)
+            ases[link.b].peers.add(link.a)
+    ixps = {}
+    for row in data["ixps"]:
+        ixp = IXP(ixp_id=row["id"], name=row["name"],
+                  country_iso2=row["cc"],
+                  lan_prefix=Prefix.parse(row["lan"]),
+                  founded_year=row["founded"],
+                  members=set(row["members"]),
+                  offnet_providers=set(row["offnet"]),
+                  lan_routed=row["lan_routed"])
+        ixps[ixp.ixp_id] = ixp
+        for member in ixp.members:
+            ases[member].ixps.add(ixp.ixp_id)
+    cables = [SubseaCable(
+        cable_id=row["id"], name=row["name"],
+        corridor=CableCorridor(row["corridor"]),
+        landings=[Landing(*g) for g in row["landings"]],
+        rfs_year=row["rfs"], capacity_tbps=row["capacity"],
+        diverse_route=row["diverse"], retired_year=row["retired"],
+    ) for row in data["cables"]]
+    terrestrial = [TerrestrialLink(row["a"], row["b"], row["quality"],
+                                   row["built"])
+                   for row in data["terrestrial"]]
+    datacenters = [DataCenter(row["id"], row["cc"],
+                              FacilityTier(row["tier"]), row["opened"],
+                              row["capacity"])
+                   for row in data["datacenters"]]
+    cdns = [CDNProvider(row["asn"], row["name"], tuple(row["pops"]),
+                        row["share"]) for row in data["cdns"]]
+    cloud_resolvers = [CloudResolverService(row["asn"], row["name"],
+                                            tuple(row["pops"]))
+                       for row in data["cloud_resolvers"]]
+    resolver_configs = {row["asn"]: ResolverConfig(
+        asn=row["asn"], locality=ResolverLocality(row["locality"]),
+        hosted_in=row["hosted_in"], operator_asn=row["operator"])
+        for row in data["resolver_configs"]}
+    websites = {cc: [Website(
+        domain=row["domain"], rank=row["rank"], client_country=cc,
+        uses_cdn=row["cdn"], server_asn=row["server_asn"],
+        server_country=row["server_cc"],
+        hosting=HostingClass(row["hosting"]))
+        for row in rows] for cc, rows in data["websites"].items()}
+    topo = Topology(
+        params=_params_from_dict(data["params"]),
+        ases=ases, links=links, ixps=ixps, cables=cables,
+        terrestrial=terrestrial, datacenters=datacenters, cdns=cdns,
+        cloud_resolvers=cloud_resolvers,
+        resolver_configs=resolver_configs, websites=websites)
+    for a in topo.ases.values():
+        for prefix in a.prefixes:
+            topo.prefix_registry.add(prefix, a.asn)
+    for ixp in topo.ixps.values():
+        topo.prefix_registry.add(ixp.lan_prefix, IXPOwner(ixp.ixp_id))
+    topo.validate()
+    return topo
+
+
+def save_world(topo: Topology, path: str | pathlib.Path) -> None:
+    """Write a world snapshot (gzip-compressed when path ends .gz)."""
+    path = pathlib.Path(path)
+    payload = json.dumps(topology_to_dict(topo),
+                         separators=(",", ":")).encode()
+    if path.suffix == ".gz":
+        path.write_bytes(gzip.compress(payload))
+    else:
+        path.write_bytes(payload)
+
+
+def load_world(path: str | pathlib.Path) -> Topology:
+    """Load a world snapshot saved by :func:`save_world`."""
+    path = pathlib.Path(path)
+    raw = path.read_bytes()
+    if path.suffix == ".gz":
+        raw = gzip.decompress(raw)
+    return topology_from_dict(json.loads(raw))

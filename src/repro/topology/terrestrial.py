@@ -1,0 +1,109 @@
+"""Cross-border terrestrial fiber links.
+
+Terrestrial connectivity in Africa is sparse and often low quality
+(§2: "poor terrestrial connectivity ... a need to use non-terrestrial
+routes").  We model the major cross-border routes that exist today;
+their ``quality`` (0..1) scales both capacity and reliability, and
+landlocked countries depend on them entirely for international transit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo import country, haversine_km
+
+
+@dataclass(frozen=True)
+class TerrestrialLink:
+    """A cross-border terrestrial fiber route between two countries."""
+
+    a: str
+    b: str
+    #: 0..1 — combined capacity/reliability score.
+    quality: float
+    built_year: int = 2010
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quality <= 1.0:
+            raise ValueError(f"bad quality {self.quality} on {self.a}-{self.b}")
+
+    @property
+    def length_km(self) -> float:
+        ca, cb = country(self.a), country(self.b)
+        return haversine_km(ca.lat, ca.lon, cb.lat, cb.lon)
+
+    def involves(self, iso2: str) -> bool:
+        return iso2 in (self.a, self.b)
+
+    def other(self, iso2: str) -> str:
+        if iso2 == self.a:
+            return self.b
+        if iso2 == self.b:
+            return self.a
+        raise ValueError(f"{iso2} not on link {self.a}-{self.b}")
+
+
+def _t(a: str, b: str, quality: float, year: int = 2010) -> TerrestrialLink:
+    return TerrestrialLink(a=a, b=b, quality=quality, built_year=year)
+
+
+#: The principal cross-border fiber routes.  Southern/Eastern Africa has
+#: the densest mesh (SADC backbone, East African backhaul from Mombasa/
+#: Dar es Salaam); Central Africa the sparsest.
+TERRESTRIAL_LINKS: tuple[TerrestrialLink, ...] = (
+    # Southern Africa (relatively strong SADC mesh).
+    _t("ZA", "BW", 0.85, 2008), _t("ZA", "NA", 0.85, 2009),
+    _t("ZA", "ZW", 0.80, 2009), _t("ZA", "MZ", 0.85, 2008),
+    _t("ZA", "LS", 0.80, 2010), _t("ZA", "SZ", 0.80, 2010),
+    _t("BW", "ZM", 0.70, 2012), _t("BW", "NA", 0.70, 2012),
+    _t("ZW", "ZM", 0.70, 2011), _t("ZW", "MZ", 0.65, 2012),
+    # Eastern Africa backhaul.
+    _t("ZM", "MW", 0.60, 2012), _t("ZM", "TZ", 0.65, 2012),
+    _t("ZM", "CD", 0.45, 2014), _t("MW", "MZ", 0.60, 2013),
+    _t("MW", "TZ", 0.55, 2013), _t("TZ", "KE", 0.80, 2010),
+    _t("TZ", "UG", 0.60, 2012), _t("TZ", "RW", 0.65, 2012),
+    _t("TZ", "BI", 0.50, 2014), _t("KE", "UG", 0.80, 2010),
+    _t("KE", "ET", 0.55, 2016), _t("KE", "SO", 0.35, 2018),
+    _t("UG", "RW", 0.75, 2011), _t("UG", "SS", 0.40, 2016),
+    _t("RW", "BI", 0.60, 2013), _t("RW", "CD", 0.40, 2015),
+    _t("ET", "DJ", 0.75, 2012), _t("ET", "SD", 0.40, 2015),
+    _t("SD", "EG", 0.55, 2014), _t("SS", "SD", 0.30, 2016),
+    # Western Africa coastal + Sahel.
+    _t("NG", "BJ", 0.65, 2011), _t("BJ", "TG", 0.65, 2011),
+    _t("TG", "GH", 0.70, 2011), _t("GH", "CI", 0.70, 2012),
+    _t("CI", "BF", 0.55, 2013), _t("CI", "ML", 0.50, 2014),
+    _t("BF", "ML", 0.50, 2013), _t("BF", "NE", 0.45, 2014),
+    _t("BF", "GH", 0.55, 2013), _t("ML", "SN", 0.55, 2012),
+    _t("NE", "NG", 0.45, 2014), _t("NE", "BJ", 0.40, 2015),
+    _t("SN", "GM", 0.60, 2012), _t("SN", "MR", 0.50, 2013),
+    _t("SN", "GW", 0.45, 2015), _t("GN", "SL", 0.35, 2016),
+    _t("GN", "ML", 0.35, 2016), _t("LR", "SL", 0.30, 2017),
+    _t("MR", "MA", 0.45, 2014),
+    # Central Africa (sparse).
+    _t("CM", "TD", 0.40, 2014), _t("CM", "GA", 0.45, 2014),
+    _t("CM", "NG", 0.50, 2013), _t("CM", "CF", 0.25, 2018),
+    _t("GA", "CG", 0.40, 2015), _t("CG", "CD", 0.45, 2013),
+    _t("AO", "CD", 0.40, 2015), _t("AO", "NA", 0.55, 2013),
+    _t("TD", "SD", 0.20, 2019), _t("GQ", "GA", 0.35, 2016),
+    _t("GQ", "CM", 0.35, 2016),
+    # Northern Africa.
+    _t("DZ", "TN", 0.75, 2008), _t("EG", "LY", 0.50, 2012),
+    _t("LY", "TN", 0.45, 2013), _t("DZ", "ML", 0.25, 2018),
+    _t("DZ", "NE", 0.20, 2019), _t("MA", "DZ", 0.15, 2005),
+)
+
+
+#: Dense terrestrial meshes of the reference regions (quality ~1.0).
+REFERENCE_TERRESTRIAL_LINKS: tuple[TerrestrialLink, ...] = (
+    _t("DE", "NL", 1.0, 1995), _t("DE", "FR", 1.0, 1995),
+    _t("DE", "IT", 1.0, 1995), _t("FR", "GB", 1.0, 1995),
+    _t("FR", "ES", 1.0, 1995), _t("FR", "IT", 1.0, 1995),
+    _t("ES", "PT", 1.0, 1995), _t("GB", "NL", 1.0, 1995),
+    _t("US", "CA", 1.0, 1995),
+)
+
+
+def links_for(iso2: str) -> list[TerrestrialLink]:
+    """All terrestrial links touching ``iso2``."""
+    return [link for link in TERRESTRIAL_LINKS if link.involves(iso2)]

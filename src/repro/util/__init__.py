@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG derivation and small helpers."""
+
+from repro.util.rng import derive_rng, derive_seed
+
+__all__ = ["derive_rng", "derive_seed"]

@@ -1,0 +1,28 @@
+"""Deterministic random-number derivation.
+
+Every stochastic component of the simulator derives its own RNG from the
+world seed plus a string path (e.g. ``derive_rng(seed, "topology",
+"ixp-members")``).  This keeps components independent: adding randomness
+to one module does not perturb another, and the same seed always yields
+the same world.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(seed: int, *names: str) -> int:
+    """Derive a child seed from ``seed`` and a path of component names."""
+    h = hashlib.sha256()
+    h.update(str(int(seed)).encode("ascii"))
+    for name in names:
+        h.update(b"/")
+        h.update(name.encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def derive_rng(seed: int, *names: str) -> random.Random:
+    """A ``random.Random`` seeded deterministically from ``seed`` + path."""
+    return random.Random(derive_seed(seed, *names))

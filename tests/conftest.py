@@ -1,0 +1,41 @@
+"""Shared fixtures: one default world per test session.
+
+Building the world and its routing state takes a couple of seconds, so
+everything read-only shares session-scoped fixtures.  Tests that mutate
+a topology must build (or deep-copy) their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_world
+from repro.measurement import MeasurementEngine, build_atlas_platform
+from repro.routing import BGPRouting, PhysicalNetwork
+
+DEFAULT_SEED = 2025
+
+
+@pytest.fixture(scope="session")
+def topo():
+    return build_world(seed=DEFAULT_SEED)
+
+
+@pytest.fixture(scope="session")
+def routing(topo):
+    return BGPRouting(topo)
+
+
+@pytest.fixture(scope="session")
+def phys(topo):
+    return PhysicalNetwork(topo)
+
+
+@pytest.fixture(scope="session")
+def engine(topo, routing, phys):
+    return MeasurementEngine(topo, routing, phys)
+
+
+@pytest.fixture(scope="session")
+def atlas(topo):
+    return build_atlas_platform(topo)

@@ -1,0 +1,264 @@
+"""Paper analyses: each figure/table's shape must emerge from the world."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_content_locality,
+    analyze_correlation,
+    analyze_dns_locality,
+    analyze_growth,
+    analyze_maturity,
+    analyze_nautilus,
+    analyze_outages,
+    analyze_snapshot,
+    build_coverage_table,
+    regional_coverage,
+    split_expected_groups,
+)
+from repro.datasets import (
+    build_delegated_file,
+    build_ixp_directory,
+    build_radar_feed,
+    build_resolver_usage,
+    collect_snapshot,
+    run_pulse_study,
+)
+from repro.geo import Region
+from repro.measurement import (
+    GeolocationService,
+    run_ant_hitlist,
+    run_caida_prefix_scan,
+    run_yarrp_scan,
+)
+from repro.outages import OutageCause, OutageSimulator
+
+
+@pytest.fixture(scope="module")
+def snapshot(topo, engine, atlas):
+    from repro.datasets import collect_snapshot
+    return collect_snapshot(topo, engine, atlas, max_pairs=900)
+
+
+@pytest.fixture(scope="module")
+def geo(topo):
+    return GeolocationService(topo)
+
+
+@pytest.fixture(scope="module")
+def directory(topo):
+    return build_ixp_directory(topo)
+
+
+@pytest.fixture(scope="module")
+def detour_report(topo, snapshot, geo, directory):
+    return analyze_snapshot(topo, snapshot, geo, directory)
+
+
+class TestDetours:
+    def test_substantial_detour_rate(self, detour_report):
+        """§4.1: a non-trivial share of intra-African routes detours."""
+        assert detour_report.detour_rate() > 0.4
+
+    def test_southern_most_local(self, detour_report):
+        southern = detour_report.detour_rate(Region.SOUTHERN_AFRICA)
+        western = detour_report.detour_rate(Region.WESTERN_AFRICA)
+        assert southern < western
+
+    def test_attribution_partial(self, detour_report):
+        """§4.1: only ~40% of detours trace to Tier-1/EU-IXP; the rest
+        indicate European Tier-2 transit dependence."""
+        share = detour_report.attribution_share()
+        assert 0.2 < share < 0.7
+
+    def test_ixp_traversal_low(self, detour_report):
+        """Fig. 3: only a small share of paths crosses any IXP."""
+        assert detour_report.ixp_traversal_rate() < 0.35
+
+    def test_sample_counts_add_up(self, detour_report):
+        total = detour_report.sample_count()
+        regional = sum(detour_report.sample_count(r)
+                       for r in Region if r.is_african)
+        assert regional <= total
+
+
+class TestContentLocality:
+    @pytest.fixture(scope="class")
+    def report(self, topo):
+        return analyze_content_locality(run_pulse_study(topo))
+
+    def test_overall_mostly_remote(self, report):
+        """Fig. 2b: only ~30% of content is served from Africa."""
+        assert 0.2 < report.overall_africa_share() < 0.45
+
+    def test_southern_most_local(self, report):
+        assert report.most_local_region() is Region.SOUTHERN_AFRICA
+
+    def test_western_or_central_least_local(self, report):
+        assert report.least_local_region() in (
+            Region.WESTERN_AFRICA, Region.CENTRAL_AFRICA,
+            Region.NORTHERN_AFRICA)
+
+    def test_all_regions_present(self, report):
+        assert {r.region for r in report.rows} == {
+            r for r in Region if r.is_african}
+
+
+class TestDNSLocality:
+    @pytest.fixture(scope="class")
+    def report(self, topo):
+        return analyze_dns_locality(build_resolver_usage(topo))
+
+    def test_substantial_nonlocal_dependence(self, report):
+        """Fig. 2c / §5.2: many regions rely on remote resolvers."""
+        assert report.african_nonlocal_share() > 0.3
+
+    def test_cloud_from_za(self, report):
+        for row in report.rows:
+            if row.region.is_african and row.cloud_share > 0:
+                assert row.cloud_from_za_share > 0.8
+
+    def test_reference_regions_local(self, report):
+        eu = report.row_for(Region.EUROPE)
+        assert eu is not None and eu.local_share > 0.7
+
+    def test_southern_more_local_than_central(self, report):
+        southern = report.row_for(Region.SOUTHERN_AFRICA)
+        central = report.row_for(Region.CENTRAL_AFRICA)
+        assert southern.local_share > central.local_share
+
+
+class TestCoverage:
+    @pytest.fixture(scope="class")
+    def table(self, topo, routing):
+        delegated = build_delegated_file(topo)
+        scans = [run_ant_hitlist(topo), run_caida_prefix_scan(topo),
+                 run_yarrp_scan(topo, routing)]
+        return build_coverage_table(topo, delegated, scans)
+
+    def test_ant_wins_all_dimensions(self, table):
+        """Table 1: ANT achieves the highest coverage everywhere."""
+        assert table.best_dataset() == "ANT Hitlist"
+        ant = table.row_for("ANT Hitlist")
+        for other in ("CAIDA Routed /24", "YARRP"):
+            row = table.row_for(other)
+            assert ant.mobile_coverage > row.mobile_coverage
+            assert ant.non_mobile_coverage > row.non_mobile_coverage
+            assert ant.ixp_coverage >= row.ixp_coverage
+
+    def test_mobile_exceeds_non_mobile(self, table):
+        for row in table.rows:
+            assert row.mobile_coverage > row.non_mobile_coverage
+
+    def test_ixp_coverage_is_the_gap(self, table):
+        """Table 1's headline: IXP coverage is poor for every scanner."""
+        for row in table.rows:
+            assert row.ixp_coverage < row.mobile_coverage
+            assert row.ixp_coverage < 0.35
+
+    def test_magnitudes_near_paper(self, table):
+        ant = table.row_for("ANT Hitlist")
+        caida = table.row_for("CAIDA Routed /24")
+        assert ant.mobile_coverage == pytest.approx(0.96, abs=0.08)
+        assert ant.non_mobile_coverage == pytest.approx(0.714, abs=0.10)
+        assert ant.ixp_coverage == pytest.approx(0.235, abs=0.10)
+        assert caida.mobile_coverage == pytest.approx(0.644, abs=0.10)
+
+    def test_groups_partition_expected(self, topo):
+        delegated = build_delegated_file(topo)
+        mobile, non_mobile, ixps = split_expected_groups(topo, delegated)
+        assert mobile.isdisjoint(non_mobile)
+        assert len(mobile) + len(non_mobile) == len(topo.african_ases())
+        assert len(ixps) == 77
+
+    def test_regional_rows(self, topo, routing):
+        delegated = build_delegated_file(topo)
+        rows = regional_coverage(topo, delegated, run_ant_hitlist(topo))
+        assert len(rows) == 5
+        for row in rows:
+            assert 0.0 <= row.mobile_coverage <= 1.0
+
+
+class TestNautilus:
+    def test_ambiguity_widespread(self, topo, phys, snapshot, geo):
+        report = analyze_nautilus(topo, phys, snapshot, geo,
+                                  slack_ms=8.0)
+        assert report.paths_with_wet_links()
+        assert report.multi_cable_share() > 0.4  # §6.2: ">40%"
+        assert report.max_candidates() >= 8
+
+    def test_oracle_geolocation_less_ambiguous(self, topo, phys,
+                                               snapshot, geo):
+        with_errors = analyze_nautilus(topo, phys, snapshot, geo,
+                                       slack_ms=8.0)
+        oracle = analyze_nautilus(topo, phys, snapshot, None,
+                                  slack_ms=8.0)
+        assert oracle.mean_candidates() <= \
+            with_errors.mean_candidates() + 0.5
+
+    def test_rtt_filter_reduces_candidates(self, topo, phys, snapshot,
+                                           geo):
+        from repro.analysis import NautilusInference, NautilusReport
+        plain = NautilusInference(topo, phys, geo, slack_ms=8.0)
+        filtered = NautilusInference(topo, phys, geo, slack_ms=8.0,
+                                     rtt_filter=True)
+        plain_report, filtered_report = NautilusReport(), NautilusReport()
+        for trace in snapshot.traceroutes[:150]:
+            plain_report.inferences.append(plain.infer_path(trace))
+            filtered_report.inferences.append(filtered.infer_path(trace))
+        assert filtered_report.mean_candidates() <= \
+            plain_report.mean_candidates()
+
+
+class TestImpact:
+    @pytest.fixture(scope="class")
+    def reports(self, topo, phys):
+        sim = OutageSimulator(topo, phys).simulate(years=2.0)
+        feed = build_radar_feed(sim, seed=topo.params.seed)
+        return sim, analyze_outages(sim, feed), analyze_correlation(sim)
+
+    def test_africa_outage_ratio(self, reports):
+        _, impact, _ = reports
+        assert impact.rate_ratio() > 2.0  # paper: ~4x
+
+    def test_cable_cuts_longest(self, reports):
+        _, impact, _ = reports
+        assert impact.longest_cause() == OutageCause.SUBSEA_CABLE_CUT.value
+
+    def test_correlation_stats(self, reports):
+        _, _, correlation = reports
+        assert correlation.cable_events > 0
+        assert correlation.multi_cable_share() > 0.2
+        if correlation.backup_activations:
+            assert 0.0 <= correlation.oversubscription_rate() <= 1.0
+
+
+class TestGrowth:
+    def test_africa_ixp_growth_massive(self, topo):
+        africa = analyze_growth(topo).africa()
+        assert africa.ixp_growth_pct == pytest.approx(600.0, abs=120.0)
+
+    def test_africa_cable_growth_moderate(self, topo):
+        africa = analyze_growth(topo).africa()
+        assert 30.0 < africa.cable_growth_pct < 75.0  # paper: +45%
+
+    def test_reference_rows_present(self, topo):
+        report = analyze_growth(topo)
+        labels = {row.region_label for row in report.rows}
+        assert "Europe" in labels and "South America" in labels
+
+    def test_africa_grows_faster_than_europe_relatively(self, topo):
+        report = analyze_growth(topo)
+        africa = report.africa()
+        europe = report.row_for("Europe")
+        assert africa.ixp_growth_pct > europe.ixp_growth_pct
+
+
+class TestMaturity:
+    def test_ranking_southern_first(self, topo, detour_report):
+        content = analyze_content_locality(run_pulse_study(topo))
+        dns = analyze_dns_locality(build_resolver_usage(topo))
+        maturity = analyze_maturity(detour_report, content, dns)
+        ranking = maturity.ranking()
+        assert ranking[0] is Region.SOUTHERN_AFRICA
+        # Western is in the bottom half (§4.3: least mature).
+        assert ranking.index(Region.WESTERN_AFRICA) >= 2

@@ -1,0 +1,85 @@
+"""Platform-bias analysis and the LEO what-if."""
+
+import pytest
+
+from repro.analysis import analyze_platform_bias, total_variation
+from repro.measurement import build_observatory_platform
+from repro.observatory import (
+    PlacementObjective,
+    WhatIfLEOBackup,
+    place_probes,
+)
+from repro.outages import march_2024_scenario
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        assert total_variation({"a": 2, "b": 2}, {"a": 1, "b": 1}) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation({"a": 1}, {"b": 1}) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        tv = total_variation({"a": 3, "b": 1}, {"a": 1, "b": 3})
+        assert 0.0 < tv < 1.0
+
+    def test_empty_is_safe(self):
+        assert total_variation({}, {"a": 1}) == pytest.approx(0.5)
+
+
+class TestPlatformBias:
+    def test_atlas_biased_against_mobile(self, topo, atlas):
+        report = analyze_platform_bias(topo, atlas)
+        access = report.dimension("access technology")
+        assert access is not None
+        assert access.most_under == "cellular"
+        assert access.tv_distance > 0.3
+
+    def test_four_dimensions(self, topo, atlas):
+        report = analyze_platform_bias(topo, atlas)
+        assert len(report.dimensions) == 4
+        for dim in report.dimensions:
+            assert 0.0 <= dim.tv_distance <= 1.0
+
+    def test_mobile_placement_reduces_access_bias(self, topo, atlas):
+        hosts = place_probes(topo,
+                             PlacementObjective.MOBILE_REPRESENTATIVE,
+                             budget=40)
+        observatory = build_observatory_platform(topo, hosts)
+        atlas_bias = analyze_platform_bias(topo, atlas)
+        obs_bias = analyze_platform_bias(topo, observatory)
+        assert obs_bias.dimension("access technology").tv_distance < \
+            atlas_bias.dimension("access technology").tv_distance
+
+    def test_empty_platform(self, topo):
+        from repro.measurement import ProbePlatform
+        report = analyze_platform_bias(topo, ProbePlatform(name="none"))
+        assert report.dimensions == []
+
+    def test_worst_dimension(self, topo, atlas):
+        report = analyze_platform_bias(topo, atlas)
+        worst = report.worst_dimension()
+        assert worst.tv_distance == max(d.tv_distance
+                                        for d in report.dimensions)
+
+
+class TestLEO:
+    def test_leo_reduces_severity(self, topo):
+        west, _ = march_2024_scenario(topo)
+        leo = WhatIfLEOBackup(topo, leo_capacity_tbps=2.0)
+        outcome = leo.cut_severity("GH", west)
+        assert outcome.modified < outcome.baseline
+
+    def test_leo_matters_most_for_small_markets(self, topo):
+        west, _ = march_2024_scenario(topo)
+        leo = WhatIfLEOBackup(topo, leo_capacity_tbps=2.0)
+        gm = leo.cut_severity("GM", west)   # tiny market, hit hard
+        ng = leo.cut_severity("NG", west)   # big market
+        if gm.baseline > 0 and ng.baseline > 0:
+            assert abs(gm.relative_change) >= abs(ng.relative_change)
+
+    def test_failover_rtt_bounded(self, topo):
+        west, _ = march_2024_scenario(topo)
+        leo = WhatIfLEOBackup(topo)
+        outcome = leo.failover_rtt_penalty("GH", "DE", west)
+        assert outcome.modified <= outcome.baseline + leo.LEO_RTT_MS

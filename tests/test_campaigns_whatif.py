@@ -1,0 +1,165 @@
+"""Observatory campaigns and what-if scenarios."""
+
+import pytest
+
+from repro.datasets import build_ixp_directory
+from repro.observatory import (
+    CableDisambiguationCampaign,
+    DNSDependencyCampaign,
+    IXPDiscoveryCampaign,
+    WhatIfAddCable,
+    WhatIfCutCables,
+    WhatIfLocalizeDNS,
+    WhatIfMandateLocalPeering,
+    WhatIfOutcome,
+    kigali_comparison,
+)
+from repro.outages import march_2024_scenario
+
+
+@pytest.fixture(scope="module")
+def complete_directory(topo):
+    return build_ixp_directory(topo, complete=True)
+
+
+@pytest.fixture(scope="module")
+def west_cut(topo):
+    west, _ = march_2024_scenario(topo)
+    return west
+
+
+class TestKigali:
+    def test_targeted_vantage_beats_atlas(self, topo, engine,
+                                          complete_directory, atlas):
+        obs, ref = kigali_comparison(topo, engine, complete_directory,
+                                     atlas)
+        assert obs.detected_count() > ref.detected_count()
+        # §7.3 reports 14 additional IXPs; the shape requirement is a
+        # clearly positive gap.
+        assert obs.detected_count() - ref.detected_count() >= 3
+
+    def test_detected_are_african(self, topo, engine,
+                                  complete_directory, atlas):
+        obs, _ = kigali_comparison(topo, engine, complete_directory,
+                                   atlas)
+        for ixp_id in obs.detected_ixp_ids:
+            assert topo.ixps[ixp_id].is_african
+
+    def test_campaign_counts_traceroutes(self, topo, engine,
+                                         complete_directory, atlas):
+        campaign = IXPDiscoveryCampaign(topo, engine, complete_directory)
+        result = campaign.run(atlas.probes[:1], "one-probe")
+        assert result.traceroutes > 50
+
+
+class TestDNSDependency:
+    def test_cut_amplifies_failures(self, topo, phys, west_cut):
+        campaign = DNSDependencyCampaign(topo, phys)
+        rows = campaign.run(["GH", "CI"], west_cut)
+        assert rows
+        for row in rows:
+            assert row.cable_cut_failure_rate >= \
+                row.baseline_failure_rate
+        assert any(r.cable_cut_failure_rate > r.baseline_failure_rate
+                   for r in rows)
+
+    def test_unaffected_country_stable(self, topo, phys, west_cut):
+        campaign = DNSDependencyCampaign(topo, phys)
+        row = campaign.run(["KE"], west_cut)[0]
+        assert row.cable_cut_failure_rate <= \
+            row.baseline_failure_rate + 0.05
+
+    def test_nonlocal_share_bounds(self, topo, phys, west_cut):
+        campaign = DNSDependencyCampaign(topo, phys)
+        for row in campaign.run(["NG", "ZA"], west_cut):
+            assert 0.0 <= row.nonlocal_share <= 1.0
+
+
+class TestDisambiguation:
+    def test_active_measurement_identifies_cable(self, topo, phys):
+        campaign = CableDisambiguationCampaign(topo, phys)
+        candidates = phys.candidate_cables("GH", "PT", slack_ms=8.0)
+        assert len(candidates) >= 1
+        result = campaign.disambiguate("GH", "PT", candidates)
+        assert result.identified_cable_id is not None
+        assert result.correct
+
+    def test_no_cable_pair(self, topo, phys):
+        campaign = CableDisambiguationCampaign(topo, phys)
+        result = campaign.disambiguate("KE", "UG", set())
+        assert result.identified_cable_id is None
+
+
+class TestWhatIfCable:
+    def test_diverse_cable_reduces_cut_severity(self, topo, west_cut):
+        scenario = WhatIfAddCable(topo)
+        modified = scenario.apply("Hypothetical-Diverse",
+                                  ("GH", "BR"), capacity_tbps=80.0)
+        outcome = scenario.cut_severity("GH", west_cut, modified)
+        assert outcome.modified < outcome.baseline
+        assert outcome.delta < 0
+
+    def test_baseline_topology_untouched(self, topo, west_cut):
+        n_cables = len(topo.cables)
+        scenario = WhatIfAddCable(topo)
+        scenario.apply("X", ("GH", "BR"))
+        assert len(topo.cables) == n_cables
+
+
+class TestWhatIfDNS:
+    def test_localization_reduces_outage_failures(self, topo, west_cut):
+        scenario = WhatIfLocalizeDNS(topo)
+        modified = scenario.apply("GH", localized_share=1.0)
+        outcome = scenario.outage_resolution_failure(
+            "GH", west_cut, modified, domains=3)
+        assert outcome.modified <= outcome.baseline
+
+    def test_share_validation(self, topo):
+        with pytest.raises(ValueError):
+            WhatIfLocalizeDNS(topo).apply("GH", localized_share=1.5)
+
+    def test_partial_share_moves_fewer(self, topo):
+        scenario = WhatIfLocalizeDNS(topo)
+        full = scenario.apply("NG", 1.0)
+        half = scenario.apply("NG", 0.5)
+
+        def nonlocal_count(t):
+            return sum(
+                1 for asn, cfg in t.resolver_configs.items()
+                if t.as_(asn).country_iso2 == "NG"
+                and not cfg.locality.survives_cable_cut)
+        assert nonlocal_count(full) <= nonlocal_count(half) \
+            <= nonlocal_count(topo)
+
+
+class TestWhatIfPeering:
+    def test_mandate_reduces_domestic_detours(self, topo):
+        scenario = WhatIfMandateLocalPeering(topo)
+        modified = scenario.apply("NG")
+        outcome = scenario.domestic_detour_rate("NG", modified)
+        assert outcome.modified <= outcome.baseline
+        assert outcome.modified < 0.2  # full local mesh localizes
+
+    def test_requires_an_ixp(self, topo):
+        with pytest.raises(ValueError):
+            WhatIfMandateLocalPeering(topo).apply("SS")
+
+
+class TestWhatIfCut:
+    def test_severities(self, topo, west_cut):
+        scenario = WhatIfCutCables(topo)
+        severities = scenario.country_severities(west_cut)
+        assert severities.get("GH", 0) > 0.2
+        assert severities.get("KE", 0) < 0.05
+
+    def test_rtt_inflation(self, topo, west_cut):
+        scenario = WhatIfCutCables(topo)
+        outcome = scenario.rtt_inflation("GH", "PT", west_cut)
+        assert outcome.modified >= outcome.baseline
+
+    def test_outcome_helpers(self):
+        outcome = WhatIfOutcome("m", baseline=2.0, modified=1.0)
+        assert outcome.delta == -1.0
+        assert outcome.relative_change == -0.5
+        zero = WhatIfOutcome("m", 0.0, 0.0)
+        assert zero.relative_change == 0.0

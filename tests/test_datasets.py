@@ -1,0 +1,156 @@
+"""Synthetic dataset feeds: schemas and consistency with ground truth."""
+
+import pytest
+
+from repro.datasets import (
+    REFERENCE_GROWTH,
+    build_delegated_file,
+    build_ixp_directory,
+    build_radar_feed,
+    build_resolver_usage,
+    collect_snapshot,
+    expected_asns,
+    growth_pct,
+    membership_map,
+    parse_delegated_file,
+    probe_target_ip,
+    render_delegated_file,
+    run_pulse_study,
+)
+from repro.geo import country
+from repro.outages import OutageSimulator
+from repro.topology import ResolverLocality
+
+
+@pytest.fixture(scope="module")
+def simulation(topo, phys):
+    return OutageSimulator(topo, phys).simulate(years=1.0)
+
+
+class TestRadar:
+    def test_entries_reference_real_events(self, simulation):
+        feed = build_radar_feed(simulation, seed=1)
+        ids = {e.event_id for e in simulation.events}
+        assert feed
+        for entry in feed:
+            assert entry.event_id in ids
+            assert entry.duration_days >= 0
+            assert 0 < entry.traffic_drop <= 1.0
+            country(entry.location)
+
+    def test_subthreshold_impacts_invisible(self, simulation):
+        feed = build_radar_feed(simulation, seed=1, threshold=0.25)
+        by_event = {e.event_id: e for e in simulation.events}
+        for entry in feed:
+            impact = by_event[entry.event_id].impact_for(entry.location)
+            assert impact.severity >= 0.25
+
+    def test_some_entries_unverified(self, simulation):
+        feed = build_radar_feed(simulation, seed=1)
+        assert any(e.verified_cause is None for e in feed)
+        assert any(e.verified_cause is not None for e in feed)
+
+
+class TestAfrinic:
+    def test_roundtrip(self, topo):
+        text = render_delegated_file(topo)
+        records = parse_delegated_file(text)
+        assert records == build_delegated_file(topo)
+
+    def test_expected_asns_match_world(self, topo):
+        records = build_delegated_file(topo)
+        assert expected_asns(records) == \
+            {a.asn for a in topo.african_ases()}
+
+    def test_only_african_delegations(self, topo):
+        for record in build_delegated_file(topo):
+            assert country(record.cc).is_african
+
+
+class TestPulse:
+    def test_covers_every_country(self, topo):
+        study = run_pulse_study(topo)
+        assert study.countries() == set(
+            cc for cc in topo.websites)
+        per_country = len(study.for_country("GH"))
+        assert per_country == topo.params.top_sites_per_country
+
+    def test_cdn_detection_imperfect(self, topo):
+        study = run_pulse_study(topo)
+        truth = {(s.client_country, s.domain): s.uses_cdn
+                 for sites in topo.websites.values() for s in sites}
+        mismatches = sum(
+            1 for s in study.samples
+            if s.cdn_detected != truth[(s.client_country, s.domain)])
+        assert 0 < mismatches < len(study.samples) * 0.2
+
+
+class TestAPNIC:
+    def test_shares_sum_to_one(self, topo):
+        for record in build_resolver_usage(topo):
+            assert sum(record.shares.values()) == pytest.approx(1.0)
+            assert record.samples > 0
+
+    def test_cloud_centralized_in_za(self, topo):
+        records = [r for r in build_resolver_usage(topo)
+                   if r.region.is_african
+                   and r.shares.get(ResolverLocality.CLOUD, 0) > 0]
+        assert records
+        mean = sum(r.cloud_share_from_za for r in records) / len(records)
+        assert mean > 0.9
+
+
+class TestPeeringDB:
+    def test_incomplete_by_default(self, topo):
+        directory = build_ixp_directory(topo)
+        complete = build_ixp_directory(topo, complete=True)
+        assert len(directory) < len(complete)
+        assert len(complete) == len(topo.ixps)
+
+    def test_flagships_always_listed(self, topo):
+        names = {e.name for e in build_ixp_directory(topo).entries}
+        assert {"NAPAfrica", "KIXP", "IXPN"} <= names
+
+    def test_northern_africa_underrepresented(self, topo):
+        directory = build_ixp_directory(topo)
+        northern_ccs = {"EG", "DZ", "MA", "TN", "LY", "SD"}
+        northern_total = sum(1 for x in topo.african_ixps()
+                             if x.country_iso2 in northern_ccs)
+        northern_listed = sum(1 for e in directory.entries
+                              if e.country_iso2 in northern_ccs)
+        assert northern_listed <= northern_total / 2 + 1
+
+    def test_membership_map_only_listed(self, topo):
+        directory = build_ixp_directory(topo)
+        mapping = membership_map(topo, directory)
+        listed = directory.ixp_ids()
+        for ixps in mapping.values():
+            assert ixps <= listed
+
+
+class TestAtlasSnapshot:
+    def test_intra_african_indices(self, topo, engine, atlas):
+        snapshot = collect_snapshot(topo, engine, atlas, max_pairs=40)
+        for idx in snapshot.intra_african(topo):
+            src, dst = snapshot.pairs[idx]
+            assert src.region.is_african and dst.region.is_african
+
+    def test_max_pairs_respected(self, topo, engine, atlas):
+        snapshot = collect_snapshot(topo, engine, atlas, max_pairs=25)
+        assert len(snapshot) == 25
+
+    def test_probe_target_in_probe_as(self, topo, atlas):
+        probe = atlas.probes[0]
+        ip = probe_target_ip(topo, probe)
+        assert topo.as_for_ip(ip).asn == probe.asn
+
+
+class TestReferenceGrowth:
+    def test_growth_pct(self):
+        assert growth_pct(10, 15) == pytest.approx(50.0)
+        assert growth_pct(0, 10) == 0.0
+
+    def test_reference_regions_grow(self):
+        for region, (before, after) in REFERENCE_GROWTH.items():
+            assert after.ixps >= before.ixps
+            assert after.asns >= before.asns

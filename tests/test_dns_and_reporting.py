@@ -1,0 +1,104 @@
+"""DNS measurement semantics, reporting helpers, RNG derivation."""
+
+import pytest
+
+from repro.measurement import DNSMeasurement
+from repro.outages import march_2024_scenario
+from repro.reporting import ascii_table, bar_chart, pct, series
+from repro.topology import ResolverLocality
+from repro.util import derive_rng, derive_seed
+
+
+class TestDNS:
+    @pytest.fixture(scope="class")
+    def dns(self, topo, phys):
+        return DNSMeasurement(topo, phys)
+
+    def _clients(self, topo, iso2):
+        return [a.asn for a in topo.ases_in_country(iso2)
+                if a.asn in topo.resolver_configs]
+
+    def test_baseline_mostly_succeeds(self, topo, dns):
+        ok = total = 0
+        for asn in self._clients(topo, "GH") + self._clients(topo, "KE"):
+            for i in range(4):
+                result = dns.resolve(asn, f"d{i}.example")
+                total += 1
+                ok += result.ok
+        assert ok / total > 0.9
+
+    def test_result_fields(self, topo, dns):
+        asn = self._clients(topo, "ZA")[0]
+        result = dns.resolve(asn, "example.org")
+        assert result.client_asn == asn
+        assert isinstance(result.locality, ResolverLocality)
+        if result.ok:
+            assert result.rtt_ms > 0
+        else:
+            assert result.failure_reason
+
+    def test_cut_degrades_affected_country(self, topo, dns):
+        west, _ = march_2024_scenario(topo)
+        fails = {False: 0, True: 0}
+        total = 0
+        for asn in self._clients(topo, "GH"):
+            for i in range(6):
+                total += 1
+                fails[False] += not dns.resolve(asn, f"x{i}.test").ok
+                fails[True] += not dns.resolve(
+                    asn, f"x{i}.test", down_cables=west).ok
+        assert fails[True] > fails[False]
+
+    def test_unknown_client_rejected(self, dns):
+        with pytest.raises(KeyError):
+            dns.resolve(1, "example.org")
+
+    def test_local_resolver_survives_total_cut(self, topo, phys):
+        """§5.2's takeaway in reverse: in-country resolution plus cache
+        still works when all cables are gone."""
+        dns = DNSMeasurement(topo, phys, cache_hit_rate=1.0)
+        all_cables = [c.cable_id for c in topo.cables]
+        local_clients = [
+            asn for asn, cfg in topo.resolver_configs.items()
+            if cfg.locality.survives_cable_cut
+            and topo.as_(asn).country_iso2 == "ZA"]
+        assert local_clients
+        ok = sum(dns.resolve(a, "local.site", down_cables=all_cables).ok
+                 for a in local_clients[:10])
+        assert ok >= 8  # cached, in-country: survives
+
+
+class TestReporting:
+    def test_ascii_table(self):
+        text = ascii_table(["name", "value"],
+                           [["alpha", 1], ["beta", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in text and "22" in text
+        assert set(lines[2]) <= {"-", "+"}
+
+    def test_pct(self):
+        assert pct(0.235) == "23.5%"
+        assert pct(1.0, digits=0) == "100%"
+
+    def test_series(self):
+        out = series("s", [("a", 1.0), ("b", 2.5)])
+        assert out == "s: a=1.00  b=2.50"
+
+    def test_bar_chart(self):
+        out = bar_chart([("x", 1.0), ("yy", 0.5)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert bar_chart([], title="empty") == "empty"
+
+
+class TestRNG:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+        assert derive_rng(1, "x").random() == derive_rng(1, "x").random()
+
+    def test_path_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")

@@ -1,0 +1,149 @@
+"""World-generator invariants: the structure §2 describes must hold."""
+
+import pytest
+
+from repro import build_world, WorldParams
+from repro.geo import AFRICAN_COUNTRIES, Region
+from repro.topology import ASKind, IXPOwner, Relationship
+
+
+class TestStructure:
+    def test_validates(self, topo):
+        topo.validate()
+
+    def test_77_african_ixps(self, topo):
+        assert len(topo.african_ixps()) == 77
+
+    def test_no_african_tier1(self, topo):
+        assert all(not a.is_african for a in topo.tier1_ases())
+
+    def test_every_african_country_has_ases(self, topo):
+        covered = {a.country_iso2 for a in topo.african_ases()}
+        assert covered == set(AFRICAN_COUNTRIES)
+
+    def test_mobile_majority_in_africa(self, topo):
+        eyeballs = [a for a in topo.african_ases() if a.kind.is_eyeball]
+        mobile = sum(a.kind is ASKind.MOBILE for a in eyeballs)
+        assert mobile / len(eyeballs) > 0.6
+
+    def test_kigali_vantage_wired(self, topo):
+        gva = topo.as_(36924)
+        assert gva.country_iso2 == "RW"
+        # Regional transit providers, peering at RINEX (§7.3).
+        assert 30844 in gva.providers and 37662 in gva.providers
+        assert any(topo.ixps[i].name == "RINEX" for i in gva.ixps)
+
+    def test_every_stub_has_a_provider(self, topo):
+        for a in topo.ases.values():
+            if a.tier == 3 and a.kind is not ASKind.CONTENT:
+                assert a.providers, f"{a.name} is provider-less"
+
+    def test_every_ixp_has_members(self, topo):
+        for ixp in topo.african_ixps():
+            assert len(ixp.members) >= 2, ixp.name
+
+    def test_membership_mirrored(self, topo):
+        for ixp in topo.ixps.values():
+            for member in ixp.members:
+                assert ixp.ixp_id in topo.as_(member).ixps
+
+    def test_relationships_mirrored(self, topo):
+        for link in topo.links:
+            if link.rel is Relationship.PROVIDER_TO_CUSTOMER:
+                assert link.b in topo.as_(link.a).customers
+                assert link.a in topo.as_(link.b).providers
+            else:
+                assert link.b in topo.as_(link.a).peers
+
+    def test_flagship_ixps_exist(self, topo):
+        names = {x.name for x in topo.african_ixps()}
+        for flagship in ("NAPAfrica", "KIXP", "IXPN", "KINIX", "RINEX"):
+            assert flagship in names
+
+
+class TestAddressing:
+    def test_every_as_has_prefixes(self, topo):
+        assert all(a.prefixes for a in topo.ases.values())
+
+    def test_prefix_registry_consistent(self, topo):
+        for a in list(topo.ases.values())[:50]:
+            for prefix in a.prefixes:
+                assert topo.prefix_registry.lookup(prefix.network) == a.asn
+
+    def test_african_space_in_afrinic_pools(self, topo):
+        afrinic_first_octets = {41, 102, 105, 154, 197}
+        for a in topo.african_ases()[:80]:
+            for prefix in a.prefixes:
+                assert (prefix.network >> 24) in afrinic_first_octets
+
+    def test_ixp_lans_resolvable(self, topo):
+        for ixp in topo.ixps.values():
+            owner = topo.owner_of_ip(ixp.lan_prefix.network + 1)
+            assert isinstance(owner, IXPOwner)
+            assert owner.ixp_id == ixp.ixp_id
+
+    def test_ixp_lans_not_in_as_space(self, topo):
+        for ixp in list(topo.ixps.values())[:20]:
+            assert topo.as_for_ip(ixp.lan_prefix.network + 1) is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_world(seed=777 if False else 99)
+        b = build_world(params=WorldParams(seed=99))
+        assert a.summary() == b.summary()
+        assert sorted(a.ases) == sorted(b.ases)
+        for asn in list(a.ases)[:40]:
+            assert a.as_(asn).prefixes == b.as_(asn).prefixes
+            assert a.as_(asn).providers == b.as_(asn).providers
+
+    def test_different_seed_differs(self, topo):
+        other = build_world(params=WorldParams(seed=4242))
+        same_links = sum(
+            1 for l in topo.links[:200]
+            if other.link_between(l.a, l.b) is not None)
+        assert same_links < 200  # relationships reshuffle
+
+    def test_seed_param_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            build_world(seed=3, params=WorldParams(seed=4))
+
+
+class TestResolverEcosystem:
+    def test_all_eyeballs_have_resolver_config(self, topo):
+        for a in topo.african_ases():
+            if a.kind.is_eyeball:
+                assert a.asn in topo.resolver_configs
+
+    def test_resolver_hosts_valid(self, topo):
+        from repro.geo import country
+        for cfg in topo.resolver_configs.values():
+            country(cfg.hosted_in)
+
+    def test_cloud_resolvers_anchor_on_za(self, topo):
+        from repro.topology import ResolverLocality
+        cloud = [c for c in topo.resolver_configs.values()
+                 if c.locality is ResolverLocality.CLOUD
+                 and topo.as_(c.asn).is_african]
+        assert cloud
+        za_share = sum(c.hosted_in == "ZA" for c in cloud) / len(cloud)
+        assert za_share > 0.9  # §5.2: "centralized in South Africa"
+
+
+class TestContent:
+    def test_every_african_country_has_top_sites(self, topo):
+        for iso2 in AFRICAN_COUNTRIES:
+            sites = topo.websites[iso2]
+            assert len(sites) == topo.params.top_sites_per_country
+            assert [s.rank for s in sites] == list(
+                range(1, len(sites) + 1))
+
+    def test_cdn_share_close_to_param(self, topo):
+        all_sites = [s for sites in topo.websites.values() for s in sites]
+        share = sum(s.uses_cdn for s in all_sites) / len(all_sites)
+        assert abs(share - topo.params.cdn_top_site_share) < 0.05
+
+    def test_server_asn_known(self, topo):
+        for sites in topo.websites.values():
+            for s in sites[:10]:
+                assert s.server_asn in topo.ases

@@ -1,0 +1,135 @@
+"""Geography substrate: regions, country registry, distances."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import (
+    AFRICAN_COUNTRIES,
+    AFRICAN_REGIONS,
+    COUNTRIES,
+    REFERENCE_REGIONS,
+    Region,
+    country,
+    countries_in_region,
+    fiber_rtt_ms,
+    haversine_km,
+    path_length_km,
+)
+from repro.geo.distance import centroid, EARTH_RADIUS_KM
+
+
+class TestRegions:
+    def test_five_african_regions(self):
+        assert len(AFRICAN_REGIONS) == 5
+        assert all(r.is_african for r in AFRICAN_REGIONS)
+
+    def test_reference_regions_not_african(self):
+        assert all(not r.is_african for r in REFERENCE_REGIONS)
+
+    def test_continent_label(self):
+        assert Region.WESTERN_AFRICA.continent == "Africa"
+        assert Region.EUROPE.continent == "Europe"
+
+    def test_no_overlap(self):
+        assert set(AFRICAN_REGIONS).isdisjoint(REFERENCE_REGIONS)
+
+
+class TestCountries:
+    def test_54_african_countries(self):
+        assert len(AFRICAN_COUNTRIES) == 54
+
+    def test_lookup(self):
+        gh = country("GH")
+        assert gh.name == "Ghana"
+        assert gh.region is Region.WESTERN_AFRICA
+        assert gh.coastal
+
+    def test_unknown_country(self):
+        with pytest.raises(KeyError):
+            country("XX")
+
+    def test_landlocked_examples(self):
+        for cc in ("RW", "UG", "ET", "ML", "BW", "ZM"):
+            assert not country(cc).coastal, cc
+
+    def test_every_country_in_exactly_one_region(self):
+        seen = set()
+        for region in list(AFRICAN_REGIONS) + list(REFERENCE_REGIONS):
+            for c in countries_in_region(region):
+                assert c.iso2 not in seen
+                seen.add(c.iso2)
+        assert seen == set(COUNTRIES)
+
+    def test_grid_reliability_bounds(self):
+        for c in COUNTRIES.values():
+            assert 0.0 < c.grid_reliability <= 1.0
+            assert 0.0 < c.mobile_share <= 1.0
+
+    def test_mobile_dominates_african_last_mile(self):
+        african = [c.mobile_share for c in AFRICAN_COUNTRIES.values()]
+        european = [c.mobile_share for c in COUNTRIES.values()
+                    if c.region is Region.EUROPE]
+        assert min(african) > max(european)
+
+    def test_bad_coordinates_rejected(self):
+        from repro.geo.countries import Country
+        with pytest.raises(ValueError):
+            Country("ZZ", "Nowhere", Region.EUROPE, 99.0, 0.0, 1.0)
+
+
+class TestHaversine:
+    def test_known_distance_accra_lagos(self):
+        accra, lagos = country("GH"), country("NG")
+        d = haversine_km(accra.lat, accra.lon, lagos.lat, lagos.lon)
+        assert 350 < d < 450  # ~400 km
+
+    def test_zero_distance(self):
+        assert haversine_km(5.0, 5.0, 5.0, 5.0) == 0.0
+
+    @given(st.floats(-90, 90), st.floats(-180, 180),
+           st.floats(-90, 90), st.floats(-180, 180))
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        d1 = haversine_km(lat1, lon1, lat2, lon2)
+        d2 = haversine_km(lat2, lon2, lat1, lon1)
+        assert math.isclose(d1, d2, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(st.floats(-90, 90), st.floats(-180, 180),
+           st.floats(-90, 90), st.floats(-180, 180))
+    def test_bounded_by_half_circumference(self, lat1, lon1, lat2, lon2):
+        d = haversine_km(lat1, lon1, lat2, lon2)
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(st.floats(-90, 90), st.floats(-180, 180),
+           st.floats(-90, 90), st.floats(-180, 180),
+           st.floats(-90, 90), st.floats(-180, 180))
+    def test_triangle_inequality(self, a1, o1, a2, o2, a3, o3):
+        d12 = haversine_km(a1, o1, a2, o2)
+        d23 = haversine_km(a2, o2, a3, o3)
+        d13 = haversine_km(a1, o1, a3, o3)
+        assert d13 <= d12 + d23 + 1e-6
+
+
+class TestLatency:
+    def test_fiber_rtt_scales_with_distance(self):
+        assert fiber_rtt_ms(2000) > fiber_rtt_ms(1000) > 0
+
+    def test_per_hop_overhead_added(self):
+        assert fiber_rtt_ms(100, per_hop_ms=5.0) == pytest.approx(
+            fiber_rtt_ms(100) + 5.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            fiber_rtt_ms(-1.0)
+
+    def test_path_length(self):
+        pts = [(0.0, 0.0), (0.0, 1.0), (0.0, 2.0)]
+        assert path_length_km(pts) == pytest.approx(
+            2 * haversine_km(0, 0, 0, 1), rel=1e-6)
+        assert path_length_km(pts[:1]) == 0.0
+
+    def test_centroid(self):
+        assert centroid([(0.0, 0.0), (2.0, 2.0)]) == (1.0, 1.0)
+        with pytest.raises(ValueError):
+            centroid([])

@@ -1,0 +1,89 @@
+"""Fleet economics (§7.2) and the Fig. 1 growth series."""
+
+import pytest
+
+from repro.analysis import african_growth_series
+from repro.measurement import (
+    AccessTech,
+    ProbeKind,
+    VantagePoint,
+    build_observatory_platform,
+)
+from repro.observatory import (
+    PlacementObjective,
+    fleet_budget,
+    place_probes,
+    probe_monthly_cost,
+)
+
+
+def _probe(cc, kind=ProbeKind.RASPBERRY_PI, pid=1):
+    return VantagePoint(probe_id=pid, asn=36924, country_iso2=cc,
+                        kind=kind, access=AccessTech.FIXED)
+
+
+class TestIncentives:
+    def test_cost_components_positive(self):
+        cost = probe_monthly_cost(_probe("GH"))
+        assert cost.hardware_usd > 0
+        assert cost.subsidy_usd > 0
+        assert cost.data_usd > 0
+        assert cost.total_usd == pytest.approx(
+            cost.hardware_usd + cost.subsidy_usd + cost.data_usd)
+
+    def test_unreliable_grid_pays_for_power_kit(self):
+        reliable = probe_monthly_cost(_probe("ZA"))
+        unreliable = probe_monthly_cost(_probe("CD"))
+        assert unreliable.hardware_usd > reliable.hardware_usd
+
+    def test_vpn_probes_are_cheap(self):
+        vpn = probe_monthly_cost(_probe("GH", ProbeKind.RESIDENTIAL_VPN))
+        rpi = probe_monthly_cost(_probe("GH"))
+        assert vpn.hardware_usd == 0.0
+        assert vpn.total_usd < rpi.total_usd
+
+    def test_data_cost_scales(self):
+        small = probe_monthly_cost(_probe("KE"), monthly_data_gb=1.0)
+        big = probe_monthly_cost(_probe("KE"), monthly_data_gb=5.0)
+        assert big.data_usd == pytest.approx(5 * small.data_usd)
+
+    def test_fleet_budget_aggregates(self, topo):
+        hosts = place_probes(topo, PlacementObjective.IXP_COVERAGE)
+        fleet = build_observatory_platform(topo, hosts)
+        budget = fleet_budget(fleet.probes)
+        assert len(budget.probes) == len(fleet.probes)
+        assert budget.annual_usd == pytest.approx(12 * budget.monthly_usd)
+        regions = budget.by_region()
+        assert sum(regions.values()) == pytest.approx(budget.monthly_usd)
+        # A full-coverage research fleet costs grant-scale money, not
+        # hyperscaler-scale money (sanity on the §7.2 pitch).
+        assert 2_000 < budget.annual_usd < 100_000
+
+    def test_central_africa_most_expensive_per_probe(self, topo):
+        cd = probe_monthly_cost(_probe("CD"))
+        de = probe_monthly_cost(_probe("DE"))
+        assert cd.total_usd > de.total_usd
+
+
+class TestGrowthSeries:
+    def test_series_shape(self, topo):
+        series = african_growth_series(topo)
+        assert len(series) == topo.params.growth_window_years + 1
+        assert series[0][0] == topo.params.current_year \
+            - topo.params.growth_window_years
+        assert series[-1][0] == topo.params.current_year
+
+    def test_series_monotone(self, topo):
+        series = african_growth_series(topo)
+        for (y1, i1, c1, a1), (y2, i2, c2, a2) in zip(series,
+                                                      series[1:]):
+            assert y2 == y1 + 1
+            assert i2 >= i1 and c2 >= c1 and a2 >= a1
+
+    def test_endpoints_match_report(self, topo):
+        from repro.analysis import analyze_growth
+        series = african_growth_series(topo)
+        africa = analyze_growth(topo).africa()
+        assert series[0][1] == africa.ixps_before
+        assert series[-1][1] == africa.ixps_after
+        assert series[-1][2] == africa.cables_after

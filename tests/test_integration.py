@@ -1,0 +1,100 @@
+"""End-to-end pipeline: world -> measurements -> every paper analysis.
+
+These are the repo's own "does the reproduction hold together" checks:
+each test walks one experiment's full pipeline at reduced sample sizes.
+"""
+
+import pytest
+
+from repro import build_world, WorldParams
+from repro.analysis import (
+    analyze_content_locality,
+    analyze_dns_locality,
+    analyze_growth,
+    analyze_nautilus,
+    analyze_outages,
+    analyze_snapshot,
+    build_coverage_table,
+)
+from repro.datasets import (
+    build_delegated_file,
+    build_ixp_directory,
+    build_radar_feed,
+    build_resolver_usage,
+    collect_snapshot,
+    run_pulse_study,
+)
+from repro.measurement import (
+    GeolocationService,
+    MeasurementEngine,
+    build_atlas_platform,
+    run_ant_hitlist,
+)
+from repro.outages import OutageSimulator
+from repro.observatory import ixp_cover_hosts
+from repro.routing import BGPRouting, PhysicalNetwork
+
+
+class TestFullPipeline:
+    def test_fig2a_pipeline(self, topo, engine, atlas):
+        snapshot = collect_snapshot(topo, engine, atlas, max_pairs=150)
+        report = analyze_snapshot(topo, snapshot, GeolocationService(topo),
+                                  build_ixp_directory(topo))
+        assert report.classifications
+        assert 0.0 <= report.detour_rate() <= 1.0
+
+    def test_fig4_pipeline(self, topo, phys):
+        sim = OutageSimulator(topo, phys).simulate(years=1.0)
+        feed = build_radar_feed(sim, seed=1)
+        report = analyze_outages(sim, feed)
+        assert report.rows
+        assert report.africa_rate_per_country_year > 0
+
+    def test_table1_pipeline(self, topo):
+        table = build_coverage_table(
+            topo, build_delegated_file(topo), [run_ant_hitlist(topo)])
+        assert table.rows[0].entries > 0
+
+    def test_cross_analysis_consistency(self, topo):
+        """Content study and resolver records describe the same world."""
+        content = analyze_content_locality(run_pulse_study(topo))
+        dns = analyze_dns_locality(build_resolver_usage(topo))
+        growth = analyze_growth(topo)
+        content_regions = {r.region for r in content.rows}
+        dns_regions = {r.region for r in dns.rows if r.region.is_african}
+        assert content_regions == dns_regions
+        assert growth.africa().ixps_after == len(topo.african_ixps())
+
+    def test_nautilus_pipeline(self, topo, phys, engine, atlas):
+        snapshot = collect_snapshot(topo, engine, atlas, max_pairs=80)
+        report = analyze_nautilus(topo, phys, snapshot,
+                                  GeolocationService(topo))
+        assert len(report.inferences) == 80
+
+
+class TestDeterminismEndToEnd:
+    def test_same_seed_same_analysis(self):
+        results = []
+        for _ in range(2):
+            topo = build_world(params=WorldParams(seed=31337))
+            routing = BGPRouting(topo)
+            phys = PhysicalNetwork(topo)
+            engine = MeasurementEngine(topo, routing, phys)
+            atlas = build_atlas_platform(topo)
+            snapshot = collect_snapshot(topo, engine, atlas,
+                                        max_pairs=60)
+            report = analyze_snapshot(
+                topo, snapshot, GeolocationService(topo),
+                build_ixp_directory(topo))
+            results.append((report.detour_rate(),
+                            report.ixp_traversal_rate(),
+                            len(ixp_cover_hosts(topo).chosen)))
+        assert results[0] == results[1]
+
+    def test_alternate_seed_world_is_sane(self):
+        topo = build_world(params=WorldParams(seed=555))
+        topo.validate()
+        assert len(topo.african_ixps()) == 77
+        assert topo.as_(36924).country_iso2 == "RW"
+        cover = ixp_cover_hosts(topo)
+        assert cover.complete

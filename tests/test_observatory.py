@@ -1,0 +1,285 @@
+"""Observatory core: placement, budget, power, scheduling, governance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.measurement import AccessTech, ProbeKind, VantagePoint
+from repro.observatory import (
+    BudgetAccount,
+    BudgetExceeded,
+    DataPlan,
+    Experiment,
+    ExperimentStatus,
+    MeasurementTask,
+    ObservatoryPlatform,
+    PlacementObjective,
+    PricingModel,
+    compare_ixp_coverage,
+    expected_completed_slots,
+    greedy_set_cover,
+    is_powered,
+    ixp_cover_hosts,
+    place_probes,
+    plan_for,
+    probe_power_profile,
+    schedule_cost_aware,
+    schedule_round_robin,
+    wire_bytes,
+)
+
+
+class TestSetCover:
+    def test_simple_instance(self):
+        result = greedy_set_cover(
+            universe={1, 2, 3, 4, 5},
+            sets={"a": {1, 2, 3}, "b": {3, 4}, "c": {5}, "d": {4, 5}})
+        assert result.complete
+        assert result.chosen[0] == "a"  # biggest gain first
+        assert len(result.chosen) <= 3
+
+    def test_uncoverable_elements_reported(self):
+        result = greedy_set_cover({1, 2, 9}, {"a": {1, 2}})
+        assert not result.complete
+        assert result.uncovered == {9}
+
+    def test_max_picks(self):
+        result = greedy_set_cover(
+            {1, 2, 3}, {"a": {1}, "b": {2}, "c": {3}}, max_picks=2)
+        assert len(result.chosen) == 2
+
+    def test_curve_monotone(self):
+        result = greedy_set_cover(
+            set(range(20)),
+            {i: {i, (i + 1) % 20, (i + 5) % 20} for i in range(20)})
+        assert result.curve == sorted(result.curve)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.dictionaries(
+        st.integers(0, 15),
+        st.sets(st.integers(0, 30), max_size=8), max_size=12))
+    def test_covers_everything_coverable(self, sets):
+        universe = set().union(*sets.values()) if sets else set()
+        result = greedy_set_cover(universe, sets)
+        assert result.complete
+        covered = set()
+        for key in result.chosen:
+            covered |= sets[key]
+        assert covered >= universe
+
+    def test_ixp_cover_complete_near_paper(self, topo):
+        result = ixp_cover_hosts(topo)
+        assert result.complete
+        assert 20 <= len(result.chosen) <= 50  # paper: 34 for 77
+
+    def test_observatory_beats_atlas_on_ixp_coverage(self, topo, atlas):
+        cmp = compare_ixp_coverage(topo, atlas)
+        assert cmp.observatory_covered == cmp.universe == 77
+        assert cmp.atlas_covered < cmp.observatory_covered
+        assert cmp.observatory_hosts < cmp.atlas_hosts
+
+
+class TestPlacement:
+    def test_country_coverage(self, topo):
+        hosts = place_probes(topo, PlacementObjective.COUNTRY_COVERAGE)
+        countries = {topo.as_(asn).country_iso2 for asn in hosts}
+        assert len(countries) == len(hosts)  # one per country
+        assert len(countries) >= 50
+
+    def test_mobile_representative(self, topo):
+        from repro.topology import ASKind
+        hosts = place_probes(topo,
+                             PlacementObjective.MOBILE_REPRESENTATIVE,
+                             budget=20)
+        assert len(hosts) == 20
+        assert all(topo.as_(a).kind is ASKind.MOBILE for a in hosts)
+
+    def test_budget_respected(self, topo):
+        hosts = place_probes(topo, PlacementObjective.IXP_COVERAGE,
+                             budget=5)
+        assert len(hosts) == 5
+
+
+class TestBudget:
+    def test_plan_lookup(self):
+        plan = plan_for("CD")
+        assert plan.model is PricingModel.PREPAID_BUNDLE
+        assert plan.usd_per_gb > plan_for("DE").usd_per_gb
+
+    def test_wire_overhead(self):
+        app = 10_000
+        assert wire_bytes(app, AccessTech.CELLULAR) > \
+            wire_bytes(app, AccessTech.FIXED) > app
+
+    def test_prepaid_bundle_granularity(self):
+        plan = DataPlan("GH", PricingModel.PREPAID_BUNDLE,
+                        usd_per_gb=4.0, bundle_mb=100)
+        account = BudgetAccount(plan, monthly_budget_usd=10.0)
+        cost_first = account.charge(1)  # first byte buys a bundle
+        assert cost_first == pytest.approx(plan.bundle_price_usd)
+        cost_second = account.charge(1)  # same bundle, free
+        assert cost_second == 0.0
+
+    def test_budget_enforced(self):
+        plan = DataPlan("GH", PricingModel.PREPAID_BUNDLE,
+                        usd_per_gb=4.0, bundle_mb=1024)
+        account = BudgetAccount(plan, monthly_budget_usd=5.0)
+        with pytest.raises(BudgetExceeded):
+            account.charge(2 * 2**30)
+
+    def test_payg_linear(self):
+        plan = DataPlan("KE", PricingModel.PAYG, usd_per_gb=2.0)
+        account = BudgetAccount(plan, monthly_budget_usd=100.0)
+        account.charge(2**30)
+        assert account.spent_usd == pytest.approx(2.0)
+
+    @given(st.lists(st.integers(1, 10 * 2**20), min_size=1, max_size=20))
+    def test_spend_monotone_and_capped(self, charges):
+        plan = DataPlan("NG", PricingModel.PREPAID_BUNDLE,
+                        usd_per_gb=3.3, bundle_mb=512)
+        account = BudgetAccount(plan, monthly_budget_usd=25.0)
+        last = 0.0
+        for nbytes in charges:
+            if not account.can_afford(nbytes):
+                break
+            account.charge(nbytes)
+            assert account.spent_usd >= last
+            last = account.spent_usd
+        assert account.spent_usd <= 25.0 + 1e-9
+
+    def test_cost_of_is_pure(self):
+        plan = DataPlan("GH", PricingModel.PREPAID_BUNDLE,
+                        usd_per_gb=4.0, bundle_mb=100)
+        account = BudgetAccount(plan, monthly_budget_usd=10.0)
+        before = account.spent_usd
+        account.cost_of(5 * 2**20)
+        assert account.spent_usd == before
+
+
+class TestPower:
+    def _probe(self, cc, kind=ProbeKind.RASPBERRY_PI):
+        return VantagePoint(probe_id=1, asn=36924, country_iso2=cc,
+                            kind=kind, access=AccessTech.FIXED)
+
+    def test_battery_raises_availability(self):
+        rpi = probe_power_profile(self._probe("CD"))
+        bare = probe_power_profile(
+            self._probe("CD", ProbeKind.ATLAS_PROBE))
+        assert rpi.effective_availability > bare.effective_availability
+        assert rpi.grid_availability == bare.grid_availability
+
+    def test_reliable_grid_near_one(self):
+        profile = probe_power_profile(self._probe("DE"))
+        assert profile.effective_availability > 0.99
+
+    def test_is_powered_deterministic(self):
+        probe = self._probe("CD")
+        assert is_powered(probe, 3, 12) == is_powered(probe, 3, 12)
+
+    def test_expected_slots(self):
+        probe = self._probe("DE")
+        assert expected_completed_slots(probe, 100) > 99
+
+
+def _fleet():
+    mk = lambda pid, cc, access: VantagePoint(
+        probe_id=pid, asn=37000 + pid, country_iso2=cc,
+        kind=ProbeKind.RASPBERRY_PI, access=access,
+        secondary_access=AccessTech.CELLULAR)
+    return [mk(1, "GH", AccessTech.FIXED), mk(2, "CD", AccessTech.FIXED),
+            mk(3, "ZA", AccessTech.FIXED), mk(4, "KE", AccessTech.FIXED)]
+
+
+def _tasks(n=12):
+    return [MeasurementTask(
+        task_id=f"t{i}", kind="traceroute", target=f"target-{i % 4}",
+        app_bytes=200_000, runs_per_month=30, utility=float(1 + i % 3))
+        for i in range(n)]
+
+
+class TestScheduler:
+    def test_budget_never_exceeded(self):
+        schedule = schedule_cost_aware(_fleet(), _tasks(), 5.0)
+        for account in schedule.accounts.values():
+            assert account.spent_usd <= 5.0 + 1e-9
+
+    def test_everything_placed_with_big_budget(self):
+        schedule = schedule_cost_aware(_fleet(), _tasks(), 500.0)
+        assert not schedule.unplaced
+
+    def test_cost_aware_beats_round_robin(self):
+        tasks = _tasks(30)
+        smart = schedule_cost_aware(_fleet(), tasks, 4.0)
+        naive = schedule_round_robin(_fleet(), tasks, 4.0)
+        assert smart.utility_per_dollar() >= naive.utility_per_dollar()
+
+    def test_reuse_is_free(self):
+        tasks = [
+            MeasurementTask("a", "traceroute", "same-target", 100_000,
+                            10, 5.0),
+            MeasurementTask("b", "traceroute", "same-target", 100_000,
+                            10, 4.0),
+        ]
+        schedule = schedule_cost_aware(_fleet()[:1], tasks, 50.0)
+        reused = [a for a in schedule.assignments if a.reused]
+        assert reused and reused[0].cost_usd == 0.0
+
+    def test_country_restriction(self):
+        tasks = [MeasurementTask("gh-only", "dns", "x", 1000, 5, 1.0,
+                                 country="GH")]
+        schedule = schedule_cost_aware(_fleet(), tasks, 10.0)
+        assert schedule.assignments[0].probe_id == 1
+
+    def test_access_requirement(self):
+        fixed_only = [VantagePoint(
+            probe_id=9, asn=37999, country_iso2="GH",
+            kind=ProbeKind.ATLAS_PROBE, access=AccessTech.FIXED)]
+        tasks = [MeasurementTask("cell", "ping", "x", 1000, 5, 1.0,
+                                 requires_access=AccessTech.CELLULAR)]
+        schedule = schedule_cost_aware(fixed_only, tasks, 10.0)
+        assert schedule.unplaced == tasks
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementTask("bad", "ping", "x", 0, 5, 1.0)
+
+
+class TestPlatformGovernance:
+    @pytest.fixture()
+    def platform(self, topo):
+        return ObservatoryPlatform(topo, probe_budget=10,
+                                   trusted_cohort={"amreesh"})
+
+    def test_untrusted_rejected(self, platform):
+        exp = Experiment("x1", "mallory", "sketchy", tasks=_tasks(2))
+        assert platform.submit(exp).status is ExperimentStatus.REJECTED
+
+    def test_trusted_approved_and_scheduled(self, platform):
+        exp = Experiment("x2", "amreesh", "IXP sweep", tasks=_tasks(3))
+        assert platform.submit(exp).status is ExperimentStatus.APPROVED
+        schedule = platform.schedule_experiment("x2")
+        assert schedule.total_utility > 0
+        assert exp.status is ExperimentStatus.COMPLETED
+
+    def test_oversized_task_rejected(self, platform):
+        huge = MeasurementTask("huge", "pageload", "x", 200 * 2**20, 1,
+                               1.0)
+        exp = Experiment("x3", "amreesh", "too big", tasks=[huge])
+        assert platform.submit(exp).status is ExperimentStatus.REJECTED
+
+    def test_unapproved_cannot_run(self, platform):
+        exp = Experiment("x4", "mallory", "nope", tasks=_tasks(1))
+        platform.submit(exp)
+        with pytest.raises(PermissionError):
+            platform.schedule_experiment("x4")
+
+    def test_duplicate_id_rejected(self, platform):
+        exp = Experiment("dup", "amreesh", "a", tasks=_tasks(1))
+        platform.submit(exp)
+        with pytest.raises(ValueError):
+            platform.submit(Experiment("dup", "amreesh", "b",
+                                       tasks=_tasks(1)))
+
+    def test_fleet_report(self, platform):
+        report = platform.fleet_report()
+        assert report["probes"] >= 10
+        assert 0 <= report["mean_availability"] <= 1

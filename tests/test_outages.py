@@ -1,0 +1,201 @@
+"""Outage engine: correlated cuts, recovery, event process."""
+
+import random
+
+import pytest
+
+from repro.geo import country
+from repro.outages import (
+    CountryImpact,
+    OutageCause,
+    OutageEvent,
+    OutageSimulator,
+    PREARRANGED_BACKUP_RATE,
+    RecoveryModel,
+    cables_in_corridor,
+    draw_corridor_incident,
+    expected_joint_failures,
+    march_2024_scenario,
+)
+from repro.outages.engine import _poisson
+from repro.topology import CableCorridor
+
+
+@pytest.fixture(scope="module")
+def simulation(topo, phys):
+    return OutageSimulator(topo, phys).simulate(years=2.0)
+
+
+class TestEvents:
+    def test_impact_validation(self):
+        with pytest.raises(ValueError):
+            CountryImpact("GH", 1.5, 1.0)
+        with pytest.raises(ValueError):
+            CountryImpact("GH", 0.5, -1.0)
+
+    def test_event_helpers(self):
+        event = OutageEvent(
+            event_id=1, cause=OutageCause.POWER_OUTAGE, start_day=0.0,
+            repair_days=1.0,
+            impacts=[CountryImpact("GH", 0.5, 1.0),
+                     CountryImpact("NG", 0.8, 2.0)])
+        assert event.max_severity() == 0.8
+        assert event.longest_outage_days() == 2.0
+        assert event.affected_countries == ["GH", "NG"]
+        assert event.impact_for("GH").severity == 0.5
+        assert event.impact_for("KE") is None
+
+
+class TestCorrelation:
+    def test_west_corridor_is_crowded(self, topo):
+        cables = cables_in_corridor(topo, CableCorridor.WEST_AFRICA)
+        assert len(cables) >= 8
+
+    def test_incident_localized_to_chokepoint(self, topo):
+        rng = random.Random(5)
+        for _ in range(20):
+            incident = draw_corridor_incident(
+                topo, CableCorridor.WEST_AFRICA, rng, cut_prob=0.72)
+            if incident is None:
+                continue
+            for cable_id in incident.cut_cable_ids:
+                cable = next(c for c in topo.cables
+                             if c.cable_id == cable_id)
+                assert incident.chokepoint in cable.countries
+
+    def test_diverse_cables_mostly_spared(self, topo):
+        rng = random.Random(9)
+        diverse = {c.cable_id for c in topo.cables if c.diverse_route}
+        diverse_cut = legacy_cut = 0
+        for _ in range(300):
+            incident = draw_corridor_incident(
+                topo, CableCorridor.WEST_AFRICA, rng, cut_prob=0.72)
+            if incident is None:
+                continue
+            for cid in incident.cut_cable_ids:
+                if cid in diverse:
+                    diverse_cut += 1
+                else:
+                    legacy_cut += 1
+        assert legacy_cut > diverse_cut * 3
+
+    def test_expected_joint_failures_multi(self, topo):
+        expected = expected_joint_failures(
+            topo, CableCorridor.WEST_AFRICA, 0.72)
+        assert expected > 1.0  # correlation: one event, multiple cables
+
+
+class TestRecovery:
+    def test_prearranged_is_deterministic_per_country(self):
+        model = RecoveryModel(seed=1)
+        assert model.has_prearranged_backup("KE") == \
+            model.has_prearranged_backup("KE")
+
+    def test_backup_shortens_outage(self):
+        model = RecoveryModel(seed=1)
+        rng = random.Random(2)
+        with_backup = []
+        without = []
+        for _ in range(300):
+            outcome = model.recover("ZA", 0.8, repair_days=20.0,
+                                    correlated=False, rng=rng)
+            if outcome.backup_activated and \
+                    not outcome.backup_oversubscribed:
+                with_backup.append(outcome.restore_days)
+            elif not outcome.backup_prearranged:
+                without.append(outcome.restore_days)
+        if with_backup and without:
+            avg = lambda xs: sum(xs) / len(xs)
+            assert avg(with_backup) < avg(without)
+
+    def test_correlated_events_oversubscribe_backups(self):
+        model = RecoveryModel(seed=1)
+        rng = random.Random(3)
+        rates = {}
+        for correlated in (True, False):
+            oversub = activated = 0
+            for _ in range(500):
+                outcome = model.recover("KE", 0.7, 15.0, correlated, rng)
+                if outcome.backup_activated:
+                    activated += 1
+                    oversub += outcome.backup_oversubscribed
+            rates[correlated] = oversub / max(1, activated)
+        assert rates[True] > rates[False]
+
+    def test_region_gradient(self):
+        from repro.geo import Region
+        assert PREARRANGED_BACKUP_RATE[Region.SOUTHERN_AFRICA] > \
+            PREARRANGED_BACKUP_RATE[Region.CENTRAL_AFRICA]
+
+
+class TestSimulation:
+    def test_poisson_sane(self):
+        rng = random.Random(4)
+        assert _poisson(rng, 0.0) == 0
+        draws = [_poisson(rng, 3.0) for _ in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 2.6 < mean < 3.4
+
+    def test_events_sorted_by_time(self, simulation):
+        days = [e.start_day for e in simulation.events]
+        assert days == sorted(days)
+
+    def test_cable_events_have_cables(self, simulation):
+        for event in simulation.by_cause(OutageCause.SUBSEA_CABLE_CUT):
+            assert event.cables_cut
+            assert event.impacts
+
+    def test_africa_dominates_outages(self, simulation):
+        detected = simulation.detected()
+        african = sum(1 for e in detected for i in e.impacts
+                      if country(i.iso2).is_african)
+        other = sum(1 for e in detected for i in e.impacts
+                    if not country(i.iso2).is_african)
+        assert african > other * 2
+
+    def test_cable_cuts_hit_many_countries(self, simulation):
+        hit = simulation.countries_hit_by_cable_cuts()
+        assert 10 <= len(hit) <= 54
+        assert all(country(cc).is_african for cc in hit)
+
+    def test_cable_cuts_last_longest(self, simulation):
+        import statistics
+        medians = {}
+        for cause in OutageCause:
+            events = [e for e in simulation.detected()
+                      if e.cause is cause]
+            if events:
+                medians[cause] = statistics.median(
+                    e.longest_outage_days() for e in events)
+        assert medians[OutageCause.SUBSEA_CABLE_CUT] == max(
+            medians.values())
+
+    def test_deterministic(self, topo, phys):
+        a = OutageSimulator(topo, phys).simulate(years=0.5)
+        b = OutageSimulator(topo, phys).simulate(years=0.5)
+        assert len(a.events) == len(b.events)
+        assert [e.cause for e in a.events] == [e.cause for e in b.events]
+
+
+class TestMarchScenario:
+    def test_cable_sets(self, topo):
+        west, east = march_2024_scenario(topo)
+        assert len(west) == 4 and len(east) == 3
+        names = {c.cable_id: c.name for c in topo.cables}
+        assert {names[c] for c in west} == \
+            {"WACS", "MainOne", "SAT-3/WASC", "ACE"}
+        assert {names[c] for c in east} == {"EIG", "SEACOM", "AAE-1"}
+
+    def test_west_cut_hits_ghana_hard(self, topo, phys):
+        west, _ = march_2024_scenario(topo)
+        before = phys.international_traffic_weight("GH")
+        after = phys.international_traffic_weight("GH",
+                                                  down_cables=west)
+        assert 1.0 - after / before > 0.3  # §1: crippling impact
+
+    def test_east_cut_spares_ghana(self, topo, phys):
+        _, east = march_2024_scenario(topo)
+        before = phys.international_traffic_weight("GH")
+        after = phys.international_traffic_weight("GH",
+                                                  down_cables=east)
+        assert 1.0 - after / before < 0.05

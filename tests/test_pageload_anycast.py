@@ -1,0 +1,134 @@
+"""Application-layer measurement: page loads and anycast catchments."""
+
+import pytest
+
+from repro.geo import AFRICAN_COUNTRIES, country
+from repro.measurement import (
+    AccessTech,
+    AnycastMeasurement,
+    AnycastService,
+    AnycastSite,
+    PageLoadSimulator,
+    ThirdPartyKind,
+    dependencies_of,
+    run_pageload_study,
+    services_from_topology,
+)
+from repro.outages import march_2024_scenario
+
+
+@pytest.fixture(scope="module")
+def west_cut(topo):
+    return march_2024_scenario(topo)[0]
+
+
+class TestDependencies:
+    def test_deterministic_per_domain(self, topo):
+        site = topo.websites["GH"][0]
+        assert dependencies_of(site) == dependencies_of(site)
+
+    def test_analytics_always_present(self, topo):
+        for site in topo.websites["KE"][:20]:
+            kinds = {d.kind for d in dependencies_of(site)}
+            assert ThirdPartyKind.ANALYTICS in kinds
+
+    def test_critical_flags(self):
+        assert ThirdPartyKind.PAYMENT_API.critical
+        assert not ThirdPartyKind.ANALYTICS.critical
+
+
+class TestPageLoad:
+    def test_baseline_loads_succeed(self, topo, phys):
+        study = run_pageload_study(topo, phys, "KE",
+                                   sites_per_client=5)
+        assert study.results
+        assert study.failure_rate() < 0.1
+        assert study.median_load_ms() > 0
+
+    def test_cable_cut_breaks_pages(self, topo, phys, west_cut):
+        base = run_pageload_study(topo, phys, "GH", sites_per_client=5)
+        cut = run_pageload_study(topo, phys, "GH", sites_per_client=5,
+                                 down_cables=west_cut)
+        assert cut.failure_rate() > base.failure_rate() + 0.2
+
+    def test_unaffected_country_stable(self, topo, phys, west_cut):
+        base = run_pageload_study(topo, phys, "KE", sites_per_client=4)
+        cut = run_pageload_study(topo, phys, "KE", sites_per_client=4,
+                                 down_cables=west_cut)
+        assert cut.failure_rate() <= base.failure_rate() + 0.05
+
+    def test_cellular_slower_than_fixed(self, topo, phys):
+        cellular = run_pageload_study(topo, phys, "NG",
+                                      sites_per_client=5,
+                                      access=AccessTech.CELLULAR)
+        fixed = run_pageload_study(topo, phys, "NG", sites_per_client=5,
+                                   access=AccessTech.FIXED)
+        if cellular.median_load_ms() and fixed.median_load_ms():
+            assert cellular.median_load_ms() > fixed.median_load_ms()
+
+    def test_failure_reasons_populated(self, topo, phys, west_cut):
+        study = run_pageload_study(topo, phys, "GH", sites_per_client=6,
+                                   down_cables=west_cut)
+        failures = [r for r in study.results if not r.ok]
+        assert failures
+        assert all(r.failure_reason for r in failures)
+
+    def test_components_sum_plausibly(self, topo, phys):
+        simulator = PageLoadSimulator(topo, phys)
+        client = next(a.asn for a in topo.ases_in_country("ZA")
+                      if a.asn in topo.resolver_configs)
+        result = simulator.load(client, topo.websites["ZA"][0])
+        if result.ok:
+            parts = (result.dns_ms or 0) + (result.handshake_ms or 0) \
+                + (result.transfer_ms or 0)
+            assert result.total_ms > parts * 0.5
+
+
+class TestAnycast:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnycastService("empty", 1, ())
+
+    def test_local_site_always_wins_at_home(self, topo, phys):
+        am = AnycastMeasurement(topo, phys)
+        service = AnycastService("test", 1, (
+            AnycastSite("ZA", 1.0), AnycastSite("DE", 3.0)))
+        observation = am.catchment("ZA", service)
+        assert observation is not None
+
+    def test_census_covers_services(self, topo, phys):
+        am = AnycastMeasurement(topo, phys)
+        census = am.census(["GH", "KE"],
+                           services_from_topology(topo))
+        services = {o.service for o in census.observations}
+        assert len(services) >= 5
+
+    def test_african_clients_drain_to_europe(self, topo, phys):
+        """§4.2's catchment story: a substantial share of African
+        clients lands on non-African sites despite African PoPs."""
+        am = AnycastMeasurement(topo, phys)
+        census = am.census(sorted(AFRICAN_COUNTRIES))
+        locality = census.african_locality()
+        assert 0.2 < locality < 0.8
+        sites = census.site_distribution()
+        assert any(not country(cc).is_african for cc in sites)
+
+    def test_cable_cut_shifts_catchments(self, topo, phys, west_cut):
+        am = AnycastMeasurement(topo, phys)
+        base = am.census(["GH", "CI", "SN"])
+        cut = am.census(["GH", "CI", "SN"], down_cables=west_cut)
+        base_sites = {(o.client_cc, o.service): o.site_cc
+                      for o in base.observations}
+        cut_sites = {(o.client_cc, o.service): o.site_cc
+                     for o in cut.observations}
+        # At least some catchments move when the corridor dies.
+        moved = sum(1 for k in base_sites
+                    if k in cut_sites and cut_sites[k] != base_sites[k])
+        lost = sum(1 for k in base_sites if k not in cut_sites)
+        assert moved + lost > 0
+
+    def test_deterministic(self, topo, phys):
+        am = AnycastMeasurement(topo, phys)
+        a = am.census(["GH"]).site_distribution()
+        b = am.census(["GH"]).site_distribution()
+        assert a == b

@@ -1,0 +1,152 @@
+"""IPv4 prefix machinery: parsing, containment, allocation, lookup."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.prefixes import (
+    Prefix,
+    PrefixAllocator,
+    PrefixRegistry,
+    format_ip,
+)
+
+aligned_prefixes = st.integers(0, 24).flatmap(
+    lambda plen: st.integers(0, (1 << plen) - 1).map(
+        lambda idx: Prefix(idx << (32 - plen), plen)))
+
+
+class TestPrefix:
+    def test_parse_and_str_roundtrip(self):
+        p = Prefix.parse("41.12.0.0/16")
+        assert str(p) == "41.12.0.0/16"
+        assert p.size == 65536
+
+    def test_parse_rejects_bad_input(self):
+        for bad in ("41.0.0.0", "300.0.0.0/8", "41.0.0/8", "x/8"):
+            with pytest.raises(ValueError):
+                Prefix.parse(bad)
+
+    def test_misaligned_network_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(1, 24)
+
+    def test_contains_ip(self):
+        p = Prefix.parse("10.0.0.0/24")
+        assert p.contains_ip(p.network)
+        assert p.contains_ip(p.last)
+        assert not p.contains_ip(p.last + 1)
+        assert not p.contains_ip(p.network - 1)
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_subnets(self):
+        p = Prefix.parse("10.0.0.0/22")
+        subs = list(p.subnets(24))
+        assert len(subs) == 4
+        assert all(p.contains(s) for s in subs)
+        with pytest.raises(ValueError):
+            list(p.subnets(20))
+
+    def test_slash24_count(self):
+        assert Prefix.parse("10.0.0.0/20").slash24_count() == 16
+        assert Prefix.parse("10.0.0.0/26").slash24_count() == 1
+
+    @given(aligned_prefixes)
+    def test_random_ip_inside(self, prefix):
+        rng = random.Random(1)
+        for _ in range(5):
+            assert prefix.contains_ip(prefix.random_ip(rng))
+
+    @given(aligned_prefixes, aligned_prefixes)
+    def test_overlap_symmetric_and_consistent(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+        if a.contains(b) or b.contains(a):
+            assert a.overlaps(b)
+
+    def test_format_ip(self):
+        assert format_ip(0) == "0.0.0.0"
+        assert format_ip(0xFFFFFFFF) == "255.255.255.255"
+        with pytest.raises(ValueError):
+            format_ip(-1)
+
+
+class TestAllocator:
+    def test_sequential_non_overlapping(self):
+        alloc = PrefixAllocator([Prefix.parse("10.0.0.0/8")])
+        chunks = [alloc.allocate(20) for _ in range(50)]
+        for i, a in enumerate(chunks):
+            for b in chunks[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_spans_multiple_pools(self):
+        alloc = PrefixAllocator([Prefix.parse("10.0.0.0/24"),
+                                 Prefix.parse("11.0.0.0/24")])
+        a = alloc.allocate(25)
+        b = alloc.allocate(25)
+        c = alloc.allocate(25)
+        assert a.network >> 24 == 10 and b.network >> 24 == 10
+        assert c.network >> 24 == 11
+
+    def test_exhaustion_raises(self):
+        alloc = PrefixAllocator([Prefix.parse("10.0.0.0/24")])
+        alloc.allocate(24)
+        with pytest.raises(RuntimeError):
+            alloc.allocate(24)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixAllocator([])
+
+    @given(st.lists(st.integers(16, 24), min_size=1, max_size=30))
+    def test_mixed_sizes_never_overlap(self, plens):
+        alloc = PrefixAllocator([Prefix.parse("10.0.0.0/8")])
+        chunks = [alloc.allocate(p) for p in plens]
+        for i, a in enumerate(chunks):
+            for b in chunks[i + 1:]:
+                assert not a.overlaps(b)
+
+
+class TestRegistry:
+    def _registry(self):
+        reg = PrefixRegistry()
+        reg.add(Prefix.parse("10.0.0.0/16"), "alpha")
+        reg.add(Prefix.parse("10.1.0.0/16"), "beta")
+        reg.add(Prefix.parse("192.168.0.0/24"), "gamma")
+        return reg
+
+    def test_lookup_owner(self):
+        reg = self._registry()
+        assert reg.lookup(Prefix.parse("10.0.5.0/24").network) == "alpha"
+        assert reg.lookup(Prefix.parse("10.1.0.0/16").last) == "beta"
+        assert reg.lookup(Prefix.parse("192.168.0.0/24").network + 7) \
+            == "gamma"
+
+    def test_lookup_miss(self):
+        reg = self._registry()
+        assert reg.lookup(Prefix.parse("11.0.0.0/8").network) is None
+
+    def test_overlap_detected(self):
+        reg = PrefixRegistry()
+        reg.add(Prefix.parse("10.0.0.0/16"), "a")
+        reg.add(Prefix.parse("10.0.128.0/17"), "b")
+        with pytest.raises(ValueError):
+            reg.lookup(0)
+
+    def test_lookup_prefix(self):
+        reg = self._registry()
+        p = reg.lookup_prefix(Prefix.parse("10.1.2.0/24").network)
+        assert p == Prefix.parse("10.1.0.0/16")
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_lookup_never_crashes(self, ip):
+        reg = self._registry()
+        owner = reg.lookup(ip)
+        if owner is not None:
+            prefix = reg.lookup_prefix(ip)
+            assert prefix is not None and prefix.contains_ip(ip)

@@ -1,0 +1,122 @@
+"""Property-based routing checks on randomly generated mini-topologies.
+
+The world generator produces one family of graphs; these tests verify
+the BGP engine's invariants (valley-freedom, loop-freedom, preference
+order) on *arbitrary* relationship graphs hypothesis dreams up.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import BGPRouting, RouteKind, is_valley_free
+from repro.topology import AS, ASKind, ASLink, Relationship
+from repro.topology.calibration import WorldParams
+from repro.topology.model import Topology
+
+
+def _random_topology(n_ases: int, edge_seed: int) -> Topology:
+    """A random valley-free-able topology: tiers with downward p2c
+    edges plus random intra-tier peering."""
+    rng = random.Random(edge_seed)
+    ases = {}
+    tiers = {}
+    for i in range(n_ases):
+        asn = 100 + i
+        tier = 1 if i < max(1, n_ases // 6) else \
+            (2 if i < n_ases // 2 else 3)
+        tiers[asn] = tier
+        ases[asn] = AS(asn=asn, name=f"AS{asn}", country_iso2="DE",
+                       kind=ASKind.TRANSIT if tier < 3 else ASKind.FIXED,
+                       tier=tier)
+    links = []
+    linked = set()
+
+    def key(a, b):
+        return (min(a, b), max(a, b))
+
+    def p2c(p, c):
+        if p == c or key(p, c) in linked:
+            return
+        linked.add(key(p, c))
+        links.append(ASLink(p, c, Relationship.PROVIDER_TO_CUSTOMER))
+        ases[p].customers.add(c)
+        ases[c].providers.add(p)
+
+    def p2p(a, b):
+        if a == b or key(a, b) in linked:
+            return
+        linked.add(key(a, b))
+        links.append(ASLink(a, b, Relationship.PEER_TO_PEER))
+        ases[a].peers.add(b)
+        ases[b].peers.add(a)
+
+    # Tier-1s must form a full mesh: peer routes are not re-exported
+    # to other peers, so a mere chain leaves the top tier partitioned.
+    tier1 = [a for a, t in tiers.items() if t == 1]
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1:]:
+            p2p(a, b)
+    for asn, tier in tiers.items():
+        if tier == 1:
+            continue
+        uppers = [x for x, t in tiers.items() if t < tier]
+        for provider in rng.sample(uppers,
+                                   k=min(len(uppers), rng.randint(1, 2))):
+            p2c(provider, asn)
+    same_tier = [a for a, t in tiers.items() if t == 2]
+    for _ in range(n_ases // 3):
+        if len(same_tier) >= 2:
+            p2p(*rng.sample(same_tier, 2))
+    return Topology(params=WorldParams(), ases=ases, links=links,
+                    ixps={}, cables=[], terrestrial=[], datacenters=[],
+                    cdns=[], cloud_resolvers=[], resolver_configs={},
+                    websites={})
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(6, 30), st.integers(0, 10_000))
+def test_random_topologies_route_valley_free(n, seed):
+    topo = _random_topology(n, seed)
+    routing = BGPRouting(topo)
+    asns = sorted(topo.ases)
+    rng = random.Random(seed + 1)
+    for _ in range(15):
+        src, dst = rng.choice(asns), rng.choice(asns)
+        path = routing.path(src, dst)
+        if path is None:
+            continue
+        assert is_valley_free(topo, path), (path, seed)
+        assert len(path) == len(set(path))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(6, 30), st.integers(0, 10_000))
+def test_random_topologies_fully_connected(n, seed):
+    """Every AS buys transit toward tier 1, so all pairs must route."""
+    topo = _random_topology(n, seed)
+    routing = BGPRouting(topo)
+    asns = sorted(topo.ases)
+    dst = asns[0]  # a tier-1
+    table = routing.routes_to(dst)
+    assert set(table) == set(asns)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(8, 25), st.integers(0, 10_000))
+def test_preference_order_respected(n, seed):
+    """No AS with a customer route uses a peer/provider route."""
+    topo = _random_topology(n, seed)
+    routing = BGPRouting(topo)
+    for dst in sorted(topo.ases)[:5]:
+        table = routing.routes_to(dst)
+        for asn, entry in table.items():
+            if entry.kind is RouteKind.SELF:
+                continue
+            a = topo.as_(asn)
+            # If the destination is in this AS's customer cone via the
+            # chosen next hop, the route must be a customer route.
+            if entry.kind is not RouteKind.CUSTOMER:
+                assert entry.next_hop not in a.customers or \
+                    table[entry.next_hop].kind is not RouteKind.SELF \
+                    or entry.kind is RouteKind.CUSTOMER

@@ -1,0 +1,214 @@
+"""Valley-free BGP and the physical layer."""
+
+import random
+
+import pytest
+
+from repro import build_world
+from repro.routing import (
+    BGPRouting,
+    PhysicalNetwork,
+    RouteKind,
+    as_path_geography,
+    countries_on_path,
+    is_valley_free,
+    path_rtt_ms,
+)
+from repro.topology import AS, ASKind, ASLink, Relationship, Topology
+from repro.topology.model import Topology as TopoModel
+
+
+def _mini_topology():
+    """Hand-built 6-AS world: T1 on top, two mid providers, three stubs.
+
+            T1(1)
+           /     \\
+        B(10)   C(20)     B--C are peers
+        /   \\      \\
+     X(100) Y(200) Z(300)
+    """
+    ases = {}
+
+    def mk(asn, tier, kind=ASKind.TRANSIT, cc="DE"):
+        ases[asn] = AS(asn=asn, name=f"AS{asn}", country_iso2=cc,
+                       kind=kind, tier=tier)
+
+    mk(1, 1)
+    mk(10, 2)
+    mk(20, 2)
+    mk(100, 3, ASKind.FIXED, "GH")
+    mk(200, 3, ASKind.FIXED, "KE")
+    mk(300, 3, ASKind.FIXED, "ZA")
+    links = [
+        ASLink(1, 10, Relationship.PROVIDER_TO_CUSTOMER),
+        ASLink(1, 20, Relationship.PROVIDER_TO_CUSTOMER),
+        ASLink(10, 20, Relationship.PEER_TO_PEER),
+        ASLink(10, 100, Relationship.PROVIDER_TO_CUSTOMER),
+        ASLink(10, 200, Relationship.PROVIDER_TO_CUSTOMER),
+        ASLink(20, 300, Relationship.PROVIDER_TO_CUSTOMER),
+    ]
+    for link in links:
+        if link.rel is Relationship.PROVIDER_TO_CUSTOMER:
+            ases[link.a].customers.add(link.b)
+            ases[link.b].providers.add(link.a)
+        else:
+            ases[link.a].peers.add(link.b)
+            ases[link.b].peers.add(link.a)
+    return TopoModel(
+        params=build_world.__defaults__ and __import__(
+            "repro.topology.calibration",
+            fromlist=["WorldParams"]).WorldParams(),
+        ases=ases, links=links, ixps={}, cables=[], terrestrial=[],
+        datacenters=[], cdns=[], cloud_resolvers=[], resolver_configs={},
+        websites={})
+
+
+class TestBGPMini:
+    def test_sibling_stubs_route_via_shared_provider(self):
+        topo = _mini_topology()
+        r = BGPRouting(topo)
+        assert r.path(100, 200) == [100, 10, 200]
+
+    def test_peer_route_preferred_over_provider(self):
+        topo = _mini_topology()
+        r = BGPRouting(topo)
+        # 100 -> 300 can go via peer link 10--20 (up, peer, down); the
+        # provider route via T1 has the same length but peer routes are
+        # not even needed at 100 — check 10's own table instead.
+        table = r.routes_to(300)
+        assert table[10].kind is RouteKind.PEER
+        assert r.path(100, 300) == [100, 10, 20, 300]
+
+    def test_self_route(self):
+        topo = _mini_topology()
+        r = BGPRouting(topo)
+        assert r.path(100, 100) == [100]
+
+    def test_customer_preferred_over_peer(self):
+        topo = _mini_topology()
+        r = BGPRouting(topo)
+        table = r.routes_to(200)
+        # 10 reaches 200 via its customer link, never via 1 or 20.
+        assert table[10].kind is RouteKind.CUSTOMER
+        assert table[20].kind is RouteKind.PEER
+
+    def test_link_filter_removes_adjacency(self):
+        topo = _mini_topology()
+        r = BGPRouting(topo, link_filter=lambda l: not (
+            l.a == 10 and l.b == 200))
+        path = r.path(100, 200)
+        # Forced the long way: up to T1 and down via nothing... 200 is
+        # only reachable through 10; removing the link isolates it.
+        assert path is None
+
+    def test_reachable_from(self):
+        topo = _mini_topology()
+        r = BGPRouting(topo)
+        assert r.reachable_from(300) == {1, 10, 20, 100, 200, 300}
+
+
+class TestBGPWorld:
+    def test_full_reachability(self, topo, routing):
+        random.seed(3)
+        asns = sorted(topo.ases)
+        sample = random.sample(asns, 25)
+        dst = topo.as_(36924).asn
+        for src in sample:
+            assert routing.path(src, dst) is not None
+
+    def test_paths_are_valley_free(self, topo, routing):
+        random.seed(7)
+        asns = sorted(topo.ases)
+        for _ in range(120):
+            src, dst = random.sample(asns, 2)
+            path = routing.path(src, dst)
+            assert path is not None
+            assert is_valley_free(topo, path), path
+
+    def test_paths_loop_free(self, topo, routing):
+        random.seed(11)
+        asns = sorted(topo.ases)
+        for _ in range(60):
+            src, dst = random.sample(asns, 2)
+            path = routing.path(src, dst)
+            assert len(path) == len(set(path))
+
+
+class TestPhysical:
+    def test_route_exists_between_coastal_africans(self, phys):
+        route = phys.route("GH", "ZA")
+        assert route is not None and not route.uses_satellite
+        assert route.rtt_ms > 0
+
+    def test_cable_cut_changes_route(self, topo, phys):
+        base = phys.route("GH", "PT", avoid_satellite=True)
+        assert base is not None
+        cut = frozenset(base.cables_used)
+        rerouted = phys.route("GH", "PT", down_cables=cut,
+                              avoid_satellite=True)
+        if rerouted is not None:
+            assert rerouted.cables_used.isdisjoint(cut)
+            assert rerouted.rtt_ms >= base.rtt_ms
+
+    def test_satellite_fallback(self, topo):
+        phys = PhysicalNetwork(topo)
+        all_cables = [c.cable_id for c in topo.cables]
+        route = phys.route("SC", "DE", down_cables=all_cables)
+        assert route is not None and route.uses_satellite
+
+    def test_landlocked_routes_via_neighbors(self, phys):
+        route = phys.route("RW", "DE", avoid_satellite=True)
+        assert route is not None
+        assert any(e.medium == "terrestrial" for e in route.edges)
+
+    def test_candidate_cables_superset_of_best(self, phys):
+        best = phys.route("GH", "PT", avoid_satellite=True)
+        candidates = phys.candidate_cables("GH", "PT")
+        assert best.cables_used <= candidates
+
+    def test_direct_cables(self, topo, phys):
+        direct = phys.direct_cables("GH", "NG")
+        names = {c.name for c in topo.cables if c.cable_id in direct}
+        assert "MainOne" in names
+
+    def test_capacity_drops_when_cut(self, topo, phys):
+        from repro.outages import march_2024_scenario
+        west, _ = march_2024_scenario(topo)
+        before = phys.international_traffic_weight("GH")
+        after = phys.international_traffic_weight("GH", down_cables=west)
+        assert after < before
+
+    def test_same_country_route_trivial(self, phys):
+        route = phys.route("GH", "GH")
+        assert route.rtt_ms == 0.0 and not route.edges
+
+
+class TestGeography:
+    def test_hop_geography(self, topo, routing):
+        sites = as_path_geography(topo, routing, 36924, 36924)
+        assert sites == [sites[0]]
+        src = 36924
+        dst = next(a.asn for a in topo.ases_in_country("GH")
+                   if a.kind.is_eyeball)
+        sites = as_path_geography(topo, routing, src, dst)
+        assert sites[0].country_iso2 == "RW"
+        assert sites[-1].country_iso2 == "GH"
+
+    def test_countries_on_path_dedupes(self):
+        from repro.routing import HopSite
+        sites = [HopSite(1, "GH"), HopSite(2, "GH"), HopSite(3, "NG")]
+        assert countries_on_path(sites) == ["GH", "NG"]
+
+    def test_rtt_positive_and_distance_sensitive(self, topo, routing,
+                                                 phys):
+        src = 36924
+        near = next(a.asn for a in topo.ases_in_country("UG")
+                    if a.kind.is_eyeball)
+        far = next(a.asn for a in topo.ases_in_country("US")
+                   if a.kind.is_eyeball)
+        near_sites = as_path_geography(topo, routing, src, near)
+        far_sites = as_path_geography(topo, routing, src, far)
+        near_rtt = path_rtt_ms(topo, phys, near_sites)
+        far_rtt = path_rtt_ms(topo, phys, far_sites)
+        assert near_rtt is not None and far_rtt is not None
+        assert 0 < near_rtt

@@ -1,0 +1,74 @@
+"""Scanner strategies: the Table 1 coverage mechanisms."""
+
+import pytest
+
+from repro.measurement import (
+    run_ant_hitlist,
+    run_caida_prefix_scan,
+    run_yarrp_scan,
+)
+
+
+@pytest.fixture(scope="module")
+def scans(topo, routing):
+    return {
+        "ant": run_ant_hitlist(topo),
+        "caida": run_caida_prefix_scan(topo),
+        "yarrp": run_yarrp_scan(topo, routing),
+    }
+
+
+class TestScanOrdering:
+    def test_entry_counts_ordered(self, scans):
+        assert scans["ant"].entries > scans["caida"].entries
+        assert scans["caida"].entries > scans["yarrp"].entries
+
+    def test_ant_has_best_asn_coverage(self, topo, scans):
+        ant = len(scans["ant"].observed_african_asns(topo))
+        caida = len(scans["caida"].observed_african_asns(topo))
+        yarrp = len(scans["yarrp"].observed_african_asns(topo))
+        assert ant > caida
+        assert ant > yarrp
+
+    def test_ixp_coverage_poor_everywhere(self, topo, scans):
+        universe = len(topo.african_ixps())
+        for scan in scans.values():
+            share = len(scan.observed_african_ixps(topo)) / universe
+            assert share < 0.35  # Table 1: best is 23.5%
+
+    def test_ant_best_on_ixps(self, topo, scans):
+        ant = len(scans["ant"].observed_african_ixps(topo))
+        others = max(len(scans["caida"].observed_african_ixps(topo)),
+                     len(scans["yarrp"].observed_african_ixps(topo)))
+        assert ant > others
+
+
+class TestScanSemantics:
+    def test_observed_asns_exist(self, topo, scans):
+        for scan in scans.values():
+            for asn in scan.observed_asns:
+                assert asn in topo.ases
+
+    def test_determinism(self, topo, routing):
+        a = run_ant_hitlist(topo)
+        b = run_ant_hitlist(topo)
+        assert a.observed_asns == b.observed_asns
+        assert a.entries == b.entries
+        y1 = run_yarrp_scan(topo, routing)
+        y2 = run_yarrp_scan(topo, routing)
+        assert y1.observed_asns == y2.observed_asns
+
+    def test_caida_only_sees_leaked_ixp_lans(self, topo, scans):
+        leaked = {x.ixp_id for x in topo.ixps.values() if x.lan_routed}
+        assert scans["caida"].observed_ixps <= leaked
+
+    def test_yarrp_sample_rate_scales_entries(self, topo, routing):
+        small = run_yarrp_scan(topo, routing, sample_rate=0.1)
+        big = run_yarrp_scan(topo, routing, sample_rate=0.6)
+        assert small.entries < big.entries
+
+    def test_yarrp_sees_transit_asns(self, topo, scans):
+        """Traceroute-based scanning observes carriers on the path."""
+        transits = {a.asn for a in topo.ases.values()
+                    if a.tier <= 2 and a.is_african}
+        assert scans["yarrp"].observed_asns & transits

@@ -1,0 +1,157 @@
+"""AS / IXP / cable / terrestrial model classes."""
+
+import pytest
+
+from repro.geo import Region, country
+from repro.topology import (
+    AS,
+    ASKind,
+    ASLink,
+    CableCorridor,
+    Prefix,
+    REAL_CABLE_SPECS,
+    Relationship,
+    SubseaCable,
+    TERRESTRIAL_LINKS,
+)
+from repro.topology.cables import build_cable, landing_site
+from repro.topology.ixp import IXP
+from repro.topology.terrestrial import (
+    REFERENCE_TERRESTRIAL_LINKS,
+    TerrestrialLink,
+    links_for,
+)
+
+
+class TestAS:
+    def test_basic(self):
+        a = AS(asn=65000, name="Test", country_iso2="GH",
+               kind=ASKind.MOBILE)
+        assert a.region is Region.WESTERN_AFRICA
+        assert a.is_african
+        assert a.kind.is_eyeball
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AS(asn=0, name="x", country_iso2="GH", kind=ASKind.FIXED)
+        with pytest.raises(ValueError):
+            AS(asn=1, name="x", country_iso2="GH", kind=ASKind.FIXED,
+               tier=4)
+
+    def test_link_other(self):
+        link = ASLink(1, 2, Relationship.PEER_TO_PEER)
+        assert link.other(1) == 2
+        assert link.other(2) == 1
+        assert link.involves(1) and not link.involves(3)
+        with pytest.raises(ValueError):
+            link.other(3)
+
+
+class TestIXP:
+    def _ixp(self):
+        return IXP(ixp_id=1, name="TESTIX", country_iso2="KE",
+                   lan_prefix=Prefix.parse("196.60.0.0/24"),
+                   founded_year=2010, members={100, 200})
+
+    def test_lan_ip_for_member(self):
+        ixp = self._ixp()
+        ip = ixp.lan_ip_for(100)
+        assert ixp.lan_prefix.contains_ip(ip)
+
+    def test_lan_ip_rejects_non_member(self):
+        with pytest.raises(ValueError):
+            self._ixp().lan_ip_for(999)
+
+    def test_lan_prefix_size_enforced(self):
+        with pytest.raises(ValueError):
+            IXP(ixp_id=1, name="X", country_iso2="KE",
+                lan_prefix=Prefix.parse("196.0.0.0/16"),
+                founded_year=2010)
+
+    def test_region(self):
+        assert self._ixp().region is Region.EASTERN_AFRICA
+
+
+class TestCables:
+    def test_real_catalog_landings_resolve(self):
+        for spec in REAL_CABLE_SPECS:
+            for key in spec.landing_keys:
+                iso2, site, lat, lon = landing_site(key)
+                country(iso2)  # raises if unknown
+                assert -90 <= lat <= 90
+
+    def test_march_2024_cables_present(self):
+        names = {s.name for s in REAL_CABLE_SPECS}
+        for required in ("WACS", "MainOne", "SAT-3/WASC", "ACE", "EIG",
+                         "SEACOM", "AAE-1"):
+            assert required in names
+
+    def test_build_cable_segments(self):
+        spec = next(s for s in REAL_CABLE_SPECS if s.name == "WACS")
+        cable = build_cable(1, spec)
+        segs = cable.segments()
+        assert len(segs) == len(cable.landings) - 1
+        assert all(s.length_km > 0 for s in segs)
+
+    def test_active_in(self):
+        spec = next(s for s in REAL_CABLE_SPECS if s.name == "Equiano")
+        cable = build_cable(1, spec)
+        assert not cable.active_in(2021)
+        assert cable.active_in(2022)
+
+    def test_traffic_weight_ramps(self):
+        spec = next(s for s in REAL_CABLE_SPECS
+                    if s.name == "2Africa-West")
+        cable = build_cable(1, spec)
+        assert cable.traffic_weight(2022) == 0.0
+        assert 0 < cable.traffic_weight(2024) < cable.traffic_weight(2030)
+        # Fully ramped after 5 years of service.
+        assert cable.traffic_weight(2028) == cable.traffic_weight(2040)
+
+    def test_countries_deduplicated_in_order(self):
+        cable = SubseaCable(
+            cable_id=1, name="X", corridor=CableCorridor.WEST_AFRICA,
+            landings=[], rfs_year=2020) if False else None
+        spec = next(s for s in REAL_CABLE_SPECS if s.name == "SAT-3/WASC")
+        built = build_cable(9, spec)
+        assert built.countries[0] == "PT"
+        assert len(built.countries) == len(set(built.countries))
+
+    def test_validation(self):
+        from repro.topology.cables import Landing
+        with pytest.raises(ValueError):
+            SubseaCable(cable_id=1, name="bad",
+                        corridor=CableCorridor.WEST_AFRICA,
+                        landings=[Landing("GH", "Accra", 5.0, 0.0)],
+                        rfs_year=2020)
+
+
+class TestTerrestrial:
+    def test_endpoints_are_known_countries(self):
+        for link in TERRESTRIAL_LINKS + REFERENCE_TERRESTRIAL_LINKS:
+            country(link.a)
+            country(link.b)
+            assert 0 < link.quality <= 1.0
+            assert link.length_km > 0
+
+    def test_links_for(self):
+        za_links = links_for("ZA")
+        assert za_links
+        assert all(l.involves("ZA") for l in za_links)
+
+    def test_landlocked_countries_have_links(self):
+        """Every landlocked African country must reach the sea somehow."""
+        from repro.geo import AFRICAN_COUNTRIES
+        for iso2, c in AFRICAN_COUNTRIES.items():
+            if not c.coastal:
+                assert links_for(iso2), f"{iso2} is isolated"
+
+    def test_other(self):
+        link = TerrestrialLink("KE", "UG", 0.5)
+        assert link.other("KE") == "UG"
+        with pytest.raises(ValueError):
+            link.other("TZ")
+
+    def test_bad_quality_rejected(self):
+        with pytest.raises(ValueError):
+            TerrestrialLink("KE", "UG", 0.0)

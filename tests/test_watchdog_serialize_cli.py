@@ -1,0 +1,150 @@
+"""Policy watchdog, world serialization, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.observatory import (
+    DEFAULT_POLICY_PACKAGE,
+    Policy,
+    PolicyKind,
+    PolicyWatchdog,
+)
+from repro.topology import (
+    load_world,
+    save_world,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+class TestWatchdog:
+    @pytest.fixture(scope="class")
+    def watchdog(self, topo, phys):
+        return PolicyWatchdog(topo, phys)
+
+    def test_full_continent_assessment(self, watchdog):
+        report = watchdog.assess(DEFAULT_POLICY_PACKAGE)
+        assert len(report.findings) == 54 * len(DEFAULT_POLICY_PACKAGE)
+        assert 0.0 < report.compliance_rate() < 1.0
+
+    def test_violations_listed(self, watchdog):
+        report = watchdog.assess(DEFAULT_POLICY_PACKAGE, ["CD", "ZA"])
+        assert report.violations()
+        cd = report.for_country("CD")
+        assert len(cd) == len(DEFAULT_POLICY_PACKAGE)
+
+    def test_mature_markets_more_compliant(self, watchdog):
+        report = watchdog.assess(DEFAULT_POLICY_PACKAGE)
+        za = [f.compliant for f in report.for_country("ZA")]
+        cd = [f.compliant for f in report.for_country("CD")]
+        assert sum(za) >= sum(cd)
+
+    def test_diversity_counts_corridors_not_cables(self, topo, watchdog):
+        """§5.1: collocated cables must not count as diversity."""
+        gh_cables = len(topo.cables_landing_in("GH"))
+        gh_diverse = watchdog.diverse_path_count("GH")
+        assert gh_diverse < gh_cables
+
+    def test_backup_capacity_metric(self, watchdog):
+        survival = watchdog.worst_corridor_survival("GH")
+        assert 0.0 <= survival < 0.6  # west corridor dominates Ghana
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            Policy(PolicyKind.DNS_LOCALIZATION, -0.1)
+
+    def test_kind_filter(self, watchdog):
+        report = watchdog.assess(DEFAULT_POLICY_PACKAGE, ["GH", "KE"])
+        rate = report.compliance_rate(PolicyKind.CABLE_DIVERSITY)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestSerialization:
+    def test_roundtrip_equivalence(self, topo, tmp_path):
+        path = tmp_path / "world.json"
+        save_world(topo, path)
+        loaded = load_world(path)
+        assert loaded.summary() == topo.summary()
+        assert sorted(loaded.ases) == sorted(topo.ases)
+        sample = sorted(topo.ases)[::25]
+        for asn in sample:
+            assert loaded.as_(asn).prefixes == topo.as_(asn).prefixes
+            assert loaded.as_(asn).providers == topo.as_(asn).providers
+            assert loaded.as_(asn).ixps == topo.as_(asn).ixps
+        assert loaded.resolver_configs == topo.resolver_configs
+        for cc in ("GH", "KE"):
+            assert loaded.websites[cc] == topo.websites[cc]
+
+    def test_gzip_roundtrip(self, topo, tmp_path):
+        path = tmp_path / "world.json.gz"
+        save_world(topo, path)
+        assert load_world(path).summary() == topo.summary()
+
+    def test_dict_is_json_safe(self, topo):
+        json.dumps(topology_to_dict(topo))
+
+    def test_loaded_world_is_routable(self, topo, tmp_path):
+        from repro.routing import BGPRouting
+        path = tmp_path / "world.json"
+        save_world(topo, path)
+        loaded = load_world(path)
+        routing = BGPRouting(loaded)
+        asns = sorted(loaded.ases)
+        assert routing.path(asns[0], asns[-1]) is not None
+
+    def test_version_check(self, topo):
+        data = topology_to_dict(topo)
+        data["format_version"] = 999
+        with pytest.raises(ValueError):
+            topology_from_dict(data)
+
+    def test_footprints_survive(self, topo, tmp_path):
+        path = tmp_path / "world.json"
+        save_world(topo, path)
+        loaded = load_world(path)
+        assert getattr(loaded.as_(30844), "footprint", None) == \
+            getattr(topo.as_(30844), "footprint", None)
+
+
+class TestCLI:
+    def test_summary(self, capsys):
+        from repro.cli import main
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "ases_african" in out
+
+    def test_placement(self, capsys):
+        from repro.cli import main
+        assert main(["placement", "--budget", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "AS" in out and "IXPs covered" in out
+
+    def test_watchdog(self, capsys):
+        from repro.cli import main
+        assert main(["watchdog", "--countries", "GH"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out or "FAIL" in out
+
+    def test_save_and_load(self, tmp_path, capsys):
+        from repro.cli import main
+        path = str(tmp_path / "w.json.gz")
+        assert main(["save", path]) == 0
+        assert main(["load-check", path]) == 0
+        assert "ases_total" in capsys.readouterr().out
+
+    def test_cablecut(self, capsys):
+        from repro.cli import main
+        assert main(["cablecut", "--scenario", "west"]) == 0
+        assert "WACS" in capsys.readouterr().out
+
+    def test_fleet(self, capsys):
+        from repro.cli import main
+        assert main(["fleet", "--objective", "country"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet economics" in out and "/year" in out
+
+    def test_unknown_command_rejected(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
