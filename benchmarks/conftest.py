@@ -5,15 +5,23 @@ it times the analysis with pytest-benchmark and emits the same
 rows/series the paper reports, both to stdout and to
 ``benchmarks/results.txt`` (append-mode, truncated at session start) so
 EXPERIMENTS.md can quote measured numbers.
+
+The session also writes ``benchmarks/BENCH_telemetry.json``: wall-clock
+time per benchmark always, plus the full metrics snapshot and span
+trees when telemetry is on (``REPRO_TELEMETRY=1``).  That file is the
+machine-readable perf baseline future PRs diff against — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
-from repro import build_world
+from repro import build_world, telemetry
 from repro.datasets import build_ixp_directory, collect_snapshot
 from repro.measurement import (
     GeolocationService,
@@ -23,11 +31,42 @@ from repro.measurement import (
 from repro.routing import BGPRouting, PhysicalNetwork
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+TELEMETRY_PATH = pathlib.Path(__file__).parent / "BENCH_telemetry.json"
 DEFAULT_SEED = 2025
+
+#: nodeid -> per-benchmark record, written at session finish.
+_TELEMETRY_RECORDS: dict[str, dict] = {}
 
 
 def pytest_sessionstart(session):
     RESULTS_PATH.write_text("")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    doc = {
+        "format": "repro-bench-telemetry/1",
+        "seed": DEFAULT_SEED,
+        "telemetry_enabled": telemetry.enabled(),
+        "benchmarks": _TELEMETRY_RECORDS,
+    }
+    if telemetry.enabled():
+        doc["metrics"] = telemetry.REGISTRY.snapshot()
+    TELEMETRY_PATH.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(autouse=True)
+def _bench_telemetry(request):
+    """Record wall time (and spans, when telemetry is on) per bench."""
+    spans_before = len(telemetry.COLLECTOR.roots())
+    start = time.perf_counter()
+    yield
+    record: dict = {
+        "duration_s": round(time.perf_counter() - start, 6)}
+    if telemetry.enabled():
+        roots = telemetry.COLLECTOR.roots()[spans_before:]
+        record["spans"] = [root.to_dict() for root in roots]
+    _TELEMETRY_RECORDS[request.node.nodeid] = record
 
 
 def emit(block: str) -> None:

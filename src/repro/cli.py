@@ -11,6 +11,11 @@ Observatory for:
 * ``watchdog``   — §5.2 policy-compliance report
 * ``placement``  — footnote-1 set-cover probe placement
 * ``save``/``load-check`` — world snapshots
+* ``telemetry``  — instrumented smoke run across every subsystem
+
+Any command accepts the global ``--telemetry`` flag (print a metrics +
+span report after the command) and ``--telemetry-out PATH`` (write the
+JSON report to PATH and Prometheus text next to it).
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import build_world, WorldParams
+from repro import build_world, telemetry, WorldParams
 from repro.reporting import ascii_table, pct
 
 
@@ -183,12 +188,58 @@ def cmd_load_check(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    """Run one instrumented pass through every pipeline layer."""
+    telemetry.enable()
+    from repro.measurement import (MeasurementEngine, build_atlas_platform,
+                                   run_caida_prefix_scan)
+    from repro.observatory import (DEFAULT_POLICY_PACKAGE, MeasurementTask,
+                                   PolicyWatchdog, schedule_cost_aware)
+    from repro.outages import OutageSimulator
+    from repro.routing import BGPRouting, PhysicalNetwork
+
+    with telemetry.span("cli.telemetry_smoke", seed=args.seed):
+        topo = _world(args)
+        routing = BGPRouting(topo)
+        phys = PhysicalNetwork(topo)
+        engine = MeasurementEngine(topo, routing, phys)
+        platform = build_atlas_platform(topo)
+        probes = platform.probes[:args.probes]
+        targets = [a.prefixes[0].network + 1
+                   for a in sorted(topo.ases.values(),
+                                   key=lambda x: x.asn)
+                   if a.is_african and a.prefixes][:args.targets]
+        with telemetry.span("cli.measure", probes=len(probes),
+                            targets=len(targets)):
+            for probe in probes:
+                for target in targets:
+                    engine.traceroute(probe, target)
+        run_caida_prefix_scan(topo)
+        OutageSimulator(topo).simulate(years=0.5)
+        PolicyWatchdog(topo, phys).assess(
+            DEFAULT_POLICY_PACKAGE, ["GH", "KE", "NG"])
+        tasks = [MeasurementTask(f"smoke-trace-{i}", "traceroute",
+                                 f"target-{i % 4}", app_bytes=150_000,
+                                 runs_per_month=30, utility=2.0)
+                 for i in range(12)]
+        schedule_cost_aware(probes, tasks, monthly_budget_usd=20.0)
+    print(telemetry.summary_report())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="African Internet Observatory reproduction toolkit")
     parser.add_argument("--seed", type=int, default=2025,
                         help="world seed (default 2025)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect telemetry and print a metrics/span "
+                             "report after the command")
+    parser.add_argument("--telemetry-out", metavar="PATH", default=None,
+                        help="write the telemetry JSON report to PATH "
+                             "(Prometheus text goes to PATH with a .prom "
+                             "suffix); implies --telemetry")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("summary", help="world inventory").set_defaults(
@@ -223,12 +274,30 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("load-check", help="load + summarize a snapshot")
     p.add_argument("path")
     p.set_defaults(func=cmd_load_check)
+    p = sub.add_parser("telemetry",
+                       help="instrumented smoke run across every layer")
+    p.add_argument("--probes", type=int, default=4,
+                   help="probes used in the measurement pass")
+    p.add_argument("--targets", type=int, default=12,
+                   help="traceroute targets per probe")
+    p.set_defaults(func=cmd_telemetry)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    collect = args.telemetry or args.telemetry_out is not None
+    if collect:
+        telemetry.enable()
+    rc = args.func(args)
+    if collect and args.func is not cmd_telemetry:
+        print()
+        print(telemetry.summary_report())
+    if args.telemetry_out is not None:
+        telemetry.write_report(args.telemetry_out)
+        print(f"\nTelemetry report written to {args.telemetry_out} "
+              f"(+ Prometheus text alongside)")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

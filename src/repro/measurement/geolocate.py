@@ -60,7 +60,7 @@ class GeolocationService:
         self._seed = seed if seed is not None else topo.params.seed
         self._africa_accuracy = africa_accuracy
         self._reference_accuracy = reference_accuracy
-        self._cache: dict[int, GeoAnswer] = {}
+        self._cache: dict[tuple[int, Optional[str]], GeoAnswer] = {}
 
     def locate(self, ip: int, true_iso2: Optional[str] = None) -> GeoAnswer:
         """Geolocate one address.
@@ -69,7 +69,9 @@ class GeolocationService:
         (e.g. the PoP a traceroute hop sits in); when omitted, the
         owning AS's home country is assumed.
         """
-        key = ip if true_iso2 is None else hash((ip, true_iso2))
+        # Plain tuple key: hash((ip, true_iso2)) could collide with a
+        # bare-ip key and is salted per process (PYTHONHASHSEED).
+        key = (ip, true_iso2)
         if key in self._cache:
             return self._cache[key]
         owner = self._topo.as_for_ip(ip)

@@ -31,6 +31,27 @@ from repro.measurement.responsiveness import (
 from repro.routing import BGPRouting, as_path_geography
 from repro.topology import ASKind, IXPOwner, Topology
 from repro.util import derive_rng
+from repro import telemetry
+
+_SCAN_ENTRIES = telemetry.counter(
+    "repro_scan_entries_total", "Scan targets probed",
+    labels=("dataset",))
+_SCAN_ASNS = telemetry.gauge(
+    "repro_scan_asns_observed", "ASNs observed by the last scan",
+    labels=("dataset",))
+_SCAN_IXPS = telemetry.gauge(
+    "repro_scan_ixps_observed", "IXPs observed by the last scan",
+    labels=("dataset",))
+
+
+def _record_scan(result: ScanResult) -> None:
+    if not telemetry.enabled():
+        return
+    _SCAN_ENTRIES.labels(dataset=result.dataset).inc(result.entries)
+    _SCAN_ASNS.labels(dataset=result.dataset).set(
+        len(result.observed_asns))
+    _SCAN_IXPS.labels(dataset=result.dataset).set(
+        len(result.observed_ixps))
 
 
 @dataclass
@@ -61,6 +82,11 @@ def run_ant_hitlist(topo: Topology,
     seed = seed if seed is not None else topo.params.seed
     rng = derive_rng(seed, "scan", "ant")
     result = ScanResult(dataset="ANT Hitlist", entries=0)
+    with telemetry.span("scan.ant_hitlist"):
+        return _run_ant_hitlist(topo, model, rng, result)
+
+
+def _run_ant_hitlist(topo, model, rng, result) -> ScanResult:
     for a in sorted(topo.ases.values(), key=lambda x: x.asn):
         p24 = model.harvested(topo, a.asn)
         n24 = slash24s_of(topo, a.asn)
@@ -76,6 +102,7 @@ def run_ant_hitlist(topo: Topology,
         if included and rng.random() < model.ixp_fabric_response:
             result.observed_ixps.add(ixp.ixp_id)
             result.entries += max(1, len(ixp.members) // 3)
+    _record_scan(result)
     return result
 
 
@@ -86,18 +113,20 @@ def run_caida_prefix_scan(topo: Topology,
     seed = seed if seed is not None else topo.params.seed
     rng = derive_rng(seed, "scan", "caida")
     result = ScanResult(dataset="CAIDA Routed /24", entries=0)
-    for a in sorted(topo.ases.values(), key=lambda x: x.asn):
-        p24 = model.random(topo, a.asn)
-        n24 = slash24s_of(topo, a.asn)
-        result.entries += n24  # one probe target per routed /24
-        hits = sum(rng.random() < p24 for _ in range(n24))
-        if hits:
-            result.observed_asns.add(a.asn)
-    # Only leaked IXP LANs appear in the routed table at all.
-    for ixp in _routed_ixps(topo):
-        result.entries += 1
-        if rng.random() < model.ixp_fabric_response:
-            result.observed_ixps.add(ixp.ixp_id)
+    with telemetry.span("scan.caida_prefix"):
+        for a in sorted(topo.ases.values(), key=lambda x: x.asn):
+            p24 = model.random(topo, a.asn)
+            n24 = slash24s_of(topo, a.asn)
+            result.entries += n24  # one probe target per routed /24
+            hits = sum(rng.random() < p24 for _ in range(n24))
+            if hits:
+                result.observed_asns.add(a.asn)
+        # Only leaked IXP LANs appear in the routed table at all.
+        for ixp in _routed_ixps(topo):
+            result.entries += 1
+            if rng.random() < model.ixp_fabric_response:
+                result.observed_ixps.add(ixp.ixp_id)
+    _record_scan(result)
     return result
 
 
@@ -126,6 +155,13 @@ def run_yarrp_scan(topo: Topology, routing: BGPRouting,
     seed = seed if seed is not None else topo.params.seed
     rng = derive_rng(seed, "scan", "yarrp")
     result = ScanResult(dataset="YARRP", entries=0)
+    with telemetry.span("scan.yarrp", vantage=vantage_asn):
+        return _run_yarrp_scan(topo, routing, vantage_asn, model, rng,
+                               sample_rate, result)
+
+
+def _run_yarrp_scan(topo, routing, vantage_asn, model, rng, sample_rate,
+                    result) -> ScanResult:
     path_cache: dict[int, Optional[list]] = {}
     for a in sorted(topo.ases.values(), key=lambda x: x.asn):
         n24 = slash24s_of(topo, a.asn)
@@ -152,4 +188,5 @@ def run_yarrp_scan(topo: Topology, routing: BGPRouting,
                 result.observed_ixps.add(site.ixp_id)
             else:
                 result.observed_asns.add(site.asn)
+    _record_scan(result)
     return result

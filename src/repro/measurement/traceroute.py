@@ -37,7 +37,24 @@ from repro.measurement.responsiveness import (
     ResponseModel,
 )
 from repro.topology import ASKind, Topology, format_ip
-from repro.util import derive_rng
+from repro.util import derive_rng, derive_seed
+from repro import telemetry
+
+_TRACEROUTES = telemetry.counter(
+    "repro_measurement_traceroutes_total",
+    "Traceroutes synthesized", labels=("outcome",))
+_HOPS = telemetry.counter(
+    "repro_measurement_hops_synthesized_total",
+    "Traceroute hops synthesized")
+_PINGS = telemetry.counter(
+    "repro_measurement_pings_total", "Ping rounds issued")
+_WIRE_BYTES = telemetry.counter(
+    "repro_measurement_wire_bytes_total",
+    "Simulated bytes on the wire (budget model input)")
+_HOPS_PER_TRACE = telemetry.histogram(
+    "repro_measurement_traceroute_hops",
+    "Hops per completed traceroute",
+    buckets=(2, 4, 6, 8, 10, 14, 18, 24, 32))
 
 
 @dataclass(frozen=True)
@@ -150,16 +167,31 @@ class MeasurementEngine:
             dst_asn=dst_asn)
         if dst_asn is None:
             result.bytes_used = 5 * TRACEROUTE_BYTES_PER_HOP
+            self._record_traceroute(result, "unresolved")
             return result
         sites = as_path_geography(self._topo, self._routing, probe.asn,
                                   dst_asn)
         if sites is None:
             result.bytes_used = 5 * TRACEROUTE_BYTES_PER_HOP
+            self._record_traceroute(result, "unrouted")
             return result
         access = access or probe.access
         self._emit_hops(result, sites, target_ip, access)
         result.bytes_used = len(result.hops) * TRACEROUTE_BYTES_PER_HOP
+        self._record_traceroute(
+            result, "reached" if result.reached else "incomplete")
         return result
+
+    @staticmethod
+    def _record_traceroute(result: TracerouteResult,
+                           outcome: str) -> None:
+        if not telemetry.enabled():
+            return
+        _TRACEROUTES.labels(outcome=outcome).inc()
+        _WIRE_BYTES.inc(result.bytes_used)
+        if result.hops:
+            _HOPS.inc(len(result.hops))
+            _HOPS_PER_TRACE.observe(len(result.hops))
 
     def _emit_hops(self, result: TracerouteResult,
                    sites: Sequence[HopSite], target_ip: int,
@@ -244,8 +276,10 @@ class MeasurementEngine:
             return None, False
         prefix = a.prefixes[0]
         # Deterministic router loopback: low addresses of the first
-        # prefix, varied per country so multi-PoP ASes differ.
-        offset = 1 + (hash((site.asn, site.country_iso2)) % 240)
+        # prefix, varied per country so multi-PoP ASes differ.  Derived
+        # via sha256, not builtin hash(), which is salted per process
+        # (PYTHONHASHSEED) and made loopbacks differ across runs.
+        offset = 1 + (derive_seed(site.asn, site.country_iso2) % 240)
         ip = prefix.network + offset
         return ip, rng.random() < self._model.hop_response
 
@@ -253,6 +287,9 @@ class MeasurementEngine:
     def ping(self, probe: VantagePoint, target_ip: int,
              count: int = 4) -> PingResult:
         """ICMP echo round: loss and median RTT."""
+        if telemetry.enabled():
+            _PINGS.inc()
+            _WIRE_BYTES.inc(PING_BYTES)
         dst_asn = self.resolve_target_asn(target_ip)
         if dst_asn is None:
             return PingResult(probe.probe_id, target_ip, count, 0, None)

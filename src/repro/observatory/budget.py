@@ -19,6 +19,19 @@ from dataclasses import dataclass
 from repro.geo import country
 from repro.topology.calibration import DEFAULT_PRICING
 from repro.measurement.probes import AccessTech
+from repro import telemetry
+
+_CHARGES = telemetry.counter(
+    "repro_budget_charges_total", "Budget charges applied")
+_BYTES_BILLED = telemetry.counter(
+    "repro_budget_bytes_billed_total", "Wire bytes billed to data plans")
+_SPENT = telemetry.gauge(
+    "repro_budget_spent_usd", "Cumulative spend across budget accounts",
+    labels=("iso2",))
+_REMAINING = telemetry.gauge(
+    "repro_budget_remaining_usd",
+    "Remaining monthly budget of the account charged most recently",
+    labels=("iso2",))
 
 
 class PricingModel(enum.Enum):
@@ -137,7 +150,14 @@ class BudgetAccount:
                 f"{self.plan.iso2}")
         before = self.spent_usd
         self._account(nbytes)
-        return self.spent_usd - before
+        delta = self.spent_usd - before
+        if telemetry.enabled():
+            _CHARGES.inc()
+            _BYTES_BILLED.inc(nbytes)
+            _SPENT.labels(iso2=self.plan.iso2).inc(delta)
+            _REMAINING.labels(iso2=self.plan.iso2).set(
+                self.remaining_usd)
+        return delta
 
     def _account(self, nbytes: int) -> None:
         if nbytes < 0:

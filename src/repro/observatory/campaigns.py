@@ -31,6 +31,11 @@ from repro.measurement import (
 )
 from repro.routing import PhysicalNetwork
 from repro.topology import ASKind, ResolverLocality, Topology
+from repro import telemetry
+
+_CAMPAIGNS = telemetry.counter(
+    "repro_observatory_campaigns_total",
+    "Targeted measurement campaigns executed", labels=("campaign",))
 
 
 # ----------------------------------------------------------------------
@@ -92,16 +97,19 @@ class IXPDiscoveryCampaign:
         result = IXPDiscoveryResult(platform_name=platform_name,
                                     probes_used=len(probes),
                                     traceroutes=0)
+        _CAMPAIGNS.labels(campaign="ixp-discovery").inc()
         targets = self._targets()
-        for probe in probes:
-            for target in targets:
-                trace = self._engine.traceroute(probe, target)
-                result.traceroutes += 1
-                for crossing in detect_ixp_crossings(trace,
-                                                     self._directory):
-                    ixp = self._topo.ixps[crossing.ixp_id]
-                    if ixp.is_african:
-                        result.detected_ixp_ids.add(crossing.ixp_id)
+        with telemetry.span("campaign.ixp_discovery",
+                            platform=platform_name, probes=len(probes)):
+            for probe in probes:
+                for target in targets:
+                    trace = self._engine.traceroute(probe, target)
+                    result.traceroutes += 1
+                    for crossing in detect_ixp_crossings(trace,
+                                                         self._directory):
+                        ixp = self._topo.ixps[crossing.ixp_id]
+                        if ixp.is_african:
+                            result.detected_ixp_ids.add(crossing.ixp_id)
         return result
 
 
@@ -196,6 +204,7 @@ class DNSDependencyCampaign:
             domains: Sequence[str] = ("example.org", "bank.local",
                                       "gov.portal", "news.site"),
             ) -> list[DNSDependencyRow]:
+        _CAMPAIGNS.labels(campaign="dns-dependency").inc()
         rows = []
         for iso2 in sorted(set(countries)):
             clients = [a.asn for a in self._topo.ases_in_country(iso2)
@@ -259,6 +268,7 @@ class CableDisambiguationCampaign:
     def disambiguate(self, cc_a: str, cc_b: str,
                      passive_candidates: set[int]
                      ) -> DisambiguationResult:
+        _CAMPAIGNS.labels(campaign="cable-disambiguation").inc()
         baseline = self._phys.route(cc_a, cc_b, avoid_satellite=True)
         if baseline is None or not baseline.cables_used:
             return DisambiguationResult(cc_a, cc_b,

@@ -27,6 +27,20 @@ from repro.observatory.power import is_powered
 from repro.routing import PhysicalNetwork
 from repro.topology import Topology
 from repro.util import derive_rng
+from repro import telemetry
+
+_CHECKS = telemetry.counter(
+    "repro_observatory_checks_total",
+    "Health-check resolutions attempted by the monitoring fleet")
+_ANOMALIES = telemetry.counter(
+    "repro_observatory_anomalies_total",
+    "Anomaly alarms raised by the monitoring runner")
+_COUNTRY_DAYS = telemetry.counter(
+    "repro_observatory_country_days_total",
+    "Country-days of health monitored")
+_MONITORED = telemetry.gauge(
+    "repro_observatory_countries_monitored",
+    "Countries covered by the last monitoring run")
 
 #: Degradation (reachability drop) the anomaly detector alarms on.
 ANOMALY_THRESHOLD = 0.10
@@ -127,23 +141,30 @@ class MonitoringRunner:
                                         []).append(probe)
         baselines: dict[str, list[float]] = {cc: []
                                              for cc in probes_by_cc}
-        for day in range(days):
-            for iso2, probes in sorted(probes_by_cc.items()):
-                health, active_for_cc = self._country_day(
-                    day, iso2, probes, simulation, rng)
-                if health is None:
-                    continue
-                report.health.append(health)
-                baseline_window = baselines[iso2][-14:]
-                baseline = (statistics.mean(baseline_window)
-                            if len(baseline_window) >= 3 else 1.0)
-                if health.success_rate < baseline - ANOMALY_THRESHOLD:
-                    report.anomalies.append(DetectedAnomaly(
-                        day, iso2, health.success_rate, baseline))
-                    self._credit_detection(report, active_for_cc, iso2,
-                                           truth_threshold)
-                else:
-                    baselines[iso2].append(health.success_rate)
+        with telemetry.span("observatory.monitor", days=days,
+                            countries=len(probes_by_cc)):
+            for day in range(days):
+                for iso2, probes in sorted(probes_by_cc.items()):
+                    health, active_for_cc = self._country_day(
+                        day, iso2, probes, simulation, rng)
+                    if health is None:
+                        continue
+                    report.health.append(health)
+                    if telemetry.enabled():
+                        _COUNTRY_DAYS.inc()
+                        _CHECKS.inc(health.checks)
+                    baseline_window = baselines[iso2][-14:]
+                    baseline = (statistics.mean(baseline_window)
+                                if len(baseline_window) >= 3 else 1.0)
+                    if health.success_rate < baseline - ANOMALY_THRESHOLD:
+                        _ANOMALIES.inc()
+                        report.anomalies.append(DetectedAnomaly(
+                            day, iso2, health.success_rate, baseline))
+                        self._credit_detection(report, active_for_cc, iso2,
+                                               truth_threshold)
+                    else:
+                        baselines[iso2].append(health.success_rate)
+        _MONITORED.set(len(probes_by_cc))
         self._fill_truth(report, simulation, days, truth_threshold)
         return report
 

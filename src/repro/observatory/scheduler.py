@@ -24,6 +24,36 @@ from repro.observatory.budget import (
     wire_bytes,
 )
 from repro.observatory.power import probe_power_profile
+from repro import telemetry
+
+_TASKS_PLACED = telemetry.counter(
+    "repro_scheduler_tasks_placed_total",
+    "Measurement tasks placed on probes", labels=("policy",))
+_TASKS_UNPLACED = telemetry.counter(
+    "repro_scheduler_tasks_unplaced_total",
+    "Measurement tasks that fit on no probe", labels=("policy",))
+_TASKS_REUSED = telemetry.counter(
+    "repro_scheduler_tasks_reused_total",
+    "Placements served by an existing measurement (zero-cost reuse)")
+_SCHED_UTILITY = telemetry.gauge(
+    "repro_scheduler_utility", "Total utility of the last schedule",
+    labels=("policy",))
+_SCHED_COST = telemetry.gauge(
+    "repro_scheduler_cost_usd", "Total cost of the last schedule",
+    labels=("policy",))
+
+
+def _record_schedule(schedule: "Schedule", policy: str) -> None:
+    if not telemetry.enabled():
+        return
+    placed = _TASKS_PLACED.labels(policy=policy)
+    for assignment in schedule.assignments:
+        placed.inc()
+        if assignment.reused:
+            _TASKS_REUSED.inc()
+    _TASKS_UNPLACED.labels(policy=policy).inc(len(schedule.unplaced))
+    _SCHED_UTILITY.labels(policy=policy).set(schedule.total_utility)
+    _SCHED_COST.labels(policy=policy).set(schedule.total_cost_usd)
 
 
 @dataclass(frozen=True)
@@ -116,6 +146,15 @@ def schedule_cost_aware(probes: Iterable[VantagePoint],
                         plans: Optional[dict[str, DataPlan]] = None
                         ) -> Schedule:
     """Greedy utility-per-dollar scheduling with measurement reuse."""
+    with telemetry.span("observatory.schedule", policy="cost-aware"):
+        schedule = _schedule_cost_aware(probes, tasks,
+                                        monthly_budget_usd, plans)
+    _record_schedule(schedule, "cost-aware")
+    return schedule
+
+
+def _schedule_cost_aware(probes, tasks, monthly_budget_usd, plans
+                         ) -> Schedule:
     probes = list(probes)
     schedule = Schedule()
     for probe in probes:
@@ -174,6 +213,15 @@ def schedule_round_robin(probes: Iterable[VantagePoint],
                          ) -> Schedule:
     """Naive baseline: tasks dealt to eligible probes in turn, no
     cost-awareness, no reuse."""
+    with telemetry.span("observatory.schedule", policy="round-robin"):
+        schedule = _schedule_round_robin(probes, tasks,
+                                         monthly_budget_usd, plans)
+    _record_schedule(schedule, "round-robin")
+    return schedule
+
+
+def _schedule_round_robin(probes, tasks, monthly_budget_usd, plans
+                          ) -> Schedule:
     probes = list(probes)
     schedule = Schedule()
     for probe in probes:

@@ -18,6 +18,14 @@ from repro.geo import AFRICAN_COUNTRIES, country
 from repro.routing import PhysicalNetwork
 from repro.topology import Topology
 from repro.outages.correlate import corridor_chokepoints
+from repro import telemetry
+
+_ASSESSMENTS = telemetry.counter(
+    "repro_watchdog_assessments_total",
+    "Country/policy compliance checks evaluated")
+_ALERTS = telemetry.counter(
+    "repro_watchdog_alerts_total",
+    "Compliance violations flagged", labels=("policy",))
 
 
 class PolicyKind(enum.Enum):
@@ -96,9 +104,17 @@ class PolicyWatchdog:
         report = ComplianceReport()
         targets = sorted(countries) if countries is not None \
             else sorted(AFRICAN_COUNTRIES)
-        for iso2 in targets:
-            for policy in policies:
-                report.findings.append(self._check(iso2, policy))
+        with telemetry.span("observatory.watchdog",
+                            countries=len(targets)):
+            for iso2 in targets:
+                for policy in policies:
+                    finding = self._check(iso2, policy)
+                    report.findings.append(finding)
+                    if telemetry.enabled():
+                        _ASSESSMENTS.inc()
+                        if not finding.compliant:
+                            _ALERTS.labels(
+                                policy=finding.policy.kind.name).inc()
         return report
 
     # ------------------------------------------------------------------

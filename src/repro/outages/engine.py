@@ -28,6 +28,18 @@ from repro.routing import PhysicalNetwork
 from repro.topology import CableCorridor, Topology
 from repro.topology.calibration import OutageRates
 from repro.util import derive_rng
+from repro import telemetry
+
+_EVENTS = telemetry.counter(
+    "repro_outage_events_total", "Outage events injected",
+    labels=("cause",))
+_RECOVERIES = telemetry.counter(
+    "repro_outage_recovery_ticks_total",
+    "Country recovery computations (backup activation draws)")
+_IMPACTED = telemetry.histogram(
+    "repro_outage_countries_per_event",
+    "Countries impacted per injected event",
+    buckets=(1, 2, 3, 5, 8, 13, 21))
 
 #: Minimum severity for an event to register on a Radar-style monitor.
 DETECTION_THRESHOLD = 0.25
@@ -95,9 +107,16 @@ class OutageSimulator:
         """Run the full event process for ``years``."""
         rng = derive_rng(self._seed, "outage", "simulate")
         result = SimulationResult(years=years)
-        self._simulate_cable_cuts(result, years, rng)
-        self._simulate_country_events(result, years, rng)
+        with telemetry.span("outages.simulate", years=years):
+            with telemetry.span("outages.cable_cuts"):
+                self._simulate_cable_cuts(result, years, rng)
+            with telemetry.span("outages.country_events"):
+                self._simulate_country_events(result, years, rng)
         result.events.sort(key=lambda e: e.start_day)
+        if telemetry.enabled():
+            for event in result.events:
+                _EVENTS.labels(cause=event.cause.value).inc()
+                _IMPACTED.observe(len(event.impacts))
         return result
 
     # ------------------------------------------------------------------
@@ -162,6 +181,7 @@ class OutageSimulator:
                         severity_by_cc.get(iso2, 0.0), inherited)
         impacts = []
         for iso2, severity in sorted(severity_by_cc.items()):
+            _RECOVERIES.inc()
             recovery = self._recovery.recover(iso2, severity, repair,
                                               correlated, rng)
             impacts.append(CountryImpact(

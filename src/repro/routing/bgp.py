@@ -23,6 +23,20 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from repro.topology import ASLink, Relationship, Topology
+from repro import telemetry
+
+_TABLE_COMPUTES = telemetry.counter(
+    "repro_routing_table_computations_total",
+    "Per-destination routing tables computed (cache misses)")
+_TABLE_HITS = telemetry.counter(
+    "repro_routing_table_cache_hits_total",
+    "Routing-table lookups served from cache")
+_PATHS_RESOLVED = telemetry.counter(
+    "repro_routing_paths_resolved_total",
+    "AS paths resolved", labels=("found",))
+_PATH_LENGTH = telemetry.histogram(
+    "repro_routing_path_length_hops", "AS-path length of resolved paths",
+    buckets=(1, 2, 3, 4, 5, 6, 8, 10, 14))
 
 
 class RouteKind(enum.IntEnum):
@@ -90,8 +104,11 @@ class BGPRouting:
             raise KeyError(f"unknown destination AS{dst}")
         cached = self._tables.get(dst)
         if cached is None:
+            _TABLE_COMPUTES.inc()
             cached = self._compute(dst)
             self._tables[dst] = cached
+        else:
+            _TABLE_HITS.inc()
         return cached
 
     def path(self, src: int, dst: int) -> Optional[list[int]]:
@@ -100,6 +117,8 @@ class BGPRouting:
             return [src]
         table = self.routes_to(dst)
         if src not in table:
+            if telemetry.enabled():
+                _PATHS_RESOLVED.labels(found="no").inc()
             return None
         path = [src]
         cursor = src
@@ -108,6 +127,9 @@ class BGPRouting:
             if cursor in path:  # pragma: no cover - defensive
                 raise RuntimeError(f"routing loop toward AS{dst}: {path}")
             path.append(cursor)
+        if telemetry.enabled():
+            _PATHS_RESOLVED.labels(found="yes").inc()
+            _PATH_LENGTH.observe(len(path))
         return path
 
     def path_links(self, src: int, dst: int

@@ -1,0 +1,78 @@
+"""repro.telemetry — dependency-free instrumentation for the pipeline.
+
+The Observatory's own medicine, applied to its reproduction: counters,
+gauges and histograms (:mod:`~repro.telemetry.registry`), nested
+wall-clock spans (:mod:`~repro.telemetry.spans`), opt-in profiling
+hooks (:mod:`~repro.telemetry.profiler`), and exporters for
+Prometheus text, JSON and human-readable summaries
+(:mod:`~repro.telemetry.export`).
+
+Telemetry is **off by default** and costs one branch per call site.
+Turn it on with the ``REPRO_TELEMETRY=1`` environment variable or
+:func:`enable`.
+
+Quickstart::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    probes = telemetry.counter("repro_probes_total", "Probes launched",
+                               labels=("region",))
+    probes.labels(region="west").inc()
+    with telemetry.span("campaign.run", campaign="detours"):
+        ...
+    print(telemetry.summary_report())
+
+Naming conventions are documented in ``docs/observability.md``.
+"""
+
+from repro.telemetry._state import disable, enable, enabled
+from repro.telemetry.export import (
+    summary_report,
+    to_json,
+    to_prometheus,
+    write_report,
+)
+from repro.telemetry.profiler import ProfileReport, profiled
+from repro.telemetry.registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MAX_LABEL_CARDINALITY,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.telemetry.spans import COLLECTOR, Span, SpanCollector, span, traced
+
+
+def counter(name: str, help: str = "", labels=()) -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return REGISTRY.counter(name, help, labels)
+
+
+def gauge(name: str, help: str = "", labels=()) -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return REGISTRY.gauge(name, help, labels)
+
+
+def histogram(name: str, help: str = "", labels=(),
+              buckets=DEFAULT_BUCKETS) -> Histogram:
+    """Get-or-create a histogram on the default registry."""
+    return REGISTRY.histogram(name, help, labels, buckets)
+
+
+def reset() -> None:
+    """Zero all default-registry metrics and drop collected spans."""
+    REGISTRY.reset()
+    COLLECTOR.reset()
+
+
+__all__ = [
+    "COLLECTOR", "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram",
+    "MAX_LABEL_CARDINALITY", "MetricsRegistry", "ProfileReport",
+    "REGISTRY", "Span", "SpanCollector", "counter", "disable", "enable",
+    "enabled", "gauge", "histogram", "profiled", "reset", "span",
+    "summary_report", "to_json", "to_prometheus", "traced",
+    "write_report",
+]

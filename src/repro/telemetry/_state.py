@@ -1,0 +1,47 @@
+"""Global telemetry enablement gate.
+
+Instrumentation is compiled into every hot path, so the *disabled*
+state must cost next to nothing: one attribute load and a branch.
+Every instrument method and the ``span`` factory check
+``STATE.enabled`` first and return immediately when telemetry is off.
+
+Telemetry starts enabled only when the ``REPRO_TELEMETRY`` environment
+variable is set to a truthy value; programs can flip it at runtime via
+:func:`enable` / :func:`disable`.
+"""
+
+from __future__ import annotations
+
+import os
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TELEMETRY", "").strip().lower() in _TRUTHY
+
+
+class _TelemetryState:
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled()
+
+
+#: The process-wide switch, shared by metrics and spans.
+STATE = _TelemetryState()
+
+
+def enabled() -> bool:
+    """Is telemetry currently collecting?"""
+    return STATE.enabled
+
+
+def enable() -> None:
+    """Turn instrumentation on for this process."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (already-collected data is kept)."""
+    STATE.enabled = False

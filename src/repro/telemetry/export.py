@@ -1,0 +1,154 @@
+"""Telemetry exporters: Prometheus text, JSON, and a summary table.
+
+Three audiences:
+
+* :func:`to_prometheus` — scrape-compatible exposition text (the
+  format every metrics stack ingests);
+* :func:`to_json` / :func:`write_report` — machine-readable snapshots
+  (what ``BENCH_telemetry.json`` and ``--telemetry-out`` produce);
+* :func:`summary_report` — the human-readable table + span tree the
+  CLI prints, rendered with :mod:`repro.reporting`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional
+
+from repro.reporting import ascii_table
+from repro.telemetry.registry import (
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.telemetry.spans import COLLECTOR, Span, SpanCollector
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"') \
+                .replace("\n", r"\n")
+
+
+def _label_str(names, values, extra: str = "") -> str:
+    parts = [f'{n}="{_escape(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    registry = registry if registry is not None else REGISTRY
+    lines: list[str] = []
+    for metric in registry.metrics():
+        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        names = metric.label_names
+        for label_values, inst in metric.series():
+            if isinstance(inst, Histogram):
+                for bound, count in inst.cumulative_buckets():
+                    le = f'le="{_format_value(bound)}"'
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_label_str(names, label_values, le)} {count}")
+                lines.append(f"{metric.name}_sum"
+                             f"{_label_str(names, label_values)} "
+                             f"{_format_value(inst.sum)}")
+                lines.append(f"{metric.name}_count"
+                             f"{_label_str(names, label_values)} "
+                             f"{inst.count}")
+            else:
+                lines.append(f"{metric.name}"
+                             f"{_label_str(names, label_values)} "
+                             f"{_format_value(inst.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry: Optional[MetricsRegistry] = None,
+            collector: Optional[SpanCollector] = None) -> dict:
+    """One JSON-safe document holding metrics and span trees."""
+    registry = registry if registry is not None else REGISTRY
+    collector = collector if collector is not None else COLLECTOR
+    return {
+        "format": "repro-telemetry/1",
+        "metrics": registry.snapshot(),
+        "spans": collector.to_list(),
+    }
+
+
+def write_report(path: str | pathlib.Path,
+                 registry: Optional[MetricsRegistry] = None,
+                 collector: Optional[SpanCollector] = None) -> None:
+    """Write the JSON report to ``path`` and the Prometheus text next
+    to it (same stem, ``.prom`` suffix)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_json(registry, collector), indent=2,
+                               sort_keys=True) + "\n")
+    path.with_suffix(".prom").write_text(to_prometheus(registry))
+
+
+# ----------------------------------------------------------------------
+# Human-readable summary
+# ----------------------------------------------------------------------
+
+def _metric_rows(registry: MetricsRegistry) -> list[list[str]]:
+    rows: list[list[str]] = []
+    for metric in registry.metrics():
+        for label_values, inst in metric.series():
+            labels = ",".join(f"{n}={v}" for n, v
+                              in zip(metric.label_names, label_values))
+            name = f"{metric.name}{{{labels}}}" if labels else metric.name
+            if isinstance(inst, Histogram):
+                mean = inst.sum / inst.count if inst.count else 0.0
+                rows.append([name, metric.kind,
+                             f"n={inst.count} mean={mean:.4g} "
+                             f"sum={inst.sum:.4g}"])
+            else:
+                rows.append([name, metric.kind,
+                             _format_value(inst.value)])
+    return rows
+
+
+def _span_lines(root: Span) -> list[str]:
+    lines = []
+    for depth, node in root.walk():
+        attrs = " ".join(f"{k}={v}" for k, v in node.attrs.items())
+        suffix = f"  [{attrs}]" if attrs else ""
+        error = f"  !{node.error}" if node.error else ""
+        lines.append(f"{'  ' * depth}{node.name}: "
+                     f"{node.duration_s * 1000:.2f} ms"
+                     f"{suffix}{error}")
+    return lines
+
+
+def summary_report(registry: Optional[MetricsRegistry] = None,
+                   collector: Optional[SpanCollector] = None) -> str:
+    """Metrics table plus indented span timing trees."""
+    registry = registry if registry is not None else REGISTRY
+    collector = collector if collector is not None else COLLECTOR
+    sections = []
+    rows = _metric_rows(registry)
+    if rows:
+        sections.append(ascii_table(["metric", "kind", "value"], rows,
+                                    title="Telemetry metrics"))
+    else:
+        sections.append("Telemetry metrics\n(no samples collected)")
+    roots = collector.roots()
+    if roots:
+        lines = ["Span timings"]
+        for root in roots:
+            lines.extend(_span_lines(root))
+        sections.append("\n".join(lines))
+    else:
+        sections.append("Span timings\n(no spans recorded)")
+    return "\n\n".join(sections)

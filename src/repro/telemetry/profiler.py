@@ -1,0 +1,56 @@
+"""Opt-in lightweight profiling hooks.
+
+:func:`profiled` wraps a block in ``cProfile`` *only when telemetry is
+enabled*, so profiling hooks can live permanently at pipeline
+entry points without costing anything in normal runs.  Results go to a
+stats file (loadable with ``pstats``/snakeviz) and/or a text summary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import pathlib
+from typing import Iterator, Optional
+
+from repro.telemetry._state import STATE
+
+
+@contextlib.contextmanager
+def profiled(out_path: Optional[str | pathlib.Path] = None,
+             sort: str = "cumulative",
+             top: int = 25) -> Iterator[Optional["ProfileReport"]]:
+    """Profile the enclosed block when telemetry is enabled.
+
+    Yields a :class:`ProfileReport` (or ``None`` when disabled); the
+    report's ``text`` holds the top-``top`` rows sorted by ``sort``.
+    When ``out_path`` is given the raw stats are dumped there too.
+    """
+    if not STATE.enabled:
+        yield None
+        return
+    import cProfile
+    import pstats
+
+    profile = cProfile.Profile()
+    report = ProfileReport()
+    profile.enable()
+    try:
+        yield report
+    finally:
+        profile.disable()
+        if out_path is not None:
+            profile.dump_stats(str(out_path))
+        buf = io.StringIO()
+        stats = pstats.Stats(profile, stream=buf)
+        stats.sort_stats(sort).print_stats(top)
+        report.text = buf.getvalue()
+        report.total_calls = int(getattr(stats, "total_calls", 0))
+
+
+class ProfileReport:
+    """Filled in when the :func:`profiled` block exits."""
+
+    def __init__(self) -> None:
+        self.text: str = ""
+        self.total_calls: int = 0

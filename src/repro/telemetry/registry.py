@@ -1,0 +1,280 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+Prometheus-flavored semantics without the dependency:
+
+* metrics are registered once by name on a :class:`MetricsRegistry`;
+* a metric declared with label names hands out *labeled children*
+  (``metric.labels(region="west")``), each an independent series;
+* counters are monotonic, gauges go both ways, histograms count
+  observations into fixed upper-bound buckets plus ``sum``/``count``.
+
+All mutating calls are gated on the global telemetry switch
+(:mod:`repro.telemetry._state`) so instrumented hot paths cost one
+branch when telemetry is disabled.  Registration itself is *not*
+gated: instruments are created at import time and are valid to hold
+forever, whichever way the switch is flipped later.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Sequence
+
+from repro.telemetry._state import STATE
+
+#: Ceiling on distinct label combinations per metric.  Exceeding it is
+#: nearly always an instrumentation bug (an unbounded value used as a
+#: label) and raises rather than silently eating memory.
+MAX_LABEL_CARDINALITY = 512
+
+#: Default histogram buckets: wall-clock seconds, log-ish spacing.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   30.0, 60.0)
+
+
+def _validate_labels(label_names: Sequence[str],
+                     labels: dict[str, str]) -> tuple[str, ...]:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}")
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, probes...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.value = 0.0
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Counter] = {}
+
+    def labels(self, **labels: str) -> "Counter":
+        """The child series for one label combination (get-or-create)."""
+        key = _validate_labels(self.label_names, labels)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    if len(self._children) >= MAX_LABEL_CARDINALITY:
+                        raise ValueError(
+                            f"label cardinality of {self.name} exceeds "
+                            f"{MAX_LABEL_CARDINALITY}")
+                    child = type(self)(self.name, self.help)
+                    self._children[key] = child
+        return child
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not STATE.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self.value += amount
+
+    # ------------------------------------------------------------------
+    def series(self) -> list[tuple[tuple[str, ...], "Counter"]]:
+        """(label values, instrument) pairs — the parent when unlabeled."""
+        if self.label_names:
+            return sorted(self._children.items())
+        return [((), self)]
+
+    def snapshot_value(self):
+        return self.value
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+            self._children.clear()
+
+
+class Gauge(Counter):
+    """A value that can go up and down (budget left, fleet size...)."""
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        if not STATE.enabled:
+            return
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not STATE.enabled:
+            return
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Observation distribution over fixed upper-bound buckets."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a sorted non-empty sequence")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +inf last
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Histogram] = {}
+
+    def labels(self, **labels: str) -> "Histogram":
+        key = _validate_labels(self.label_names, labels)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    if len(self._children) >= MAX_LABEL_CARDINALITY:
+                        raise ValueError(
+                            f"label cardinality of {self.name} exceeds "
+                            f"{MAX_LABEL_CARDINALITY}")
+                    child = Histogram(self.name, self.help,
+                                      buckets=self.buckets)
+                    self._children[key] = child
+        return child
+
+    def observe(self, value: float) -> None:
+        if not STATE.enabled:
+            return
+        with self._lock:
+            idx = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    idx = i
+                    break
+            self.bucket_counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+    # ------------------------------------------------------------------
+    def series(self) -> list[tuple[tuple[str, ...], "Histogram"]]:
+        if self.label_names:
+            return sorted(self._children.items())
+        return [((), self)]
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative ``le`` buckets (inf included)."""
+        out = []
+        running = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def snapshot_value(self):
+        return {"count": self.count, "sum": self.sum,
+                "buckets": {str(b): n for b, n
+                            in self.cumulative_buckets()}}
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+            self.sum = 0.0
+            self.count = 0
+            self._children.clear()
+
+
+Metric = Counter  # counters/gauges share shape; histograms duck-type
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create registration.
+
+    Re-registering an existing name returns the existing instrument
+    when the declaration matches and raises when it does not — two
+    modules silently disagreeing about a metric is a bug worth
+    surfacing.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if (not isinstance(existing, Histogram)
+                        or existing.label_names != tuple(labels)
+                        or existing.buckets != tuple(float(b)
+                                                     for b in buckets)):
+                    raise ValueError(
+                        f"metric {name} already registered differently")
+                return existing
+            metric = Histogram(name, help, labels, buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def _register(self, cls, name, help, labels):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if (type(existing) is not cls
+                        or existing.label_names != tuple(labels)):
+                    raise ValueError(
+                        f"metric {name} already registered differently")
+                return existing
+            metric = cls(name, help, labels)
+            self._metrics[name] = metric
+            return metric
+
+    # ------------------------------------------------------------------
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def metrics(self) -> list:
+        """All registered metrics, sorted by name."""
+        return [m for _, m in sorted(self._metrics.items())]
+
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-data view of every series (for JSON / diffing)."""
+        out: dict[str, dict] = {}
+        for metric in self.metrics():
+            entry = {"kind": metric.kind, "help": metric.help,
+                     "labels": list(metric.label_names), "series": []}
+            for label_values, inst in metric.series():
+                entry["series"].append({
+                    "labels": dict(zip(metric.label_names, label_values)),
+                    "value": inst.snapshot_value(),
+                })
+            out[metric.name] = entry
+        return out
+
+    def reset(self) -> None:
+        """Zero every metric (children are dropped, names persist)."""
+        for metric in self.metrics():
+            metric.reset()
+
+
+#: The default registry used by all repro instrumentation.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,203 @@
+"""Wall-clock tracing spans: nested timing trees for pipeline stages.
+
+``span("topology.build", seed=2025)`` opens a timed region; spans
+opened inside it become children, producing a tree per top-level
+operation.  A thread-safe :class:`SpanCollector` keeps finished roots;
+each thread maintains its own open-span stack so concurrent campaigns
+never interleave their trees.
+
+When telemetry is disabled the ``span`` factory returns a shared no-op
+context manager and ``@traced`` functions call straight through — no
+clock reads, no allocation.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.telemetry._state import STATE
+
+
+@dataclass
+class Span:
+    """One timed region; ``children`` are the spans opened inside it."""
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    error: Optional[str] = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def self_s(self) -> float:
+        """Duration minus time attributed to child spans."""
+        return max(0.0, self.duration_s
+                   - sum(c.duration_s for c in self.children))
+
+    def walk(self) -> Iterator[tuple[int, "Span"]]:
+        """(depth, span) pairs in pre-order."""
+        stack = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "duration_s": round(self.duration_s, 6),
+            "self_s": round(self.self_s, 6),
+            **({"error": self.error} if self.error else {}),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class SpanCollector:
+    """Holds finished root spans; thread-safe.
+
+    Open spans live on a per-thread stack (``threading.local``);
+    completed roots are appended to a shared list under a lock.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def open(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def close(self, span: Span) -> None:
+        stack = self._stack()
+        # Exception-safe even if user code closed out of order: pop
+        # back to (and including) the span being closed.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if not stack and span.end_s is not None:
+            with self._lock:
+                self._roots.append(span)
+
+    # ------------------------------------------------------------------
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+        self._local = threading.local()
+
+    def to_list(self) -> list[dict]:
+        return [root.to_dict() for root in self.roots()]
+
+
+#: The default collector used by all repro instrumentation.
+COLLECTOR = SpanCollector()
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    __slots__ = ("_span", "_collector")
+
+    def __init__(self, span: Span, collector: SpanCollector) -> None:
+        self._span = span
+        self._collector = collector
+
+    def __enter__(self) -> Span:
+        self._span.start_s = time.perf_counter()
+        self._collector.open(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.end_s = time.perf_counter()
+        if exc_type is not None:
+            self._span.error = exc_type.__name__
+        self._collector.close(self._span)
+        return False
+
+
+def span(name: str, collector: Optional[SpanCollector] = None,
+         **attrs: Any):
+    """Open a timed span; attributes become part of the trace.
+
+    Usage::
+
+        with span("measurement.traceroute", probe=probe.probe_id):
+            ...
+    """
+    if not STATE.enabled:
+        return _NULL_SPAN
+    return _LiveSpan(Span(name=name, attrs=attrs),
+                     collector if collector is not None else COLLECTOR)
+
+
+def traced(name_or_fn: Optional[Callable | str] = None, **attrs: Any):
+    """Decorator form of :func:`span`.
+
+    ``@traced`` uses the function's qualified name; ``@traced("x")``
+    names the span explicitly.  Disabled telemetry adds one branch.
+    """
+
+    def decorate(fn: Callable, span_name: Optional[str] = None):
+        label = span_name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not STATE.enabled:
+                return fn(*args, **kwargs)
+            with span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    if callable(name_or_fn):
+        return decorate(name_or_fn)
+    return lambda fn: decorate(fn, name_or_fn)

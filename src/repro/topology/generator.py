@@ -51,6 +51,22 @@ from repro.topology.terrestrial import (
     TERRESTRIAL_LINKS,
 )
 from repro.util import derive_rng
+from repro import telemetry
+
+_WORLDS_BUILT = telemetry.counter(
+    "repro_topology_worlds_built_total", "Topologies generated")
+_ASES_BUILT = telemetry.counter(
+    "repro_topology_ases_built_total", "ASes created during generation",
+    labels=("kind",))
+_IXPS_BUILT = telemetry.counter(
+    "repro_topology_ixps_built_total", "IXPs created during generation",
+    labels=("region",))
+_LINKS_BUILT = telemetry.counter(
+    "repro_topology_links_built_total", "AS links created",
+    labels=("rel",))
+_BUILD_SECONDS = telemetry.histogram(
+    "repro_topology_build_seconds", "End-to-end world build time",
+    buckets=(0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0))
 
 
 # ----------------------------------------------------------------------
@@ -229,8 +245,23 @@ class TopologyGenerator:
 
     # ------------------------------------------------------------------
     def build(self) -> Topology:
+        with telemetry.span("topology.build", seed=self.params.seed):
+            topo = self._build_phases()
+        if telemetry.enabled():
+            _WORLDS_BUILT.inc()
+            for a in topo.ases.values():
+                _ASES_BUILT.labels(kind=a.kind.value).inc()
+            for ixp in topo.ixps.values():
+                _IXPS_BUILT.labels(region=ixp.region.value).inc()
+            for link in topo.links:
+                _LINKS_BUILT.labels(rel=link.rel.value).inc()
+        return topo
+
+    def _build_phases(self) -> Topology:
+        import time as _time
         p = self.params
         seed = p.seed
+        t0 = _time.perf_counter()
         counters = _Counters()
         ases: dict[int, AS] = {}
         used_asns: set[int] = set()
@@ -242,28 +273,36 @@ class TopologyGenerator:
             used_asns.add(a.asn)
             return a
 
-        self._build_backbone(ases, add_as)
-        self._build_african_transit(add_as)
-        self._build_african_edge(add_as, counters, used_asns)
-        self._build_reference_edge(add_as, counters, used_asns)
+        with telemetry.span("topology.ases"):
+            self._build_backbone(ases, add_as)
+            self._build_african_transit(add_as)
+            self._build_african_edge(add_as, counters, used_asns)
+            self._build_reference_edge(add_as, counters, used_asns)
 
-        ixps = self._build_ixps(counters)
-        self._populate_ixp_members(ases, ixps, seed)
+        with telemetry.span("topology.ixps"):
+            ixps = self._build_ixps(counters)
+            self._populate_ixp_members(ases, ixps, seed)
 
-        links = self._build_relationships(ases, ixps, seed)
+        with telemetry.span("topology.relationships"):
+            links = self._build_relationships(ases, ixps, seed)
 
-        cables = self._build_cables(counters)
-        datacenters = build_datacenters()
+        with telemetry.span("topology.physical"):
+            cables = self._build_cables(counters)
+            datacenters = build_datacenters()
         cdns = [CDNProvider(asn=a, name=n, pop_countries=pc, market_share=s)
                 for a, n, pc, s in CDN_SPECS]
         cloud_resolvers = [CloudResolverService(asn=a, name=n,
                                                 pop_countries=pc)
                            for a, n, pc in CLOUD_RESOLVER_SPECS]
 
-        self._assign_prefixes(ases, ixps, seed)
-        resolver_configs = self._assign_resolvers(ases, cloud_resolvers,
-                                                  seed)
-        websites = self._build_websites(ases, ixps, cdns, datacenters, seed)
+        with telemetry.span("topology.addressing"):
+            self._assign_prefixes(ases, ixps, seed)
+        with telemetry.span("topology.resolvers"):
+            resolver_configs = self._assign_resolvers(ases, cloud_resolvers,
+                                                      seed)
+        with telemetry.span("topology.websites"):
+            websites = self._build_websites(ases, ixps, cdns, datacenters,
+                                            seed)
 
         topo = Topology(
             params=p,
@@ -279,8 +318,10 @@ class TopologyGenerator:
             resolver_configs=resolver_configs,
             websites=websites,
         )
-        self._register_prefixes(topo)
-        topo.validate()
+        with telemetry.span("topology.validate"):
+            self._register_prefixes(topo)
+            topo.validate()
+        _BUILD_SECONDS.observe(_time.perf_counter() - t0)
         return topo
 
     # ------------------------------------------------------------------

@@ -1,0 +1,71 @@
+"""Seed determinism: same seed, same world — byte for byte."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro import build_world, telemetry
+from repro.topology.serialize import topology_to_dict
+
+
+def _world_json(seed: int) -> str:
+    return json.dumps(topology_to_dict(build_world(seed=seed)),
+                      sort_keys=True)
+
+
+def test_same_seed_identical_serialized_output():
+    assert _world_json(909) == _world_json(909)
+
+
+def test_different_seeds_differ():
+    assert _world_json(909) != _world_json(910)
+
+
+def test_telemetry_does_not_perturb_generation():
+    """Instrumentation must never consume RNG or reorder the build."""
+    was = telemetry.enabled()
+    telemetry.disable()
+    try:
+        plain = _world_json(909)
+        telemetry.enable()
+        instrumented = _world_json(909)
+    finally:
+        if was:
+            telemetry.enable()
+        else:
+            telemetry.disable()
+    assert plain == instrumented
+
+
+_SNAPSHOT_SIG = """
+import hashlib
+from repro import build_world
+from repro.datasets import collect_snapshot
+from repro.measurement import MeasurementEngine, build_atlas_platform
+from repro.routing import BGPRouting, PhysicalNetwork
+
+topo = build_world(seed=2025)
+engine = MeasurementEngine(topo, BGPRouting(topo), PhysicalNetwork(topo))
+snap = collect_snapshot(topo, engine, build_atlas_platform(topo),
+                        max_pairs=40)
+sig = ";".join(str([h.ip for h in t.hops]) for t in snap.traceroutes)
+print(hashlib.sha256(sig.encode()).hexdigest())
+"""
+
+
+def test_measurements_stable_across_hash_seeds():
+    """Regression: hop addresses once used builtin hash(), which is
+    salted per process, so two identical runs produced different
+    traceroutes.  Measurement output must not depend on
+    PYTHONHASHSEED."""
+    digests = []
+    for hash_seed in ("1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        out = subprocess.run([sys.executable, "-c", _SNAPSHOT_SIG],
+                             env=env, capture_output=True, text=True,
+                             check=True)
+        digests.append(out.stdout.strip())
+    assert digests[0] == digests[1]

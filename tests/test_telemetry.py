@@ -1,0 +1,292 @@
+"""Telemetry subsystem: registry semantics, spans, exporters, gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    MAX_LABEL_CARDINALITY,
+    MetricsRegistry,
+    SpanCollector,
+    profiled,
+    span,
+    to_json,
+    to_prometheus,
+    traced,
+)
+from repro.telemetry.export import summary_report
+
+
+@pytest.fixture
+def enabled():
+    """Enable telemetry for one test, restoring the prior state."""
+    was = telemetry.enabled()
+    telemetry.enable()
+    yield
+    if not was:
+        telemetry.disable()
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+class TestCounters:
+    def test_monotonic(self, enabled, registry):
+        c = registry.counter("c_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self, enabled, registry):
+        c = registry.counter("c_total", "help", labels=("region",))
+        c.labels(region="west").inc()
+        c.labels(region="west").inc()
+        c.labels(region="east").inc()
+        values = {lv: inst.value for lv, inst in c.series()}
+        assert values == {("west",): 2.0, ("east",): 1.0}
+
+    def test_label_name_mismatch_raises(self, enabled, registry):
+        c = registry.counter("c_total", "help", labels=("region",))
+        with pytest.raises(ValueError):
+            c.labels(coutnry="GH")
+
+    def test_label_cardinality_capped(self, enabled, registry):
+        c = registry.counter("c_total", "help", labels=("x",))
+        for i in range(MAX_LABEL_CARDINALITY):
+            c.labels(x=str(i)).inc()
+        with pytest.raises(ValueError):
+            c.labels(x="one-too-many")
+
+    def test_reregistration_returns_same_instrument(self, registry):
+        a = registry.counter("c_total", "help")
+        b = registry.counter("c_total", "help")
+        assert a is b
+
+    def test_conflicting_registration_raises(self, registry):
+        registry.counter("m", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("m", "help")
+        with pytest.raises(ValueError):
+            registry.counter("m", "help", labels=("x",))
+
+
+class TestGauges:
+    def test_set_inc_dec(self, enabled, registry):
+        g = registry.gauge("g", "help")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+
+class TestHistograms:
+    def test_bucketing_is_cumulative(self, enabled, registry):
+        h = registry.histogram("h", "help", buckets=(1, 5, 10))
+        for v in (0.5, 0.9, 3, 7, 100):
+            h.observe(v)
+        assert h.cumulative_buckets() == [
+            (1.0, 2), (5.0, 3), (10.0, 4), (float("inf"), 5)]
+        assert h.count == 5
+        assert h.sum == pytest.approx(111.4)
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(5, 1))
+
+    def test_labeled_histogram(self, enabled, registry):
+        h = registry.histogram("h", "help", labels=("kind",),
+                               buckets=(1, 2))
+        h.labels(kind="a").observe(1.5)
+        assert h.labels(kind="a").count == 1
+
+
+# ----------------------------------------------------------------------
+# Disabled-mode gating
+# ----------------------------------------------------------------------
+class TestDisabledNoOp:
+    def test_instruments_ignore_updates(self, registry):
+        telemetry.disable()
+        c = registry.counter("c_total")
+        g = registry.gauge("g")
+        h = registry.histogram("h", buckets=(1,))
+        c.inc()
+        g.set(9)
+        h.observe(0.5)
+        assert c.value == 0.0
+        assert g.value == 0.0
+        assert h.count == 0
+
+    def test_span_is_shared_noop(self):
+        telemetry.disable()
+        cm1 = span("a")
+        cm2 = span("b")
+        assert cm1 is cm2  # the null singleton: no allocation
+        with cm1:
+            pass
+
+    def test_traced_calls_through(self):
+        telemetry.disable()
+
+        @traced
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+
+    def test_profiled_yields_none(self):
+        telemetry.disable()
+        with profiled() as report:
+            pass
+        assert report is None
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_nesting_builds_a_tree(self, enabled):
+        collector = SpanCollector()
+        with span("outer", collector=collector, seed=1):
+            with span("inner", collector=collector):
+                pass
+            with span("inner2", collector=collector):
+                pass
+        roots = collector.roots()
+        assert len(roots) == 1
+        assert roots[0].name == "outer"
+        assert [c.name for c in roots[0].children] == ["inner", "inner2"]
+        assert roots[0].attrs == {"seed": 1}
+        assert roots[0].duration_s >= sum(
+            c.duration_s for c in roots[0].children)
+
+    def test_exception_marks_error_and_unwinds(self, enabled):
+        collector = SpanCollector()
+        with pytest.raises(RuntimeError):
+            with span("outer", collector=collector):
+                with span("inner", collector=collector):
+                    raise RuntimeError("boom")
+        roots = collector.roots()
+        assert len(roots) == 1
+        assert roots[0].error == "RuntimeError"
+        assert roots[0].children[0].error == "RuntimeError"
+        assert collector.current() is None
+
+    def test_traced_records_span(self, enabled):
+        collector = telemetry.COLLECTOR
+        before = len(collector.roots())
+
+        @traced("custom.name")
+        def f():
+            return 42
+
+        assert f() == 42
+        roots = collector.roots()[before:]
+        assert [r.name for r in roots] == ["custom.name"]
+
+    def test_walk_and_to_dict(self, enabled):
+        collector = SpanCollector()
+        with span("a", collector=collector):
+            with span("b", collector=collector):
+                pass
+        root = collector.roots()[0]
+        assert [(d, s.name) for d, s in root.walk()] == [(0, "a"),
+                                                         (1, "b")]
+        d = root.to_dict()
+        assert d["name"] == "a"
+        assert d["children"][0]["name"] == "b"
+        assert "error" not in d
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    def _sample(self, registry):
+        c = registry.counter("repro_x_total", "things", labels=("k",))
+        c.labels(k="a").inc(3)
+        g = registry.gauge("repro_g", "level")
+        g.set(1.5)
+        h = registry.histogram("repro_h", "dist", buckets=(1, 10))
+        h.observe(0.5)
+        h.observe(20)
+
+    def test_prometheus_text(self, enabled, registry):
+        self._sample(registry)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_x_total counter" in text
+        assert 'repro_x_total{k="a"} 3' in text
+        assert "repro_g 1.5" in text
+        assert 'repro_h_bucket{le="+Inf"} 2' in text
+        assert "repro_h_sum 20.5" in text
+        assert "repro_h_count 2" in text
+
+    def test_prometheus_escapes_label_values(self, enabled, registry):
+        c = registry.counter("c_total", "", labels=("k",))
+        c.labels(k='he said "hi"\n').inc()
+        text = to_prometheus(registry)
+        assert r'c_total{k="he said \"hi\"\n"} 1' in text
+
+    def test_json_roundtrips(self, enabled, registry):
+        self._sample(registry)
+        collector = SpanCollector()
+        with span("root", collector=collector):
+            pass
+        doc = json.loads(json.dumps(to_json(registry, collector)))
+        assert doc["format"] == "repro-telemetry/1"
+        assert doc["metrics"]["repro_x_total"]["series"][0]["value"] == 3
+        assert doc["spans"][0]["name"] == "root"
+
+    def test_summary_report_renders(self, enabled, registry):
+        self._sample(registry)
+        collector = SpanCollector()
+        with span("root", collector=collector):
+            pass
+        text = summary_report(registry, collector)
+        assert "repro_x_total{k=a}" in text
+        assert "root:" in text
+
+    def test_write_report(self, enabled, registry, tmp_path):
+        self._sample(registry)
+        out = tmp_path / "tel.json"
+        telemetry.write_report(out, registry, SpanCollector())
+        assert json.loads(out.read_text())["format"] == \
+            "repro-telemetry/1"
+        assert "# TYPE" in (tmp_path / "tel.prom").read_text()
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_profiled_collects_stats(self, enabled, tmp_path):
+        out = tmp_path / "prof.stats"
+        with profiled(out_path=out) as report:
+            sum(range(1000))
+        assert report is not None
+        assert report.text
+        assert out.exists()
+
+
+# ----------------------------------------------------------------------
+# Instrumented pipeline smoke
+# ----------------------------------------------------------------------
+class TestPipelineInstrumentation:
+    def test_world_build_emits_spans_and_counters(self, enabled):
+        from repro import build_world
+        telemetry.reset()
+        build_world(seed=77)
+        names = {r.name for r in telemetry.COLLECTOR.roots()}
+        assert "topology.build" in names
+        worlds = telemetry.REGISTRY.get(
+            "repro_topology_worlds_built_total")
+        assert worlds.value == 1.0
