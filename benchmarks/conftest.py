@@ -11,6 +11,11 @@ time per benchmark always, plus the full metrics snapshot and span
 trees when telemetry is on (``REPRO_TELEMETRY=1``).  That file is the
 machine-readable perf baseline future PRs diff against — see
 ``docs/observability.md``.
+
+Pass ``--workers N`` to fan measurement batches out over N processes
+(0 = one per core).  Results are byte-identical for any N — see
+``docs/performance.md`` and ``scripts/bench_parallel.py``, which
+records the serial/parallel diff in ``benchmarks/BENCH_parallel.json``.
 """
 
 from __future__ import annotations
@@ -23,12 +28,17 @@ import pytest
 
 from repro import build_world, telemetry
 from repro.datasets import build_ixp_directory, collect_snapshot
+from repro.exec import (
+    get_default_workers,
+    pair_for,
+    set_default_workers,
+    suggested_workers,
+)
 from repro.measurement import (
     GeolocationService,
     MeasurementEngine,
     build_atlas_platform,
 )
-from repro.routing import BGPRouting, PhysicalNetwork
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
 TELEMETRY_PATH = pathlib.Path(__file__).parent / "BENCH_telemetry.json"
@@ -36,6 +46,18 @@ DEFAULT_SEED = 2025
 
 #: nodeid -> per-benchmark record, written at session finish.
 _TELEMETRY_RECORDS: dict[str, dict] = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers", type=int, default=1, metavar="N",
+        help="processes for parallel fan-out (default 1; 0 = one per "
+             "core); benchmark outputs are identical for any value")
+
+
+def pytest_configure(config):
+    workers = config.getoption("--workers", default=1)
+    set_default_workers(workers if workers > 0 else suggested_workers())
 
 
 def pytest_sessionstart(session):
@@ -47,6 +69,7 @@ def pytest_sessionfinish(session, exitstatus):
         "format": "repro-bench-telemetry/1",
         "seed": DEFAULT_SEED,
         "telemetry_enabled": telemetry.enabled(),
+        "workers": get_default_workers(),
         "benchmarks": _TELEMETRY_RECORDS,
     }
     if telemetry.enabled():
@@ -84,12 +107,12 @@ def topo():
 
 @pytest.fixture(scope="session")
 def routing(topo):
-    return BGPRouting(topo)
+    return pair_for(topo)[0]
 
 
 @pytest.fixture(scope="session")
 def phys(topo):
-    return PhysicalNetwork(topo)
+    return pair_for(topo)[1]
 
 
 @pytest.fixture(scope="session")

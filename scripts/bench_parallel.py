@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Serial-vs-parallel benchmark for the repro.exec fan-out layer.
+
+Runs a representative workload — the Atlas mesh snapshot, a monitoring
+window, and a what-if cable-cut sweep — once with ``--workers 1`` and
+once with N workers, fingerprints every output, and writes
+``benchmarks/BENCH_parallel.json``::
+
+    {
+      "cores": 4, "workers": 4,
+      "serial_s": 41.2, "parallel_s": 13.8, "speedup": 2.99,
+      "identical": true, ...
+    }
+
+Exit status is non-zero if the serial and parallel outputs differ in
+any byte (the determinism contract of docs/performance.md), or — with
+``--require-speedup X`` on a multi-core machine — if the measured
+speedup falls below X.
+
+Usage::
+
+    python scripts/bench_parallel.py                # workers = cores
+    python scripts/bench_parallel.py --workers 2 --require-speedup 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import build_world  # noqa: E402
+from repro.datasets import collect_snapshot  # noqa: E402
+from repro.exec import suggested_workers  # noqa: E402
+from repro.measurement import (  # noqa: E402
+    MeasurementEngine,
+    build_atlas_platform,
+    build_observatory_platform,
+)
+from repro.observatory import (  # noqa: E402
+    MonitoringRunner,
+    PlacementObjective,
+    WhatIfCutCables,
+    place_probes,
+)
+from repro.outages import OutageSimulator, march_2024_scenario  # noqa: E402
+from repro.routing import BGPRouting, PhysicalNetwork  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
+    "benchmarks" / "BENCH_parallel.json"
+SEED = 2025
+MESH_PAIRS = 2000
+MONITOR_DAYS = 540
+
+
+def _sha(chunks) -> str:
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(repr(chunk).encode())
+    return h.hexdigest()
+
+
+def run_workload(workers: int) -> tuple[dict[str, str], float]:
+    """One full workload at a worker count; returns fingerprints + secs.
+
+    The world, routing tables, and caches are rebuilt from scratch for
+    every call so neither mode benefits from the other's warm state.
+    """
+    topo = build_world(seed=SEED)
+    routing = BGPRouting(topo)
+    phys = PhysicalNetwork(topo)
+    engine = MeasurementEngine(topo, routing, phys)
+    start = time.perf_counter()
+
+    snapshot = collect_snapshot(topo, engine, build_atlas_platform(topo),
+                                max_pairs=MESH_PAIRS, workers=workers)
+
+    platform = build_observatory_platform(
+        topo, place_probes(topo, PlacementObjective.COUNTRY_COVERAGE))
+    simulation = OutageSimulator(topo, phys).simulate(years=1.5)
+    report = MonitoringRunner(topo, phys, platform).run(
+        simulation, MONITOR_DAYS, workers=workers)
+
+    west, _ = march_2024_scenario(topo)
+    severities = WhatIfCutCables(topo).country_severities(
+        west, workers=workers)
+
+    elapsed = time.perf_counter() - start
+    fingerprints = {
+        "snapshot": _sha(snapshot.traceroutes),
+        "monitoring": _sha(
+            report.health + report.anomalies
+            + [sorted(report.truth), sorted(report.detected_truth),
+               sorted(report.radar_truth)]),
+        "whatif": _sha(sorted(severities.items())),
+    }
+    return fingerprints, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="parallel worker count (default: one per "
+                             "core)")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless speedup >= X (only enforced "
+                             "when the machine has >= 2 cores)")
+    args = parser.parse_args(argv)
+    cores = suggested_workers()
+    workers = args.workers if args.workers > 0 else cores
+
+    print(f"cores={cores} workers={workers} seed={SEED}")
+    print(f"serial run   (mesh={MESH_PAIRS} pairs, "
+          f"monitor={MONITOR_DAYS} days) ...", flush=True)
+    serial_fp, serial_s = run_workload(workers=1)
+    print(f"  {serial_s:.2f}s")
+    print(f"parallel run (workers={workers}) ...", flush=True)
+    parallel_fp, parallel_s = run_workload(workers=workers)
+    print(f"  {parallel_s:.2f}s")
+
+    identical = serial_fp == parallel_fp
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    doc = {
+        "format": "repro-bench-parallel/1",
+        "seed": SEED,
+        "cores": cores,
+        "workers": workers,
+        "mesh_pairs": MESH_PAIRS,
+        "monitor_days": MONITOR_DAYS,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "identical": identical,
+        "fingerprints": serial_fp,
+    }
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"speedup {speedup:.2f}x, outputs identical: {identical}")
+    print(f"wrote {OUT_PATH}")
+
+    if not identical:
+        for key in serial_fp:
+            if serial_fp[key] != parallel_fp[key]:
+                print(f"MISMATCH in {key}: {serial_fp[key][:16]} != "
+                      f"{parallel_fp[key][:16]}", file=sys.stderr)
+        return 1
+    if args.require_speedup is not None and cores >= 2 \
+            and speedup < args.require_speedup:
+        print(f"speedup {speedup:.2f}x below required "
+              f"{args.require_speedup}x on {cores} cores",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

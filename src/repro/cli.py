@@ -14,8 +14,10 @@ Observatory for:
 * ``telemetry``  — instrumented smoke run across every subsystem
 
 Any command accepts the global ``--telemetry`` flag (print a metrics +
-span report after the command) and ``--telemetry-out PATH`` (write the
-JSON report to PATH and Prometheus text next to it).
+span report after the command), ``--telemetry-out PATH`` (write the
+JSON report to PATH and Prometheus text next to it), and ``--workers N``
+(fan independent measurement units out over N processes; output is
+byte-identical to ``--workers 1`` — see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -42,13 +44,13 @@ def cmd_summary(args) -> int:
 def cmd_detours(args) -> int:
     from repro.analysis import analyze_snapshot
     from repro.datasets import build_ixp_directory, collect_snapshot
+    from repro.exec import pair_for
     from repro.geo import AFRICAN_REGIONS
     from repro.measurement import (GeolocationService, MeasurementEngine,
                                    build_atlas_platform)
-    from repro.routing import BGPRouting, PhysicalNetwork
     topo = _world(args)
-    engine = MeasurementEngine(topo, BGPRouting(topo),
-                               PhysicalNetwork(topo))
+    routing, phys = pair_for(topo)
+    engine = MeasurementEngine(topo, routing, phys)
     snapshot = collect_snapshot(topo, engine,
                                 build_atlas_platform(topo),
                                 max_pairs=args.pairs)
@@ -68,12 +70,12 @@ def cmd_detours(args) -> int:
 def cmd_coverage(args) -> int:
     from repro.analysis import build_coverage_table
     from repro.datasets import build_delegated_file
+    from repro.exec import routing_for
     from repro.measurement import (run_ant_hitlist, run_caida_prefix_scan,
                                    run_yarrp_scan)
-    from repro.routing import BGPRouting
     topo = _world(args)
     scans = [run_ant_hitlist(topo), run_caida_prefix_scan(topo),
-             run_yarrp_scan(topo, BGPRouting(topo))]
+             run_yarrp_scan(topo, routing_for(topo))]
     table = build_coverage_table(topo, build_delegated_file(topo), scans)
     print(ascii_table(
         ["dataset", "entries", "mobile", "non-mobile", "IXP"],
@@ -193,15 +195,14 @@ def cmd_telemetry(args) -> int:
     telemetry.enable()
     from repro.measurement import (MeasurementEngine, build_atlas_platform,
                                    run_caida_prefix_scan)
+    from repro.exec import pair_for
     from repro.observatory import (DEFAULT_POLICY_PACKAGE, MeasurementTask,
                                    PolicyWatchdog, schedule_cost_aware)
     from repro.outages import OutageSimulator
-    from repro.routing import BGPRouting, PhysicalNetwork
 
     with telemetry.span("cli.telemetry_smoke", seed=args.seed):
         topo = _world(args)
-        routing = BGPRouting(topo)
-        phys = PhysicalNetwork(topo)
+        routing, phys = pair_for(topo)
         engine = MeasurementEngine(topo, routing, phys)
         platform = build_atlas_platform(topo)
         probes = platform.probes[:args.probes]
@@ -240,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the telemetry JSON report to PATH "
                              "(Prometheus text goes to PATH with a .prom "
                              "suffix); implies --telemetry")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="processes for parallel fan-out (default 1; "
+                             "0 = one per core); results are identical "
+                             "for any value")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("summary", help="world inventory").set_defaults(
@@ -285,10 +290,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.exec import set_default_workers, suggested_workers
     args = build_parser().parse_args(argv)
     collect = args.telemetry or args.telemetry_out is not None
     if collect:
         telemetry.enable()
+    set_default_workers(args.workers if args.workers > 0
+                        else suggested_workers())
     rc = args.func(args)
     if collect and args.func is not cmd_telemetry:
         print()

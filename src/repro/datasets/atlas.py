@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.exec import current_payload, map_tasks, resolve_workers
 from repro.measurement import (
     MeasurementEngine,
     ProbePlatform,
@@ -55,16 +56,27 @@ def probe_target_ip(topo: Topology, probe: VantagePoint,
     return prefix.network + 10 + ((probe.probe_id + salt) % 200)
 
 
+def _trace_pair_task(pair: tuple[VantagePoint, VantagePoint]
+                     ) -> TracerouteResult:
+    """Worker task: one mesh traceroute (engine RNG is derived per
+    measurement, so the result is independent of batch order)."""
+    topo, engine = current_payload()
+    src, dst = pair
+    return engine.traceroute(src, probe_target_ip(topo, dst))
+
+
 def collect_snapshot(topo: Topology, engine: MeasurementEngine,
                      platform: ProbePlatform,
                      max_pairs: Optional[int] = None,
                      african_only: bool = True,
-                     seed: Optional[int] = None) -> AtlasSnapshot:
+                     seed: Optional[int] = None,
+                     workers: Optional[int] = None) -> AtlasSnapshot:
     """Mesh traceroutes between the platform's probes.
 
     ``african_only`` restricts to probes in Africa (the paper's §4.1
     focus is intra-African paths); ``max_pairs`` caps the mesh by
-    deterministic subsampling.
+    deterministic subsampling.  ``workers`` fans the mesh out over the
+    :mod:`repro.exec` pool — identical output to the serial loop.
     """
     seed = seed if seed is not None else topo.params.seed
     rng = derive_rng(seed, "datasets", "atlas-pairs")
@@ -75,9 +87,15 @@ def collect_snapshot(topo: Topology, engine: MeasurementEngine,
     if max_pairs is not None and len(pairs) > max_pairs:
         pairs = rng.sample(pairs, max_pairs)
         pairs.sort(key=lambda ab: (ab[0].probe_id, ab[1].probe_id))
+    if resolve_workers(workers) > 1:
+        # Warm the per-destination routing tables in parallel before
+        # the pool forks, so every worker inherits the full cache
+        # instead of recomputing tables for its own chunk.
+        engine.routing.precompute(
+            sorted({dst.asn for _, dst in pairs}), workers=workers)
     snapshot = AtlasSnapshot(platform_name=platform.name)
-    for src, dst in pairs:
-        target = probe_target_ip(topo, dst)
-        snapshot.traceroutes.append(engine.traceroute(src, target))
-        snapshot.pairs.append((src, dst))
+    snapshot.traceroutes = map_tasks(
+        _trace_pair_task, pairs, workers=workers,
+        payload=(topo, engine), label="snapshot_traceroutes")
+    snapshot.pairs = pairs
     return snapshot

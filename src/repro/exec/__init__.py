@@ -1,0 +1,41 @@
+"""repro.exec — parallel execution and shared computation.
+
+Two pieces:
+
+* :mod:`repro.exec.pool` — a deterministic fork-based worker pool.
+  Independent units (routing tables, traceroute batches, monitored
+  country-days, what-if scenarios) derive per-unit RNGs from the world
+  seed, so serial and parallel runs are byte-identical.
+* :mod:`repro.exec.context` — a shared routing context caching one
+  ``BGPRouting``/``PhysicalNetwork`` pair per topology instead of
+  rebuilding them in every campaign, benchmark and CLI command.
+
+See ``docs/performance.md`` for the workers flag, determinism
+guarantees and cache semantics.
+"""
+
+from repro.exec.context import (
+    CONTEXT,
+    RoutingContext,
+    pair_for,
+    physical_for,
+    routing_for,
+)
+from repro.exec.pool import (
+    WorkerPool,
+    current_payload,
+    fork_available,
+    get_default_workers,
+    map_tasks,
+    resolve_workers,
+    set_default_workers,
+    suggested_workers,
+)
+
+__all__ = [
+    "CONTEXT", "RoutingContext", "pair_for", "physical_for",
+    "routing_for",
+    "WorkerPool", "current_payload", "fork_available",
+    "get_default_workers", "map_tasks", "resolve_workers",
+    "set_default_workers", "suggested_workers",
+]

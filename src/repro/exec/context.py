@@ -1,0 +1,118 @@
+"""Shared routing context: one ``BGPRouting``/``PhysicalNetwork`` pair
+per ``(topology, down_cables)`` key.
+
+Before this layer existed every benchmark, campaign, CLI command and
+what-if scenario rebuilt routing state from scratch — the same
+adjacency lists and physical graph, recomputed dozens of times per
+session.  :class:`RoutingContext` memoizes the pair per topology (keyed
+by object identity, evicted when the topology is garbage collected).
+
+``down_cables`` is part of the public key because callers reason in
+terms of cut worlds, but both objects are *cut-agnostic at
+construction* — cable cuts are per-query arguments (``phys.route(...,
+down_cables=...)``) — so every down-key of one topology shares the same
+underlying pair.  A future link-level failure filter would split the
+cache on that key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro import telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.routing import BGPRouting, PhysicalNetwork
+    from repro.topology import Topology
+
+_CTX_HITS = telemetry.counter(
+    "repro_exec_context_hits_total",
+    "Shared routing-context lookups served from cache")
+_CTX_BUILDS = telemetry.counter(
+    "repro_exec_context_builds_total",
+    "BGPRouting/PhysicalNetwork pairs built by the shared context")
+
+
+class RoutingContext:
+    """Process-wide cache of routing state per topology.
+
+    Keyed by ``id(topo)`` with LRU eviction: the cached pair holds a
+    strong reference to its topology (``BGPRouting`` keeps ``_topo``),
+    so a topology can never be collected while its entry lives — which
+    both bounds memory via ``maxsize`` and guarantees an id is never
+    recycled into a live entry.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        self._maxsize = max(1, maxsize)
+        self._pairs: OrderedDict[int, tuple] = OrderedDict()
+        self.hits = 0
+        self.builds = 0
+
+    # ------------------------------------------------------------------
+    def pair(self, topo: "Topology",
+             down_cables: Sequence[int] = ()
+             ) -> Tuple["BGPRouting", "PhysicalNetwork"]:
+        """The shared (routing, physical) pair for ``topo``.
+
+        ``down_cables`` participates in the key contract (see module
+        docstring) but never forces a rebuild today.
+        """
+        del down_cables  # per-query in both objects; see module docstring
+        key = id(topo)
+        cached = self._pairs.get(key)
+        if cached is not None:
+            self._pairs.move_to_end(key)
+            self.hits += 1
+            if telemetry.enabled():
+                _CTX_HITS.inc()
+            return cached
+        from repro.routing import BGPRouting, PhysicalNetwork
+        with telemetry.span("exec.context_build", topology=key):
+            built = (BGPRouting(topo), PhysicalNetwork(topo))
+        self._pairs[key] = built
+        self.builds += 1
+        if telemetry.enabled():
+            _CTX_BUILDS.inc()
+        while len(self._pairs) > self._maxsize:
+            self._pairs.popitem(last=False)
+        return built
+
+    def routing(self, topo: "Topology",
+                down_cables: Sequence[int] = ()) -> "BGPRouting":
+        return self.pair(topo, down_cables)[0]
+
+    def physical(self, topo: "Topology",
+                 down_cables: Sequence[int] = ()) -> "PhysicalNetwork":
+        return self.pair(topo, down_cables)[1]
+
+    # ------------------------------------------------------------------
+    def invalidate(self, topo: Optional["Topology"] = None) -> None:
+        """Drop cached state for one topology (or everything)."""
+        if topo is None:
+            self._pairs.clear()
+        else:
+            self._pairs.pop(id(topo), None)
+
+
+#: The process-wide shared context.
+CONTEXT = RoutingContext()
+
+
+def routing_for(topo: "Topology",
+                down_cables: Sequence[int] = ()) -> "BGPRouting":
+    """Shared ``BGPRouting`` for ``topo`` (builds once, then cached)."""
+    return CONTEXT.routing(topo, down_cables)
+
+
+def physical_for(topo: "Topology",
+                 down_cables: Sequence[int] = ()) -> "PhysicalNetwork":
+    """Shared ``PhysicalNetwork`` for ``topo``."""
+    return CONTEXT.physical(topo, down_cables)
+
+
+def pair_for(topo: "Topology", down_cables: Sequence[int] = ()
+             ) -> Tuple["BGPRouting", "PhysicalNetwork"]:
+    """Shared (routing, physical) pair for ``topo``."""
+    return CONTEXT.pair(topo, down_cables)

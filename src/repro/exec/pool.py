@@ -1,0 +1,163 @@
+"""Deterministic worker pool for pipeline fan-out.
+
+The simulator's work decomposes into *independent units* — a routing
+table per destination AS, a traceroute per (probe, target), a monitored
+country-day, a what-if scenario.  Each unit derives its own RNG from
+the world seed and the unit's identity (via :func:`repro.util.
+derive_seed`), never from shared mutable state, so units can run in any
+order — and therefore on any number of workers — and still produce
+byte-identical results.
+
+:func:`map_tasks` is the single fan-out primitive.  With ``workers=1``
+(the default) it is a plain ordered loop; with more workers it forks a
+``ProcessPoolExecutor`` and maps the same function over the same items,
+returning results in item order.  Platforms without ``fork`` (and
+nested fan-out inside a worker) silently fall back to the serial path,
+which is exact by construction.
+
+Large read-only state (the topology, a measurement engine) is passed as
+the *payload*: it is published to a module global before the pool forks,
+so children inherit it through copy-on-write memory instead of pickling
+it per task.  Task items and results still cross process boundaries and
+must be picklable.  Telemetry incremented inside workers stays in the
+worker process and is lost; count in the parent instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro import telemetry
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_TASKS = telemetry.counter(
+    "repro_exec_tasks_total",
+    "Units dispatched through repro.exec", labels=("mode",))
+_BATCHES = telemetry.counter(
+    "repro_exec_batches_total",
+    "Fan-out batches executed", labels=("mode",))
+
+#: Session-wide default worker count (set by ``--workers`` flags).
+_DEFAULT_WORKERS = 1
+#: Fork-inherited read-only payload for the current batch.
+_PAYLOAD: Any = None
+#: True inside a pool worker — forces nested fan-out to run serially.
+_IN_WORKER = False
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the session default used when ``workers=None`` is passed."""
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = max(1, int(workers))
+
+
+def get_default_workers() -> int:
+    return _DEFAULT_WORKERS
+
+
+def fork_available() -> bool:
+    """Whether the platform supports fork-based pools."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Effective worker count for a batch (1 == serial)."""
+    if workers is None:
+        workers = _DEFAULT_WORKERS
+    workers = max(1, int(workers))
+    if workers > 1 and (_IN_WORKER or not fork_available()):
+        return 1
+    return workers
+
+
+def current_payload() -> Any:
+    """The payload of the batch currently being mapped (or ``None``)."""
+    return _PAYLOAD
+
+
+def _mark_worker() -> None:  # pragma: no cover - runs in children
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _invoke(task: tuple[Callable[[Any], Any], Any]) -> Any:
+    fn, item = task
+    return fn(item)
+
+
+def map_tasks(fn: Callable[[T], R], items: Sequence[T],
+              workers: Optional[int] = None,
+              payload: Any = None,
+              label: str = "batch") -> list[R]:
+    """Apply ``fn`` to every item, in item order, on N workers.
+
+    ``fn`` must be a module-level function (pickled by reference) whose
+    output depends only on its item and the read-only ``payload``
+    (reachable via :func:`current_payload`).  Results are returned in
+    the order of ``items`` regardless of completion order, so serial
+    and parallel runs are indistinguishable to the caller.
+    """
+    global _PAYLOAD
+    items = list(items)
+    if not items:
+        return []
+    n_workers = resolve_workers(workers)
+    mode = "parallel" if n_workers > 1 else "serial"
+    if telemetry.enabled():
+        _BATCHES.labels(mode=mode).inc()
+        _TASKS.labels(mode=mode).inc(len(items))
+    previous = _PAYLOAD
+    _PAYLOAD = payload
+    try:
+        with telemetry.span(f"exec.{label}", mode=mode,
+                            workers=n_workers, tasks=len(items)):
+            if n_workers == 1:
+                return [fn(item) for item in items]
+            ctx = multiprocessing.get_context("fork")
+            chunksize = max(1, len(items) // (n_workers * 4))
+            with ProcessPoolExecutor(
+                    max_workers=min(n_workers, len(items)),
+                    mp_context=ctx,
+                    initializer=_mark_worker) as pool:
+                return list(pool.map(_invoke,
+                                     [(fn, item) for item in items],
+                                     chunksize=chunksize))
+    finally:
+        _PAYLOAD = previous
+
+
+class WorkerPool:
+    """A reusable handle carrying a worker count.
+
+    Thin convenience over :func:`map_tasks` for call sites that thread
+    one pool through several fan-out stages::
+
+        pool = WorkerPool(workers=4)
+        tables = pool.map(_table_task, dests, payload=routing)
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = resolve_workers(workers)
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T],
+            payload: Any = None, label: str = "batch") -> list[R]:
+        return map_tasks(fn, items, workers=self.workers,
+                         payload=payload, label=label)
+
+
+def suggested_workers() -> int:
+    """A sensible worker count for this machine (benchmarks, CLI)."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return max(1, cores)

@@ -21,6 +21,7 @@ from repro.measurement.traceroute import (
     PingResult,
     TracerouteResult,
     PING_BYTES,
+    PING_BYTES_PER_PACKET,
     TRACEROUTE_BYTES_PER_HOP,
 )
 from repro.measurement.scanners import (
@@ -64,7 +65,7 @@ __all__ = [
     "DEFAULT_RESPONSE_MODEL", "ResponseModel", "ixp_hitlist_inclusion_prob",
     "slash24s_of",
     "Hop", "MeasurementEngine", "PingResult", "TracerouteResult",
-    "PING_BYTES", "TRACEROUTE_BYTES_PER_HOP",
+    "PING_BYTES", "PING_BYTES_PER_PACKET", "TRACEROUTE_BYTES_PER_HOP",
     "ScanResult", "default_yarrp_vantage", "run_ant_hitlist",
     "run_caida_prefix_scan", "run_yarrp_scan",
     "GeoAnswer", "GeolocationService",

@@ -11,6 +11,7 @@ remote DNS still break.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -60,9 +61,8 @@ class DNSMeasurement:
         self._cache_hit_rate = cache_hit_rate
         self._congestion_onset = congestion_onset
         self._severity_cache: dict[tuple, float] = {}
-        self._rng = derive_rng(
-            seed if seed is not None else topo.params.seed,
-            "measurement", "dns")
+        self._seed = seed if seed is not None else topo.params.seed
+        self._rng = derive_rng(self._seed, "measurement", "dns")
 
     def _congestion(self, iso2: str, down: tuple) -> float:
         """Timeout probability for international legs from ``iso2``."""
@@ -85,8 +85,16 @@ class DNSMeasurement:
                    / (1.0 - self._congestion_onset))
 
     def resolve(self, client_asn: int, domain: str,
-                down_cables: Sequence[int] = ()) -> DNSResult:
-        """Resolve ``domain`` for a client inside ``client_asn``."""
+                down_cables: Sequence[int] = (),
+                rng: Optional[random.Random] = None) -> DNSResult:
+        """Resolve ``domain`` for a client inside ``client_asn``.
+
+        ``rng`` overrides the instance stream — parallel drivers (the
+        monitoring runner) pass a per-unit RNG derived from the unit's
+        identity so resolutions are order-independent across workers.
+        """
+        if rng is None:
+            rng = self._rng
         topo = self._topo
         cfg = topo.resolver_configs.get(client_asn)
         if cfg is None:
@@ -115,29 +123,29 @@ class DNSMeasurement:
             if leg is None:
                 return self._fail(client_asn, domain, cfg, resolver_cc,
                                   "resolver unreachable")
-            if leg.uses_satellite and self._rng.random() < 0.6:
+            if leg.uses_satellite and rng.random() < 0.6:
                 return self._fail(client_asn, domain, cfg, resolver_cc,
                                   "resolver unreachable (congested fallback)")
-            if self._rng.random() < congestion:
+            if rng.random() < congestion:
                 return self._fail(client_asn, domain, cfg, resolver_cc,
                                   "resolver timeout (congestion)")
             rtt += leg.rtt_ms
         rtt += RESOLVER_PROCESSING_MS
 
         # Leg 2: resolver -> authoritative (skipped on cache hit).
-        cache_hit = self._rng.random() < self._cache_hit_rate
+        cache_hit = rng.random() < self._cache_hit_rate
         if not cache_hit:
             auth_leg = self._best_authoritative_leg(resolver_cc, down)
             if auth_leg is None:
                 return self._fail(client_asn, domain, cfg, resolver_cc,
                                   "authoritative unreachable", cache_hit)
-            if self._rng.random() < self._congestion(resolver_cc, down):
+            if rng.random() < self._congestion(resolver_cc, down):
                 return self._fail(client_asn, domain, cfg, resolver_cc,
                                   "authoritative timeout (congestion)",
                                   cache_hit)
             rtt += auth_leg + RESOLVER_PROCESSING_MS
         return DNSResult(client_asn, domain, True,
-                         max(1.0, rtt + self._rng.gauss(0.0, 1.0)),
+                         max(1.0, rtt + rng.gauss(0.0, 1.0)),
                          resolver_cc, cfg.locality, cache_hit)
 
     def _best_authoritative_leg(self, resolver_cc: str,

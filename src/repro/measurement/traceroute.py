@@ -111,6 +111,8 @@ class PingResult:
     sent: int
     received: int
     rtt_ms: Optional[float]
+    #: Bytes on the wire (for the Observatory budget model).
+    bytes_used: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -119,11 +121,20 @@ class PingResult:
 
 #: Approximate wire cost of measurements (request+responses, bytes).
 TRACEROUTE_BYTES_PER_HOP = 3 * 120
-PING_BYTES = 4 * 84
+PING_BYTES_PER_PACKET = 84
+#: Wire cost of the default 4-packet echo round (legacy constant).
+PING_BYTES = 4 * PING_BYTES_PER_PACKET
 
 
 class MeasurementEngine:
-    """Issues simulated measurements from vantage points."""
+    """Issues simulated measurements from vantage points.
+
+    Every measurement derives its own RNG from the engine seed and the
+    measurement's identity ``(probe, target)``, never from a shared
+    stream, so measurements are order-independent: a batch fanned out
+    over :mod:`repro.exec` workers is byte-identical to the same batch
+    run serially.
+    """
 
     def __init__(self, topo: Topology, routing: BGPRouting,
                  phys: PhysicalNetwork,
@@ -135,24 +146,38 @@ class MeasurementEngine:
         self._phys = phys
         self._model = response_model
         self._down = tuple(down_cables)
-        self._rng = derive_rng(
-            seed if seed is not None else topo.params.seed,
-            "measurement", "engine")
+        self._seed = seed if seed is not None else topo.params.seed
+        #: ixp_id -> (membership size, fabric IP -> member ASN).
+        self._fabric_index: dict[int, tuple[int, dict[int, int]]] = {}
+
+    @property
+    def routing(self) -> BGPRouting:
+        """The underlying routing instance (shared, cache-bearing)."""
+        return self._routing
 
     # ------------------------------------------------------------------
     def resolve_target_asn(self, target_ip: int) -> Optional[int]:
-        """Origin AS of a target address (IXP LANs resolve to members)."""
+        """Origin AS of a target address (IXP LANs resolve to members).
+
+        For fabric addresses this is the *exact inverse* of
+        :meth:`IXP.lan_ip_for`: the member whose assigned fabric port
+        is ``target_ip`` (smallest ASN on a modulo collision, matching
+        the deterministic assignment order).  Addresses on the LAN that
+        belong to no member resolve to ``None``.
+        """
         a = self._topo.as_for_ip(target_ip)
         if a is not None:
             return a.asn
         ixp = self._topo.ixp_for_ip(target_ip)
         if ixp is not None and ixp.members:
-            offset = target_ip - ixp.lan_prefix.network
-            host_bits = ixp.lan_prefix.size - 2
-            for member in sorted(ixp.members):
-                if 1 + (member % host_bits) == offset:
-                    return member
-            return min(ixp.members)
+            cached = self._fabric_index.get(ixp.ixp_id)
+            if cached is None or cached[0] != len(ixp.members):
+                table: dict[int, int] = {}
+                for member in sorted(ixp.members):
+                    table.setdefault(ixp.lan_ip_for(member), member)
+                cached = (len(ixp.members), table)
+                self._fabric_index[ixp.ixp_id] = cached
+            return cached[1].get(target_ip)
         return None
 
     # ------------------------------------------------------------------
@@ -176,11 +201,19 @@ class MeasurementEngine:
             self._record_traceroute(result, "unrouted")
             return result
         access = access or probe.access
-        self._emit_hops(result, sites, target_ip, access)
+        rng = self._measurement_rng("trace", probe.probe_id, target_ip)
+        self._emit_hops(result, sites, target_ip, access, rng)
         result.bytes_used = len(result.hops) * TRACEROUTE_BYTES_PER_HOP
         self._record_traceroute(
             result, "reached" if result.reached else "incomplete")
         return result
+
+    def _measurement_rng(self, kind: str, probe_id: int,
+                         target_ip: int) -> random.Random:
+        """Per-measurement RNG: a pure function of (seed, probe,
+        target), independent of every other measurement."""
+        return derive_rng(self._seed, "measurement", kind,
+                          str(probe_id), str(target_ip))
 
     @staticmethod
     def _record_traceroute(result: TracerouteResult,
@@ -195,8 +228,7 @@ class MeasurementEngine:
 
     def _emit_hops(self, result: TracerouteResult,
                    sites: Sequence[HopSite], target_ip: int,
-                   access: AccessTech) -> None:
-        rng = self._rng
+                   access: AccessTech, rng: random.Random) -> None:
         cumulative = (MOBILE_LAST_MILE_MS
                       if access is AccessTech.CELLULAR
                       else FIXED_LAST_MILE_MS)
@@ -286,25 +318,45 @@ class MeasurementEngine:
     # ------------------------------------------------------------------
     def ping(self, probe: VantagePoint, target_ip: int,
              count: int = 4) -> PingResult:
-        """ICMP echo round: loss and median RTT."""
-        if telemetry.enabled():
-            _PINGS.inc()
-            _WIRE_BYTES.inc(PING_BYTES)
+        """ICMP echo round: loss and median RTT.
+
+        Wire-byte accounting scales with ``count``: every echo request
+        goes on the wire whether or not the target resolves or
+        responds — exactly what a metered data plan bills for.
+        """
+        if count <= 0:
+            raise ValueError(f"ping count must be positive, got {count}")
+        nbytes = count * PING_BYTES_PER_PACKET
         dst_asn = self.resolve_target_asn(target_ip)
         if dst_asn is None:
-            return PingResult(probe.probe_id, target_ip, count, 0, None)
+            return self._record_ping(PingResult(
+                probe.probe_id, target_ip, count, 0, None,
+                bytes_used=nbytes))
         sites = as_path_geography(self._topo, self._routing, probe.asn,
                                   dst_asn)
         if sites is None:
-            return PingResult(probe.probe_id, target_ip, count, 0, None)
+            return self._record_ping(PingResult(
+                probe.probe_id, target_ip, count, 0, None,
+                bytes_used=nbytes))
         from repro.routing import path_rtt_ms
         base = path_rtt_ms(self._topo, self._phys, sites,
                            down_cables=self._down)
         if base is None:
-            return PingResult(probe.probe_id, target_ip, count, 0, None)
+            return self._record_ping(PingResult(
+                probe.probe_id, target_ip, count, 0, None,
+                bytes_used=nbytes))
+        rng = self._measurement_rng("ping", probe.probe_id, target_ip)
         respond_p = self._model.hop_response
-        received = sum(self._rng.random() < respond_p
-                       for _ in range(count))
-        rtt = (max(0.5, base + self._rng.gauss(0.0, 1.5))
+        received = sum(rng.random() < respond_p for _ in range(count))
+        rtt = (max(0.5, base + rng.gauss(0.0, 1.5))
                if received else None)
-        return PingResult(probe.probe_id, target_ip, count, received, rtt)
+        return self._record_ping(PingResult(
+            probe.probe_id, target_ip, count, received, rtt,
+            bytes_used=nbytes))
+
+    @staticmethod
+    def _record_ping(result: PingResult) -> PingResult:
+        if telemetry.enabled():
+            _PINGS.inc()
+            _WIRE_BYTES.inc(result.bytes_used)
+        return result

@@ -54,6 +54,7 @@ from repro.observatory.whatif import (
     WhatIfLocalizeDNS,
     WhatIfMandateLocalPeering,
     WhatIfOutcome,
+    run_scenarios,
 )
 from repro.observatory.watchdog import (
     ComplianceFinding,
@@ -103,6 +104,7 @@ __all__ = [
     "IXPDiscoveryCampaign", "IXPDiscoveryResult", "kigali_comparison",
     "WhatIfAddCable", "WhatIfCutCables", "WhatIfLEOBackup",
     "WhatIfLocalizeDNS", "WhatIfMandateLocalPeering", "WhatIfOutcome",
+    "run_scenarios",
     "Experiment", "ExperimentStatus", "ObservatoryPlatform",
     "MAX_TASKS_PER_EXPERIMENT",
     "ComplianceFinding", "ComplianceReport", "DEFAULT_POLICY_PACKAGE",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.exec import current_payload, map_tasks
 from repro.geo import AFRICAN_COUNTRIES, country
 from repro.measurement import (
     DNSMeasurement,
@@ -31,6 +32,7 @@ from repro.measurement import (
 )
 from repro.routing import PhysicalNetwork
 from repro.topology import ASKind, ResolverLocality, Topology
+from repro.util import derive_seed
 from repro import telemetry
 
 _CAMPAIGNS = telemetry.counter(
@@ -92,8 +94,21 @@ class IXPDiscoveryCampaign:
                 targets.append(a.prefixes[0].network + 80)
         return targets
 
-    def run(self, probes: Sequence[VantagePoint],
-            platform_name: str) -> IXPDiscoveryResult:
+    def _probe_sweep(self, probe: VantagePoint,
+                     targets: Sequence[int]) -> tuple[int, set[int]]:
+        """One probe's sweep: (traceroutes run, African IXP ids seen)."""
+        traceroutes = 0
+        detected: set[int] = set()
+        for target in targets:
+            trace = self._engine.traceroute(probe, target)
+            traceroutes += 1
+            for crossing in detect_ixp_crossings(trace, self._directory):
+                if self._topo.ixps[crossing.ixp_id].is_african:
+                    detected.add(crossing.ixp_id)
+        return traceroutes, detected
+
+    def run(self, probes: Sequence[VantagePoint], platform_name: str,
+            workers: Optional[int] = None) -> IXPDiscoveryResult:
         result = IXPDiscoveryResult(platform_name=platform_name,
                                     probes_used=len(probes),
                                     traceroutes=0)
@@ -101,15 +116,15 @@ class IXPDiscoveryCampaign:
         targets = self._targets()
         with telemetry.span("campaign.ixp_discovery",
                             platform=platform_name, probes=len(probes)):
-            for probe in probes:
-                for target in targets:
-                    trace = self._engine.traceroute(probe, target)
-                    result.traceroutes += 1
-                    for crossing in detect_ixp_crossings(trace,
-                                                         self._directory):
-                        ixp = self._topo.ixps[crossing.ixp_id]
-                        if ixp.is_african:
-                            result.detected_ixp_ids.add(crossing.ixp_id)
+            # The engine derives an RNG per (probe, target) measurement,
+            # so the per-probe sweeps are order-independent and the
+            # fan-out reproduces the serial nested loop exactly.
+            sweeps = map_tasks(_ixp_probe_task, list(probes),
+                               workers=workers, payload=(self, targets),
+                               label="ixp_discovery")
+            for traceroutes, detected in sweeps:
+                result.traceroutes += traceroutes
+                result.detected_ixp_ids |= detected
         return result
 
 
@@ -192,47 +207,63 @@ class DNSDependencyRow:
 
 
 class DNSDependencyCampaign:
-    """Measures resolver locality and cable-cut DNS fragility."""
+    """Measures resolver locality and cable-cut DNS fragility.
+
+    Each country is resolved with its own :class:`DNSMeasurement`
+    seeded from ``derive_seed(seed, "dns-dependency", iso2)``, so the
+    per-country rows are independent of evaluation order and the
+    campaign parallelises without changing a single byte of output.
+    """
 
     def __init__(self, topo: Topology, phys: PhysicalNetwork,
                  seed: Optional[int] = None) -> None:
         self._topo = topo
-        self._dns = DNSMeasurement(topo, phys, seed=seed)
+        self._phys = phys
+        self._seed = seed if seed is not None else topo.params.seed
+
+    def _country_row(self, iso2: str, cut_cable_ids: Sequence[int],
+                     domains: Sequence[str]
+                     ) -> Optional[DNSDependencyRow]:
+        clients = [a.asn for a in self._topo.ases_in_country(iso2)
+                   if a.asn in self._topo.resolver_configs]
+        if not clients:
+            return None
+        dns = DNSMeasurement(
+            self._topo, self._phys,
+            seed=derive_seed(self._seed, "dns-dependency", iso2))
+        nonlocal_count = 0
+        base_fail = 0
+        cut_fail = 0
+        total = 0
+        for asn in clients:
+            cfg = self._topo.resolver_configs[asn]
+            if not cfg.locality.survives_cable_cut:
+                nonlocal_count += 1
+            for domain in domains:
+                total += 1
+                if not dns.resolve(asn, domain).ok:
+                    base_fail += 1
+                if not dns.resolve(asn, domain,
+                                   down_cables=cut_cable_ids).ok:
+                    cut_fail += 1
+        return DNSDependencyRow(
+            iso2=iso2, clients_measured=len(clients),
+            nonlocal_share=nonlocal_count / len(clients),
+            baseline_failure_rate=base_fail / total,
+            cable_cut_failure_rate=cut_fail / total)
 
     def run(self, countries: Iterable[str],
             cut_cable_ids: Sequence[int],
             domains: Sequence[str] = ("example.org", "bank.local",
                                       "gov.portal", "news.site"),
-            ) -> list[DNSDependencyRow]:
+            workers: Optional[int] = None) -> list[DNSDependencyRow]:
         _CAMPAIGNS.labels(campaign="dns-dependency").inc()
-        rows = []
-        for iso2 in sorted(set(countries)):
-            clients = [a.asn for a in self._topo.ases_in_country(iso2)
-                       if a.asn in self._topo.resolver_configs]
-            if not clients:
-                continue
-            nonlocal_count = 0
-            base_fail = 0
-            cut_fail = 0
-            total = 0
-            for asn in clients:
-                cfg = self._topo.resolver_configs[asn]
-                if not cfg.locality.survives_cable_cut:
-                    nonlocal_count += 1
-                for domain in domains:
-                    total += 1
-                    if not self._dns.resolve(asn, domain).ok:
-                        base_fail += 1
-                    if not self._dns.resolve(
-                            asn, domain,
-                            down_cables=cut_cable_ids).ok:
-                        cut_fail += 1
-            rows.append(DNSDependencyRow(
-                iso2=iso2, clients_measured=len(clients),
-                nonlocal_share=nonlocal_count / len(clients),
-                baseline_failure_rate=base_fail / total,
-                cable_cut_failure_rate=cut_fail / total))
-        return rows
+        items = sorted(set(countries))
+        rows = map_tasks(
+            _dns_country_task, items, workers=workers,
+            payload=(self, tuple(cut_cable_ids), tuple(domains)),
+            label="dns_dependency")
+        return [row for row in rows if row is not None]
 
 
 # ----------------------------------------------------------------------
@@ -295,3 +326,19 @@ class CableDisambiguationCampaign:
             passive_candidates=len(passive_candidates),
             identified_cable_id=identified,
             correct=identified in true_cables)
+
+
+# ----------------------------------------------------------------------
+# Worker tasks (module level so the pool can pickle them by reference;
+# the heavy state rides the fork-inherited payload).
+# ----------------------------------------------------------------------
+def _ixp_probe_task(probe: VantagePoint) -> tuple[int, set[int]]:
+    """One probe's IXP-discovery sweep."""
+    campaign, targets = current_payload()
+    return campaign._probe_sweep(probe, targets)
+
+
+def _dns_country_task(iso2: str) -> Optional[DNSDependencyRow]:
+    """One country's DNS-dependency row."""
+    campaign, cut_cable_ids, domains = current_payload()
+    return campaign._country_row(iso2, cut_cable_ids, domains)

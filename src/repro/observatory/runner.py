@@ -19,6 +19,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.exec import current_payload, map_tasks
 from repro.geo import country
 from repro.measurement import DNSMeasurement, ProbePlatform
 from repro.outages import OutageEvent, SimulationResult
@@ -130,10 +131,17 @@ class MonitoringRunner:
 
     # ------------------------------------------------------------------
     def run(self, simulation: SimulationResult, days: int,
-            truth_threshold: float = 0.10) -> MonitoringReport:
-        """Monitor ``days`` of the simulated outage timeline."""
+            truth_threshold: float = 0.10,
+            workers: Optional[int] = None) -> MonitoringReport:
+        """Monitor ``days`` of the simulated outage timeline.
+
+        Every country-day derives its RNG from
+        ``(seed, "monitoring", "day", day, iso2)``, so the units are
+        independent and can be measured on ``workers`` processes; the
+        baseline/anomaly pass stays sequential in the parent because
+        each day's baseline depends on the previous days' health.
+        """
         report = MonitoringReport(days=days)
-        rng = derive_rng(self._seed, "monitoring", "run")
         probes_by_cc: dict[str, list] = {}
         for probe in self._platform.probes:
             if probe.region.is_african:
@@ -141,29 +149,39 @@ class MonitoringRunner:
                                         []).append(probe)
         baselines: dict[str, list[float]] = {cc: []
                                              for cc in probes_by_cc}
+        countries = sorted(probes_by_cc)
         with telemetry.span("observatory.monitor", days=days,
                             countries=len(probes_by_cc)):
-            for day in range(days):
-                for iso2, probes in sorted(probes_by_cc.items()):
-                    health, active_for_cc = self._country_day(
-                        day, iso2, probes, simulation, rng)
-                    if health is None:
-                        continue
-                    report.health.append(health)
-                    if telemetry.enabled():
-                        _COUNTRY_DAYS.inc()
-                        _CHECKS.inc(health.checks)
-                    baseline_window = baselines[iso2][-14:]
-                    baseline = (statistics.mean(baseline_window)
-                                if len(baseline_window) >= 3 else 1.0)
-                    if health.success_rate < baseline - ANOMALY_THRESHOLD:
-                        _ANOMALIES.inc()
-                        report.anomalies.append(DetectedAnomaly(
-                            day, iso2, health.success_rate, baseline))
-                        self._credit_detection(report, active_for_cc, iso2,
-                                               truth_threshold)
-                    else:
-                        baselines[iso2].append(health.success_rate)
+            # One task per country: a worker keeps its countries' route
+            # caches warm across the whole day series, and the day loop
+            # inside still derives one RNG per (day, iso2) unit.
+            series = map_tasks(
+                _country_series_task, countries, workers=workers,
+                payload=(self, simulation, probes_by_cc, days),
+                label="monitoring_countries")
+            by_cc = dict(zip(countries, series))
+            day_major = [(day, iso2) for day in range(days)
+                         for iso2 in countries]
+            for day, iso2 in day_major:
+                health, active_idx = by_cc[iso2][day]
+                if health is None:
+                    continue
+                active_for_cc = [simulation.events[i] for i in active_idx]
+                report.health.append(health)
+                if telemetry.enabled():
+                    _COUNTRY_DAYS.inc()
+                    _CHECKS.inc(health.checks)
+                baseline_window = baselines[iso2][-14:]
+                baseline = (statistics.mean(baseline_window)
+                            if len(baseline_window) >= 3 else 1.0)
+                if health.success_rate < baseline - ANOMALY_THRESHOLD:
+                    _ANOMALIES.inc()
+                    report.anomalies.append(DetectedAnomaly(
+                        day, iso2, health.success_rate, baseline))
+                    self._credit_detection(report, active_for_cc, iso2,
+                                           truth_threshold)
+                else:
+                    baselines[iso2].append(health.success_rate)
         _MONITORED.set(len(probes_by_cc))
         self._fill_truth(report, simulation, days, truth_threshold)
         return report
@@ -208,7 +226,7 @@ class MonitoringRunner:
                         continue  # measurement lost to the outage
                     result = self._dns.resolve(
                         probe.asn, f"health-{day}-{hour}-{i}.check",
-                        down_cables=down)
+                        down_cables=down, rng=rng)
                     successes += result.ok
         if not checks:
             return None, seen_events
@@ -240,3 +258,24 @@ class MonitoringRunner:
                 report.truth.add(key)
                 if impact.severity >= DETECTION_THRESHOLD:
                     report.radar_truth.add(key)
+
+
+def _country_series_task(iso2: str
+                         ) -> list[tuple[Optional[DailyHealth],
+                                         tuple[int, ...]]]:
+    """Worker task: one country's whole day series, one RNG per day.
+
+    Active events come back as indices into ``simulation.events`` — the
+    parent holds the same list, and re-pickling full event records for
+    thousands of country-days would dwarf the actual result payload.
+    """
+    runner, simulation, probes_by_cc, days = current_payload()
+    index_of = {id(e): i for i, e in enumerate(simulation.events)}
+    out = []
+    for day in range(days):
+        rng = derive_rng(runner._seed, "monitoring", "day", str(day),
+                         iso2)
+        health, seen = runner._country_day(day, iso2, probes_by_cc[iso2],
+                                           simulation, rng)
+        out.append((health, tuple(index_of[id(e)] for e in seen)))
+    return out

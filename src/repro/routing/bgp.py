@@ -121,11 +121,13 @@ class BGPRouting:
                 _PATHS_RESOLVED.labels(found="no").inc()
             return None
         path = [src]
+        visited = {src}
         cursor = src
         while cursor != dst:
             cursor = table[cursor].next_hop
-            if cursor in path:  # pragma: no cover - defensive
+            if cursor in visited:  # pragma: no cover - defensive
                 raise RuntimeError(f"routing loop toward AS{dst}: {path}")
+            visited.add(cursor)
             path.append(cursor)
         if telemetry.enabled():
             _PATHS_RESOLVED.labels(found="yes").inc()
@@ -148,6 +150,34 @@ class BGPRouting:
     def reachable_from(self, dst: int) -> set[int]:
         """ASes with any route to ``dst`` (including ``dst``)."""
         return set(self.routes_to(dst))
+
+    def precompute(self, dests: Iterable[int],
+                   workers: Optional[int] = None) -> int:
+        """Warm the per-destination table cache, optionally in parallel.
+
+        Tables are pure functions of the (already built) adjacency
+        lists, so fanning the cache misses out over ``workers``
+        processes yields exactly the tables a serial loop would.
+        Returns the number of tables computed.
+        """
+        pending = [d for d in dict.fromkeys(dests)
+                   if d not in self._tables]
+        for dst in pending:
+            if dst not in self._topo.ases:
+                raise KeyError(f"unknown destination AS{dst}")
+        if not pending:
+            return 0
+        from repro.exec import map_tasks, resolve_workers
+        if resolve_workers(workers) == 1:
+            for dst in pending:
+                self.routes_to(dst)
+            return len(pending)
+        tables = map_tasks(_precompute_table, pending, workers=workers,
+                           payload=self, label="routing_tables")
+        for dst, table in zip(pending, tables):
+            _TABLE_COMPUTES.inc()
+            self._tables[dst] = table
+        return len(pending)
 
     # ------------------------------------------------------------------
     def _compute(self, dst: int) -> dict[int, RouteEntry]:
@@ -204,6 +234,13 @@ class BGPRouting:
                     best[customer] = candidate
                     frontier.append(customer)
         return best
+
+
+def _precompute_table(dst: int) -> dict[int, RouteEntry]:
+    """Worker task: one destination's routing table (pure function of
+    the fork-inherited :class:`BGPRouting` payload)."""
+    from repro.exec import current_payload
+    return current_payload()._compute(dst)
 
 
 def is_valley_free(topo: Topology, path: list[int]) -> bool:

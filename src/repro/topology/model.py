@@ -7,7 +7,7 @@ need (IP → AS, IP → IXP, region rosters, cable geography) live here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 from repro.geo import Region, country, AFRICAN_REGIONS
@@ -88,6 +88,30 @@ class Topology:
     def link_between(self, a: int, b: int) -> Optional[ASLink]:
         return self._link_index.get(self._key(a, b))
 
+    def add_link(self, link: ASLink) -> ASLink:
+        """Add an adjacency, maintaining every derived index.
+
+        The public mutation API for scenario engines: appends to
+        ``links``, updates ``_link_index`` and mirrors the relationship
+        into the per-AS ``providers``/``peers``/``customers`` sets —
+        the invariants :meth:`validate` checks.  Raises ``KeyError``
+        for unknown endpoints and ``ValueError`` if the pair is
+        already connected.
+        """
+        a, b = self.as_(link.a), self.as_(link.b)
+        if self.link_between(link.a, link.b) is not None:
+            raise ValueError(
+                f"AS{link.a} and AS{link.b} are already linked")
+        self.links.append(link)
+        self._link_index[self._key(link.a, link.b)] = link
+        if link.rel is Relationship.PROVIDER_TO_CUSTOMER:
+            a.customers.add(link.b)
+            b.providers.add(link.a)
+        else:
+            a.peers.add(link.b)
+            b.peers.add(link.a)
+        return link
+
     def shared_ixps(self, a: int, b: int) -> list[IXP]:
         """IXPs where both ASes are members."""
         common = self.as_(a).ixps & self.as_(b).ixps
@@ -136,6 +160,56 @@ class Topology:
 
     def datacenters_in(self, iso2: str) -> list[DataCenter]:
         return [d for d in self.datacenters if d.country_iso2 == iso2]
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def structured_copy(self) -> "Topology":
+        """A mutation-safe copy an order of magnitude cheaper than
+        ``copy.deepcopy``.
+
+        Containers and the mutable records scenario engines touch
+        (``AS`` membership sets, ``IXP`` member sets) are copied;
+        immutable leaves (``Prefix``, ``ASLink``, ``ResolverConfig``,
+        ``WorldParams``, websites, landings) are shared.  The prefix
+        registry is shared too: scenarios add cables, links and
+        resolver configs, never address allocations.  What-if engines
+        mutate the copy through :meth:`add_link` and the public
+        container attributes while the baseline stays untouched.
+        """
+        ases = {}
+        for asn, a in self.ases.items():
+            copied = replace(a, prefixes=list(a.prefixes),
+                             providers=set(a.providers),
+                             peers=set(a.peers),
+                             customers=set(a.customers),
+                             ixps=set(a.ixps))
+            # ``replace`` only sees declared fields; the generator also
+            # tacks on ad-hoc attributes (e.g. transit ``footprint``)
+            # which must survive the copy.
+            for key, value in vars(a).items():
+                if key not in vars(copied):
+                    setattr(copied, key, value)
+            ases[asn] = copied
+        ixps = {
+            ixp_id: replace(x, members=set(x.members),
+                            offnet_providers=set(x.offnet_providers))
+            for ixp_id, x in self.ixps.items()}
+        return Topology(
+            params=self.params,
+            ases=ases,
+            links=list(self.links),
+            ixps=ixps,
+            cables=list(self.cables),
+            terrestrial=list(self.terrestrial),
+            datacenters=list(self.datacenters),
+            cdns=list(self.cdns),
+            cloud_resolvers=list(self.cloud_resolvers),
+            resolver_configs=dict(self.resolver_configs),
+            websites={cc: list(sites)
+                      for cc, sites in self.websites.items()},
+            prefix_registry=self.prefix_registry,
+            _link_index=dict(self._link_index))
 
     # ------------------------------------------------------------------
     # Summary / sanity

@@ -69,3 +69,42 @@ def test_measurements_stable_across_hash_seeds():
                              check=True)
         digests.append(out.stdout.strip())
     assert digests[0] == digests[1]
+
+
+_PARALLEL_SIG = """
+import hashlib, os, sys
+from repro import build_world
+from repro.datasets import collect_snapshot
+from repro.exec import fork_available
+from repro.measurement import MeasurementEngine, build_atlas_platform
+from repro.routing import BGPRouting, PhysicalNetwork
+
+workers = int(os.environ["REPRO_SIG_WORKERS"])
+if workers > 1 and not fork_available():
+    print("no-fork")
+    sys.exit(0)
+topo = build_world(seed=2025)
+engine = MeasurementEngine(topo, BGPRouting(topo), PhysicalNetwork(topo))
+snap = collect_snapshot(topo, engine, build_atlas_platform(topo),
+                        max_pairs=40, workers=workers)
+sig = ";".join(repr(t) for t in snap.traceroutes)
+print(hashlib.sha256(sig.encode()).hexdigest())
+"""
+
+
+def test_snapshot_identical_serial_vs_parallel():
+    """The parallelism contract: same seed, same bytes, any workers.
+
+    Run in fresh subprocesses so neither mode can inherit the other's
+    warm caches, and compare full traceroute reprs (hops, RTTs, byte
+    accounting — not just addresses)."""
+    digests = []
+    for workers in ("1", "2"):
+        env = dict(os.environ, REPRO_SIG_WORKERS=workers)
+        out = subprocess.run([sys.executable, "-c", _PARALLEL_SIG],
+                             env=env, capture_output=True, text=True,
+                             check=True)
+        digests.append(out.stdout.strip())
+    if digests[1] == "no-fork":
+        return  # platform cannot run the parallel path at all
+    assert digests[0] == digests[1]

@@ -1,0 +1,169 @@
+"""The repro.exec layer: deterministic fan-out and shared contexts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_world
+from repro.exec import (
+    CONTEXT,
+    RoutingContext,
+    WorkerPool,
+    current_payload,
+    fork_available,
+    get_default_workers,
+    map_tasks,
+    pair_for,
+    resolve_workers,
+    routing_for,
+    set_default_workers,
+    suggested_workers,
+)
+from repro.routing import BGPRouting, PhysicalNetwork
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform has no fork")
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _with_payload(x: int) -> int:
+    return x + current_payload()
+
+
+def _nested(x: int) -> list[int]:
+    # A worker fanning out again must silently degrade to serial.
+    return map_tasks(_square, [x, x + 1], workers=4)
+
+
+# ----------------------------------------------------------------------
+class TestMapTasks:
+    def test_serial_preserves_order(self):
+        assert map_tasks(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_batch(self):
+        assert map_tasks(_square, []) == []
+
+    @needs_fork
+    def test_parallel_matches_serial(self):
+        items = list(range(40))
+        assert map_tasks(_square, items, workers=3) == \
+            map_tasks(_square, items, workers=1)
+
+    def test_payload_reaches_serial_tasks(self):
+        assert map_tasks(_with_payload, [1, 2], payload=10) == [11, 12]
+        assert current_payload() is None  # restored after the batch
+
+    @needs_fork
+    def test_payload_reaches_parallel_tasks(self):
+        assert map_tasks(_with_payload, [1, 2], workers=2,
+                         payload=10) == [11, 12]
+
+    @needs_fork
+    def test_nested_fanout_runs_serially(self):
+        assert map_tasks(_nested, [2, 5], workers=2) == \
+            [[4, 9], [25, 36]]
+
+    def test_default_workers_round_trip(self):
+        before = get_default_workers()
+        try:
+            set_default_workers(3)
+            assert get_default_workers() == 3
+            if fork_available():
+                assert resolve_workers(None) == 3
+            set_default_workers(0)  # clamped to 1
+            assert get_default_workers() == 1
+        finally:
+            set_default_workers(before)
+
+    def test_worker_pool_maps(self):
+        pool = WorkerPool(workers=1)
+        assert not pool.parallel
+        assert pool.map(_square, [2, 4]) == [4, 16]
+
+    def test_suggested_workers_positive(self):
+        assert suggested_workers() >= 1
+
+
+# ----------------------------------------------------------------------
+class TestRoutingContext:
+    def test_pair_is_cached(self, topo):
+        ctx = RoutingContext()
+        r1, p1 = ctx.pair(topo)
+        r2, p2 = ctx.pair(topo)
+        assert r1 is r2 and p1 is p2
+        assert ctx.builds == 1 and ctx.hits == 1
+        assert isinstance(r1, BGPRouting)
+        assert isinstance(p1, PhysicalNetwork)
+
+    def test_down_cables_share_one_pair(self, topo):
+        # Cuts are per-query on both BGPRouting and PhysicalNetwork, so
+        # every down-set must reuse the same built pair.
+        ctx = RoutingContext()
+        r1, _ = ctx.pair(topo)
+        r2, _ = ctx.pair(topo, down_cables=(1, 2))
+        assert r1 is r2
+        assert ctx.builds == 1
+
+    def test_distinct_topologies_get_distinct_pairs(self, topo):
+        ctx = RoutingContext()
+        other = topo.structured_copy()
+        r1, _ = ctx.pair(topo)
+        r2, _ = ctx.pair(other)
+        assert r1 is not r2
+        assert ctx.builds == 2
+
+    def test_invalidate_forces_rebuild(self, topo):
+        ctx = RoutingContext()
+        r1, _ = ctx.pair(topo)
+        ctx.invalidate(topo)
+        r2, _ = ctx.pair(topo)
+        assert r1 is not r2
+
+    def test_lru_eviction_bounds_the_cache(self, topo):
+        ctx = RoutingContext(maxsize=2)
+        first = topo.structured_copy()
+        second = topo.structured_copy()
+        third = topo.structured_copy()
+        ctx.pair(first)
+        ctx.pair(second)
+        ctx.pair(first)        # refresh: first is now most recent
+        ctx.pair(third)        # evicts second, the least recent
+        assert id(second) not in ctx._pairs
+        assert id(first) in ctx._pairs and id(third) in ctx._pairs
+        assert len(ctx._pairs) == 2
+
+    def test_module_helpers_use_singleton(self, topo):
+        routing, phys = pair_for(topo)
+        assert routing_for(topo) is routing
+        assert CONTEXT.pair(topo) == (routing, phys)
+
+
+# ----------------------------------------------------------------------
+class TestPrecompute:
+    def test_precompute_matches_lazy_tables(self, topo):
+        dests = sorted(topo.ases)[:6]
+        lazy = BGPRouting(topo)
+        expected = {d: lazy.routes_to(d) for d in dests}
+        warmed = BGPRouting(topo)
+        computed = warmed.precompute(dests, workers=1)
+        assert computed == len(dests)
+        assert {d: warmed.routes_to(d) for d in dests} == expected
+        # Second call is a no-op: everything is cached.
+        assert warmed.precompute(dests, workers=1) == 0
+
+    @needs_fork
+    def test_parallel_precompute_identical(self, topo):
+        dests = sorted(topo.ases)[:8]
+        serial = BGPRouting(topo)
+        serial.precompute(dests, workers=1)
+        parallel = BGPRouting(topo)
+        parallel.precompute(dests, workers=2)
+        for d in dests:
+            assert parallel.routes_to(d) == serial.routes_to(d)
+
+    def test_precompute_rejects_unknown_destination(self, topo):
+        with pytest.raises(KeyError):
+            BGPRouting(topo).precompute([max(topo.ases) + 1], workers=1)

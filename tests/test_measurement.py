@@ -109,6 +109,64 @@ class TestTraceroute:
             assert result.rtt_ms > 0
             assert result.loss_rate < 1.0
 
+    def test_ping_bytes_scale_with_count(self, topo, engine, atlas):
+        """Regression: ping once billed a fixed 4 packets regardless of
+        ``count``, undercounting wire bytes in the budget model."""
+        from repro.measurement import PING_BYTES_PER_PACKET
+        african = [p for p in atlas.probes if p.region.is_african]
+        target = probe_target_ip(topo, african[-1])
+        for count in (1, 4, 16):
+            result = engine.ping(african[0], target, count=count)
+            assert result.bytes_used == count * PING_BYTES_PER_PACKET
+        # Unroutable and unresolved pings still put packets on the wire.
+        lost = engine.ping(african[0],
+                           Prefix.parse("240.0.0.0/24").network, count=3)
+        assert lost.bytes_used == 3 * PING_BYTES_PER_PACKET
+
+    def test_ping_rejects_nonpositive_count(self, topo, engine, atlas):
+        target = probe_target_ip(topo, atlas.probes[-1])
+        with pytest.raises(ValueError):
+            engine.ping(atlas.probes[0], target, count=0)
+
+    def test_ping_feeds_wire_byte_counter(self, topo, engine, atlas):
+        from repro import telemetry
+        from repro.measurement import PING_BYTES_PER_PACKET
+        target = probe_target_ip(topo, atlas.probes[-1])
+        was = telemetry.enabled()
+        telemetry.enable()
+        try:
+            metric = telemetry.REGISTRY.get(
+                "repro_measurement_wire_bytes_total")
+            before = metric.value
+            engine.ping(atlas.probes[0], target, count=5)
+            assert metric.value - before == 5 * PING_BYTES_PER_PACKET
+        finally:
+            if not was:
+                telemetry.disable()
+
+
+class TestTargetResolution:
+    def test_fabric_roundtrip_every_member(self, topo, engine):
+        """``resolve_target_asn`` must invert ``IXP.lan_ip_for`` for
+        every member of every fabric (smallest ASN on collisions,
+        matching the sorted assignment order)."""
+        for ixp in topo.ixps.values():
+            claimed: dict[int, int] = {}
+            for member in sorted(ixp.members):
+                claimed.setdefault(ixp.lan_ip_for(member), member)
+            for member in sorted(ixp.members):
+                ip = ixp.lan_ip_for(member)
+                assert engine.resolve_target_asn(ip) == claimed[ip]
+
+    def test_unassigned_fabric_ip_resolves_to_none(self, topo, engine):
+        ixp = max(topo.ixps.values(), key=lambda x: len(x.members))
+        assigned = {ixp.lan_ip_for(m) for m in ixp.members}
+        lan = ixp.lan_prefix
+        free = next(ip for ip in range(lan.network + 1,
+                                       lan.network + lan.size - 1)
+                    if ip not in assigned)
+        assert engine.resolve_target_asn(free) is None
+
 
 class TestGeolocation:
     def test_deterministic(self, topo):

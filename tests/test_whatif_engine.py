@@ -1,0 +1,169 @@
+"""What-if engine mechanics: structured copies, outcome edge cases,
+baseline independence, and serial/parallel equality."""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import math
+
+import pytest
+
+from repro.exec import fork_available
+from repro.observatory import (
+    MonitoringRunner,
+    PlacementObjective,
+    WhatIfAddCable,
+    WhatIfCutCables,
+    WhatIfMandateLocalPeering,
+    WhatIfOutcome,
+    place_probes,
+)
+from repro.observatory.campaigns import DNSDependencyCampaign
+from repro.observatory.whatif import run_scenarios
+from repro.measurement import build_observatory_platform
+from repro.outages import OutageSimulator, march_2024_scenario
+from repro.topology import ASLink, Relationship
+from repro.topology.serialize import topology_to_dict
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform has no fork")
+
+
+def _digest(topo) -> str:
+    # Hash rather than compare megabyte JSON strings: a mismatch would
+    # otherwise stall pytest's assertion diffing.
+    blob = json.dumps(topology_to_dict(topo), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+class TestStructuredCopy:
+    def test_copy_serializes_identically(self, topo):
+        assert _digest(topo.structured_copy()) == _digest(topo)
+
+    def test_membership_mutations_stay_in_copy(self, topo):
+        before = _digest(topo)
+        clone = topo.structured_copy()
+        ixp = next(iter(clone.ixps.values()))
+        orphan = next(a for a in clone.ases.values()
+                      if a.asn not in ixp.members)
+        ixp.members.add(orphan.asn)
+        orphan.ixps.add(ixp.ixp_id)
+        clone.cables.pop()
+        assert _digest(topo) == before
+
+    def test_add_link_maintains_indexes(self, topo):
+        clone = topo.structured_copy()
+        a, b = _unlinked_pair(clone)
+        link = clone.add_link(ASLink(a, b, Relationship.PEER_TO_PEER))
+        assert clone.link_between(a, b) is link
+        assert clone.link_between(b, a) is link
+        assert b in clone.as_(a).peers
+        assert a in clone.as_(b).peers
+        assert topo.link_between(a, b) is None  # original untouched
+
+    def test_add_link_provider_customer_sets(self, topo):
+        clone = topo.structured_copy()
+        a, b = _unlinked_pair(clone)
+        clone.add_link(ASLink(a, b, Relationship.PROVIDER_TO_CUSTOMER))
+        assert b in clone.as_(a).customers
+        assert a in clone.as_(b).providers
+
+    def test_add_link_rejects_duplicates(self, topo):
+        clone = topo.structured_copy()
+        existing = clone.links[0]
+        with pytest.raises(ValueError):
+            clone.add_link(ASLink(existing.b, existing.a,
+                                  Relationship.PEER_TO_PEER))
+
+
+def _unlinked_pair(topo) -> tuple[int, int]:
+    asns = sorted(topo.ases)
+    for a in asns:
+        for b in asns:
+            if a < b and topo.link_between(a, b) is None:
+                return a, b
+    raise AssertionError("fully meshed world?")
+
+
+# ----------------------------------------------------------------------
+class TestWhatIfOutcome:
+    def test_relative_change_zero_baseline_zero_modified(self):
+        assert WhatIfOutcome("m", 0.0, 0.0).relative_change == 0.0
+
+    def test_relative_change_zero_baseline_nonzero_modified(self):
+        assert math.isinf(WhatIfOutcome("m", 0.0, 2.0).relative_change)
+
+    def test_relative_change_and_delta(self):
+        outcome = WhatIfOutcome("m", 4.0, 5.0)
+        assert outcome.delta == pytest.approx(1.0)
+        assert outcome.relative_change == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------------
+class TestBaselineIndependence:
+    def test_add_cable_on_cable_free_topology(self, topo):
+        """Regression: ``max()`` over zero cables used to raise."""
+        bare = topo.structured_copy()
+        bare.cables = []
+        modified = WhatIfAddCable(bare).apply("First-Cable", ("GH", "BR"))
+        assert [c.cable_id for c in modified.cables] == [1]
+        assert bare.cables == []
+
+    def test_apply_never_mutates_baseline(self, topo):
+        before = _digest(topo)
+        WhatIfAddCable(topo).apply("Diverse", ("ZA", "BR"))
+        WhatIfMandateLocalPeering(topo).apply("NG")
+        assert _digest(topo) == before
+
+    def test_mandated_peering_only_in_modified(self, topo):
+        modified = WhatIfMandateLocalPeering(topo).apply("NG")
+        added = [l for l in modified.links
+                 if topo.link_between(l.a, l.b) is None]
+        assert added, "mandate should create new peerings"
+        for link in added:
+            assert link.rel is Relationship.PEER_TO_PEER
+            assert link.b in modified.as_(link.a).peers
+
+
+# ----------------------------------------------------------------------
+@needs_fork
+class TestParallelEquality:
+    """Same seed, same bytes — whatever the worker count."""
+
+    def test_country_severities(self, topo):
+        cut = WhatIfCutCables(topo)
+        west, _ = march_2024_scenario(topo)
+        assert cut.country_severities(west, workers=2) == \
+            cut.country_severities(west, workers=1)
+
+    def test_run_scenarios(self, topo):
+        cut = WhatIfCutCables(topo)
+        west, _ = march_2024_scenario(topo)
+        tasks = [functools.partial(cut.rtt_inflation, "ZA", "NG", west),
+                 functools.partial(cut.rtt_inflation, "GH", "KE", west),
+                 functools.partial(cut.rtt_inflation, "EG", "ZA", west)]
+        assert run_scenarios(tasks, workers=2) == \
+            run_scenarios(tasks, workers=1)
+
+    def test_dns_dependency_campaign(self, topo, phys):
+        campaign = DNSDependencyCampaign(topo, phys, seed=4242)
+        west, _ = march_2024_scenario(topo)
+        countries = ("GH", "NG", "KE", "ZA")
+        assert campaign.run(countries, west, workers=2) == \
+            campaign.run(countries, west, workers=1)
+
+    def test_monitoring_run(self, topo, phys):
+        platform = build_observatory_platform(
+            topo, place_probes(topo, PlacementObjective.COUNTRY_COVERAGE))
+        simulation = OutageSimulator(topo, phys).simulate(years=0.2)
+        runner = MonitoringRunner(topo, phys, platform, seed=77)
+        serial = runner.run(simulation, days=15, workers=1)
+        parallel = runner.run(simulation, days=15, workers=2)
+        assert parallel.health == serial.health
+        assert parallel.anomalies == serial.anomalies
+        assert parallel.truth == serial.truth
+        assert parallel.detected_truth == serial.detected_truth
+        assert parallel.radar_truth == serial.radar_truth
