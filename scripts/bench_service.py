@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Cold-vs-warm benchmark for the Observatory service layer.
+
+Boots the HTTP service in-process on an ephemeral port with a fresh
+(empty) artifact store, then measures the same request twice:
+
+* **cold** — the store misses, the analysis pipeline runs (world
+  build, routing state, scans), the canonical payload is written to
+  the store and served;
+* **warm** — the store hits and the stored bytes are served directly.
+
+Asserts the two payloads are byte-identical (the serving contract)
+and, with ``--require-speedup X``, that warm is at least X× faster
+than cold.  Results land in ``benchmarks/BENCH_service.json``::
+
+    {
+      "endpoint": "coverage", "cold_s": 0.81, "warm_s": 0.002,
+      "speedup": 395.2, "identical": true, ...
+    }
+
+Usage::
+
+    python scripts/bench_service.py                     # default: coverage
+    python scripts/bench_service.py --endpoint detours --require-speedup 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service import create_server  # noqa: E402
+from repro.store import ArtifactStore  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
+    "benchmarks" / "BENCH_service.json"
+SEED = 2025
+WARM_REPS = 5
+
+#: Request per benchmarkable endpoint (always with wait=1 so cold
+#: expensive queries block until their job lands in the store).
+REQUESTS = {
+    "coverage": "/v1/coverage?seed={seed}&wait=1",
+    "detours": "/v1/detours?seed={seed}&pairs=600&wait=1",
+    "outages": "/v1/outages?seed={seed}&years=2.0&wait=1",
+    "whatif": "/v1/whatif?seed={seed}&scenario=west&wait=1",
+    "summary": "/v1/summary?seed={seed}",
+}
+
+
+def _get(base: str, path: str) -> tuple[dict, bytes, float]:
+    start = time.perf_counter()
+    with urllib.request.urlopen(base + path, timeout=600) as resp:
+        body = resp.read()
+        headers = dict(resp.headers)
+    return headers, body, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--endpoint", choices=sorted(REQUESTS),
+                        default="coverage")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--require-speedup", type=float, default=10.0,
+                        metavar="X",
+                        help="fail unless warm is >= X times faster "
+                             "than cold (default 10)")
+    args = parser.parse_args(argv)
+
+    path = REQUESTS[args.endpoint].format(seed=args.seed)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = ArtifactStore(root=tmp)
+        httpd, service = create_server(port=0, store=store,
+                                       job_workers=2,
+                                       default_seed=args.seed)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            print(f"endpoint={args.endpoint} seed={args.seed} "
+                  f"({base}{path})")
+            cold_headers, cold_body, cold_s = _get(base, path)
+            print(f"cold: {cold_s:.3f}s "
+                  f"(cache={cold_headers.get('X-Repro-Cache')})")
+            warm_times = []
+            warm_body = b""
+            warm_headers: dict = {}
+            for _ in range(WARM_REPS):
+                warm_headers, warm_body, elapsed = _get(base, path)
+                warm_times.append(elapsed)
+            warm_s = min(warm_times)
+            print(f"warm: {warm_s:.4f}s over {WARM_REPS} reps "
+                  f"(cache={warm_headers.get('X-Repro-Cache')})")
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.queue.shutdown()
+
+    identical = cold_body == warm_body
+    cache_states_ok = cold_headers.get("X-Repro-Cache") == "miss" \
+        and warm_headers.get("X-Repro-Cache") == "hit"
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    doc = {
+        "format": "repro-bench-service/1",
+        "endpoint": args.endpoint,
+        "request": path,
+        "seed": args.seed,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 5),
+        "warm_reps": WARM_REPS,
+        "speedup": round(speedup, 2),
+        "identical": identical,
+        "cache_states_ok": cache_states_ok,
+        "payload_bytes": len(cold_body),
+        "store": {"hits": store.hits, "misses": store.misses},
+    }
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"speedup {speedup:.1f}x, payloads identical: {identical}")
+    print(f"wrote {OUT_PATH}")
+
+    if not identical:
+        print("FAIL: cold and warm payloads differ", file=sys.stderr)
+        return 1
+    if not cache_states_ok:
+        print("FAIL: expected cold=miss then warm=hit cache headers",
+              file=sys.stderr)
+        return 1
+    if speedup < args.require_speedup:
+        print(f"FAIL: warm speedup {speedup:.1f}x below required "
+              f"{args.require_speedup}x", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the Observatory service, as CI runs it.
+
+Boots ``repro serve`` as a real subprocess against a throwaway store,
+then drives the cold-miss → warm-hit contract over HTTP:
+
+1. ``GET /healthz`` until the server answers;
+2. a cold expensive request (``wait=1``) — must report ``X-Repro-Cache:
+   miss``;
+3. the same request again — must report ``hit`` and return the exact
+   same bytes;
+4. ``GET /metrics`` — must show at least one recorded store hit;
+5. after shutdown, ``repro store verify`` over the same store dir —
+   every artifact must pass its integrity check (and ``store ls`` must
+   list the artifact we created).
+
+Exit status 0 only if every step holds.  Usage::
+
+    python scripts/service_smoke.py [--endpoint coverage] [--seed 2025]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+SEED = 2025
+
+REQUESTS = {
+    "coverage": "/v1/coverage?seed={seed}&wait=1",
+    "detours": "/v1/detours?seed={seed}&pairs=200&wait=1",
+    "outages": "/v1/outages?seed={seed}&years=1.0&wait=1",
+}
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+def _get(url: str) -> tuple[int, dict, bytes]:
+    with urllib.request.urlopen(url, timeout=600) as resp:
+        return resp.status, dict(resp.headers), resp.read()
+
+
+def _fail(message: str) -> int:
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--endpoint", choices=sorted(REQUESTS),
+                        default="coverage")
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+
+    store_dir = tempfile.mkdtemp(prefix="repro-smoke-store-")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store-dir", store_dir, "--job-workers", "2"],
+        stdout=subprocess.PIPE, text=True, env=_env())
+    try:
+        banner = server.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", banner)
+        if not match:
+            return _fail(f"could not parse server banner: {banner!r}")
+        base = f"http://{match.group(1)}:{match.group(2)}"
+        print(f"server up at {base} (store: {store_dir})")
+
+        deadline = time.time() + 30
+        while True:
+            try:
+                status, _, _ = _get(base + "/healthz")
+                if status == 200:
+                    break
+            except (urllib.error.URLError, ConnectionError):
+                pass
+            if time.time() > deadline:
+                return _fail("server never became healthy")
+            time.sleep(0.2)
+
+        path = REQUESTS[args.endpoint].format(seed=args.seed)
+        status, cold_headers, cold_body = _get(base + path)
+        print(f"cold: {status} cache={cold_headers.get('X-Repro-Cache')} "
+              f"({len(cold_body)} bytes)")
+        if status != 200 or cold_headers.get("X-Repro-Cache") != "miss":
+            return _fail("cold request must be a 200 cache miss")
+
+        status, warm_headers, warm_body = _get(base + path)
+        print(f"warm: {status} cache={warm_headers.get('X-Repro-Cache')}")
+        if status != 200 or warm_headers.get("X-Repro-Cache") != "hit":
+            return _fail("warm request must be a 200 cache hit")
+        if warm_body != cold_body:
+            return _fail("cold and warm payloads differ")
+        print("payloads byte-identical")
+
+        _, _, metrics = _get(base + "/metrics")
+        hit_lines = [l for l in metrics.decode().splitlines()
+                     if l.startswith("repro_store_hits_total")
+                     and not l.startswith("#")]
+        if not any(float(l.rsplit(" ", 1)[1]) >= 1 for l in hit_lines):
+            return _fail("metrics do not record a store hit")
+        print("metrics record the store hit")
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            server.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+    ls = subprocess.run(
+        [sys.executable, "-m", "repro", "store", "ls",
+         "--store-dir", store_dir],
+        capture_output=True, text=True, env=_env())
+    print(ls.stdout.rstrip())
+    if ls.returncode != 0 or f"api.{args.endpoint}" not in ls.stdout:
+        return _fail("store ls does not list the cached artifact")
+
+    verify = subprocess.run(
+        [sys.executable, "-m", "repro", "store", "verify",
+         "--store-dir", store_dir],
+        capture_output=True, text=True, env=_env())
+    print(verify.stdout.rstrip())
+    if verify.returncode != 0:
+        return _fail("store verify reported problems")
+
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

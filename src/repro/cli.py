@@ -10,8 +10,10 @@ Observatory for:
 * ``cablecut``   — replay a named cable-cut scenario
 * ``watchdog``   — §5.2 policy-compliance report
 * ``placement``  — footnote-1 set-cover probe placement
-* ``save``/``load-check`` — world snapshots
+* ``save``/``load-check`` — world snapshots (with content digests)
 * ``telemetry``  — instrumented smoke run across every subsystem
+* ``serve``      — run the Observatory as an HTTP service
+* ``store``      — inspect/gc/verify the artifact cache
 
 Any command accepts the global ``--telemetry`` flag (print a metrics +
 span report after the command), ``--telemetry-out PATH`` (write the
@@ -174,20 +176,84 @@ def cmd_fleet(args) -> int:
 
 
 def cmd_save(args) -> int:
-    from repro.topology import save_world
+    from repro.topology import save_world, world_digest
     topo = _world(args)
     save_world(topo, args.path)
     print(f"Saved world (seed={args.seed}) to {args.path}")
+    print(f"content digest: {world_digest(topo)}")
     return 0
 
 
 def cmd_load_check(args) -> int:
-    from repro.topology import load_world
+    from repro.topology import load_world, world_digest
     topo = load_world(args.path)
     print(ascii_table(["metric", "value"],
                       sorted(topo.summary().items()),
                       title=f"Loaded world from {args.path}"))
+    print(f"content digest: {world_digest(topo)}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the Observatory HTTP service (see docs/service.md)."""
+    from repro.service import create_server
+    from repro.store import ArtifactStore
+    telemetry.enable()  # a serving process always self-instruments
+    store = ArtifactStore(root=args.store_dir,
+                          max_bytes=int(args.store_cap_mb * 1024 * 1024))
+    httpd, service = create_server(
+        host=args.host, port=args.port, store=store,
+        job_workers=args.job_workers, default_seed=args.seed)
+    host, port = httpd.server_address[:2]
+    print(f"repro service listening on http://{host}:{port} "
+          f"(store: {store.root})", flush=True)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        httpd.server_close()
+        service.queue.shutdown()
+    return 0
+
+
+def cmd_store(args) -> int:
+    """Inspect, garbage-collect or verify the artifact store."""
+    from repro.store import ArtifactStore
+    store = ArtifactStore(root=args.store_dir) if args.cap_mb is None \
+        else ArtifactStore(root=args.store_dir,
+                           max_bytes=int(args.cap_mb * 1024 * 1024))
+    if args.action == "ls":
+        entries = store.entries()
+        rows = [[e.kind, e.seed, e.schema_version,
+                 ",".join(f"{k}={v}" for k, v in sorted(e.params.items()))
+                 or "-",
+                 e.size_bytes, e.key_digest[:12]]
+                for e in entries]
+        print(ascii_table(
+            ["kind", "seed", "schema", "params", "bytes", "key"],
+            rows, title=f"Artifact store at {store.root}"))
+        stats = store.stats()
+        print(f"{stats['entries']} artifacts, "
+              f"{stats['total_bytes']} bytes "
+              f"(cap {store.max_bytes})")
+        return 0
+    if args.action == "gc":
+        evicted = store.gc()
+        for e in evicted:
+            print(f"evicted {e.kind} seed={e.seed} "
+                  f"({e.size_bytes} bytes, {e.key_digest[:12]})")
+        print(f"{len(evicted)} artifacts evicted; "
+              f"{store.total_bytes()} bytes retained")
+        return 0
+    # verify
+    problems = store.verify()
+    for p in problems:
+        print(f"CORRUPT {p.key_digest[:12]}: {p.reason}")
+    total = len(store.entries())
+    print(f"verified {total} artifacts: "
+          f"{'OK' if not problems else f'{len(problems)} problem(s)'}")
+    return 0 if not problems else 1
 
 
 def cmd_telemetry(args) -> int:
@@ -286,6 +352,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--targets", type=int, default=12,
                    help="traceroute targets per probe")
     p.set_defaults(func=cmd_telemetry)
+    p = sub.add_parser("serve",
+                       help="run the Observatory as an HTTP service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8151,
+                   help="TCP port (0 = pick a free one)")
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="artifact store root (default "
+                        "$REPRO_STORE_DIR or ~/.cache/repro/store)")
+    p.add_argument("--store-cap-mb", type=float, default=256.0,
+                   help="LRU size cap for the artifact store")
+    p.add_argument("--job-workers", type=int, default=2,
+                   help="threads draining the async job queue")
+    p.set_defaults(func=cmd_serve)
+    p = sub.add_parser("store",
+                       help="inspect/gc/verify the artifact store")
+    p.add_argument("action", choices=("ls", "gc", "verify"))
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="artifact store root (default "
+                        "$REPRO_STORE_DIR or ~/.cache/repro/store)")
+    p.add_argument("--cap-mb", type=float, default=None,
+                   help="override the size cap for gc")
+    p.set_defaults(func=cmd_store)
     return parser
 
 

@@ -17,6 +17,7 @@ cache on that key.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -42,11 +43,18 @@ class RoutingContext:
     so a topology can never be collected while its entry lives — which
     both bounds memory via ``maxsize`` and guarantees an id is never
     recycled into a live entry.
+
+    Thread-safe: the threaded HTTP service (`repro.service`) hits one
+    shared context from many request threads.  A single re-entrant
+    lock covers lookup, build and eviction, so concurrent callers for
+    the same topology wait for one build instead of racing duplicate
+    (expensive) constructions.
     """
 
     def __init__(self, maxsize: int = 8) -> None:
         self._maxsize = max(1, maxsize)
         self._pairs: OrderedDict[int, tuple] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.builds = 0
 
@@ -61,23 +69,24 @@ class RoutingContext:
         """
         del down_cables  # per-query in both objects; see module docstring
         key = id(topo)
-        cached = self._pairs.get(key)
-        if cached is not None:
-            self._pairs.move_to_end(key)
-            self.hits += 1
+        with self._lock:
+            cached = self._pairs.get(key)
+            if cached is not None:
+                self._pairs.move_to_end(key)
+                self.hits += 1
+                if telemetry.enabled():
+                    _CTX_HITS.inc()
+                return cached
+            from repro.routing import BGPRouting, PhysicalNetwork
+            with telemetry.span("exec.context_build", topology=key):
+                built = (BGPRouting(topo), PhysicalNetwork(topo))
+            self._pairs[key] = built
+            self.builds += 1
             if telemetry.enabled():
-                _CTX_HITS.inc()
-            return cached
-        from repro.routing import BGPRouting, PhysicalNetwork
-        with telemetry.span("exec.context_build", topology=key):
-            built = (BGPRouting(topo), PhysicalNetwork(topo))
-        self._pairs[key] = built
-        self.builds += 1
-        if telemetry.enabled():
-            _CTX_BUILDS.inc()
-        while len(self._pairs) > self._maxsize:
-            self._pairs.popitem(last=False)
-        return built
+                _CTX_BUILDS.inc()
+            while len(self._pairs) > self._maxsize:
+                self._pairs.popitem(last=False)
+            return built
 
     def routing(self, topo: "Topology",
                 down_cables: Sequence[int] = ()) -> "BGPRouting":
@@ -90,10 +99,11 @@ class RoutingContext:
     # ------------------------------------------------------------------
     def invalidate(self, topo: Optional["Topology"] = None) -> None:
         """Drop cached state for one topology (or everything)."""
-        if topo is None:
-            self._pairs.clear()
-        else:
-            self._pairs.pop(id(topo), None)
+        with self._lock:
+            if topo is None:
+                self._pairs.clear()
+            else:
+                self._pairs.pop(id(topo), None)
 
 
 #: The process-wide shared context.

@@ -1,0 +1,44 @@
+"""repro.service — the Observatory as a long-lived HTTP service.
+
+Section 8 of the paper pitches the Observatory as a shared *platform*:
+stakeholders query coverage, outage impact and what-if scenarios on
+demand instead of re-running analyses by hand (the way RIPE Atlas or
+Iris operate as services).  This package is that serving layer for the
+reproduction:
+
+* :mod:`repro.service.endpoints` — deterministic ``(seed, params) →
+  payload`` compute functions with typed parameter contracts and
+  per-endpoint schema versions;
+* :mod:`repro.service.jobs` — an async queue for expensive queries,
+  deduplicated by result identity (the artifact key digest);
+* :mod:`repro.service.server` — a dependency-free threaded HTTP
+  server; cheap queries answer synchronously, expensive ones become
+  pollable jobs, and everything durable flows through
+  :class:`repro.store.ArtifactStore` so identical requests return
+  byte-identical payloads regardless of cache state.
+
+Run it with ``repro serve --port 8151``; see ``docs/service.md``.
+"""
+
+from repro.service.endpoints import (
+    BadRequest,
+    ENDPOINTS,
+    Endpoint,
+    Param,
+    describe,
+    world_for,
+)
+from repro.service.jobs import Job, JobQueue, JobState
+from repro.service.server import (
+    MAX_WAIT_S,
+    ObservatoryService,
+    Response,
+    create_server,
+    job_payload_for,
+)
+
+__all__ = [
+    "BadRequest", "ENDPOINTS", "Endpoint", "Job", "JobQueue",
+    "JobState", "MAX_WAIT_S", "ObservatoryService", "Param", "Response",
+    "create_server", "describe", "job_payload_for", "world_for",
+]

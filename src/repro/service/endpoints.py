@@ -1,0 +1,268 @@
+"""Service endpoints: parameter contracts and deterministic payloads.
+
+Each endpoint declares the parameters it accepts (typed, with
+defaults), a per-endpoint ``schema_version`` (bump when the payload
+shape changes — old cache entries then simply miss), and a compute
+function ``(seed, params) -> dict`` whose output depends *only* on
+``(seed, params)``.  The service layer canonical-JSON-encodes that
+dict (:func:`repro.store.canonical_bytes`) before storing or sending,
+which is what makes cold and warm responses byte-identical.
+
+Worlds are memoized per seed in a small in-process LRU; the shared
+:class:`repro.exec.context.RoutingContext` then keys routing state off
+the cached topology object, so concurrent requests against one seed
+share one world and one routing table set.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro import build_world
+from repro.store import ArtifactKey
+
+#: Worlds kept alive per service process (seed → Topology).
+WORLD_CACHE_SIZE = 4
+
+_WORLDS: "OrderedDict[int, Any]" = OrderedDict()
+_WORLDS_LOCK = threading.Lock()
+
+
+def world_for(seed: int):
+    """Get-or-build the topology for ``seed`` (process-wide LRU)."""
+    with _WORLDS_LOCK:
+        topo = _WORLDS.get(seed)
+        if topo is not None:
+            _WORLDS.move_to_end(seed)
+            return topo
+    built = build_world(seed=seed)
+    with _WORLDS_LOCK:
+        topo = _WORLDS.get(seed)
+        if topo is None:
+            _WORLDS[seed] = topo = built
+            while len(_WORLDS) > WORLD_CACHE_SIZE:
+                _WORLDS.popitem(last=False)
+        return topo
+
+
+class BadRequest(ValueError):
+    """Client-side parameter error → HTTP 400."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """One accepted query parameter."""
+
+    name: str
+    kind: type            # int | float | str
+    default: Any = None
+    choices: tuple = ()
+
+    def parse(self, raw: Optional[str]) -> Any:
+        if raw is None:
+            return self.default
+        try:
+            value = self.kind(raw)
+        except (TypeError, ValueError):
+            raise BadRequest(
+                f"parameter {self.name!r} must be {self.kind.__name__}, "
+                f"got {raw!r}") from None
+        if self.choices and value not in self.choices:
+            raise BadRequest(
+                f"parameter {self.name!r} must be one of "
+                f"{sorted(self.choices)}, got {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One queryable analysis product."""
+
+    name: str
+    schema_version: int
+    expensive: bool       # expensive → async job on a cache miss
+    params: tuple[Param, ...]
+    compute: Callable[[int, dict[str, Any]], dict[str, Any]]
+    help: str = ""
+
+    def parse_params(self, query: Mapping[str, str]) -> dict[str, Any]:
+        known = {p.name for p in self.params} | {"seed", "wait"}
+        unknown = sorted(set(query) - known)
+        if unknown:
+            raise BadRequest(f"unknown parameter(s) {unknown} for "
+                             f"/v1/{self.name}")
+        return {p.name: p.parse(query.get(p.name)) for p in self.params}
+
+    def key(self, seed: int, params: dict[str, Any]) -> ArtifactKey:
+        return ArtifactKey.make(kind=f"api.{self.name}", seed=seed,
+                                params=params,
+                                schema_version=self.schema_version)
+
+    def payload(self, seed: int, params: dict[str, Any]
+                ) -> dict[str, Any]:
+        """The canonical response document (deterministic in inputs)."""
+        return {
+            "endpoint": self.name,
+            "schema_version": self.schema_version,
+            "seed": seed,
+            "params": params,
+            "result": json_safe(self.compute(seed, params)),
+        }
+
+
+def json_safe(obj: Any) -> Any:
+    """Map non-finite floats to ``None`` so canonical JSON stays
+    strict (``allow_nan=False``); e.g. a rate ratio over a window with
+    zero baseline events is ±inf and must serialize deterministically."""
+    if isinstance(obj, float):
+        return obj if obj == obj and obj not in (float("inf"),
+                                                 float("-inf")) else None
+    if isinstance(obj, dict):
+        return {k: json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [json_safe(v) for v in obj]
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Compute functions (deterministic in (seed, params) by construction)
+# ----------------------------------------------------------------------
+def _compute_summary(seed: int, params: dict[str, Any]) -> dict:
+    topo = world_for(seed)
+    return {"summary": {k: v for k, v in sorted(topo.summary().items())}}
+
+
+def _compute_placement(seed: int, params: dict[str, Any]) -> dict:
+    from repro.observatory import ixp_cover_hosts
+    topo = world_for(seed)
+    budget = params["budget"] if params["budget"] > 0 else None
+    cover = ixp_cover_hosts(topo, max_picks=budget)
+    picks = [{"asn": asn, "name": topo.as_(asn).name,
+              "country": topo.as_(asn).country_iso2,
+              "ixps_covered": cover.curve[i]}
+             for i, asn in enumerate(cover.chosen)]
+    return {"picks": picks, "uncovered_ixps": sorted(cover.uncovered)}
+
+
+def _compute_detours(seed: int, params: dict[str, Any]) -> dict:
+    from repro.analysis import analyze_snapshot
+    from repro.datasets import build_ixp_directory, collect_snapshot
+    from repro.exec import pair_for
+    from repro.geo import AFRICAN_REGIONS
+    from repro.measurement import (GeolocationService, MeasurementEngine,
+                                   build_atlas_platform)
+    topo = world_for(seed)
+    routing, phys = pair_for(topo)
+    engine = MeasurementEngine(topo, routing, phys)
+    snapshot = collect_snapshot(topo, engine, build_atlas_platform(topo),
+                                max_pairs=params["pairs"])
+    report = analyze_snapshot(topo, snapshot, GeolocationService(topo),
+                              build_ixp_directory(topo))
+    scopes = [{"scope": "all", "pairs": report.sample_count(),
+               "detour_rate": report.detour_rate(),
+               "ixp_traversal_rate": report.ixp_traversal_rate()}]
+    for region in AFRICAN_REGIONS:
+        scopes.append({
+            "scope": region.value,
+            "pairs": report.sample_count(region),
+            "detour_rate": report.detour_rate(region),
+            "ixp_traversal_rate": report.ixp_traversal_rate(region)})
+    return {"scopes": scopes}
+
+
+def _compute_coverage(seed: int, params: dict[str, Any]) -> dict:
+    from repro.analysis import build_coverage_table
+    from repro.datasets import build_delegated_file
+    from repro.exec import routing_for
+    from repro.measurement import (run_ant_hitlist, run_caida_prefix_scan,
+                                   run_yarrp_scan)
+    topo = world_for(seed)
+    scans = [run_ant_hitlist(topo), run_caida_prefix_scan(topo),
+             run_yarrp_scan(topo, routing_for(topo))]
+    table = build_coverage_table(topo, build_delegated_file(topo), scans)
+    return {"rows": [{
+        "dataset": r.dataset, "entries": r.entries,
+        "mobile_coverage": r.mobile_coverage,
+        "non_mobile_coverage": r.non_mobile_coverage,
+        "ixp_coverage": r.ixp_coverage,
+    } for r in table.rows]}
+
+
+def _compute_outages(seed: int, params: dict[str, Any]) -> dict:
+    from repro.analysis import analyze_outages
+    from repro.datasets import build_radar_feed
+    from repro.outages import OutageSimulator
+    topo = world_for(seed)
+    simulation = OutageSimulator(topo).simulate(years=params["years"])
+    report = analyze_outages(simulation,
+                             build_radar_feed(simulation, seed=seed))
+    rows = [{"cause": r.cause, "events": r.events,
+             "median_duration_days": r.median_duration_days,
+             "mean_countries_affected": r.mean_countries_affected}
+            for r in sorted(report.rows,
+                            key=lambda r: (-r.median_duration_days,
+                                           r.cause))]
+    return {"rows": rows, "rate_ratio": report.rate_ratio()}
+
+
+def _compute_whatif(seed: int, params: dict[str, Any]) -> dict:
+    from repro.observatory import WhatIfCutCables
+    from repro.outages import march_2024_scenario
+    topo = world_for(seed)
+    west, east = march_2024_scenario(topo)
+    cut = west if params["scenario"] == "west" else east
+    names = {c.cable_id: c.name for c in topo.cables}
+    severities = WhatIfCutCables(topo).country_severities(cut)
+    return {
+        "scenario": params["scenario"],
+        "cut_cables": [names[c] for c in cut],
+        "severities": {cc: s for cc, s in sorted(severities.items())},
+    }
+
+
+#: Registry, in display order.  ``expensive`` mirrors the observed
+#: costs: snapshot collection / sweeps dominate; inventory and set
+#: cover are interactive even cold.
+ENDPOINTS: dict[str, Endpoint] = {e.name: e for e in (
+    Endpoint("summary", schema_version=1, expensive=False, params=(),
+             compute=_compute_summary,
+             help="world inventory for a seed"),
+    Endpoint("placement", schema_version=1, expensive=False,
+             params=(Param("budget", int, 0),),
+             compute=_compute_placement,
+             help="set-cover probe placement (footnote 1)"),
+    Endpoint("detours", schema_version=1, expensive=True,
+             params=(Param("pairs", int, 600),),
+             compute=_compute_detours,
+             help="Fig. 2a/3 connectivity report"),
+    Endpoint("coverage", schema_version=1, expensive=True, params=(),
+             compute=_compute_coverage,
+             help="Table 1 scanner coverage"),
+    Endpoint("outages", schema_version=1, expensive=True,
+             params=(Param("years", float, 2.0),),
+             compute=_compute_outages,
+             help="Fig. 4 outage simulation"),
+    Endpoint("whatif", schema_version=1, expensive=True,
+             params=(Param("scenario", str, "west",
+                           choices=("west", "east")),),
+             compute=_compute_whatif,
+             help="March-2024 cable-cut replay severities"),
+)}
+
+
+def describe() -> list[dict[str, Any]]:
+    """Machine-readable endpoint listing (``GET /v1/endpoints``)."""
+    return [{
+        "name": e.name,
+        "path": f"/v1/{e.name}",
+        "schema_version": e.schema_version,
+        "expensive": e.expensive,
+        "params": [{"name": p.name, "type": p.kind.__name__,
+                    "default": p.default,
+                    **({"choices": list(p.choices)} if p.choices else {})}
+                   for p in e.params],
+        "help": e.help,
+    } for e in ENDPOINTS.values()]

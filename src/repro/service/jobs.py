@@ -1,0 +1,172 @@
+"""Async job queue for expensive service queries.
+
+Expensive endpoints (snapshot collection, outage sweeps, what-if
+scenarios) do not block the HTTP thread: the request becomes a *job*
+whose id is the artifact key digest of the answer it will produce.
+That single choice buys three properties for free:
+
+* **Dedup** — concurrent identical requests share one job; a client
+  re-submitting after a disconnect reattaches to the running job.
+* **Idempotence** — a job that already completed is answered straight
+  from the store; nothing runs twice.
+* **Byte-stable results** — the job writes the canonical payload into
+  :class:`repro.store.ArtifactStore`, and *every* read path (sync hit,
+  post-job poll, later cold restart) serves those same bytes.
+
+Workers are plain daemon threads; the compute functions they run fan
+out through :mod:`repro.exec` internally, so ``--workers`` parallelism
+applies inside each job.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro import telemetry
+
+_JOBS = telemetry.counter(
+    "repro_service_jobs_total",
+    "Jobs submitted to the service queue", labels=("endpoint",))
+_JOB_STATES = telemetry.counter(
+    "repro_service_job_transitions_total",
+    "Job state transitions", labels=("state",))
+_QUEUE_DEPTH = telemetry.gauge(
+    "repro_service_queue_depth", "Jobs queued but not yet running")
+_JOB_SECONDS = telemetry.histogram(
+    "repro_service_job_seconds",
+    "Wall-clock seconds per completed job", labels=("endpoint",))
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One unit of expensive work, addressed by its result's key digest."""
+
+    job_id: str                 # == ArtifactKey.digest of the result
+    endpoint: str
+    request_path: str           # canonical URL that re-serves the result
+    state: JobState = JobState.QUEUED
+    error: Optional[str] = None
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        out = {"job_id": self.job_id, "endpoint": self.endpoint,
+               "state": self.state.value, "result": self.request_path}
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job settles (done or failed)."""
+        return self._done.wait(timeout)
+
+
+class JobQueue:
+    """Threaded FIFO of deduplicated jobs.
+
+    ``submit`` is the only producer entry point; jobs are keyed by id
+    and an id with a live (queued/running/done) job is never enqueued
+    twice.  Failed jobs are replaced on resubmit so a transient error
+    is retryable.
+    """
+
+    def __init__(self, workers: int = 2) -> None:
+        self._queue: "queue.Queue[Optional[tuple[Job, Callable[[], None]]]]" \
+            = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"repro-job-worker-{i}")
+            for i in range(max(1, int(workers)))]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, job_id: str, endpoint: str, request_path: str,
+               fn: Callable[[], None]) -> tuple[Job, bool]:
+        """Enqueue ``fn`` under ``job_id``; returns ``(job, created)``.
+
+        ``fn`` must make the result durable itself (write the store);
+        the queue only tracks lifecycle.
+        """
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None \
+                    and existing.state is not JobState.FAILED:
+                return existing, False
+            job = Job(job_id=job_id, endpoint=endpoint,
+                      request_path=request_path)
+            self._jobs[job_id] = job
+        if telemetry.enabled():
+            _JOBS.labels(endpoint=endpoint).inc()
+            _JOB_STATES.labels(state="queued").inc()
+            _QUEUE_DEPTH.inc()
+        self._queue.put((job, fn))
+        return job, True
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: Optional[float] = None
+             ) -> Optional[Job]:
+        """Wait for a job to settle; returns it (or None if unknown)."""
+        job = self.get(job_id)
+        if job is not None:
+            job.wait(timeout)
+        return job
+
+    def shutdown(self) -> None:
+        """Stop workers after the queue drains (used by tests/serve)."""
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            job, fn = item
+            job.state = JobState.RUNNING
+            if telemetry.enabled():
+                _QUEUE_DEPTH.dec()
+                _JOB_STATES.labels(state="running").inc()
+            started = time.perf_counter()
+            with telemetry.span("service.job", endpoint=job.endpoint,
+                                job=job.job_id[:12]):
+                try:
+                    fn()
+                except Exception:  # noqa: BLE001 - job boundary
+                    job.error = traceback.format_exc(limit=8)
+                    job.state = JobState.FAILED
+                    if telemetry.enabled():
+                        _JOB_STATES.labels(state="failed").inc()
+                else:
+                    job.state = JobState.DONE
+                    if telemetry.enabled():
+                        _JOB_STATES.labels(state="done").inc()
+            if telemetry.enabled():
+                _JOB_SECONDS.labels(endpoint=job.endpoint).observe(
+                    time.perf_counter() - started)
+            job._done.set()

@@ -1,0 +1,241 @@
+"""Threaded HTTP server: the Observatory as a queryable service.
+
+Request flow for ``GET /v1/<endpoint>``::
+
+    parse params ──> ArtifactKey(kind, seed, params, schema-version)
+         │
+         ├─ store hit ──────────────> 200, stored bytes   (X-Repro-Cache: hit)
+         ├─ miss + cheap endpoint ──> compute, store ────> 200 (miss)
+         ├─ miss + expensive ───────> submit job ────────> 202 {job_id,...}
+         └─ miss + expensive + wait=1 ─> submit job, block, serve store
+
+The payload placed in the store is the canonical JSON encoding of the
+endpoint's deterministic document, and every path above serves exactly
+those bytes — cold and warm responses are byte-identical, which the
+service smoke test and ``scripts/bench_service.py`` both assert.
+
+Built on ``http.server.ThreadingHTTPServer`` only; no third-party
+dependencies.  Telemetry: per-endpoint request counters and latency
+histograms here, cache hit/miss/eviction counters in ``repro.store``,
+job lifecycle counters in ``repro.service.jobs``.
+"""
+
+from __future__ import annotations
+
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from repro import telemetry
+from repro.service.endpoints import BadRequest, ENDPOINTS, describe
+from repro.service.jobs import JobQueue, JobState
+from repro.store import ArtifactStore, canonical_bytes
+
+#: Ceiling for ``wait=1`` blocking requests (seconds).
+MAX_WAIT_S = 300.0
+
+_REQUESTS = telemetry.counter(
+    "repro_service_requests_total",
+    "HTTP requests served", labels=("endpoint", "status"))
+_LATENCY = telemetry.histogram(
+    "repro_service_request_seconds",
+    "HTTP request wall-clock seconds", labels=("endpoint",))
+
+
+class Response:
+    """A fully materialized HTTP response."""
+
+    __slots__ = ("status", "body", "headers")
+
+    def __init__(self, status: int, body: bytes,
+                 headers: Optional[dict[str, str]] = None) -> None:
+        self.status = status
+        self.body = body
+        self.headers = {"Content-Type": "application/json"}
+        if headers:
+            self.headers.update(headers)
+
+    @classmethod
+    def json(cls, status: int, doc: Any,
+             headers: Optional[dict[str, str]] = None) -> "Response":
+        return cls(status, canonical_bytes(doc), headers)
+
+    @classmethod
+    def error(cls, status: int, message: str) -> "Response":
+        return cls.json(status, {"error": message, "status": status})
+
+
+class ObservatoryService:
+    """Transport-independent request handling (testable without sockets)."""
+
+    def __init__(self, store: ArtifactStore,
+                 queue: Optional[JobQueue] = None,
+                 default_seed: int = 2025) -> None:
+        self.store = store
+        self.queue = queue if queue is not None else JobQueue()
+        self.default_seed = default_seed
+
+    # ------------------------------------------------------------------
+    def handle(self, target: str) -> Response:
+        """Dispatch one GET by request target (path + query string)."""
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = dict(parse_qsl(split.query))
+        started = time.perf_counter()
+        endpoint_label, response = self._route(path, query)
+        if telemetry.enabled():
+            _REQUESTS.labels(endpoint=endpoint_label,
+                             status=str(response.status)).inc()
+            _LATENCY.labels(endpoint=endpoint_label).observe(
+                time.perf_counter() - started)
+        return response
+
+    # ------------------------------------------------------------------
+    def _route(self, path: str, query: dict[str, str]
+               ) -> tuple[str, Response]:
+        if path == "/healthz":
+            return "healthz", Response.json(200, {"ok": True})
+        if path == "/metrics":
+            return "metrics", Response(
+                200, telemetry.to_prometheus().encode(),
+                {"Content-Type": "text/plain; version=0.0.4"})
+        if path == "/v1/endpoints":
+            return "endpoints", Response.json(
+                200, {"endpoints": describe()})
+        if path == "/v1/store/stats":
+            return "store_stats", Response.json(200, self.store.stats())
+        if path.startswith("/v1/jobs/"):
+            return "jobs", self._job_status(path[len("/v1/jobs/"):])
+        if path.startswith("/v1/"):
+            name = path[len("/v1/"):]
+            endpoint = ENDPOINTS.get(name)
+            if endpoint is None:
+                return name, Response.error(
+                    404, f"unknown endpoint {name!r}; "
+                         f"see /v1/endpoints")
+            try:
+                return name, self._query(endpoint, query)
+            except BadRequest as exc:
+                return name, Response.error(400, str(exc))
+        return "unknown", Response.error(404, f"no route for {path!r}")
+
+    # ------------------------------------------------------------------
+    def _query(self, endpoint, query: dict[str, str]) -> Response:
+        seed_param = query.get("seed")
+        try:
+            seed = int(seed_param) if seed_param is not None \
+                else self.default_seed
+        except ValueError:
+            raise BadRequest(f"parameter 'seed' must be int, "
+                             f"got {seed_param!r}") from None
+        params = endpoint.parse_params(query)
+        wait = query.get("wait", "0") not in ("0", "", "false")
+        key = endpoint.key(seed, params)
+        request_path = self._canonical_path(endpoint, seed, params)
+
+        cached = self.store.get(key)
+        if cached is not None:
+            return Response(200, cached,
+                            {"X-Repro-Cache": "hit",
+                             "X-Repro-Key": key.digest})
+
+        if not endpoint.expensive:
+            payload = self._compute_and_store(endpoint, key, seed, params)
+            return Response(200, payload,
+                            {"X-Repro-Cache": "miss",
+                             "X-Repro-Key": key.digest})
+
+        job, _created = self.queue.submit(
+            key.digest, endpoint.name, request_path,
+            lambda: self._compute_and_store(endpoint, key, seed, params))
+        if wait:
+            self.queue.wait(job.job_id, timeout=MAX_WAIT_S)
+            if job.state is JobState.FAILED:
+                return Response.error(500,
+                                      f"job {job.job_id} failed: "
+                                      f"{job.error}")
+            payload = self.store.get(key)
+            if payload is None:  # evicted between job end and read
+                payload = self._compute_and_store(endpoint, key, seed,
+                                                  params)
+            return Response(200, payload,
+                            {"X-Repro-Cache": "miss",
+                             "X-Repro-Key": key.digest})
+        return Response.json(
+            202, {**job.to_dict(), "poll": f"/v1/jobs/{job.job_id}"},
+            {"X-Repro-Cache": "miss", "X-Repro-Key": key.digest})
+
+    def _job_status(self, job_id: str) -> Response:
+        job = self.queue.get(job_id)
+        if job is None:
+            return Response.error(404, f"unknown job {job_id!r}")
+        doc = job.to_dict()
+        status = 200 if job.state in (JobState.DONE, JobState.FAILED) \
+            else 202
+        return Response.json(status, doc)
+
+    def _compute_and_store(self, endpoint, key, seed: int,
+                           params: dict[str, Any]) -> bytes:
+        with telemetry.span("service.compute", endpoint=endpoint.name,
+                            seed=seed):
+            payload = canonical_bytes(endpoint.payload(seed, params))
+        self.store.put(key, payload)
+        return payload
+
+    @staticmethod
+    def _canonical_path(endpoint, seed: int,
+                        params: dict[str, Any]) -> str:
+        parts = [f"seed={seed}"]
+        parts += [f"{k}={params[k]}" for k in sorted(params)]
+        return f"/v1/{endpoint.name}?" + "&".join(parts)
+
+
+def make_handler(service: ObservatoryService):
+    """A ``BaseHTTPRequestHandler`` subclass bound to ``service``."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-observatory"
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            try:
+                response = service.handle(self.path)
+            except Exception as exc:  # noqa: BLE001 - request boundary
+                response = Response.error(500, f"internal error: {exc}")
+            self.send_response(response.status)
+            for name, value in response.headers.items():
+                self.send_header(name, value)
+            self.send_header("Content-Length", str(len(response.body)))
+            self.end_headers()
+            self.wfile.write(response.body)
+
+        def log_message(self, format: str, *args) -> None:
+            pass  # quiet by default; telemetry carries the signal
+
+    return Handler
+
+
+def create_server(host: str = "127.0.0.1", port: int = 0,
+                  store: Optional[ArtifactStore] = None,
+                  job_workers: int = 2,
+                  default_seed: int = 2025
+                  ) -> tuple[ThreadingHTTPServer, ObservatoryService]:
+    """A bound (not yet serving) HTTP server plus its service core."""
+    service = ObservatoryService(
+        store=store if store is not None else ArtifactStore(),
+        queue=JobQueue(workers=job_workers),
+        default_seed=default_seed)
+    httpd = ThreadingHTTPServer((host, port), make_handler(service))
+    httpd.daemon_threads = True
+    return httpd, service
+
+
+def job_payload_for(service: ObservatoryService, job_id: str
+                    ) -> Optional[bytes]:
+    """Stored payload for a finished job (helper for clients/tests)."""
+    job = service.queue.get(job_id)
+    if job is None or job.state is not JobState.DONE:
+        return None
+    response = service.handle(job.request_path)
+    return response.body if response.status == 200 else None

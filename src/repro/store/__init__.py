@@ -1,0 +1,41 @@
+"""repro.store — content-addressed cache for expensive pipeline products.
+
+Every CLI invocation used to rebuild the world from scratch; this
+package is the durable half of the serving layer (`repro.service` is
+the other): generated topologies, campaign results and analysis
+payloads are cached on disk keyed by ``(kind, seed, params,
+schema-version)`` so repeated and concurrent use pays the cost once.
+
+Guarantees:
+
+* **Deterministic identity** — keys hash a canonical JSON encoding
+  (:mod:`repro.store.keys`), so the same request names the same
+  artifact from any process, forever (until the schema version bumps).
+* **Atomic, verified storage** — writes land via ``os.replace``,
+  reads re-hash the payload and treat corruption as a miss
+  (:mod:`repro.store.disk`).
+* **Bounded size** — LRU eviction against a byte cap, recency carried
+  by payload mtimes so it survives restarts.
+
+CLI: ``repro store {ls,gc,verify}``.
+"""
+
+from repro.store.disk import (
+    ArtifactStore,
+    DEFAULT_MAX_BYTES,
+    StoreEntry,
+    StoreProblem,
+    default_store_dir,
+)
+from repro.store.keys import (
+    ArtifactKey,
+    canonical_bytes,
+    digest_bytes,
+    digest_obj,
+)
+
+__all__ = [
+    "ArtifactKey", "ArtifactStore", "DEFAULT_MAX_BYTES", "StoreEntry",
+    "StoreProblem", "canonical_bytes", "default_store_dir",
+    "digest_bytes", "digest_obj",
+]

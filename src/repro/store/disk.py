@@ -1,0 +1,318 @@
+"""Content-addressed on-disk artifact store.
+
+Layout (all under one root directory)::
+
+    <root>/objects/<d2>/<key-digest>.bin        payload bytes
+    <root>/objects/<d2>/<key-digest>.meta.json  key + content digest
+    <root>/tmp/                                 staging for atomic writes
+
+where ``<d2>`` is the first two hex chars of the key digest (keeps
+directory fan-out flat).  Writes stage into ``tmp/`` and land with
+``os.replace`` so readers never observe a torn artifact; the meta file
+is written after its payload and removed first on eviction, so a
+payload without meta is garbage, never the reverse.
+
+Reads verify the payload against the recorded content digest — a
+mismatch (bit rot, manual tampering, a crashed writer that somehow got
+through) is treated as a miss and the entry is dropped.  Recency is
+tracked through payload mtimes (bumped on every hit), giving LRU
+eviction that survives process restarts without a separate index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import threading
+from typing import Any, Callable, Iterable, Optional
+
+from repro import telemetry
+from repro.store.keys import ArtifactKey, digest_bytes
+
+#: Default size cap — plenty for thousands of analysis payloads while
+#: keeping a forgotten store from eating the disk.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_HITS = telemetry.counter(
+    "repro_store_hits_total",
+    "Artifact-store reads served from disk", labels=("kind",))
+_MISSES = telemetry.counter(
+    "repro_store_misses_total",
+    "Artifact-store reads that found nothing", labels=("kind",))
+_WRITES = telemetry.counter(
+    "repro_store_writes_total",
+    "Artifacts written to the store", labels=("kind",))
+_EVICTIONS = telemetry.counter(
+    "repro_store_evictions_total",
+    "Artifacts evicted by the LRU size cap")
+_CORRUPT = telemetry.counter(
+    "repro_store_corrupt_total",
+    "Artifacts dropped after failing the integrity check")
+_BYTES = telemetry.gauge(
+    "repro_store_bytes", "Total payload bytes currently stored")
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """One stored artifact as seen by ``ls``/``gc``/``verify``."""
+
+    key_digest: str
+    kind: str
+    seed: int
+    schema_version: int
+    params: dict[str, Any]
+    content_digest: str
+    size_bytes: int
+    last_used: float            # POSIX mtime of the payload file
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreProblem:
+    """One integrity violation found by :meth:`ArtifactStore.verify`."""
+
+    key_digest: str
+    reason: str
+
+
+def default_store_dir() -> pathlib.Path:
+    """``$REPRO_STORE_DIR`` or ``~/.cache/repro/store``."""
+    env = os.environ.get("REPRO_STORE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro" / "store"
+
+
+class ArtifactStore:
+    """Deterministic key→bytes store with LRU eviction.
+
+    Thread-safe: a single lock serializes metadata mutation (the
+    threaded HTTP service reads and writes concurrently).  Payloads are
+    opaque bytes; callers are expected to store canonical encodings so
+    a hit is byte-identical to a fresh computation.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.root = pathlib.Path(root) if root is not None \
+            else default_store_dir()
+        self.max_bytes = int(max_bytes)
+        self._objects = self.root / "objects"
+        self._tmp = self.root / "tmp"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._tmp.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths ---------------------------------------------------------
+    def _payload_path(self, key_digest: str) -> pathlib.Path:
+        return self._objects / key_digest[:2] / f"{key_digest}.bin"
+
+    def _meta_path(self, key_digest: str) -> pathlib.Path:
+        return self._objects / key_digest[:2] / f"{key_digest}.meta.json"
+
+    # -- core API ------------------------------------------------------
+    def get(self, key: ArtifactKey) -> Optional[bytes]:
+        """Payload for ``key`` or ``None`` (integrity-checked)."""
+        key_digest = key.digest
+        with self._lock:
+            payload = self._read_verified(key_digest)
+        if payload is None:
+            self.misses += 1
+            if telemetry.enabled():
+                _MISSES.labels(kind=key.kind).inc()
+            return None
+        self.hits += 1
+        if telemetry.enabled():
+            _HITS.labels(kind=key.kind).inc()
+        return payload
+
+    def put(self, key: ArtifactKey, payload: bytes) -> StoreEntry:
+        """Atomically store ``payload`` under ``key`` (idempotent)."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("store payloads are bytes; encode upstream")
+        key_digest = key.digest
+        payload = bytes(payload)
+        meta = {
+            "key": key.to_dict(),
+            "key_digest": key_digest,
+            "content_digest": digest_bytes(payload),
+            "size_bytes": len(payload),
+        }
+        with self._lock:
+            payload_path = self._payload_path(key_digest)
+            payload_path.parent.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(payload_path, payload)
+            self._atomic_write(
+                self._meta_path(key_digest),
+                json.dumps(meta, sort_keys=True).encode())
+            self._evict_over_cap()
+            size = self._total_bytes()
+        if telemetry.enabled():
+            _WRITES.labels(kind=key.kind).inc()
+            _BYTES.set(size)
+        return self._entry_from_meta(meta, payload_path)
+
+    def get_or_build(self, key: ArtifactKey,
+                     build: Callable[[], bytes]) -> tuple[bytes, bool]:
+        """``(payload, was_hit)`` — builds and stores on a miss."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached, True
+        payload = build()
+        self.put(key, payload)
+        return payload, False
+
+    def contains(self, key: ArtifactKey) -> bool:
+        with self._lock:
+            return self._payload_path(key.digest).exists() \
+                and self._meta_path(key.digest).exists()
+
+    # -- maintenance ---------------------------------------------------
+    def entries(self) -> list[StoreEntry]:
+        """Every stored artifact, most recently used first."""
+        with self._lock:
+            out = list(self._iter_entries())
+        return sorted(out, key=lambda e: -e.last_used)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._total_bytes()
+
+    def gc(self, max_bytes: Optional[int] = None) -> list[StoreEntry]:
+        """Evict least-recently-used artifacts down to the cap."""
+        with self._lock:
+            evicted = self._evict_over_cap(
+                self.max_bytes if max_bytes is None else int(max_bytes))
+            size = self._total_bytes()
+        if telemetry.enabled():
+            _BYTES.set(size)
+        return evicted
+
+    def verify(self) -> list[StoreProblem]:
+        """Re-hash every payload; report (but keep) violations."""
+        problems: list[StoreProblem] = []
+        with self._lock:
+            for meta_path in self._objects.glob("*/*.meta.json"):
+                key_digest = meta_path.name[:-len(".meta.json")]
+                try:
+                    meta = json.loads(meta_path.read_bytes())
+                except (OSError, ValueError):
+                    problems.append(StoreProblem(key_digest,
+                                                 "unreadable meta"))
+                    continue
+                payload_path = self._payload_path(key_digest)
+                if not payload_path.exists():
+                    problems.append(StoreProblem(key_digest,
+                                                 "missing payload"))
+                    continue
+                actual = digest_bytes(payload_path.read_bytes())
+                if actual != meta.get("content_digest"):
+                    problems.append(StoreProblem(
+                        key_digest, "content digest mismatch"))
+            for payload_path in self._objects.glob("*/*.bin"):
+                key_digest = payload_path.name[:-len(".bin")]
+                if not self._meta_path(key_digest).exists():
+                    problems.append(StoreProblem(key_digest,
+                                                 "orphan payload"))
+        return problems
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            entries = list(self._iter_entries())
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(e.size_bytes for e in entries),
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> None:
+        """Drop every artifact (testing / ``gc --all``)."""
+        with self._lock:
+            for entry in list(self._iter_entries()):
+                self._remove(entry.key_digest)
+        if telemetry.enabled():
+            _BYTES.set(0)
+
+    # -- internals (lock held) -----------------------------------------
+    def _atomic_write(self, dest: pathlib.Path, data: bytes) -> None:
+        tmp = self._tmp / f".{os.getpid()}.{threading.get_ident()}." \
+            f"{dest.name}"
+        tmp.write_bytes(data)
+        os.replace(tmp, dest)
+
+    def _read_verified(self, key_digest: str) -> Optional[bytes]:
+        payload_path = self._payload_path(key_digest)
+        meta_path = self._meta_path(key_digest)
+        try:
+            meta = json.loads(meta_path.read_bytes())
+            payload = payload_path.read_bytes()
+        except (OSError, ValueError):
+            return None
+        if digest_bytes(payload) != meta.get("content_digest"):
+            self._remove(key_digest)
+            if telemetry.enabled():
+                _CORRUPT.inc()
+            return None
+        os.utime(payload_path)  # LRU recency bump
+        return payload
+
+    def _iter_entries(self) -> Iterable[StoreEntry]:
+        for meta_path in self._objects.glob("*/*.meta.json"):
+            key_digest = meta_path.name[:-len(".meta.json")]
+            payload_path = self._payload_path(key_digest)
+            try:
+                meta = json.loads(meta_path.read_bytes())
+                stat = payload_path.stat()
+            except (OSError, ValueError):
+                continue
+            yield self._entry_from_meta(meta, payload_path,
+                                        mtime=stat.st_mtime,
+                                        size=stat.st_size)
+
+    @staticmethod
+    def _entry_from_meta(meta: dict, payload_path: pathlib.Path,
+                         mtime: Optional[float] = None,
+                         size: Optional[int] = None) -> StoreEntry:
+        key = meta["key"]
+        if mtime is None or size is None:
+            stat = payload_path.stat()
+            mtime, size = stat.st_mtime, stat.st_size
+        return StoreEntry(
+            key_digest=meta["key_digest"], kind=key["kind"],
+            seed=key["seed"], schema_version=key["schema_version"],
+            params=dict(key["params"]),
+            content_digest=meta["content_digest"],
+            size_bytes=size, last_used=mtime)
+
+    def _total_bytes(self) -> int:
+        return sum(p.stat().st_size
+                   for p in self._objects.glob("*/*.bin"))
+
+    def _evict_over_cap(self, max_bytes: Optional[int] = None
+                        ) -> list[StoreEntry]:
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        entries = sorted(self._iter_entries(), key=lambda e: e.last_used)
+        total = sum(e.size_bytes for e in entries)
+        evicted: list[StoreEntry] = []
+        while entries and total > cap:
+            victim = entries.pop(0)
+            self._remove(victim.key_digest)
+            total -= victim.size_bytes
+            evicted.append(victim)
+            if telemetry.enabled():
+                _EVICTIONS.inc()
+        return evicted
+
+    def _remove(self, key_digest: str) -> None:
+        for path in (self._meta_path(key_digest),
+                     self._payload_path(key_digest)):
+            try:
+                path.unlink()
+            except OSError:
+                pass

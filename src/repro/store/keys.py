@@ -1,0 +1,77 @@
+"""Deterministic artifact keys and content hashing.
+
+Every cached product is addressed by the triple the Observatory's
+serving contract is built on: *what* was computed (``kind`` plus a
+per-kind ``schema_version``), *from which world* (``seed``), and *with
+which parameters* (a flat JSON-safe mapping).  Two requests that agree
+on those fields are by construction the same artifact — the pipeline is
+deterministic in (seed, params) — so the key digest doubles as a job
+id, a store filename and an HTTP cache identity.
+
+Hashing uses a canonical JSON encoding (sorted keys, compact
+separators, no ASCII escapes left to chance) so digests are stable
+across Python versions, dict insertion orders and processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Canonical JSON encoding of ``obj`` (stable across processes).
+
+    Raises ``TypeError`` for anything JSON cannot represent — keys must
+    be built from scalars, lists and string-keyed dicts only.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True, allow_nan=False).encode("ascii")
+
+
+def digest_bytes(data: bytes) -> str:
+    """Hex SHA-256 of raw bytes (the store's content digest)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest_obj(obj: Any) -> str:
+    """Hex SHA-256 of the canonical encoding of a JSON-safe object."""
+    return digest_bytes(canonical_bytes(obj))
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one cached artifact: ``(kind, seed, params, schema)``.
+
+    ``params`` is stored as a sorted tuple of pairs so the key itself
+    is hashable and order-independent; construct with any mapping.
+    """
+
+    kind: str
+    seed: int
+    params: tuple = field(default=())
+    schema_version: int = 1
+
+    @classmethod
+    def make(cls, kind: str, seed: int,
+             params: Mapping[str, Any] | None = None,
+             schema_version: int = 1) -> "ArtifactKey":
+        items = tuple(sorted((params or {}).items()))
+        return cls(kind=kind, seed=int(seed), params=items,
+                   schema_version=int(schema_version))
+
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe view (also the hashed representation)."""
+        return {"kind": self.kind, "seed": self.seed,
+                "params": self.params_dict(),
+                "schema_version": self.schema_version}
+
+    @property
+    def digest(self) -> str:
+        """Hex SHA-256 naming this artifact everywhere (store, jobs)."""
+        return digest_obj(self.to_dict())

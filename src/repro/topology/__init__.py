@@ -41,6 +41,7 @@ from repro.topology.serialize import (
     save_world,
     topology_from_dict,
     topology_to_dict,
+    world_digest,
 )
 from repro.topology.terrestrial import TERRESTRIAL_LINKS, TerrestrialLink
 
@@ -58,4 +59,5 @@ __all__ = [
     "Prefix", "PrefixAllocator", "PrefixRegistry", "format_ip",
     "TERRESTRIAL_LINKS", "TerrestrialLink",
     "load_world", "save_world", "topology_from_dict", "topology_to_dict",
+    "world_digest",
 ]

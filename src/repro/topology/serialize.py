@@ -187,6 +187,19 @@ def topology_from_dict(data: dict[str, Any]) -> Topology:
     return topo
 
 
+def world_digest(topo: Topology) -> str:
+    """Stable content digest of a world (hex SHA-256).
+
+    Hashes the canonical JSON encoding of :func:`topology_to_dict`
+    using the artifact store's hashing (`repro.store.keys`), so the
+    digest is independent of on-disk formatting or compression: a
+    ``save``/``load-check`` round trip reports the same digest, and any
+    drift in the snapshot's *content* changes it.
+    """
+    from repro.store.keys import digest_obj
+    return digest_obj(topology_to_dict(topo))
+
+
 def save_world(topo: Topology, path: str | pathlib.Path) -> None:
     """Write a world snapshot (gzip-compressed when path ends .gz)."""
     path = pathlib.Path(path)

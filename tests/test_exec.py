@@ -142,6 +142,71 @@ class TestRoutingContext:
 
 
 # ----------------------------------------------------------------------
+class TestRoutingContextThreadSafety:
+    """The threaded HTTP service hits one shared context concurrently;
+    lookups, builds, eviction and invalidation must never corrupt the
+    LRU or hand a caller a half-built pair."""
+
+    def test_concurrent_pair_hammer(self, topo):
+        import threading
+
+        ctx = RoutingContext(maxsize=2)
+        topos = [topo, topo.structured_copy(), topo.structured_copy()]
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def hammer(i: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for n in range(60):
+                    t = topos[(i + n) % len(topos)]
+                    routing, phys = ctx.pair(t)
+                    # A returned pair must be fully built and belong
+                    # to the topology that was asked for.
+                    assert isinstance(routing, BGPRouting)
+                    assert isinstance(phys, PhysicalNetwork)
+                    assert routing._topo is t
+                    if n % 17 == 0:
+                        ctx.invalidate(t)
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert len(ctx._pairs) <= 2
+        # Every lookup either hit or built; nothing was lost to races.
+        assert ctx.hits + ctx.builds == 8 * 60
+
+    def test_concurrent_single_topology_builds_once(self, topo):
+        import threading
+
+        ctx = RoutingContext()
+        other = topo.structured_copy()
+        barrier = threading.Barrier(6)
+        results: list = []
+
+        def fetch() -> None:
+            barrier.wait(timeout=10)
+            results.append(ctx.pair(other))
+
+        threads = [threading.Thread(target=fetch) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(results) == 6
+        # All racers share the single built pair: the lock makes the
+        # build atomic instead of N threads constructing N pairs.
+        assert all(r == results[0] for r in results)
+        assert ctx.builds == 1 and ctx.hits == 5
+
+
+# ----------------------------------------------------------------------
 class TestPrecompute:
     def test_precompute_matches_lazy_tables(self, topo):
         dests = sorted(topo.ases)[:6]

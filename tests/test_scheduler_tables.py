@@ -1,0 +1,182 @@
+"""Focused coverage for `repro.observatory.scheduler` and
+`repro.reporting.tables` — the paths the HTTP service reports through.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measurement.probes import AccessTech, ProbeKind, VantagePoint
+from repro.observatory import (
+    MeasurementTask,
+    schedule_cost_aware,
+    schedule_round_robin,
+)
+from repro.observatory.power import probe_power_profile
+from repro.reporting import ascii_table, bar_chart, pct, series
+
+
+def _probe(pid: int, iso2: str = "GH",
+           access: AccessTech = AccessTech.FIXED,
+           secondary: AccessTech | None = None) -> VantagePoint:
+    return VantagePoint(probe_id=pid, asn=65000 + pid,
+                        country_iso2=iso2,
+                        kind=ProbeKind.RASPBERRY_PI, access=access,
+                        secondary_access=secondary)
+
+
+def _task(tid: str, utility: float = 1.0, app_bytes: int = 10_000,
+          runs: int = 30, country: str | None = None,
+          requires: AccessTech | None = None) -> MeasurementTask:
+    return MeasurementTask(task_id=tid, kind="traceroute",
+                           target=f"target-{tid}", app_bytes=app_bytes,
+                           runs_per_month=runs, utility=utility,
+                           country=country, requires_access=requires)
+
+
+# ----------------------------------------------------------------------
+class TestSchedulerPolicies:
+    def test_tasks_land_within_budget(self):
+        probes = [_probe(1), _probe(2, "KE")]
+        tasks = [_task(f"t{i}") for i in range(6)]
+        schedule = schedule_cost_aware(probes, tasks, 25.0)
+        assert schedule.placed_task_ids() | \
+            {t.task_id for t in schedule.unplaced} == \
+            {t.task_id for t in tasks}
+        for account in schedule.accounts.values():
+            assert account.spent_usd <= 25.0 + 1e-9
+
+    def test_zero_budget_places_nothing(self):
+        schedule = schedule_cost_aware([_probe(1)], [_task("t0")], 0.0)
+        assert schedule.assignments == []
+        assert [t.task_id for t in schedule.unplaced] == ["t0"]
+        assert schedule.total_utility == 0.0
+        assert schedule.utility_per_dollar() == 0.0
+
+    def test_country_restriction_honored(self):
+        probes = [_probe(1, "GH"), _probe(2, "KE")]
+        schedule = schedule_cost_aware(
+            probes, [_task("gh-only", country="GH")], 20.0)
+        (placed,) = schedule.assignments
+        assert placed.probe_id == 1
+
+    def test_access_restriction_honored(self):
+        fixed = _probe(1, access=AccessTech.FIXED)
+        dual = _probe(2, access=AccessTech.FIXED,
+                      secondary=AccessTech.CELLULAR)
+        task = _task("cellular", requires=AccessTech.CELLULAR)
+        schedule = schedule_cost_aware([fixed, dual], [task], 20.0)
+        (placed,) = schedule.assignments
+        assert placed.probe_id == 2
+
+    def test_impossible_task_unplaced(self):
+        schedule = schedule_cost_aware(
+            [_probe(1, "GH")], [_task("ke-only", country="KE")], 20.0)
+        assert [t.task_id for t in schedule.unplaced] == ["ke-only"]
+
+    def test_reuse_is_free(self):
+        # Two objectives over one (kind, target) measurement: the
+        # second placement must be billed zero bytes and zero dollars.
+        t1 = MeasurementTask("a", "traceroute", "shared", 10_000, 30, 2.0)
+        t2 = MeasurementTask("b", "traceroute", "shared", 10_000, 30, 1.0)
+        schedule = schedule_cost_aware([_probe(1)], [t1, t2], 20.0)
+        assert len(schedule.assignments) == 2
+        reused = [a for a in schedule.assignments if a.reused]
+        assert len(reused) == 1
+        assert reused[0].billed_bytes == 0
+        assert reused[0].cost_usd == 0.0
+        assert reused[0].task.task_id == "b"  # lower utility reuses
+
+    def test_power_limits_effective_runs(self):
+        probe = _probe(1, "CD")  # weak grid → availability < 1
+        availability = probe_power_profile(probe).effective_availability
+        schedule = schedule_cost_aware([probe], [_task("t", runs=30)],
+                                       20.0)
+        (placed,) = schedule.assignments
+        assert placed.runs == int(30 * availability)
+        assert placed.runs <= 30
+
+    def test_cost_aware_beats_round_robin(self):
+        probes = [_probe(1, "GH"), _probe(2, "KE"), _probe(3, "ZA")]
+        tasks = [_task(f"t{i}", utility=float(1 + i % 3),
+                       app_bytes=5_000 * (1 + i % 4))
+                 for i in range(12)]
+        smart = schedule_cost_aware(probes, tasks, 3.0)
+        naive = schedule_round_robin(probes, tasks, 3.0)
+        assert smart.total_utility >= naive.total_utility
+
+    def test_round_robin_spreads_load(self):
+        probes = [_probe(1), _probe(2)]
+        tasks = [_task(f"t{i}") for i in range(4)]
+        schedule = schedule_round_robin(probes, tasks, 50.0)
+        assert {a.probe_id for a in schedule.assignments} == {1, 2}
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementTask("bad", "ping", "x", 0, 30, 1.0)
+        with pytest.raises(ValueError):
+            MeasurementTask("bad", "ping", "x", 100, 0, 1.0)
+        with pytest.raises(ValueError):
+            MeasurementTask("bad", "ping", "x", 100, 30, -1.0)
+
+    def test_schedules_record_telemetry(self):
+        from repro import telemetry
+        enabled_before = telemetry.enabled()
+        telemetry.enable()
+        try:
+            schedule_cost_aware([_probe(1)], [_task("t0")], 20.0)
+            snap = telemetry.REGISTRY.snapshot()
+            placed = snap["repro_scheduler_tasks_placed_total"]
+            assert any(s["labels"] == {"policy": "cost-aware"}
+                       and s["value"] >= 1 for s in placed["series"])
+        finally:
+            if not enabled_before:
+                telemetry.disable()
+
+
+# ----------------------------------------------------------------------
+class TestTables:
+    def test_pct_formats_share(self):
+        assert pct(0.7731) == "77.3%"
+        assert pct(0.5, digits=0) == "50%"
+        assert pct(0.0) == "0.0%"
+
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["name", "value"],
+                           [["short", 1], ["a-much-longer-name", 22]],
+                           title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", "+"}
+        # All data rows pad to one common width.
+        assert len({len(l) for l in lines[3:]}) == 1
+
+    def test_ascii_table_without_title(self):
+        text = ascii_table(["a"], [[1]])
+        assert text.splitlines()[0].startswith("a")
+
+    def test_series_formatting(self):
+        out = series("growth", [("2020", 1.0), ("2021", 2.5)],
+                     fmt="{:.1f}")
+        assert out == "growth: 2020=1.0  2021=2.5"
+
+    def test_bar_chart_scales_to_peak(self):
+        out = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_bar_chart_handles_negatives_and_zero(self):
+        out = bar_chart([("neg", -2.0), ("zero", 0.0)], width=8)
+        neg, zero = out.splitlines()
+        assert neg.count("#") == 8       # magnitude sets the peak
+        assert zero.count("#") == 0
+
+    def test_bar_chart_empty_input(self):
+        assert bar_chart([], title="empty") == "empty"
+        assert bar_chart([]) == ""
+
+    def test_bar_chart_all_zero_peak_guard(self):
+        out = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert all(l.count("#") == 0 for l in out.splitlines())

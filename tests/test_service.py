@@ -1,0 +1,260 @@
+"""repro.service: HTTP API, job queue, and cache determinism.
+
+The server under test runs in-process on an ephemeral port with a
+fresh store per test class, so these are real socket round-trips
+through ``ThreadingHTTPServer`` — the same path CI's smoke job and
+``scripts/bench_service.py`` exercise.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import JobState, create_server
+from repro.service.endpoints import ENDPOINTS, BadRequest
+from repro.service.jobs import JobQueue
+from repro.store import ArtifactStore
+
+#: Cheap worlds for HTTP tests: seed shared with the session fixtures
+#: so the world LRU in repro.service.endpoints stays warm.
+SEED = 2025
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store = ArtifactStore(root=tmp_path_factory.mktemp("store"),
+                          max_bytes=32 * 1024 * 1024)
+    httpd, service = create_server(port=0, store=store, job_workers=2,
+                                   default_seed=SEED)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    port = httpd.server_address[1]
+    yield f"http://127.0.0.1:{port}", service
+    httpd.shutdown()
+    httpd.server_close()
+    service.queue.shutdown()
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=120) as resp:
+        return resp.status, dict(resp.headers), resp.read()
+
+
+# ----------------------------------------------------------------------
+class TestPlumbing:
+    def test_healthz(self, server):
+        base, _ = server
+        status, _, body = _get(base, "/healthz")
+        assert status == 200
+        assert json.loads(body) == {"ok": True}
+
+    def test_endpoint_discovery(self, server):
+        base, _ = server
+        _, _, body = _get(base, "/v1/endpoints")
+        listed = {e["name"] for e in json.loads(body)["endpoints"]}
+        assert listed == set(ENDPOINTS)
+
+    def test_unknown_route_404(self, server):
+        base, _ = server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base, "/nope")
+        assert err.value.code == 404
+
+    def test_unknown_endpoint_404(self, server):
+        base, _ = server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base, "/v1/frobnicate")
+        assert err.value.code == 404
+
+    def test_bad_parameter_400(self, server):
+        base, _ = server
+        for path in ("/v1/outages?years=abc",
+                     "/v1/summary?seed=xyz",
+                     "/v1/whatif?scenario=north",
+                     "/v1/summary?bogus=1"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(base, path)
+            assert err.value.code == 400, path
+
+    def test_metrics_exposed(self, server):
+        import repro.telemetry as telemetry
+        base, _ = server
+        enabled_before = telemetry.enabled()
+        telemetry.enable()
+        try:
+            _get(base, "/healthz")
+            _, headers, body = _get(base, "/metrics")
+            assert headers["Content-Type"].startswith("text/plain")
+            text = body.decode()
+            assert "repro_service_requests_total" in text
+            assert "repro_service_request_seconds" in text
+        finally:
+            if not enabled_before:
+                telemetry.disable()
+
+    def test_store_stats_route(self, server):
+        base, service = server
+        _, _, body = _get(base, "/v1/store/stats")
+        stats = json.loads(body)
+        assert stats["root"] == str(service.store.root)
+        assert stats["max_bytes"] == 32 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+class TestSyncEndpoints:
+    def test_cold_then_warm_identical_bytes(self, server):
+        base, _ = server
+        s1, h1, cold = _get(base, f"/v1/summary?seed={SEED}")
+        s2, h2, warm = _get(base, f"/v1/summary?seed={SEED}")
+        assert (s1, s2) == (200, 200)
+        assert h1["X-Repro-Cache"] == "miss"
+        assert h2["X-Repro-Cache"] == "hit"
+        assert cold == warm
+        assert h1["X-Repro-Key"] == h2["X-Repro-Key"]
+
+    def test_payload_shape(self, server):
+        base, _ = server
+        _, _, body = _get(base, f"/v1/summary?seed={SEED}")
+        doc = json.loads(body)
+        assert doc["endpoint"] == "summary"
+        assert doc["seed"] == SEED
+        assert doc["result"]["summary"]["ases_total"] > 0
+
+    def test_default_seed_applies(self, server):
+        base, _ = server
+        _, _, explicit = _get(base, f"/v1/summary?seed={SEED}")
+        _, _, implicit = _get(base, "/v1/summary")
+        assert explicit == implicit
+
+    def test_distinct_params_distinct_artifacts(self, server):
+        base, _ = server
+        _, h1, _ = _get(base, f"/v1/placement?seed={SEED}&budget=3")
+        _, h2, _ = _get(base, f"/v1/placement?seed={SEED}&budget=4")
+        assert h1["X-Repro-Key"] != h2["X-Repro-Key"]
+
+
+# ----------------------------------------------------------------------
+class TestAsyncJobs:
+    def test_expensive_miss_becomes_job_then_hit(self, server):
+        base, service = server
+        path = f"/v1/outages?seed={SEED}&years=0.25"
+        status, headers, body = _get(base, path)
+        assert status == 202
+        doc = json.loads(body)
+        assert doc["state"] in ("queued", "running", "done")
+        job_id = doc["job_id"]
+        assert headers["X-Repro-Key"] == job_id
+
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            status, _, body = _get(base, f"/v1/jobs/{job_id}")
+            doc = json.loads(body)
+            if doc["state"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        assert doc["state"] == "done", doc
+        assert status == 200
+
+        # The canonical result URL recorded on the job now hits.
+        status, headers, _ = _get(base, doc["result"])
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "hit"
+        # And so does the original request path.
+        status, headers, _ = _get(base, path)
+        assert headers["X-Repro-Cache"] == "hit"
+
+    def test_wait_param_blocks_and_matches_warm(self, server):
+        base, _ = server
+        path = f"/v1/whatif?seed={SEED}&scenario=east"
+        s1, h1, cold = _get(base, path + "&wait=1")
+        s2, h2, warm = _get(base, path)
+        assert (s1, s2) == (200, 200)
+        assert h1["X-Repro-Cache"] == "miss"
+        assert h2["X-Repro-Cache"] == "hit"
+        assert cold == warm
+
+    def test_identical_requests_share_one_job(self, server):
+        base, service = server
+        path = f"/v1/detours?seed={SEED}&pairs=40"
+        _, _, b1 = _get(base, path)
+        _, _, b2 = _get(base, path)
+        ids = {json.loads(b)["job_id"] for b in (b1, b2)
+               if json.loads(b).get("job_id")}
+        # Either both saw the same job, or the first finished so fast
+        # the second was already a cache hit (no job id at all).
+        assert len(ids) <= 1
+        job_id = json.loads(b1)["job_id"]
+        service.queue.wait(job_id, timeout=120)
+
+    def test_unknown_job_404(self, server):
+        base, _ = server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base, "/v1/jobs/deadbeef")
+        assert err.value.code == 404
+
+
+# ----------------------------------------------------------------------
+class TestJobQueueUnit:
+    def test_dedup_and_lifecycle(self):
+        queue = JobQueue(workers=1)
+        try:
+            ran = []
+            gate = threading.Event()
+
+            def work() -> None:
+                gate.wait(timeout=10)
+                ran.append(1)
+
+            j1, created1 = queue.submit("job-1", "t", "/v1/t", work)
+            j2, created2 = queue.submit("job-1", "t", "/v1/t", work)
+            assert created1 and not created2
+            assert j1 is j2
+            gate.set()
+            assert queue.wait("job-1", timeout=10).state is JobState.DONE
+            assert ran == [1]
+        finally:
+            queue.shutdown()
+
+    def test_failed_job_records_error_and_is_retryable(self):
+        queue = JobQueue(workers=1)
+        try:
+            def boom() -> None:
+                raise RuntimeError("expected failure")
+
+            job, _ = queue.submit("job-f", "t", "/v1/t", boom)
+            queue.wait("job-f", timeout=10)
+            assert job.state is JobState.FAILED
+            assert "expected failure" in job.error
+            retry, created = queue.submit("job-f", "t", "/v1/t",
+                                          lambda: None)
+            assert created and retry is not job
+            queue.wait("job-f", timeout=10)
+            assert retry.state is JobState.DONE
+        finally:
+            queue.shutdown()
+
+
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_cold_recompute_after_eviction_is_byte_identical(self,
+                                                             server):
+        """The core serving contract: identical (seed, params) →
+        identical bytes, with or without the cache."""
+        base, service = server
+        path = f"/v1/coverage?seed={SEED}&wait=1"
+        _, _, first = _get(base, path)
+        # Drop every artifact, forcing a recompute from scratch.
+        service.store.clear()
+        _, h, second = _get(base, path)
+        assert h["X-Repro-Cache"] == "miss"
+        assert first == second
+
+    def test_parse_params_rejects_unknown(self):
+        with pytest.raises(BadRequest):
+            ENDPOINTS["summary"].parse_params({"nope": "1"})
