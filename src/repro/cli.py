@@ -17,9 +17,11 @@ Observatory for:
 
 Any command accepts the global ``--telemetry`` flag (print a metrics +
 span report after the command), ``--telemetry-out PATH`` (write the
-JSON report to PATH and Prometheus text next to it), and ``--workers N``
+JSON report to PATH and Prometheus text next to it), ``--workers N``
 (fan independent measurement units out over N processes; output is
-byte-identical to ``--workers 1`` — see docs/performance.md).
+byte-identical to ``--workers 1`` — see docs/performance.md), and
+``--faults SPEC`` (seeded fault injection for chaos testing — see
+docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -195,7 +197,17 @@ def cmd_load_check(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Run the Observatory HTTP service (see docs/service.md)."""
+    """Run the Observatory HTTP service (see docs/service.md).
+
+    Serves until SIGTERM/SIGINT, then drains gracefully: stop
+    accepting, give in-flight jobs ``--drain-timeout`` seconds to
+    settle (anything left is failed so no waiter blocks), flush
+    telemetry, exit 0.  See docs/robustness.md.
+    """
+    import signal
+    import threading
+
+    from repro import faults
     from repro.service import create_server
     from repro.store import ArtifactStore
     telemetry.enable()  # a serving process always self-instruments
@@ -203,17 +215,46 @@ def cmd_serve(args) -> int:
                           max_bytes=int(args.store_cap_mb * 1024 * 1024))
     httpd, service = create_server(
         host=args.host, port=args.port, store=store,
-        job_workers=args.job_workers, default_seed=args.seed)
+        job_workers=args.job_workers, default_seed=args.seed,
+        job_deadline_s=args.job_deadline, job_retries=args.job_retries)
     host, port = httpd.server_address[:2]
     print(f"repro service listening on http://{host}:{port} "
           f"(store: {store.root})", flush=True)
+    if faults.active():
+        print(faults.describe(), flush=True)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _request_stop)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    serve_thread = threading.Thread(target=httpd.serve_forever,
+                                    daemon=True, name="repro-serve")
+    serve_thread.start()
     try:
-        httpd.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
+        pass
     finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        print("draining: stopped accepting, settling in-flight jobs",
+              flush=True)
+        httpd.shutdown()
+        service.queue.shutdown(timeout=args.drain_timeout)
         httpd.server_close()
-        service.queue.shutdown()
+        serve_thread.join(timeout=2.0)
+        doc = telemetry.to_json()
+        print(f"telemetry flushed: {len(doc.get('metrics', []))} "
+              f"metric series, {len(doc.get('spans', []))} span trees",
+              flush=True)
+        print("drained: exiting cleanly", flush=True)
     return 0
 
 
@@ -311,6 +352,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="processes for parallel fan-out (default 1; "
                              "0 = one per core); results are identical "
                              "for any value")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="activate the fault-injection harness "
+                             "(overrides $REPRO_FAULTS; grammar in "
+                             "docs/robustness.md, e.g. "
+                             "'seed=7,exec.worker_crash=1x1')")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("summary", help="world inventory").set_defaults(
@@ -364,6 +410,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU size cap for the artifact store")
     p.add_argument("--job-workers", type=int, default=2,
                    help="threads draining the async job queue")
+    p.add_argument("--job-deadline", type=float, default=300.0,
+                   metavar="S",
+                   help="per-job wall-clock deadline in seconds; the "
+                        "reaper fails jobs that outlive it (default "
+                        "300)")
+    p.add_argument("--job-retries", type=int, default=1, metavar="N",
+                   help="bounded retries per job after an exception "
+                        "(default 1)")
+    p.add_argument("--drain-timeout", type=float, default=8.0,
+                   metavar="S",
+                   help="seconds to drain in-flight jobs on shutdown "
+                        "before failing them (default 8)")
     p.set_defaults(func=cmd_serve)
     p = sub.add_parser("store",
                        help="inspect/gc/verify the artifact store")
@@ -378,11 +436,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro import faults
     from repro.exec import set_default_workers, suggested_workers
     args = build_parser().parse_args(argv)
     collect = args.telemetry or args.telemetry_out is not None
     if collect:
         telemetry.enable()
+    if args.faults is not None:
+        try:
+            faults.configure(args.faults)
+        except faults.FaultSpecError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
     set_default_workers(args.workers if args.workers > 0
                         else suggested_workers())
     rc = args.func(args)

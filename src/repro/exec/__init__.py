@@ -22,10 +22,14 @@ from repro.exec.context import (
     routing_for,
 )
 from repro.exec.pool import (
+    DEFAULT_RETRIES,
+    DEFAULT_TIMEOUT_S,
+    TransientTaskError,
     WorkerPool,
     current_payload,
     fork_available,
     get_default_workers,
+    in_worker,
     map_tasks,
     resolve_workers,
     set_default_workers,
@@ -35,7 +39,8 @@ from repro.exec.pool import (
 __all__ = [
     "CONTEXT", "RoutingContext", "pair_for", "physical_for",
     "routing_for",
+    "DEFAULT_RETRIES", "DEFAULT_TIMEOUT_S", "TransientTaskError",
     "WorkerPool", "current_payload", "fork_available",
-    "get_default_workers", "map_tasks", "resolve_workers",
+    "get_default_workers", "in_worker", "map_tasks", "resolve_workers",
     "set_default_workers", "suggested_workers",
 ]

@@ -1,4 +1,4 @@
-"""Deterministic worker pool for pipeline fan-out.
+"""Deterministic, supervised worker pool for pipeline fan-out.
 
 The simulator's work decomposes into *independent units* — a routing
 table per destination AS, a traceroute per (probe, target), a monitored
@@ -15,22 +15,39 @@ returning results in item order.  Platforms without ``fork`` (and
 nested fan-out inside a worker) silently fall back to the serial path,
 which is exact by construction.
 
+Every batch is *supervised* (see docs/robustness.md):
+
+* a crashed worker (``BrokenProcessPool``) aborts only the chunks that
+  had not finished — they are re-run serially in the parent, so the
+  caller still receives byte-identical ordered results;
+* a batch deadline (``timeout=``, default ``REPRO_EXEC_TIMEOUT`` or
+  300 s) bounds hung workers: on expiry the pool is terminated and the
+  unfinished chunks are re-run serially;
+* transient task exceptions (:class:`TransientTaskError` and injected
+  :class:`repro.faults.FaultInjected`) are retried in place with
+  exponential backoff, bounded by ``retries``; exhausted retries fail
+  the batch loudly.
+
 Large read-only state (the topology, a measurement engine) is passed as
 the *payload*: it is published to a module global before the pool forks,
 so children inherit it through copy-on-write memory instead of pickling
 it per task.  Task items and results still cross process boundaries and
 must be picklable.  Telemetry incremented inside workers stays in the
-worker process and is lost; count in the parent instead.
+worker process and is lost; the parent counts dispatches, completions,
+failures, worker-side retries (piggybacked on results) and recoveries.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+import time
+from concurrent.futures import (FIRST_COMPLETED, Future,
+                                ProcessPoolExecutor, wait)
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Optional, Sequence, TypeVar
 
-from repro import telemetry
+from repro import faults, telemetry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -38,6 +55,18 @@ R = TypeVar("R")
 _TASKS = telemetry.counter(
     "repro_exec_tasks_total",
     "Units dispatched through repro.exec", labels=("mode",))
+_COMPLETED = telemetry.counter(
+    "repro_exec_tasks_completed_total",
+    "Units that actually produced a result", labels=("mode",))
+_TASK_FAILURES = telemetry.counter(
+    "repro_exec_tasks_failed_total",
+    "Units that raised out of the batch", labels=("mode",))
+_RETRIES = telemetry.counter(
+    "repro_exec_retries_total",
+    "Transient task errors retried", labels=("mode",))
+_RECOVERIES = telemetry.counter(
+    "repro_exec_recoveries_total",
+    "Parallel batches recovered by serial re-run", labels=("reason",))
 _BATCHES = telemetry.counter(
     "repro_exec_batches_total",
     "Fan-out batches executed", labels=("mode",))
@@ -48,6 +77,17 @@ _DEFAULT_WORKERS = 1
 _PAYLOAD: Any = None
 #: True inside a pool worker — forces nested fan-out to run serially.
 _IN_WORKER = False
+
+#: Default per-batch deadline for parallel batches (seconds).
+DEFAULT_TIMEOUT_S = float(os.environ.get("REPRO_EXEC_TIMEOUT", "300"))
+#: Default bounded retries for transient task errors.
+DEFAULT_RETRIES = int(os.environ.get("REPRO_EXEC_RETRIES", "2"))
+#: First backoff sleep; doubles per retry.
+RETRY_BACKOFF_S = 0.05
+
+
+class TransientTaskError(RuntimeError):
+    """A task failure that is safe to retry (bounded, with backoff)."""
 
 
 def set_default_workers(workers: int) -> None:
@@ -80,27 +120,170 @@ def current_payload() -> Any:
     return _PAYLOAD
 
 
+def in_worker() -> bool:
+    """True inside a forked pool worker."""
+    return _IN_WORKER
+
+
 def _mark_worker() -> None:  # pragma: no cover - runs in children
     global _IN_WORKER
     _IN_WORKER = True
 
 
-def _invoke(task: tuple[Callable[[Any], Any], Any]) -> Any:
-    fn, item = task
-    return fn(item)
+def _ident(item: Any) -> str:
+    """A stable, bounded identity string for fault targeting."""
+    return repr(item)[:120]
+
+
+def _call_task(fn: Callable[[Any], Any], item: Any,
+               retries: int) -> tuple[int, Any]:
+    """Run one unit with fault hooks and bounded transient retries.
+
+    Returns ``(retries_used, result)``; raises the final error once
+    retries are exhausted (or immediately for non-transient errors).
+    """
+    injecting = faults.active()
+    ident = _ident(item) if injecting else ""
+    if injecting and _IN_WORKER:
+        if faults.should_fire("exec.worker_crash", ident):
+            os._exit(faults.CRASH_EXIT_CODE)  # pragma: no cover - child
+        faults.sleep_if("exec.worker_hang", ident)
+    if injecting:
+        faults.sleep_if("exec.slow_task", ident)
+    attempt = 0
+    while True:
+        try:
+            if injecting:
+                faults.fire("exec.task_error", f"{ident}#{attempt}")
+            return attempt, fn(item)
+        except (TransientTaskError, faults.FaultInjected):
+            if attempt >= retries:
+                raise
+            time.sleep(RETRY_BACKOFF_S * (2 ** attempt))
+            attempt += 1
+
+
+def _invoke_chunk(task: tuple[Callable[[Any], Any],
+                              list[tuple[int, Any]], int]
+                  ) -> list[tuple[int, int, Any]]:
+    """Worker entry point: run one chunk, tagging results by index."""
+    fn, chunk, retries = task
+    return [(i, *_call_task(fn, item, retries)) for i, item in chunk]
+
+
+def _shutdown_executor(executor: ProcessPoolExecutor,
+                       force: bool) -> None:
+    """Release a pool, killing its processes when ``force`` is set.
+
+    ``force`` handles hung workers: ``shutdown`` alone would join them,
+    blocking forever on a worker that never returns.  ``_processes`` is
+    private but stable across the supported CPython versions, and the
+    executor's management thread cleanly marks itself broken once the
+    children die.
+    """
+    if force:
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except (OSError, ValueError):  # pragma: no cover - racing exit
+                pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_supervised(fn: Callable[[T], R], items: list[T],
+                    n_workers: int, timeout: Optional[float],
+                    retries: int) -> list[R]:
+    """The parallel path: chunked fan-out with crash/hang recovery."""
+    indexed = list(enumerate(items))
+    chunksize = max(1, len(items) // (n_workers * 4))
+    chunks = [indexed[i:i + chunksize]
+              for i in range(0, len(indexed), chunksize)]
+    results: dict[int, R] = {}
+    retries_used = 0
+    reason: Optional[str] = None
+    unfinished = set(range(len(chunks)))
+    ctx = multiprocessing.get_context("fork")
+    executor = ProcessPoolExecutor(
+        max_workers=min(n_workers, len(chunks)), mp_context=ctx,
+        initializer=_mark_worker)
+    futures: dict[Future, int] = {
+        executor.submit(_invoke_chunk, (fn, chunk, retries)): ci
+        for ci, chunk in enumerate(chunks)}
+
+    def _collect(fut: Future) -> None:
+        nonlocal retries_used
+        for i, used, value in fut.result():
+            results[i] = value
+            retries_used += used
+        unfinished.discard(futures[fut])
+
+    try:
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        pending = set(futures)
+        while pending:
+            remaining = None if deadline is None \
+                else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                reason = "timeout"
+                break
+            done, pending = wait(pending, timeout=remaining,
+                                 return_when=FIRST_COMPLETED)
+            if not done:
+                reason = "timeout"
+                break
+            for fut in done:
+                try:
+                    _collect(fut)
+                except BrokenProcessPool:
+                    reason = "broken_pool"
+                    break
+            if reason is not None:
+                break
+    except Exception:
+        # A task failed for real (retries exhausted, or a non-transient
+        # error): fail the whole batch loudly, but never leak the pool.
+        _shutdown_executor(executor, force=True)
+        raise
+    _shutdown_executor(executor, force=reason is not None)
+
+    if reason is not None:
+        # Harvest whatever settled between the break and the shutdown,
+        # then re-run only the unfinished chunks serially in the parent
+        # (where worker-only faults cannot fire).  Order-preserving by
+        # construction: results are keyed by original item index.
+        for fut, ci in futures.items():
+            if ci in unfinished and fut.done() and not fut.cancelled() \
+                    and fut.exception() is None:
+                _collect(fut)
+        if telemetry.enabled():
+            _RECOVERIES.labels(reason=reason).inc()
+        for ci in sorted(unfinished):
+            for i, item in chunks[ci]:
+                used, value = _call_task(fn, item, retries)
+                results[i] = value
+                retries_used += used
+    if telemetry.enabled() and retries_used:
+        _RETRIES.labels(mode="parallel").inc(retries_used)
+    return [results[i] for i in range(len(items))]
 
 
 def map_tasks(fn: Callable[[T], R], items: Sequence[T],
               workers: Optional[int] = None,
               payload: Any = None,
-              label: str = "batch") -> list[R]:
+              label: str = "batch",
+              timeout: Optional[float] = None,
+              retries: Optional[int] = None) -> list[R]:
     """Apply ``fn`` to every item, in item order, on N workers.
 
     ``fn`` must be a module-level function (pickled by reference) whose
     output depends only on its item and the read-only ``payload``
     (reachable via :func:`current_payload`).  Results are returned in
-    the order of ``items`` regardless of completion order, so serial
-    and parallel runs are indistinguishable to the caller.
+    the order of ``items`` regardless of completion order, crashes or
+    hangs, so serial and parallel runs are indistinguishable to the
+    caller.  ``timeout`` bounds one parallel attempt (then unfinished
+    work re-runs serially); ``retries`` bounds transient-error retries
+    per task on both paths.
     """
     global _PAYLOAD
     items = list(items)
@@ -108,6 +291,10 @@ def map_tasks(fn: Callable[[T], R], items: Sequence[T],
         return []
     n_workers = resolve_workers(workers)
     mode = "parallel" if n_workers > 1 else "serial"
+    if retries is None:
+        retries = DEFAULT_RETRIES
+    if timeout is None:
+        timeout = DEFAULT_TIMEOUT_S
     if telemetry.enabled():
         _BATCHES.labels(mode=mode).inc()
         _TASKS.labels(mode=mode).inc(len(items))
@@ -117,16 +304,25 @@ def map_tasks(fn: Callable[[T], R], items: Sequence[T],
         with telemetry.span(f"exec.{label}", mode=mode,
                             workers=n_workers, tasks=len(items)):
             if n_workers == 1:
-                return [fn(item) for item in items]
-            ctx = multiprocessing.get_context("fork")
-            chunksize = max(1, len(items) // (n_workers * 4))
-            with ProcessPoolExecutor(
-                    max_workers=min(n_workers, len(items)),
-                    mp_context=ctx,
-                    initializer=_mark_worker) as pool:
-                return list(pool.map(_invoke,
-                                     [(fn, item) for item in items],
-                                     chunksize=chunksize))
+                out: list[R] = []
+                retries_used = 0
+                for item in items:
+                    used, value = _call_task(fn, item, retries)
+                    retries_used += used
+                    out.append(value)
+                if telemetry.enabled() and retries_used:
+                    _RETRIES.labels(mode="serial").inc(retries_used)
+            else:
+                out = _run_supervised(fn, items, n_workers,
+                                      timeout, retries)
+    except Exception:
+        if telemetry.enabled():
+            _TASK_FAILURES.labels(mode=mode).inc()
+        raise
+    else:
+        if telemetry.enabled():
+            _COMPLETED.labels(mode=mode).inc(len(out))
+        return out
     finally:
         _PAYLOAD = previous
 

@@ -1,0 +1,280 @@
+"""Seeded, deterministically-targeted fault injection.
+
+The observatory the paper argues for must keep producing measurements
+on infrastructure that fails routinely — probe churn, power cuts and
+flaky links are the operating reality, not the exception.  This module
+lets every recovery path in the reproduction be *tested* against that
+reality: named injection sites are threaded through the execution pool
+(:mod:`repro.exec.pool`), the job queue (:mod:`repro.service.jobs`)
+and the artifact store (:mod:`repro.store.disk`), and a fault *plan*
+decides — deterministically — which opportunities actually fire.
+
+Activation
+----------
+
+Off by default (one module-global ``None`` check per opportunity).
+Turn it on with the ``REPRO_FAULTS`` environment variable, the global
+``repro --faults SPEC`` CLI flag, or :func:`configure`.
+
+Spec grammar
+------------
+
+A spec is a comma-separated list of clauses::
+
+    spec    := clause ("," clause)*
+    clause  := "seed=" INT          deterministic targeting seed (default 0)
+             | "hang=" FLOAT        seconds a hung pool worker sleeps (60)
+             | "stall=" FLOAT       seconds a stalled job sleeps (5)
+             | "slow=" FLOAT        seconds a slow task sleeps (0.05)
+             | SITE "=" RATE ["x" LIMIT]
+    SITE    := a name from SITES (e.g. exec.worker_crash)
+    RATE    := float in [0, 1] — per-opportunity injection probability
+    LIMIT   := int — max injections for that site *per process*
+
+Examples::
+
+    REPRO_FAULTS="seed=7,exec.worker_crash=1x1"
+    repro --faults "jobs.stall=0.5,store.corrupt=1x1,stall=3" serve
+
+Determinism
+-----------
+
+A decision is a pure function of ``(plan seed, site, identity,
+occurrence#)``: the identity is hashed with :func:`repro.util.rng.
+derive_seed`, so the same spec and seed target the same task items /
+job attempts / store keys regardless of worker count, thread
+interleaving or completion order.  Occurrence counters are kept per
+``(site, identity)`` so re-checking one identity (a retry) advances
+only that identity's sequence.  Injection-count limits are enforced
+per process (forked pool workers each carry their own budget).
+
+Every injection increments ``repro_faults_injected_total{site}``
+in the process where it fired (worker-side injections are counted in
+the worker and are therefore invisible to the parent's ``/metrics`` —
+the *recovery* counters in the parent are the observable signal).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import telemetry
+from repro.util.rng import derive_seed
+
+_INJECTED = telemetry.counter(
+    "repro_faults_injected_total",
+    "Faults fired by the injection harness", labels=("site",))
+
+#: Every named injection site threaded through the stack.
+SITES = frozenset({
+    "exec.worker_crash",   # pool worker hard-exits (os._exit) mid-batch
+    "exec.worker_hang",    # pool worker sleeps `hang` seconds
+    "exec.slow_task",      # task sleeps `slow` seconds before running
+    "exec.task_error",     # task raises FaultInjected (transient, retried)
+    "jobs.error",          # job compute raises FaultInjected
+    "jobs.stall",          # job compute sleeps `stall` seconds first
+    "store.corrupt",       # written payload bytes are corrupted
+    "store.write_error",   # ArtifactStore.put raises OSError
+})
+
+#: Exit status used by an injected worker crash (distinctive in waitpid).
+CRASH_EXIT_CODE = 37
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault (transient by definition — safe to retry)."""
+
+
+class FaultSpecError(ValueError):
+    """The fault spec string does not parse."""
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Rate and per-process budget for one injection site."""
+
+    rate: float
+    limit: Optional[int] = None
+
+
+@dataclass
+class FaultPlan:
+    """A parsed spec plus the per-process injection bookkeeping."""
+
+    sites: dict[str, SiteSpec]
+    seed: int = 0
+    hang_s: float = 60.0
+    stall_s: float = 5.0
+    slow_s: float = 0.05
+    spec: str = ""
+    _fired: dict[str, int] = field(default_factory=dict, repr=False)
+    _occurrences: dict[tuple[str, str], int] = field(default_factory=dict,
+                                                     repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def should_fire(self, site: str, ident: str = "") -> bool:
+        """Consume one opportunity at ``site`` for ``ident``.
+
+        Returns True iff the fault fires; deterministic in
+        ``(seed, site, ident, occurrence#)`` and bounded by the site's
+        per-process limit.
+        """
+        spec = self.sites.get(site)
+        if spec is None:
+            return False
+        with self._lock:
+            key = (site, ident)
+            k = self._occurrences.get(key, 0)
+            self._occurrences[key] = k + 1
+            if spec.limit is not None \
+                    and self._fired.get(site, 0) >= spec.limit:
+                return False
+            h = derive_seed(self.seed, "faults", site, ident, str(k))
+            if (h % (1 << 32)) / float(1 << 32) >= spec.rate:
+                return False
+            self._fired[site] = self._fired.get(site, 0) + 1
+        if telemetry.enabled():
+            _INJECTED.labels(site=site).inc()
+        return True
+
+    def fired(self, site: str) -> int:
+        """Injections recorded at ``site`` in this process."""
+        with self._lock:
+            return self._fired.get(site, 0)
+
+
+def parse_spec(spec: str) -> FaultPlan:
+    """Parse a spec string into a :class:`FaultPlan` (raises on junk)."""
+    sites: dict[str, SiteSpec] = {}
+    knobs = {"seed": 0.0, "hang": 60.0, "stall": 5.0, "slow": 0.05}
+    for raw in spec.split(","):
+        clause = raw.strip()
+        if not clause:
+            continue
+        if "=" not in clause:
+            raise FaultSpecError(f"clause {clause!r} is not name=value")
+        name, _, value = clause.partition("=")
+        name, value = name.strip(), value.strip()
+        if name in knobs:
+            try:
+                knobs[name] = float(value)
+            except ValueError:
+                raise FaultSpecError(
+                    f"knob {name!r} needs a number, got {value!r}"
+                ) from None
+            continue
+        if name not in SITES:
+            raise FaultSpecError(
+                f"unknown injection site {name!r}; "
+                f"sites: {sorted(SITES)}")
+        rate_part, _, limit_part = value.partition("x")
+        try:
+            rate = float(rate_part)
+        except ValueError:
+            raise FaultSpecError(
+                f"site {name!r} needs rate[xlimit], got {value!r}"
+            ) from None
+        if not 0.0 <= rate <= 1.0:
+            raise FaultSpecError(
+                f"rate for {name!r} must be in [0, 1], got {rate}")
+        limit: Optional[int] = None
+        if limit_part:
+            try:
+                limit = int(limit_part)
+            except ValueError:
+                raise FaultSpecError(
+                    f"limit for {name!r} must be int, got {limit_part!r}"
+                ) from None
+            if limit < 0:
+                raise FaultSpecError(
+                    f"limit for {name!r} must be >= 0, got {limit}")
+        sites[name] = SiteSpec(rate=rate, limit=limit)
+    return FaultPlan(sites=sites, seed=int(knobs["seed"]),
+                     hang_s=knobs["hang"], stall_s=knobs["stall"],
+                     slow_s=knobs["slow"], spec=spec)
+
+
+#: The process-wide plan (None == injection disabled).
+_PLAN: Optional[FaultPlan] = None
+
+
+def _load_env_plan() -> Optional[FaultPlan]:
+    spec = os.environ.get("REPRO_FAULTS", "").strip()
+    if not spec:
+        return None
+    return parse_spec(spec)
+
+
+_PLAN = _load_env_plan()
+
+
+def configure(spec: Optional[str]) -> Optional[FaultPlan]:
+    """Install a fault plan from ``spec`` (``None``/empty disables)."""
+    global _PLAN
+    _PLAN = parse_spec(spec) if spec else None
+    return _PLAN
+
+
+def plan() -> Optional[FaultPlan]:
+    """The active plan, or ``None`` when injection is off."""
+    return _PLAN
+
+
+def active() -> bool:
+    """Is fault injection configured in this process?"""
+    return _PLAN is not None
+
+
+def should_fire(site: str, ident: str = "") -> bool:
+    """One opportunity at ``site``; False whenever injection is off."""
+    p = _PLAN
+    return p is not None and p.should_fire(site, ident)
+
+
+def fire(site: str, ident: str = "") -> None:
+    """Raise :class:`FaultInjected` if the opportunity fires."""
+    if should_fire(site, ident):
+        raise FaultInjected(f"injected fault at {site} ({ident})")
+
+
+def sleep_if(site: str, ident: str = "",
+             seconds: Optional[float] = None) -> bool:
+    """Sleep the site's configured duration if the opportunity fires.
+
+    ``exec.worker_hang`` sleeps ``hang``, ``jobs.stall`` sleeps
+    ``stall``, everything else sleeps ``slow`` (unless ``seconds``
+    overrides).  Returns whether the fault fired.
+    """
+    p = _PLAN
+    if p is None or not p.should_fire(site, ident):
+        return False
+    if seconds is None:
+        seconds = {"exec.worker_hang": p.hang_s,
+                   "jobs.stall": p.stall_s}.get(site, p.slow_s)
+    time.sleep(seconds)
+    return True
+
+
+def describe() -> str:
+    """One-line human description of the active plan (for banners)."""
+    p = _PLAN
+    if p is None:
+        return "fault injection off"
+    parts = [f"seed={p.seed}"]
+    for name in sorted(p.sites):
+        spec = p.sites[name]
+        lim = f"x{spec.limit}" if spec.limit is not None else ""
+        parts.append(f"{name}={spec.rate:g}{lim}")
+    return "fault injection active: " + ",".join(parts)
+
+
+__all__ = [
+    "CRASH_EXIT_CODE", "FaultInjected", "FaultPlan", "FaultSpecError",
+    "SITES", "SiteSpec", "active", "configure", "describe", "fire",
+    "parse_spec", "plan", "should_fire", "sleep_if",
+]

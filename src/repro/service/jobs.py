@@ -1,4 +1,4 @@
-"""Async job queue for expensive service queries.
+"""Supervised async job queue for expensive service queries.
 
 Expensive endpoints (snapshot collection, outage sweeps, what-if
 scenarios) do not block the HTTP thread: the request becomes a *job*
@@ -16,6 +16,14 @@ That single choice buys three properties for free:
 Workers are plain daemon threads; the compute functions they run fan
 out through :mod:`repro.exec` internally, so ``--workers`` parallelism
 applies inside each job.
+
+Supervision (see docs/robustness.md): every job carries a deadline and
+a bounded retry budget with exponential backoff; a background *reaper*
+fails jobs that outlive their deadline, jobs orphaned by a dead worker
+thread, and queued jobs once no worker is left alive.  ``shutdown``
+drains, then settles every still-unfinished job so ``Job.wait``
+callers never block forever.  Cancellation settles queued jobs
+immediately and running jobs at the next retry boundary.
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro import telemetry
+from repro import faults, telemetry
 
 _JOBS = telemetry.counter(
     "repro_service_jobs_total",
@@ -41,6 +49,18 @@ _QUEUE_DEPTH = telemetry.gauge(
 _JOB_SECONDS = telemetry.histogram(
     "repro_service_job_seconds",
     "Wall-clock seconds per completed job", labels=("endpoint",))
+_TIMEOUTS = telemetry.counter(
+    "repro_jobs_timeout_total",
+    "Jobs failed because their deadline passed", labels=("endpoint",))
+_RETRIES = telemetry.counter(
+    "repro_jobs_retries_total",
+    "Job attempts retried after an exception", labels=("endpoint",))
+_CANCELLED = telemetry.counter(
+    "repro_jobs_cancelled_total",
+    "Jobs cancelled by a client", labels=("endpoint",))
+_REAPED = telemetry.counter(
+    "repro_jobs_reaped_total",
+    "Jobs settled by the reaper", labels=("reason",))
 
 
 class JobState(enum.Enum):
@@ -48,6 +68,12 @@ class JobState(enum.Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job never leaves (its ``wait`` event is set).
+SETTLED_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED})
 
 
 @dataclass
@@ -59,57 +85,92 @@ class Job:
     request_path: str           # canonical URL that re-serves the result
     state: JobState = JobState.QUEUED
     error: Optional[str] = None
+    deadline_s: Optional[float] = None
+    max_retries: int = 0
+    attempts: int = 0
+    started_at: Optional[float] = None      # time.monotonic()
+    cancel_requested: bool = False
+    worker: Optional[threading.Thread] = field(default=None, repr=False)
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
 
+    @property
+    def settled(self) -> bool:
+        return self.state in SETTLED_STATES
+
     def to_dict(self) -> dict[str, Any]:
         out = {"job_id": self.job_id, "endpoint": self.endpoint,
-               "state": self.state.value, "result": self.request_path}
+               "state": self.state.value, "result": self.request_path,
+               "attempts": self.attempts}
         if self.error is not None:
             out["error"] = self.error
         return out
 
     def wait(self, timeout: Optional[float] = None) -> bool:
-        """Block until the job settles (done or failed)."""
+        """Block until the job settles (done, failed or cancelled)."""
         return self._done.wait(timeout)
 
 
 class JobQueue:
-    """Threaded FIFO of deduplicated jobs.
+    """Threaded FIFO of deduplicated, supervised jobs.
 
     ``submit`` is the only producer entry point; jobs are keyed by id
     and an id with a live (queued/running/done) job is never enqueued
-    twice.  Failed jobs are replaced on resubmit so a transient error
-    is retryable.
+    twice.  Failed and cancelled jobs are replaced on resubmit so a
+    transient error is retryable.
     """
 
-    def __init__(self, workers: int = 2) -> None:
+    def __init__(self, workers: int = 2,
+                 default_deadline_s: Optional[float] = None,
+                 default_max_retries: int = 1,
+                 retry_backoff_s: float = 0.1,
+                 reaper_interval_s: float = 0.25) -> None:
         self._queue: "queue.Queue[Optional[tuple[Job, Callable[[], None]]]]" \
             = queue.Queue()
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
+        self.default_deadline_s = default_deadline_s
+        self.default_max_retries = max(0, int(default_max_retries))
+        self.retry_backoff_s = retry_backoff_s
+        self._shutting_down = False
         self._threads = [
             threading.Thread(target=self._worker, daemon=True,
                              name=f"repro-job-worker-{i}")
             for i in range(max(1, int(workers)))]
         for t in self._threads:
             t.start()
+        self._reaper_stop = threading.Event()
+        self._reaper_interval_s = reaper_interval_s
+        self._reaper = threading.Thread(target=self._reap_loop,
+                                        daemon=True,
+                                        name="repro-job-reaper")
+        self._reaper.start()
 
     # ------------------------------------------------------------------
     def submit(self, job_id: str, endpoint: str, request_path: str,
-               fn: Callable[[], None]) -> tuple[Job, bool]:
+               fn: Callable[[], None],
+               deadline_s: Optional[float] = None,
+               max_retries: Optional[int] = None) -> tuple[Job, bool]:
         """Enqueue ``fn`` under ``job_id``; returns ``(job, created)``.
 
         ``fn`` must make the result durable itself (write the store);
-        the queue only tracks lifecycle.
+        the queue only tracks lifecycle.  ``deadline_s`` caps wall
+        clock from the moment the job starts running; ``max_retries``
+        bounds re-attempts after an exception (both default to the
+        queue-level settings).
         """
         with self._lock:
             existing = self._jobs.get(job_id)
-            if existing is not None \
-                    and existing.state is not JobState.FAILED:
+            if existing is not None and existing.state not in (
+                    JobState.FAILED, JobState.CANCELLED):
                 return existing, False
-            job = Job(job_id=job_id, endpoint=endpoint,
-                      request_path=request_path)
+            job = Job(
+                job_id=job_id, endpoint=endpoint,
+                request_path=request_path,
+                deadline_s=self.default_deadline_s
+                if deadline_s is None else deadline_s,
+                max_retries=self.default_max_retries
+                if max_retries is None else max(0, int(max_retries)))
             self._jobs[job_id] = job
         if telemetry.enabled():
             _JOBS.labels(endpoint=endpoint).inc()
@@ -134,39 +195,162 @@ class JobQueue:
             job.wait(timeout)
         return job
 
-    def shutdown(self) -> None:
-        """Stop workers after the queue drains (used by tests/serve)."""
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job: immediate while queued, at the next retry
+        boundary while running.  Returns False for unknown or already
+        settled jobs."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.settled:
+                return False
+            job.cancel_requested = True
+            queued = job.state is JobState.QUEUED
+        if queued:
+            self._settle(job, JobState.CANCELLED, "cancelled by client")
+        if telemetry.enabled():
+            _CANCELLED.labels(endpoint=job.endpoint).inc()
+        return True
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Drain, stop workers, and settle every unfinished job.
+
+        Jobs already queued are given ``timeout`` seconds to drain;
+        whatever is still unsettled afterwards — including jobs whose
+        worker thread died — is failed so ``Job.wait`` callers always
+        unblock.
+        """
+        self._shutting_down = True
         for _ in self._threads:
             self._queue.put(None)
+        deadline = time.monotonic() + timeout
         for t in self._threads:
-            t.join(timeout=5.0)
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._reaper_stop.set()
+        self._reaper.join(timeout=2.0)
+        for job in self.jobs():
+            self._settle(job, JobState.FAILED, "queue shutdown")
 
     # ------------------------------------------------------------------
+    def _settle(self, job: Job, state: JobState,
+                error: Optional[str] = None) -> bool:
+        """Move ``job`` to a terminal state exactly once (thread-safe)."""
+        with self._lock:
+            if job.settled:
+                return False
+            job.state = state
+            if error is not None:
+                job.error = error
+        if telemetry.enabled():
+            _JOB_STATES.labels(state=state.value).inc()
+        job._done.set()
+        return True
+
     def _worker(self) -> None:
         while True:
             item = self._queue.get()
             if item is None:
                 return
             job, fn = item
-            job.state = JobState.RUNNING
             if telemetry.enabled():
                 _QUEUE_DEPTH.dec()
-                _JOB_STATES.labels(state="running").inc()
-            started = time.perf_counter()
-            with telemetry.span("service.job", endpoint=job.endpoint,
-                                job=job.job_id[:12]):
+            try:
+                self._run_job(job, fn)
+            except BaseException:
+                # Abnormal worker death (SystemExit, KeyboardInterrupt,
+                # MemoryError...): never leave the job — or its waiters
+                # — hanging.  The daemon thread dies; the reaper covers
+                # anything it was about to pick up.
+                self._settle(job, JobState.FAILED,
+                             "worker died: " +
+                             traceback.format_exc(limit=4))
+                raise
+
+    def _run_job(self, job: Job, fn: Callable[[], None]) -> None:
+        with self._lock:
+            if job.settled:       # cancelled while queued
+                return
+            job.state = JobState.RUNNING
+            job.started_at = time.monotonic()
+            job.worker = threading.current_thread()
+        if telemetry.enabled():
+            _JOB_STATES.labels(state="running").inc()
+        started = time.perf_counter()
+        with telemetry.span("service.job", endpoint=job.endpoint,
+                            job=job.job_id[:12]):
+            attempt = 0
+            while True:
+                job.attempts = attempt + 1
                 try:
+                    if faults.active():
+                        ident = f"{job.job_id[:16]}#{attempt}"
+                        faults.sleep_if("jobs.stall", ident)
+                        faults.fire("jobs.error", ident)
                     fn()
                 except Exception:  # noqa: BLE001 - job boundary
-                    job.error = traceback.format_exc(limit=8)
-                    job.state = JobState.FAILED
-                    if telemetry.enabled():
-                        _JOB_STATES.labels(state="failed").inc()
+                    err = traceback.format_exc(limit=8)
+                    if job.settled:
+                        break     # reaper/cancel got there first
+                    if job.cancel_requested:
+                        self._settle(job, JobState.CANCELLED,
+                                     "cancelled by client")
+                        break
+                    if attempt < job.max_retries \
+                            and not self._past_deadline(job):
+                        if telemetry.enabled():
+                            _RETRIES.labels(endpoint=job.endpoint).inc()
+                        time.sleep(self.retry_backoff_s * (2 ** attempt))
+                        attempt += 1
+                        continue
+                    self._settle(job, JobState.FAILED, err)
+                    break
                 else:
-                    job.state = JobState.DONE
+                    # A late cancel loses to completion: the durable
+                    # result already exists, so serve it.
+                    self._settle(job, JobState.DONE)
+                    break
+        if telemetry.enabled():
+            _JOB_SECONDS.labels(endpoint=job.endpoint).observe(
+                time.perf_counter() - started)
+
+    @staticmethod
+    def _past_deadline(job: Job) -> bool:
+        return (job.deadline_s is not None
+                and job.started_at is not None
+                and time.monotonic() - job.started_at > job.deadline_s)
+
+    # ------------------------------------------------------------------
+    def _reap_loop(self) -> None:
+        while not self._reaper_stop.wait(self._reaper_interval_s):
+            try:
+                self._reap_once()
+            except Exception:  # pragma: no cover - reaper must survive
+                pass
+
+    def _reap_once(self) -> None:
+        """Fail jobs that can no longer finish on their own."""
+        workers_alive = any(t.is_alive() for t in self._threads)
+        for job in self.jobs():
+            if job.settled:
+                continue
+            if job.state is JobState.RUNNING:
+                if self._past_deadline(job):
+                    if self._settle(
+                            job, JobState.FAILED,
+                            f"deadline exceeded "
+                            f"({job.deadline_s:.3g}s)"):
+                        if telemetry.enabled():
+                            _TIMEOUTS.labels(
+                                endpoint=job.endpoint).inc()
+                            _REAPED.labels(reason="deadline").inc()
+                elif job.worker is not None \
+                        and not job.worker.is_alive():
+                    if self._settle(job, JobState.FAILED,
+                                    "worker thread died"):
+                        if telemetry.enabled():
+                            _REAPED.labels(reason="dead_worker").inc()
+            elif job.state is JobState.QUEUED and not workers_alive \
+                    and not self._shutting_down:
+                if self._settle(job, JobState.FAILED,
+                                "no job workers alive"):
                     if telemetry.enabled():
-                        _JOB_STATES.labels(state="done").inc()
-            if telemetry.enabled():
-                _JOB_SECONDS.labels(endpoint=job.endpoint).observe(
-                    time.perf_counter() - started)
-            job._done.set()
+                        _REAPED.labels(reason="no_workers").inc()

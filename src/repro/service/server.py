@@ -41,6 +41,9 @@ _REQUESTS = telemetry.counter(
 _LATENCY = telemetry.histogram(
     "repro_service_request_seconds",
     "HTTP request wall-clock seconds", labels=("endpoint",))
+_DEGRADED = telemetry.counter(
+    "repro_service_degraded_total",
+    "Responses served in degraded mode", labels=("endpoint", "reason"))
 
 
 class Response:
@@ -141,24 +144,41 @@ class ObservatoryService:
                              "X-Repro-Key": key.digest})
 
         if not endpoint.expensive:
-            payload = self._compute_and_store(endpoint, key, seed, params)
-            return Response(200, payload,
-                            {"X-Repro-Cache": "miss",
-                             "X-Repro-Key": key.digest})
+            try:
+                payload, degraded = self._compute_and_store(
+                    endpoint, key, seed, params, strict=False)
+            except Exception as exc:  # noqa: BLE001 - degrade, not 500
+                return self._degraded_response(
+                    endpoint, key, seed,
+                    f"compute failed: {exc}")
+            headers = {"X-Repro-Cache": "miss",
+                       "X-Repro-Key": key.digest}
+            if degraded is not None:
+                headers["X-Repro-Degraded"] = degraded
+                if telemetry.enabled():
+                    _DEGRADED.labels(endpoint=endpoint.name,
+                                     reason=degraded).inc()
+            return Response(200, payload, headers)
 
         job, _created = self.queue.submit(
             key.digest, endpoint.name, request_path,
-            lambda: self._compute_and_store(endpoint, key, seed, params))
+            lambda: self._compute_and_store(endpoint, key, seed,
+                                            params, strict=True))
         if wait:
             self.queue.wait(job.job_id, timeout=MAX_WAIT_S)
-            if job.state is JobState.FAILED:
-                return Response.error(500,
-                                      f"job {job.job_id} failed: "
-                                      f"{job.error}")
+            if job.state in (JobState.FAILED, JobState.CANCELLED):
+                return self._degraded_response(
+                    endpoint, key, seed,
+                    f"job {job.state.value}: {job.error}")
             payload = self.store.get(key)
             if payload is None:  # evicted between job end and read
-                payload = self._compute_and_store(endpoint, key, seed,
-                                                  params)
+                try:
+                    payload, _ = self._compute_and_store(
+                        endpoint, key, seed, params, strict=False)
+                except Exception as exc:  # noqa: BLE001
+                    return self._degraded_response(
+                        endpoint, key, seed,
+                        f"recompute failed: {exc}")
             return Response(200, payload,
                             {"X-Repro-Cache": "miss",
                              "X-Repro-Key": key.digest})
@@ -171,17 +191,79 @@ class ObservatoryService:
         if job is None:
             return Response.error(404, f"unknown job {job_id!r}")
         doc = job.to_dict()
-        status = 200 if job.state in (JobState.DONE, JobState.FAILED) \
-            else 202
+        status = 200 if job.settled else 202
         return Response.json(status, doc)
 
+    def cancel_job(self, job_id: str) -> Response:
+        """Cancel a queued/running job (``DELETE /v1/jobs/<id>``)."""
+        job = self.queue.get(job_id)
+        if job is None:
+            return Response.error(404, f"unknown job {job_id!r}")
+        cancelled = self.queue.cancel(job_id)
+        return Response.json(200, {**job.to_dict(),
+                                   "cancel_accepted": cancelled})
+
     def _compute_and_store(self, endpoint, key, seed: int,
-                           params: dict[str, Any]) -> bytes:
+                           params: dict[str, Any], strict: bool
+                           ) -> tuple[bytes, Optional[str]]:
+        """Compute the canonical payload and make it durable.
+
+        Returns ``(payload, degraded_reason)``.  A store write failure
+        either propagates (``strict`` — job path, so the bounded job
+        retry gets another shot at durability) or downgrades to
+        serving the freshly computed bytes uncached.
+        """
         with telemetry.span("service.compute", endpoint=endpoint.name,
                             seed=seed):
             payload = canonical_bytes(endpoint.payload(seed, params))
-        self.store.put(key, payload)
-        return payload
+        try:
+            self.store.put(key, payload)
+        except OSError:
+            if strict:
+                raise
+            return payload, "store-write-failed"
+        return payload, None
+
+    def _degraded_response(self, endpoint, key, seed: int,
+                           reason: str) -> Response:
+        """Recompute failed: serve stale bytes if any exist, else 503.
+
+        Degraded responses always carry ``X-Repro-Degraded`` — the
+        chaos smoke's invariant is "no 5xx without that header", and a
+        stale 200 additionally names the substitute artifact in
+        ``X-Repro-Stale-Key``.
+        """
+        stale = self._stale_entry(endpoint, seed)
+        mode = "stale" if stale is not None else "unavailable"
+        if telemetry.enabled():
+            _DEGRADED.labels(endpoint=endpoint.name, reason=mode).inc()
+        if stale is not None:
+            digest, payload = stale
+            return Response(200, payload,
+                            {"X-Repro-Cache": "stale",
+                             "X-Repro-Key": key.digest,
+                             "X-Repro-Stale-Key": digest,
+                             "X-Repro-Degraded": reason})
+        return Response(503, canonical_bytes(
+            {"error": reason, "status": 503,
+             "endpoint": endpoint.name}),
+            {"X-Repro-Degraded": reason, "Retry-After": "1"})
+
+    def _stale_entry(self, endpoint, seed: int
+                     ) -> Optional[tuple[str, bytes]]:
+        """Most recent stored artifact for this endpoint, if any.
+
+        Prefers entries computed for the same seed; falls back to any
+        seed.  Returns ``(key_digest, payload)`` or ``None``.
+        """
+        kind = f"api.{endpoint.name}"
+        candidates = [e for e in self.store.entries() if e.kind == kind]
+        candidates.sort(key=lambda e: (e.seed != seed, -e.last_used))
+        for entry in candidates:
+            payload = self.store.get_by_digest(entry.key_digest)
+            if payload is not None:
+                return entry.key_digest, payload
+        return None
 
     @staticmethod
     def _canonical_path(endpoint, seed: int,
@@ -203,6 +285,23 @@ def make_handler(service: ObservatoryService):
                 response = service.handle(self.path)
             except Exception as exc:  # noqa: BLE001 - request boundary
                 response = Response.error(500, f"internal error: {exc}")
+            self._send(response)
+
+        def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+            path = urlsplit(self.path).path.rstrip("/")
+            if path.startswith("/v1/jobs/"):
+                try:
+                    response = service.cancel_job(
+                        path[len("/v1/jobs/"):])
+                except Exception as exc:  # noqa: BLE001
+                    response = Response.error(
+                        500, f"internal error: {exc}")
+            else:
+                response = Response.error(
+                    404, f"DELETE not supported for {path!r}")
+            self._send(response)
+
+        def _send(self, response: Response) -> None:
             self.send_response(response.status)
             for name, value in response.headers.items():
                 self.send_header(name, value)
@@ -219,12 +318,16 @@ def make_handler(service: ObservatoryService):
 def create_server(host: str = "127.0.0.1", port: int = 0,
                   store: Optional[ArtifactStore] = None,
                   job_workers: int = 2,
-                  default_seed: int = 2025
+                  default_seed: int = 2025,
+                  job_deadline_s: Optional[float] = None,
+                  job_retries: int = 1
                   ) -> tuple[ThreadingHTTPServer, ObservatoryService]:
     """A bound (not yet serving) HTTP server plus its service core."""
     service = ObservatoryService(
         store=store if store is not None else ArtifactStore(),
-        queue=JobQueue(workers=job_workers),
+        queue=JobQueue(workers=job_workers,
+                       default_deadline_s=job_deadline_s,
+                       default_max_retries=job_retries),
         default_seed=default_seed)
     httpd = ThreadingHTTPServer((host, port), make_handler(service))
     httpd.daemon_threads = True

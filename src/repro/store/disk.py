@@ -28,7 +28,7 @@ import pathlib
 import threading
 from typing import Any, Callable, Iterable, Optional
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.store.keys import ArtifactKey, digest_bytes
 
 #: Default size cap — plenty for thousands of analysis payloads while
@@ -141,10 +141,22 @@ class ArtifactStore:
             "content_digest": digest_bytes(payload),
             "size_bytes": len(payload),
         }
+        written = payload
+        if faults.active():
+            if faults.should_fire("store.write_error", key_digest):
+                raise OSError(
+                    f"injected store write failure "
+                    f"({key_digest[:12]})")
+            if faults.should_fire("store.corrupt", key_digest):
+                # Land bytes that cannot match the recorded content
+                # digest: the next read detects the mismatch, drops
+                # the entry and reports a miss (never bad data).
+                written = bytes([payload[0] ^ 0xFF]) + payload[1:] \
+                    if payload else b"\xff"
         with self._lock:
             payload_path = self._payload_path(key_digest)
             payload_path.parent.mkdir(parents=True, exist_ok=True)
-            self._atomic_write(payload_path, payload)
+            self._atomic_write(payload_path, written)
             self._atomic_write(
                 self._meta_path(key_digest),
                 json.dumps(meta, sort_keys=True).encode())
@@ -154,6 +166,16 @@ class ArtifactStore:
             _WRITES.labels(kind=key.kind).inc()
             _BYTES.set(size)
         return self._entry_from_meta(meta, payload_path)
+
+    def get_by_digest(self, key_digest: str) -> Optional[bytes]:
+        """Integrity-checked payload for a raw key digest.
+
+        Used by degraded-mode serving, which picks a stale entry off
+        :meth:`entries` and only knows its digest.  Does not touch the
+        hit/miss counters — a stale read is neither.
+        """
+        with self._lock:
+            return self._read_verified(key_digest)
 
     def get_or_build(self, key: ArtifactKey,
                      build: Callable[[], bytes]) -> tuple[bytes, bool]:

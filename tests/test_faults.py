@@ -1,0 +1,520 @@
+"""Chaos regression suite: every injection site either recovers with
+byte-identical results or fails loudly with a settled job state.
+
+The harness under test is :mod:`repro.faults`; the survivors are the
+supervised pool (:mod:`repro.exec.pool`), the supervised job queue
+(:mod:`repro.service.jobs`), the artifact store
+(:mod:`repro.store.disk`) and degraded-mode serving
+(:mod:`repro.service.server`).  See docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import faults, telemetry
+from repro.exec import TransientTaskError, fork_available, map_tasks
+from repro.exec import pool as pool_mod
+from repro.service.endpoints import ENDPOINTS, Endpoint, Param
+from repro.service.jobs import JobQueue, JobState
+from repro.service.server import ObservatoryService
+from repro.store import ArtifactKey, ArtifactStore, canonical_bytes
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform has no fork")
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """No fault plan leaks into (or out of) any test."""
+    faults.configure(None)
+    yield
+    faults.configure(None)
+
+
+@pytest.fixture
+def metrics():
+    """Telemetry enabled for the duration of one test."""
+    was_enabled = telemetry.enabled()
+    telemetry.enable()
+    yield
+    if not was_enabled:
+        telemetry.disable()
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _doc(x: int) -> dict:
+    return {"x": x, "sq": x * x}
+
+
+_FLAKY_CALLS: dict[int, int] = {}
+
+
+def _flaky(x: int) -> int:
+    n = _FLAKY_CALLS.get(x, 0) + 1
+    _FLAKY_CALLS[x] = n
+    if n == 1:
+        raise TransientTaskError("first call fails")
+    return x * x
+
+
+# ----------------------------------------------------------------------
+class TestSpecGrammar:
+    def test_sites_rates_and_limits(self):
+        plan = faults.parse_spec(
+            "seed=7,exec.worker_crash=1x1,jobs.stall=0.25,"
+            "store.corrupt=0x0,hang=2,stall=1.5,slow=0.01")
+        assert plan.seed == 7
+        assert plan.hang_s == 2 and plan.stall_s == 1.5
+        assert plan.slow_s == 0.01
+        assert plan.sites["exec.worker_crash"].rate == 1.0
+        assert plan.sites["exec.worker_crash"].limit == 1
+        assert plan.sites["jobs.stall"].rate == 0.25
+        assert plan.sites["jobs.stall"].limit is None
+        assert plan.sites["store.corrupt"].limit == 0
+
+    @pytest.mark.parametrize("spec", [
+        "nonsense",
+        "bogus.site=1",
+        "exec.worker_crash=2.0",
+        "exec.worker_crash=-0.5",
+        "exec.worker_crash=1x-1",
+        "exec.worker_crash=1xq",
+        "seed=abc",
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_spec(spec)
+
+    def test_configure_none_disables(self):
+        faults.configure("seed=1,exec.task_error=1")
+        assert faults.active()
+        faults.configure(None)
+        assert not faults.active()
+        assert not faults.should_fire("exec.task_error", "anything")
+
+    def test_describe_round_trips_sites(self):
+        faults.configure("seed=3,jobs.error=0.5x2")
+        text = faults.describe()
+        assert "seed=3" in text and "jobs.error=0.5x2" in text
+        faults.configure(None)
+        assert faults.describe() == "fault injection off"
+
+
+class TestDeterministicTargeting:
+    def test_same_seed_same_decisions(self):
+        decisions = []
+        for _ in range(2):
+            plan = faults.parse_spec("seed=11,exec.task_error=0.5")
+            decisions.append([
+                plan.should_fire("exec.task_error", f"item-{i}")
+                for i in range(64)])
+        assert decisions[0] == decisions[1]
+        assert any(decisions[0]) and not all(decisions[0])
+
+    def test_different_seed_different_decisions(self):
+        a = faults.parse_spec("seed=1,exec.task_error=0.5")
+        b = faults.parse_spec("seed=2,exec.task_error=0.5")
+        fire = lambda p: [p.should_fire("exec.task_error", f"i{i}")
+                          for i in range(64)]
+        assert fire(a) != fire(b)
+
+    def test_occurrence_counter_is_per_identity(self):
+        # Re-checking one identity advances only that identity's
+        # sequence, so interleaving order cannot change decisions.
+        plan1 = faults.parse_spec("seed=5,exec.task_error=0.5")
+        seq_a = [plan1.should_fire("exec.task_error", "a")
+                 for _ in range(8)]
+        plan2 = faults.parse_spec("seed=5,exec.task_error=0.5")
+        interleaved = []
+        for _ in range(8):
+            interleaved.append(plan2.should_fire("exec.task_error", "a"))
+            plan2.should_fire("exec.task_error", "b")
+        assert interleaved == seq_a
+
+    def test_rate_zero_never_one_always(self):
+        plan = faults.parse_spec("jobs.error=0,jobs.stall=1")
+        assert not any(plan.should_fire("jobs.error", str(i))
+                       for i in range(32))
+        assert all(plan.should_fire("jobs.stall", str(i))
+                   for i in range(32))
+
+    def test_limit_bounds_injections(self):
+        plan = faults.parse_spec("jobs.error=1x3")
+        fired = sum(plan.should_fire("jobs.error", str(i))
+                    for i in range(10))
+        assert fired == 3
+        assert plan.fired("jobs.error") == 3
+
+    def test_injection_counter(self, metrics):
+        faults.configure("seed=1,jobs.error=1x1")
+        before = faults._INJECTED.labels(site="jobs.error").value
+        assert faults.should_fire("jobs.error", "x")
+        assert faults._INJECTED.labels(site="jobs.error").value \
+            == before + 1
+
+
+# ----------------------------------------------------------------------
+class TestSupervisedMapTasks:
+    @needs_fork
+    def test_worker_crash_recovers_byte_identical(self, metrics):
+        expected = map_tasks(_doc, list(range(30)), workers=1)
+        before = pool_mod._RECOVERIES.labels(
+            reason="broken_pool").value
+        faults.configure("seed=7,exec.worker_crash=1x1")
+        out = map_tasks(_doc, list(range(30)), workers=3, timeout=60)
+        assert canonical_bytes(out) == canonical_bytes(expected)
+        assert pool_mod._RECOVERIES.labels(
+            reason="broken_pool").value > before
+
+    @needs_fork
+    def test_worker_hang_recovers_via_timeout(self, metrics):
+        expected = [x * x for x in range(12)]
+        before = pool_mod._RECOVERIES.labels(reason="timeout").value
+        faults.configure("seed=7,hang=20,exec.worker_hang=1x1")
+        started = time.monotonic()
+        out = map_tasks(_square, list(range(12)), workers=2,
+                        timeout=1.0)
+        assert out == expected
+        # Recovery must not wait out the 20 s hang: the pool is killed.
+        assert time.monotonic() - started < 10
+        assert pool_mod._RECOVERIES.labels(
+            reason="timeout").value > before
+
+    @needs_fork
+    def test_serial_vs_parallel_determinism_under_crashes(self):
+        """The satellite check: crashes must be invisible in output."""
+        faults.configure("seed=13,exec.worker_crash=0.5x4")
+        parallel = map_tasks(_doc, list(range(50)), workers=4,
+                             timeout=60)
+        faults.configure(None)
+        serial = map_tasks(_doc, list(range(50)), workers=1)
+        assert canonical_bytes(parallel) == canonical_bytes(serial)
+
+    def test_transient_errors_retry_to_identical_results(self, metrics):
+        expected = [x * x for x in range(5)]
+        before = pool_mod._RETRIES.labels(mode="serial").value
+        faults.configure("seed=7,exec.task_error=1x2")
+        assert map_tasks(_square, list(range(5)), retries=3) == expected
+        assert pool_mod._RETRIES.labels(mode="serial").value \
+            == before + 2
+
+    def test_exhausted_retries_fail_loudly(self):
+        faults.configure("seed=7,exec.task_error=1x50")
+        with pytest.raises(faults.FaultInjected):
+            map_tasks(_square, list(range(5)), retries=1)
+
+    def test_completion_counters_reflect_failures(self, metrics):
+        """Satellite bugfix: a raising batch must not count its tasks
+        as completed."""
+        mode = "serial"
+        dispatched = pool_mod._TASKS.labels(mode=mode)
+        completed = pool_mod._COMPLETED.labels(mode=mode)
+        failed = pool_mod._TASK_FAILURES.labels(mode=mode)
+        d0, c0, f0 = dispatched.value, completed.value, failed.value
+        faults.configure("seed=7,exec.task_error=1x50")
+        with pytest.raises(faults.FaultInjected):
+            map_tasks(_square, list(range(8)), retries=0)
+        assert dispatched.value == d0 + 8
+        assert completed.value == c0        # nothing completed
+        assert failed.value == f0 + 1
+        faults.configure(None)
+        assert map_tasks(_square, list(range(8))) \
+            == [x * x for x in range(8)]
+        assert completed.value == c0 + 8
+
+    def test_transient_task_error_is_retried_without_faults(self):
+        _FLAKY_CALLS.clear()
+        assert map_tasks(_flaky, [1, 2, 3], retries=2) == [1, 4, 9]
+        _FLAKY_CALLS.clear()
+        with pytest.raises(TransientTaskError):
+            map_tasks(_flaky, [1, 2, 3], retries=0)
+
+    def test_slow_task_changes_timing_not_results(self):
+        faults.configure("seed=7,slow=0.01,exec.slow_task=1x3")
+        assert map_tasks(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+# ----------------------------------------------------------------------
+class TestJobSupervision:
+    def test_deadline_fails_stuck_job_and_unblocks_waiters(self,
+                                                           metrics):
+        queue = JobQueue(workers=1, reaper_interval_s=0.05)
+        try:
+            job, _ = queue.submit("stuck", "t", "/v1/t",
+                                  lambda: time.sleep(3.0),
+                                  deadline_s=0.2)
+            assert job.wait(timeout=5.0)
+            assert job.state is JobState.FAILED
+            assert "deadline" in job.error
+        finally:
+            queue.shutdown(timeout=5.0)
+
+    def test_bounded_retries_with_backoff_succeed(self):
+        queue = JobQueue(workers=1, retry_backoff_s=0.01)
+        try:
+            calls = []
+
+            def flaky() -> None:
+                calls.append(1)
+                if len(calls) < 3:
+                    raise RuntimeError("transient")
+
+            job, _ = queue.submit("flaky", "t", "/v1/t", flaky,
+                                  max_retries=3)
+            assert job.wait(timeout=10)
+            assert job.state is JobState.DONE
+            assert len(calls) == 3 and job.attempts == 3
+        finally:
+            queue.shutdown()
+
+    def test_retries_exhausted_fail(self):
+        queue = JobQueue(workers=1, retry_backoff_s=0.01)
+        try:
+            def boom() -> None:
+                raise RuntimeError("always")
+
+            job, _ = queue.submit("boom", "t", "/v1/t", boom,
+                                  max_retries=2)
+            assert job.wait(timeout=10)
+            assert job.state is JobState.FAILED
+            assert "always" in job.error and job.attempts == 3
+        finally:
+            queue.shutdown()
+
+    def test_cancel_queued_job(self):
+        queue = JobQueue(workers=1)
+        try:
+            gate = threading.Event()
+            queue.submit("blocker", "t", "/v1/t",
+                         lambda: gate.wait(timeout=10))
+            job, _ = queue.submit("victim", "t", "/v1/t",
+                                  lambda: None)
+            assert queue.cancel("victim")
+            gate.set()
+            assert job.wait(timeout=10)
+            assert job.state is JobState.CANCELLED
+            # Settled jobs cannot be re-cancelled; unknown ids say no.
+            assert not queue.cancel("victim")
+            assert not queue.cancel("never-existed")
+            # A cancelled id is resubmittable (like a failed one).
+            retry, created = queue.submit("victim", "t", "/v1/t",
+                                          lambda: None)
+            assert created
+            assert retry.wait(timeout=10)
+            assert retry.state is JobState.DONE
+        finally:
+            queue.shutdown()
+
+    def test_shutdown_settles_unfinished_jobs(self):
+        """Satellite bugfix: shutdown must never leave RUNNING jobs or
+        blocked waiters behind."""
+        queue = JobQueue(workers=1)
+        running, _ = queue.submit("slow", "t", "/v1/t",
+                                  lambda: time.sleep(3.0))
+        queued, _ = queue.submit("behind", "t", "/v1/t", lambda: None)
+        time.sleep(0.1)           # let the worker pick up "slow"
+        started = time.monotonic()
+        queue.shutdown(timeout=0.3)
+        assert time.monotonic() - started < 2.5
+        for job in (running, queued):
+            assert job.wait(timeout=0.1), job
+            assert job.settled, job
+        assert running.state is JobState.FAILED
+        assert "shutdown" in running.error
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_abnormal_worker_death_settles_job(self):
+        queue = JobQueue(workers=2, reaper_interval_s=0.05)
+        try:
+            def die() -> None:
+                raise SystemExit("worker killed")
+
+            job, _ = queue.submit("fatal", "t", "/v1/t", die)
+            assert job.wait(timeout=5)
+            assert job.state is JobState.FAILED
+            assert "worker died" in job.error
+        finally:
+            queue.shutdown()
+
+    def test_injected_stall_hits_deadline(self, metrics):
+        faults.configure("seed=3,stall=2,jobs.stall=1x1")
+        queue = JobQueue(workers=1, reaper_interval_s=0.05)
+        try:
+            job, _ = queue.submit("stalled", "t", "/v1/t",
+                                  lambda: None, deadline_s=0.2,
+                                  max_retries=0)
+            assert job.wait(timeout=5)
+            assert job.state is JobState.FAILED
+            assert "deadline" in job.error
+        finally:
+            queue.shutdown()
+
+    def test_injected_error_consumed_by_retries(self):
+        faults.configure("seed=3,jobs.error=1x1")
+        queue = JobQueue(workers=1, retry_backoff_s=0.01)
+        try:
+            job, _ = queue.submit("flaky-inject", "t", "/v1/t",
+                                  lambda: None, max_retries=2)
+            assert job.wait(timeout=10)
+            assert job.state is JobState.DONE
+            assert job.attempts == 2
+        finally:
+            queue.shutdown()
+
+
+# ----------------------------------------------------------------------
+class TestStoreFaults:
+    def _key(self, n: int = 0) -> ArtifactKey:
+        return ArtifactKey.make(kind="t.fault", seed=1,
+                                params={"n": n}, schema_version=1)
+
+    def test_corrupt_write_is_detected_and_dropped(self, tmp_path,
+                                                   metrics):
+        store = ArtifactStore(root=tmp_path)
+        faults.configure("seed=1,store.corrupt=1x1")
+        key = self._key()
+        store.put(key, b'{"v": 1}')
+        # The corrupted payload must never be served: integrity check
+        # drops it and reports a miss.
+        assert store.get(key) is None
+        # After the injection budget is spent, a rewrite heals it.
+        store.put(key, b'{"v": 1}')
+        assert store.get(key) == b'{"v": 1}'
+
+    def test_write_error_raises_and_leaves_no_entry(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        faults.configure("seed=1,store.write_error=1x1")
+        key = self._key()
+        with pytest.raises(OSError):
+            store.put(key, b"payload")
+        assert store.get(key) is None
+        store.put(key, b"payload")          # budget spent: heals
+        assert store.get(key) == b"payload"
+
+    def test_get_by_digest_round_trip(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        key = self._key()
+        store.put(key, b"bytes")
+        assert store.get_by_digest(key.digest) == b"bytes"
+        assert store.get_by_digest("0" * 64) is None
+
+
+# ----------------------------------------------------------------------
+def _fake_compute(seed: int, params: dict) -> dict:
+    return {"value": params["x"] * seed}
+
+
+@pytest.fixture
+def chaos_service(tmp_path):
+    """An ObservatoryService over a synthetic expensive endpoint, so
+    degraded-mode behaviour is testable without world builds."""
+    endpoint = Endpoint("chaostest", schema_version=1, expensive=True,
+                        params=(Param("x", int, 1),),
+                        compute=_fake_compute, help="test endpoint")
+    cheap = Endpoint("chaoscheap", schema_version=1, expensive=False,
+                     params=(Param("x", int, 1),),
+                     compute=_fake_compute, help="test endpoint")
+    ENDPOINTS[endpoint.name] = endpoint
+    ENDPOINTS[cheap.name] = cheap
+    queue = JobQueue(workers=1, default_deadline_s=2.0,
+                     default_max_retries=0, retry_backoff_s=0.01,
+                     reaper_interval_s=0.05)
+    service = ObservatoryService(ArtifactStore(root=tmp_path),
+                                 queue=queue, default_seed=3)
+    yield service
+    queue.shutdown()
+    ENDPOINTS.pop(endpoint.name, None)
+    ENDPOINTS.pop(cheap.name, None)
+
+
+class TestDegradedServing:
+    def test_failed_job_without_stale_copy_is_503_with_header(
+            self, chaos_service):
+        faults.configure("seed=2,jobs.error=1x10")
+        resp = chaos_service.handle("/v1/chaostest?x=4&wait=1")
+        assert resp.status == 503
+        assert "X-Repro-Degraded" in resp.headers
+        assert resp.headers.get("Retry-After") == "1"
+
+    def test_failed_job_with_stale_copy_serves_stale_200(
+            self, chaos_service):
+        # Prime one good artifact for the endpoint (different params).
+        ok = chaos_service.handle("/v1/chaostest?x=1&wait=1")
+        assert ok.status == 200
+        faults.configure("seed=2,jobs.error=1x10")
+        resp = chaos_service.handle("/v1/chaostest?x=9&wait=1")
+        assert resp.status == 200
+        assert resp.headers["X-Repro-Cache"] == "stale"
+        assert "X-Repro-Degraded" in resp.headers
+        assert resp.headers["X-Repro-Stale-Key"] \
+            != resp.headers["X-Repro-Key"]
+        assert resp.body == ok.body
+
+    def test_recovery_after_fault_budget_returns_fresh_200(
+            self, chaos_service):
+        faults.configure("seed=2,jobs.error=1x1")
+        first = chaos_service.handle("/v1/chaostest?x=5&wait=1")
+        assert first.status == 503
+        # Failed jobs are resubmittable; the budget is exhausted now.
+        second = chaos_service.handle("/v1/chaostest?x=5&wait=1")
+        assert second.status == 200
+        assert second.headers["X-Repro-Cache"] == "miss"
+        third = chaos_service.handle("/v1/chaostest?x=5&wait=1")
+        assert third.status == 200
+        assert third.headers["X-Repro-Cache"] == "hit"
+        assert second.body == third.body
+
+    def test_store_write_failure_degrades_cheap_endpoint(
+            self, chaos_service, metrics):
+        faults.configure("seed=2,store.write_error=1x1")
+        resp = chaos_service.handle("/v1/chaoscheap?x=2")
+        assert resp.status == 200
+        assert resp.headers["X-Repro-Degraded"] == "store-write-failed"
+        # Budget spent: the next request computes and stores durably.
+        again = chaos_service.handle("/v1/chaoscheap?x=2")
+        assert again.status == 200
+        assert "X-Repro-Degraded" not in again.headers
+        assert again.body == resp.body
+
+    def test_corrupt_store_entry_recomputes_identical_bytes(
+            self, chaos_service):
+        faults.configure("seed=2,store.corrupt=1x1")
+        first = chaos_service.handle("/v1/chaoscheap?x=7")
+        assert first.status == 200      # response bytes are pre-write
+        faults.configure(None)
+        # The stored copy is corrupt: the read drops it, recomputes,
+        # and the recompute is byte-identical.
+        second = chaos_service.handle("/v1/chaoscheap?x=7")
+        assert second.status == 200
+        assert second.headers["X-Repro-Cache"] == "miss"
+        assert second.body == first.body
+        third = chaos_service.handle("/v1/chaoscheap?x=7")
+        assert third.headers["X-Repro-Cache"] == "hit"
+
+    def test_job_status_reports_cancelled_as_settled(
+            self, chaos_service):
+        gate = threading.Event()
+        chaos_service.queue.submit("blocker-x", "t", "/v1/t",
+                                   lambda: gate.wait(timeout=10))
+        resp = chaos_service.handle("/v1/chaostest?x=11")
+        assert resp.status == 202
+        import json
+        job_id = json.loads(resp.body)["job_id"]
+        cancel = chaos_service.cancel_job(job_id)
+        assert cancel.status == 200
+        gate.set()
+        chaos_service.queue.wait(job_id, timeout=5)
+        status = chaos_service.handle(f"/v1/jobs/{job_id}")
+        assert status.status == 200     # settled → 200, not 202
+        assert json.loads(status.body)["state"] == "cancelled"
+
+    def test_cancel_unknown_job_404(self, chaos_service):
+        assert chaos_service.cancel_job("feedface").status == 404
