@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Compiled-core vs reference routing benchmark (plus what-if deltas).
+
+Two gated measurements, written to ``benchmarks/BENCH_routing.json``:
+
+* **full-table precompute** — every destination's routing table on the
+  default world, computed by the retained pure-dict
+  :class:`ReferenceRouting` oracle and by the compiled array engine
+  (:class:`BGPRouting` over ``CompiledTopology`` CSR adjacency).  The
+  two engines must produce identical entries on every pinned seed; the
+  compiled engine must beat the reference by ``--require-speedup``.
+* **what-if sweep** — ten ``WhatIfMandateLocalPeering`` scenarios, each
+  answering "how do this country's locals reach global content?".  The
+  pre-PR arm pays a full reference engine per scenario world; the
+  incremental arm routes the same worlds through ``DeltaRouting`` over
+  one warm baseline, recomputing only each edit's dirty cone.  Paths
+  must be byte-identical; the sweep must also clear
+  ``--require-speedup``.
+
+Both gates are algorithmic (single process, no parallelism), so they
+hold on single-core CI machines.  Also records the per-table memory
+footprint of dict-of-dataclass vs flat-array representations — the
+numbers quoted in docs/performance.md.
+
+Usage::
+
+    python scripts/bench_routing.py
+    python scripts/bench_routing.py --require-speedup 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import build_world  # noqa: E402
+from repro.observatory import WhatIfMandateLocalPeering  # noqa: E402
+from repro.routing import (  # noqa: E402
+    BGPRouting,
+    DeltaRouting,
+    ReferenceRouting,
+)
+from repro.topology import ASKind  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
+    "benchmarks" / "BENCH_routing.json"
+SEED = 2025
+#: Worlds on which old and new engines must agree entry-for-entry.
+IDENTITY_SEEDS = (2025, 11, 99)
+N_SCENARIOS = 10
+N_CONTENT_DESTS = 30
+
+
+def _fingerprint(items) -> str:
+    h = hashlib.sha256()
+    for item in items:
+        h.update(repr(item).encode())
+    return h.hexdigest()
+
+
+def _table_items(engine, dests):
+    """Canonical (dst, asn, entry-tuple) stream for fingerprinting."""
+    for dst in dests:
+        table = engine.routes_to(dst)
+        for asn in sorted(table):
+            e = table[asn]
+            yield dst, asn, (int(e.kind), e.length, e.next_hop, e.via_ixp)
+
+
+# ----------------------------------------------------------------------
+# Part 1: full-table precompute, reference vs compiled
+# ----------------------------------------------------------------------
+def bench_full_tables() -> dict:
+    topo = build_world(seed=SEED)
+    dests = sorted(topo.ases)
+
+    reference = ReferenceRouting(topo)
+    start = time.perf_counter()
+    for dst in dests:
+        reference.routes_to(dst)
+    reference_s = time.perf_counter() - start
+
+    compiled = BGPRouting(topo)
+    start = time.perf_counter()
+    compiled.precompute(dests, workers=1)
+    compiled_s = time.perf_counter() - start
+
+    identical = {}
+    for seed in IDENTITY_SEEDS:
+        world = topo if seed == SEED else build_world(seed=seed)
+        seed_dests = sorted(world.ases)
+        old = reference if seed == SEED else ReferenceRouting(world)
+        new = compiled if seed == SEED else BGPRouting(world)
+        identical[str(seed)] = (
+            _fingerprint(_table_items(old, seed_dests))
+            == _fingerprint(_table_items(new, seed_dests)))
+
+    return {
+        "destinations": len(dests),
+        "reference_s": round(reference_s, 4),
+        "compiled_s": round(compiled_s, 4),
+        "speedup": round(reference_s / compiled_s, 2),
+        "identical_by_seed": identical,
+        "memory": _memory_footprint(reference, compiled, dests[0]),
+    }
+
+
+def _memory_footprint(reference: ReferenceRouting,
+                      compiled: BGPRouting, dst: int) -> dict:
+    """Deep-ish per-table bytes: dict-of-dataclass vs flat arrays."""
+    dict_table = reference.routes_to(dst)
+    dict_bytes = sys.getsizeof(dict_table)
+    for asn, entry in dict_table.items():
+        dict_bytes += sys.getsizeof(asn) + sys.getsizeof(entry)
+        dict_bytes += sys.getsizeof(getattr(entry, "__dict__", 0))
+    array_table = compiled.routes_to(dst)
+    array_bytes = sys.getsizeof(array_table)
+    for column in (array_table.kind, array_table.length,
+                   array_table.next_hop, array_table.via_ixp):
+        array_bytes += sys.getsizeof(column)
+    return {
+        "dict_table_bytes": dict_bytes,
+        "array_table_bytes": array_bytes,
+        "shrink": round(dict_bytes / array_bytes, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# Part 2: what-if sweep, full recompute vs DeltaRouting
+# ----------------------------------------------------------------------
+def _scenario_countries(topo) -> list[str]:
+    seen: list[str] = []
+    for ixp in sorted(topo.african_ixps(), key=lambda x: x.ixp_id):
+        cc = ixp.country_iso2
+        if cc not in seen and any(
+                a.tier == 3 for a in topo.ases_in_country(cc)):
+            seen.append(cc)
+        if len(seen) == N_SCENARIOS:
+            break
+    return seen
+
+
+def _content_dests(topo) -> list[int]:
+    """Global destinations the locality analyses care about: every
+    cloud/CDN AS, padded with tier-1 carriers up to the target count."""
+    content = sorted(a.asn for a in topo.ases.values()
+                     if a.kind in (ASKind.CLOUD, ASKind.CONTENT))
+    tier1 = sorted(a.asn for a in topo.tier1_ases()
+                   if a.asn not in set(content))
+    return (content + tier1)[:N_CONTENT_DESTS]
+
+
+def _workload(engine, topo, iso2: str, dests) -> list:
+    """Paths from a country's tier-3 locals to global content ASes —
+    the question every locality analysis asks of a scenario world."""
+    locals_ = sorted(a.asn for a in topo.ases_in_country(iso2)
+                     if a.tier == 3)
+    rows = []
+    for src in locals_:
+        for dst in dests:
+            path = engine.path(src, dst)
+            rows.append((iso2, src, dst, tuple(path) if path else None))
+    return rows
+
+
+def bench_whatif_sweep() -> dict:
+    topo = build_world(seed=SEED)
+    countries = _scenario_countries(topo)
+    dests = _content_dests(topo)
+    worlds = [(cc, WhatIfMandateLocalPeering(topo).apply(cc))
+              for cc in countries]
+
+    # Pre-PR arm: a fresh full (dict) engine per scenario world.
+    start = time.perf_counter()
+    full_rows = []
+    for cc, modified in worlds:
+        engine = ReferenceRouting(modified)
+        full_rows.extend(_workload(engine, modified, cc, dests))
+    full_s = time.perf_counter() - start
+
+    # Incremental arm: one warm compiled baseline, DeltaRouting per
+    # scenario (warm-up time included — that is the real cost paid).
+    start = time.perf_counter()
+    baseline = BGPRouting(topo)
+    baseline.precompute(dests, workers=1)
+    delta_rows = []
+    delta_engines = fallbacks = 0
+    for cc, modified in worlds:
+        engine = DeltaRouting.for_copy(baseline, modified)
+        if engine is None:  # pragma: no cover - bench invariant
+            engine = BGPRouting(modified)
+            fallbacks += 1
+        else:
+            delta_engines += 1
+        delta_rows.extend(_workload(engine, modified, cc, dests))
+    delta_s = time.perf_counter() - start
+
+    return {
+        "scenarios": len(worlds),
+        "countries": countries,
+        "content_destinations": len(dests),
+        "paths_resolved": len(full_rows),
+        "full_s": round(full_s, 4),
+        "delta_s": round(delta_s, 4),
+        "speedup": round(full_s / delta_s, 2),
+        "identical": _fingerprint(full_rows) == _fingerprint(delta_rows),
+        "delta_engines": delta_engines,
+        "full_fallbacks": fallbacks,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail unless BOTH measured speedups "
+                             "reach this factor")
+    parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
+    args = parser.parse_args()
+
+    full = bench_full_tables()
+    print(f"full tables: reference {full['reference_s']}s, "
+          f"compiled {full['compiled_s']}s -> {full['speedup']}x "
+          f"({full['destinations']} destinations)")
+    sweep = bench_whatif_sweep()
+    print(f"what-if sweep: full {sweep['full_s']}s, "
+          f"delta {sweep['delta_s']}s -> {sweep['speedup']}x "
+          f"({sweep['scenarios']} scenarios, "
+          f"{sweep['paths_resolved']} paths)")
+
+    report = {
+        "seed": SEED,
+        "full_tables": full,
+        "whatif_sweep": sweep,
+    }
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True)
+                        + "\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if not all(full["identical_by_seed"].values()):
+        failures.append(
+            f"table mismatch: {full['identical_by_seed']}")
+    if not sweep["identical"]:
+        failures.append("what-if paths differ between arms")
+    if sweep["full_fallbacks"]:
+        failures.append(
+            f"{sweep['full_fallbacks']} scenarios missed the delta path")
+    if args.require_speedup is not None:
+        for name, result in (("full-table", full), ("what-if", sweep)):
+            if result["speedup"] < args.require_speedup:
+                failures.append(
+                    f"{name} speedup {result['speedup']}x below "
+                    f"required {args.require_speedup}x")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

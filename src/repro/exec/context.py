@@ -13,6 +13,12 @@ construction* — cable cuts are per-query arguments (``phys.route(...,
 down_cables=...)``) — so every down-key of one topology shares the same
 underlying pair.  A future link-level failure filter would split the
 cache on that key.
+
+When a topology is a :meth:`structured_copy` of one already cached
+(``routing_base`` back-reference + ``added_links`` journal), the
+context attaches a :class:`~repro.routing.DeltaRouting` over the warm
+baseline instead of building routing from scratch — what-if scenarios
+then recompute only destinations their edit can actually affect.
 """
 
 from __future__ import annotations
@@ -33,6 +39,10 @@ _CTX_HITS = telemetry.counter(
 _CTX_BUILDS = telemetry.counter(
     "repro_exec_context_builds_total",
     "BGPRouting/PhysicalNetwork pairs built by the shared context")
+_CTX_DELTAS = telemetry.counter(
+    "repro_exec_context_delta_builds_total",
+    "Builds that attached an incremental DeltaRouting to a cached "
+    "baseline instead of computing routing from scratch")
 
 
 class RoutingContext:
@@ -57,6 +67,8 @@ class RoutingContext:
         self._lock = threading.RLock()
         self.hits = 0
         self.builds = 0
+        #: Subset of ``builds`` that went through ``DeltaRouting``.
+        self.delta_builds = 0
 
     # ------------------------------------------------------------------
     def pair(self, topo: "Topology",
@@ -77,9 +89,28 @@ class RoutingContext:
                 if telemetry.enabled():
                     _CTX_HITS.inc()
                 return cached
-            from repro.routing import BGPRouting, PhysicalNetwork
+            from repro.routing import (BGPRouting, DeltaRouting,
+                                       PhysicalNetwork)
             with telemetry.span("exec.context_build", topology=key):
-                built = (BGPRouting(topo), PhysicalNetwork(topo))
+                routing = None
+                base_topo = getattr(topo, "routing_base", None)
+                if base_topo is not None:
+                    # Raw peek, deliberately *not* a cache hit: no LRU
+                    # reordering, no counter bump, never a build — the
+                    # baseline either is already warm (scenario flows
+                    # route it first) or the copy pays full price.
+                    base_pair = self._pairs.get(id(base_topo))
+                    if base_pair is not None \
+                            and base_pair[0]._topo is base_topo:
+                        routing = DeltaRouting.for_copy(base_pair[0],
+                                                        topo)
+                if routing is not None:
+                    self.delta_builds += 1
+                    if telemetry.enabled():
+                        _CTX_DELTAS.inc()
+                else:
+                    routing = BGPRouting(topo)
+                built = (routing, PhysicalNetwork(topo))
             self._pairs[key] = built
             self.builds += 1
             if telemetry.enabled():

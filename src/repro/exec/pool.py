@@ -71,6 +71,27 @@ _BATCHES = telemetry.counter(
     "repro_exec_batches_total",
     "Fan-out batches executed", labels=("mode",))
 
+# Pre-bound labelled children — the label vocabularies are closed, so
+# resolve the lock-guarded child maps once at import instead of on
+# every batch dispatch.
+
+
+class _ModeMetrics:
+    __slots__ = ("batches", "tasks", "completed", "failures", "retries")
+
+    def __init__(self, mode: str) -> None:
+        self.batches = _BATCHES.labels(mode=mode)
+        self.tasks = _TASKS.labels(mode=mode)
+        self.completed = _COMPLETED.labels(mode=mode)
+        self.failures = _TASK_FAILURES.labels(mode=mode)
+        self.retries = _RETRIES.labels(mode=mode)
+
+
+_BY_MODE = {mode: _ModeMetrics(mode) for mode in ("serial", "parallel")}
+_RECOVERIES_BY_REASON = {
+    reason: _RECOVERIES.labels(reason=reason)
+    for reason in ("timeout", "broken_pool")}
+
 #: Session-wide default worker count (set by ``--workers`` flags).
 _DEFAULT_WORKERS = 1
 #: Fork-inherited read-only payload for the current batch.
@@ -257,14 +278,14 @@ def _run_supervised(fn: Callable[[T], R], items: list[T],
                     and fut.exception() is None:
                 _collect(fut)
         if telemetry.enabled():
-            _RECOVERIES.labels(reason=reason).inc()
+            _RECOVERIES_BY_REASON[reason].inc()
         for ci in sorted(unfinished):
             for i, item in chunks[ci]:
                 used, value = _call_task(fn, item, retries)
                 results[i] = value
                 retries_used += used
     if telemetry.enabled() and retries_used:
-        _RETRIES.labels(mode="parallel").inc(retries_used)
+        _BY_MODE["parallel"].retries.inc(retries_used)
     return [results[i] for i in range(len(items))]
 
 
@@ -295,9 +316,10 @@ def map_tasks(fn: Callable[[T], R], items: Sequence[T],
         retries = DEFAULT_RETRIES
     if timeout is None:
         timeout = DEFAULT_TIMEOUT_S
+    metrics = _BY_MODE[mode]
     if telemetry.enabled():
-        _BATCHES.labels(mode=mode).inc()
-        _TASKS.labels(mode=mode).inc(len(items))
+        metrics.batches.inc()
+        metrics.tasks.inc(len(items))
     previous = _PAYLOAD
     _PAYLOAD = payload
     try:
@@ -311,17 +333,17 @@ def map_tasks(fn: Callable[[T], R], items: Sequence[T],
                     retries_used += used
                     out.append(value)
                 if telemetry.enabled() and retries_used:
-                    _RETRIES.labels(mode="serial").inc(retries_used)
+                    metrics.retries.inc(retries_used)
             else:
                 out = _run_supervised(fn, items, n_workers,
                                       timeout, retries)
     except Exception:
         if telemetry.enabled():
-            _TASK_FAILURES.labels(mode=mode).inc()
+            metrics.failures.inc()
         raise
     else:
         if telemetry.enabled():
-            _COMPLETED.labels(mode=mode).inc(len(out))
+            metrics.completed.inc(len(out))
         return out
     finally:
         _PAYLOAD = previous

@@ -43,6 +43,11 @@ from repro import telemetry
 _TRACEROUTES = telemetry.counter(
     "repro_measurement_traceroutes_total",
     "Traceroutes synthesized", labels=("outcome",))
+# Pre-bound labelled children: one dict hit per traceroute instead of a
+# lock-guarded child resolution in the per-measurement hot path.
+_TRACEROUTES_BY_OUTCOME = {
+    outcome: _TRACEROUTES.labels(outcome=outcome)
+    for outcome in ("reached", "incomplete", "unrouted", "unresolved")}
 _HOPS = telemetry.counter(
     "repro_measurement_hops_synthesized_total",
     "Traceroute hops synthesized")
@@ -220,7 +225,7 @@ class MeasurementEngine:
                            outcome: str) -> None:
         if not telemetry.enabled():
             return
-        _TRACEROUTES.labels(outcome=outcome).inc()
+        _TRACEROUTES_BY_OUTCOME[outcome].inc()
         _WIRE_BYTES.inc(result.bytes_used)
         if result.hops:
             _HOPS.inc(len(result.hops))

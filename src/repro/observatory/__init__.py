@@ -55,6 +55,7 @@ from repro.observatory.whatif import (
     WhatIfMandateLocalPeering,
     WhatIfOutcome,
     run_scenarios,
+    touched_ases,
 )
 from repro.observatory.watchdog import (
     ComplianceFinding,
@@ -104,6 +105,7 @@ __all__ = [
     "IXPDiscoveryCampaign", "IXPDiscoveryResult", "kigali_comparison",
     "WhatIfAddCable", "WhatIfCutCables", "WhatIfLEOBackup",
     "WhatIfLocalizeDNS", "WhatIfMandateLocalPeering", "WhatIfOutcome",
+    "touched_ases",
     "run_scenarios",
     "Experiment", "ExperimentStatus", "ObservatoryPlatform",
     "MAX_TASKS_PER_EXPERIMENT",

@@ -6,6 +6,16 @@ specific intervention — a geographically diverse cable, localized DNS,
 an IXP with mandated local peering — change resilience and locality?
 Each scenario builds a modified world and re-measures; results are
 always (baseline, modified) pairs of the same metric.
+
+Scenario worlds come from :meth:`Topology.structured_copy` and are
+edited only through public mutators, so every copy carries a
+``routing_base`` back-reference and an ``added_links`` edit journal.
+The routing layer uses that journal (:func:`touched_ases` exposes it
+for analyses) to serve scenarios incrementally: a modified world routed
+through the shared context gets a ``DeltaRouting`` over the warm
+baseline that recomputes only destinations the edit can affect —
+peering mandates touch only the new peers' customer cones, while
+cable/DNS edits change no AS adjacency at all and reuse every table.
 """
 
 from __future__ import annotations
@@ -52,9 +62,27 @@ def _cloned(topo: Topology) -> Topology:
 
     Uses :meth:`Topology.structured_copy` — mutable membership state is
     copied, immutable leaves are shared — which is an order of
-    magnitude cheaper than the ``copy.deepcopy`` it replaced.
+    magnitude cheaper than the ``copy.deepcopy`` it replaced.  The copy
+    starts a fresh ``added_links`` journal, which is what later lets
+    routing treat the scenario world as "baseline + these edges".
     """
     return topo.structured_copy()
+
+
+def touched_ases(modified: Topology) -> set[int]:
+    """ASNs whose adjacency a scenario edit touched.
+
+    The endpoints of every link in the modified world's edit journal
+    (``added_links``).  Empty for scenarios that change no AS-level
+    adjacency (cable deployments, resolver localisation, membership
+    tweaks without new links) — exactly the cases where incremental
+    routing reuses every baseline table.
+    """
+    out: set[int] = set()
+    for link in modified.added_links:
+        out.add(link.a)
+        out.add(link.b)
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,15 @@
-"""Routing layer: valley-free BGP + the physical cable/terrestrial map."""
+"""Routing layer: valley-free BGP (compiled array core) + the physical
+cable/terrestrial map."""
 
-from repro.routing.bgp import BGPRouting, RouteEntry, RouteKind, is_valley_free
+from repro.routing.bgp import (
+    BGPRouting,
+    ReferenceRouting,
+    RouteEntry,
+    RouteKind,
+    is_valley_free,
+)
+from repro.routing.compiled import CompiledTopology, RouteTable
+from repro.routing.delta import DeltaRouting
 from repro.routing.latency import (
     HopSite,
     as_path_geography,
@@ -20,6 +29,7 @@ from repro.routing.physical import (
 
 __all__ = [
     "BGPRouting", "RouteEntry", "RouteKind", "is_valley_free",
+    "CompiledTopology", "RouteTable", "DeltaRouting", "ReferenceRouting",
     "HopSite", "as_path_geography", "countries_on_path", "path_rtt_ms",
     "pop_countries", "INTRA_AS_MS", "MOBILE_LAST_MILE_MS",
     "PhysicalEdge", "PhysicalNetwork", "PhysicalRoute", "SATELLITE_RTT_MS",

@@ -1,0 +1,149 @@
+"""Incremental what-if routing: recompute only what an edit can change.
+
+``run_scenarios`` used to pay full-topology routing per scenario even
+though a typical what-if edit (mandating peering at one IXP, landing
+one cable) leaves almost every destination's routing table untouched.
+:class:`DeltaRouting` wraps the *baseline* engine and recomputes only
+destinations inside the edit's dirty set, serving everything else from
+the baseline's already-computed array tables.
+
+The dirty set comes from valley-free export rules.  A new peer edge
+``(a, b)`` only ever carries routes whose destination sits in the
+customer cone of ``a`` or ``b`` (peers export exactly their
+customer/self routes), so every other destination's table is provably
+identical to the baseline's.  Edits that add provider/customer edges
+export the full table across the new link — their cone is the whole
+graph — and fall back to a normal full compute, as does any edit the
+journal can't prove is additive (removed links, changed AS sets,
+filtered baselines).
+
+Eligibility is detected structurally rather than declared: topology
+copies carry a ``routing_base`` back-reference and an ``added_links``
+edit journal (see :meth:`Topology.structured_copy` /
+:meth:`Topology.add_link`), which :meth:`DeltaRouting.for_copy`
+validates before committing to the incremental path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.routing.bgp import BGPRouting
+from repro.routing.compiled import RouteTable
+from repro.topology import Relationship, Topology
+
+__all__ = ["DeltaRouting"]
+
+
+class DeltaRouting(BGPRouting):
+    """A :class:`BGPRouting` that recomputes only dirty destinations.
+
+    Construct via :meth:`for_copy`; direct construction assumes the
+    caller already proved ``topo`` is ``base``'s topology plus the
+    links in ``topo.added_links``.  Tables served for clean
+    destinations are the baseline's own (shared arrays, zero copy);
+    dirty destinations are computed over this topology's compiled
+    adjacency exactly like a full engine would.
+    """
+
+    def __init__(self, topo: Topology, base: BGPRouting) -> None:
+        if "_compiled_topology" not in topo.__dict__:
+            # Seed the copy's compiled cache from the baseline instead
+            # of recompiling the whole graph: identical link set shares
+            # the arrays outright, an additive journal splices only the
+            # affected CSR rows (cost proportional to the edit).
+            compiled = (base.compiled.extended(topo.added_links)
+                        if topo.added_links else base.compiled)
+            topo.__dict__["_compiled_topology"] = compiled
+        super().__init__(topo)
+        self._base = base
+        self._dirty = self._dirty_set()
+        #: Introspection counters for tests and the bench harness.
+        self.delegated = 0
+        self.recomputed = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_copy(cls, base: BGPRouting,
+                 topo: Topology) -> Optional["DeltaRouting"]:
+        """A delta engine over ``base``, or ``None`` if ineligible.
+
+        Validates the edit journal structurally: ``topo`` must be a
+        structured copy of ``base``'s topology (``routing_base``
+        back-reference), its links must be exactly the baseline's links
+        (same objects, same order) followed by ``added_links``, and the
+        AS roster must be unchanged.  A filtered baseline (outage
+        engine) never qualifies — its tables don't describe the intact
+        world.
+        """
+        if base._filtered or isinstance(base, DeltaRouting):
+            return None
+        base_topo = base._topo
+        if getattr(topo, "routing_base", None) is not base_topo:
+            return None
+        added = topo.added_links
+        base_links = base_topo.links
+        if len(topo.links) != len(base_links) + len(added):
+            return None
+        if any(ours is not theirs
+               for ours, theirs in zip(topo.links, base_links)):
+            return None
+        if topo.links[len(base_links):] != added:
+            return None
+        if topo.ases.keys() != base_topo.ases.keys():
+            return None
+        return cls(topo, base)
+
+    # ------------------------------------------------------------------
+    @property
+    def dirty(self) -> Optional[frozenset[int]]:
+        """Destination ASNs whose tables may differ from the baseline;
+        ``None`` means every destination (full-compute fallback)."""
+        return self._dirty
+
+    def routes_to(self, dst: int) -> RouteTable:
+        dirty = self._dirty
+        if dirty is None or dst in dirty:
+            before = len(self._tables)
+            table = super().routes_to(dst)
+            if len(self._tables) != before:
+                self.recomputed += 1
+            return table
+        cached = self._tables.get(dst)
+        if cached is None:
+            cached = self._base.routes_to(dst)
+            self._tables[dst] = cached
+            self.delegated += 1
+        return cached
+
+    def precompute(self, dests: Iterable[int],
+                   workers: Optional[int] = None) -> int:
+        dirty = self._dirty
+        if dirty is None:
+            return super().precompute(dests, workers)
+        pending = list(dict.fromkeys(dests))
+        computed = super().precompute(
+            [d for d in pending if d in dirty], workers)
+        for dst in pending:
+            if dst not in dirty:
+                self.routes_to(dst)
+        return computed
+
+    # ------------------------------------------------------------------
+    def _dirty_set(self) -> Optional[frozenset[int]]:
+        """Destinations the edit journal can affect, or ``None``.
+
+        Union of the customer cones of every added peer edge's
+        endpoints.  Any provider/customer edge means full fallback:
+        it exports the entire table to the new customer subtree and
+        grows cones transitively.
+        """
+        dirty: set[int] = set()
+        for link in self._topo.added_links:
+            if link.rel is not Relationship.PEER_TO_PEER:
+                return None
+            dirty |= self._compiled.customer_cone(link.a)
+            dirty |= self._compiled.customer_cone(link.b)
+        if len(dirty) >= self._compiled.n:
+            return None
+        return frozenset(dirty)

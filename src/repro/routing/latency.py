@@ -87,6 +87,10 @@ def as_path_geography(topo: Topology, routing: BGPRouting,
         candidates = pop_countries(topo, b)
         if b == dst and dst_country is not None:
             next_cc = dst_country
+        elif len(candidates) == 1:
+            # Single-PoP AS (the overwhelmingly common case): no
+            # nearest-of-one search, no country/haversine lookups.
+            next_cc = candidates[0]
         else:
             next_cc = _nearest(topo, candidates, current_cc)
         sites.append(HopSite(b, next_cc))

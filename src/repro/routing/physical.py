@@ -32,6 +32,10 @@ EDGE_OVERHEAD_MS = 0.8
 SATELLITE_RTT_MS = 550.0
 SATELLITE_CAPACITY_TBPS = 0.005
 
+#: Shared cache key for the (overwhelmingly common) intact network —
+#: saves a frozenset build per ``route()`` call on the hot path.
+_NO_CABLES_DOWN: frozenset[int] = frozenset()
+
 
 @dataclass(frozen=True)
 class PhysicalEdge:
@@ -121,10 +125,16 @@ class PhysicalNetwork:
         Falls back to a satellite hop when fiber is unavailable (unless
         ``avoid_satellite``); returns ``None`` only when nothing at all
         connects the two countries.
+
+        Like ``BGPRouting`` tables, results are memoized per query key;
+        unlike the AS layer there is no compiled form — the country
+        multigraph is small and cut state is per-query, which is why
+        one ``PhysicalNetwork`` serves every cut world of a topology
+        (see ``repro.exec.RoutingContext``).
         """
         if src == dst:
             return PhysicalRoute(src, dst, (), 0.0)
-        down = frozenset(down_cables)
+        down = frozenset(down_cables) if down_cables else _NO_CABLES_DOWN
         key = (src, dst, down, avoid_satellite)
         if key in self._route_cache:
             return self._route_cache[key]

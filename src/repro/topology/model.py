@@ -48,6 +48,12 @@ class Topology:
     prefix_registry: PrefixRegistry = field(default_factory=PrefixRegistry)
     #: (min(a, b), max(a, b)) -> ASLink index for O(1) adjacency checks.
     _link_index: dict[tuple[int, int], ASLink] = field(default_factory=dict)
+    #: Edit journal: links appended via :meth:`add_link` since this
+    #: object was constructed.  On a :meth:`structured_copy` (which
+    #: starts a fresh journal and records ``routing_base``) this is what
+    #: lets ``DeltaRouting`` prove the copy is "baseline + these edges"
+    #: and recompute only the affected destinations.
+    added_links: list[ASLink] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self._link_index:
@@ -103,7 +109,10 @@ class Topology:
             raise ValueError(
                 f"AS{link.a} and AS{link.b} are already linked")
         self.links.append(link)
+        self.added_links.append(link)
         self._link_index[self._key(link.a, link.b)] = link
+        # Adjacency changed: a cached compiled view is stale.
+        self.__dict__.pop("_compiled_topology", None)
         if link.rel is Relationship.PROVIDER_TO_CUSTOMER:
             a.customers.add(link.b)
             b.providers.add(link.a)
@@ -176,6 +185,11 @@ class Topology:
         resolver configs, never address allocations.  What-if engines
         mutate the copy through :meth:`add_link` and the public
         container attributes while the baseline stays untouched.
+
+        The copy carries ``routing_base`` (a back-reference to this
+        topology) and a fresh ``added_links`` journal, so the routing
+        layer can recognise it as "baseline plus edits" and reuse the
+        baseline's compiled tables incrementally (``DeltaRouting``).
         """
         ases = {}
         for asn, a in self.ases.items():
@@ -195,7 +209,7 @@ class Topology:
             ixp_id: replace(x, members=set(x.members),
                             offnet_providers=set(x.offnet_providers))
             for ixp_id, x in self.ixps.items()}
-        return Topology(
+        copied_topo = Topology(
             params=self.params,
             ases=ases,
             links=list(self.links),
@@ -210,6 +224,8 @@ class Topology:
                       for cc, sites in self.websites.items()},
             prefix_registry=self.prefix_registry,
             _link_index=dict(self._link_index))
+        copied_topo.routing_base = self
+        return copied_topo
 
     # ------------------------------------------------------------------
     # Summary / sanity
