@@ -14,6 +14,7 @@ Observatory for:
 * ``telemetry``  — instrumented smoke run across every subsystem
 * ``serve``      — run the Observatory as an HTTP service
 * ``store``      — inspect/gc/verify the artifact cache
+* ``heartbeat``  — always-on loop: generate → append → detect → alert
 
 Any command accepts the global ``--telemetry`` flag (print a metrics +
 span report after the command), ``--telemetry-out PATH`` (write the
@@ -213,13 +214,22 @@ def cmd_serve(args) -> int:
     telemetry.enable()  # a serving process always self-instruments
     store = ArtifactStore(root=args.store_dir,
                           max_bytes=int(args.store_cap_mb * 1024 * 1024))
+    access_stream = None
+    if args.access_log == "-":
+        access_stream = sys.stderr
+    elif args.access_log:
+        access_stream = open(args.access_log, "a", buffering=1)
     httpd, service = create_server(
         host=args.host, port=args.port, store=store,
         job_workers=args.job_workers, default_seed=args.seed,
-        job_deadline_s=args.job_deadline, job_retries=args.job_retries)
+        job_deadline_s=args.job_deadline, job_retries=args.job_retries,
+        events_dir=args.events_dir, access_log=access_stream)
     host, port = httpd.server_address[:2]
     print(f"repro service listening on http://{host}:{port} "
           f"(store: {store.root})", flush=True)
+    if args.events_dir:
+        print(f"serving event log at {args.events_dir} "
+              f"(/v1/events, /v1/heartbeat)", flush=True)
     if faults.active():
         print(faults.describe(), flush=True)
 
@@ -250,6 +260,8 @@ def cmd_serve(args) -> int:
         service.queue.shutdown(timeout=args.drain_timeout)
         httpd.server_close()
         serve_thread.join(timeout=2.0)
+        if access_stream is not None and access_stream is not sys.stderr:
+            access_stream.close()
         doc = telemetry.to_json()
         print(f"telemetry flushed: {len(doc.get('metrics', []))} "
               f"metric series, {len(doc.get('spans', []))} span trees",
@@ -295,6 +307,81 @@ def cmd_store(args) -> int:
     print(f"verified {total} artifacts: "
           f"{'OK' if not problems else f'{len(problems)} problem(s)'}")
     return 0 if not problems else 1
+
+
+def cmd_heartbeat(args) -> int:
+    """Run the always-on observatory loop over simulated days.
+
+    Each quarter-day tick: generate the fleet's measurement events,
+    append them durably to the event log, let the streaming detector
+    catch up, and emit any alerts back into the log.  Appends are
+    supervised — an injected (or real) write failure triggers log
+    recovery and a bounded retry, so a crash mid-append never loses
+    acknowledged events (docs/eventlog.md).
+    """
+    from repro import faults
+    from repro.eventlog import EventLog
+    from repro.faults import FaultInjected
+    from repro.measurement import build_atlas_platform
+    from repro.monitoring import HeartbeatAnalyzer, ObservatoryStream
+    from repro.outages import OutageSimulator
+
+    if faults.active():
+        print(faults.describe(), flush=True)
+    topo = _world(args)
+    platform = build_atlas_platform(topo)
+    simulation = OutageSimulator(topo).simulate(
+        years=max(args.days, 1) / 365.0 + 0.05)
+    log = EventLog(args.events_dir, segment_events=args.segment_events)
+    stream = ObservatoryStream(topo, platform, simulation,
+                               seed=args.seed)
+    analyzer = HeartbeatAnalyzer(log)
+    recoveries = 0
+
+    def supervised(op) -> None:
+        # Retried ops must be idempotent-on-retry: log.append is
+        # all-or-nothing per batch and the analyzer only drops its
+        # pending-alert buffer once the append lands.
+        nonlocal recoveries
+        for _attempt in range(8):
+            try:
+                op()
+                return
+            except (FaultInjected, OSError):
+                recoveries += 1
+                log.recover()
+        raise RuntimeError("event-log write kept failing after "
+                           "8 recoveries; giving up")
+
+    with telemetry.span("cli.heartbeat", days=args.days,
+                        countries=len(stream.countries)):
+        for day, hour in stream.ticks(args.days):
+            batch = stream.tick_events(day, hour)
+            supervised(lambda: log.append(batch))
+            supervised(analyzer.catch_up)
+        supervised(analyzer.finish)
+        log.seal()
+
+    counts = log.counts_by_type()
+    print(ascii_table(
+        ["event type", "count"],
+        [[name, counts[name]] for name in sorted(counts)],
+        title=f"Event log at {log.root} "
+              f"({args.days} days, seed={args.seed})"))
+    alerts = analyzer.alerts
+    if alerts:
+        print(ascii_table(
+            ["country", "kind", "raised day", "buckets", "severity"],
+            [[a.scope, a.kind.wire_name, f"{a.raised_ts:.2f}",
+              a.buckets_active, f"{a.severity:.2f}"]
+             for a in alerts],
+            title=f"{len(alerts)} alert(s) raised"))
+    else:
+        print("no alerts raised")
+    print(f"{log.head_seq + 1} events in {len(log.segments())} "
+          f"segment(s); detector cursor {analyzer.cursor}; "
+          f"{recoveries} append recover(ies)")
+    return 0
 
 
 def cmd_telemetry(args) -> int:
@@ -422,7 +509,24 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="S",
                    help="seconds to drain in-flight jobs on shutdown "
                         "before failing them (default 8)")
+    p.add_argument("--events-dir", default=None, metavar="DIR",
+                   help="serve a measurement event log from DIR "
+                        "(/v1/events, /v1/heartbeat, "
+                        "/v1/heartbeat/stream)")
+    p.add_argument("--access-log", default=None, metavar="PATH",
+                   help="append one JSON line per request to PATH "
+                        "('-' = stderr); off by default")
     p.set_defaults(func=cmd_serve)
+    p = sub.add_parser("heartbeat",
+                       help="always-on loop: generate events, append "
+                            "to the log, detect anomalies")
+    p.add_argument("events_dir", metavar="DIR",
+                   help="event-log root directory (created if missing)")
+    p.add_argument("--days", type=int, default=30,
+                   help="simulated days to stream (default 30)")
+    p.add_argument("--segment-events", type=int, default=4096,
+                   help="events per columnar segment (default 4096)")
+    p.set_defaults(func=cmd_heartbeat)
     p = sub.add_parser("store",
                        help="inspect/gc/verify the artifact store")
     p.add_argument("action", choices=("ls", "gc", "verify"))

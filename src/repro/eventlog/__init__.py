@@ -1,0 +1,40 @@
+"""repro.eventlog — the Observatory's append-only measurement record.
+
+The always-on write path (ROADMAP item 3): every measurement producer
+appends typed :class:`Event` rows into an :class:`EventLog` — a
+dependency-free columnar store built from crc-framed fsynced appends,
+atomic tmp+rename segment rotation and integrity-checked reads, with
+plain sequence-number cursors for incremental consumers.  The
+streaming heartbeat detector (:mod:`repro.monitoring`) and the
+``/v1/events`` API are both such consumers.
+
+Format, durability contract and recovery semantics are documented in
+``docs/eventlog.md``.
+"""
+
+from repro.eventlog.log import (
+    CursorFile,
+    DEFAULT_SEGMENT_EVENTS,
+    EventLog,
+    EventLogError,
+    SegmentInfo,
+    drain,
+)
+from repro.eventlog.schema import (
+    COLUMNS,
+    Event,
+    EventType,
+    FIELD_DOC,
+    decode_records,
+    encode_commit,
+    encode_record,
+    event_type_from_name,
+    make_event,
+)
+
+__all__ = [
+    "COLUMNS", "CursorFile", "DEFAULT_SEGMENT_EVENTS", "Event",
+    "EventLog", "EventLogError", "EventType", "FIELD_DOC",
+    "SegmentInfo", "decode_records", "drain", "encode_commit",
+    "encode_record", "event_type_from_name", "make_event",
+]

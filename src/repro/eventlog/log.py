@@ -1,0 +1,636 @@
+"""Append-only columnar event store with crash-safe rotation.
+
+Layout (all under one root directory)::
+
+    <root>/segments/seg-00000001.seg   finalized columnar segment
+    <root>/segments/seg-00000001.json  manifest (counts, digests, scopes)
+    <root>/wal.log                     framed live tail (fsynced appends)
+    <root>/quarantine/                 torn tails and corrupt segments
+    <root>/tmp/                        staging for atomic writes
+
+Appends land in ``wal.log`` as crc-framed rows and are fsynced per
+batch — once :meth:`EventLog.append` returns, the batch survives a
+crash.  When the tail reaches ``segment_events`` rows it is *packed*:
+the rows become flat stdlib ``array`` columns written to a ``.seg``
+file, a JSON manifest with per-column digests lands next to it (both
+via tmp+rename, manifest last), and the tail is reset.  Every step is
+idempotent: a crash between pack and tail reset just leaves rows whose
+``seq`` is already finalized, and reopening skips them.
+
+Reads are integrity-checked: a finalized segment is re-hashed against
+its manifest before first use and moved to ``quarantine/`` on a
+mismatch; a torn WAL tail (crash mid-write) is detected by the row
+framing, quarantined and truncated away on open.  Consumers resume
+exactly once via plain sequence-number cursors (:class:`CursorFile`).
+
+Nothing in this module reads the wall clock on the write path — the
+log contents of a pinned-seed run are byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+from array import array
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro import faults, telemetry
+from repro.eventlog.schema import (
+    COLUMNS,
+    Event,
+    EventType,
+    decode_records,
+    encode_commit,
+    encode_record,
+)
+from repro.store.keys import canonical_bytes, digest_bytes
+
+#: Rows per finalized segment (kept modest so rotation is exercised).
+DEFAULT_SEGMENT_EVENTS = 4096
+
+_APPENDS = telemetry.counter(
+    "repro_eventlog_appends_total", "Event batches appended to the log")
+_EVENTS = telemetry.counter(
+    "repro_eventlog_events_total", "Events appended to the log",
+    labels=("etype",))
+_APPEND_FAILURES = telemetry.counter(
+    "repro_eventlog_append_failures_total",
+    "Append batches aborted by a write failure")
+_ROTATIONS = telemetry.counter(
+    "repro_eventlog_rotations_total",
+    "WAL tails packed into finalized segments")
+_TORN = telemetry.counter(
+    "repro_eventlog_torn_tails_total",
+    "Torn WAL tails quarantined during recovery")
+_QUARANTINED = telemetry.counter(
+    "repro_eventlog_quarantined_segments_total",
+    "Finalized segments quarantined after failing integrity checks")
+_HEAD = telemetry.gauge(
+    "repro_eventlog_head_seq", "Highest sequence number in the log")
+_SEGMENTS = telemetry.gauge(
+    "repro_eventlog_segments", "Finalized segments on disk")
+_APPEND_SECONDS = telemetry.histogram(
+    "repro_eventlog_append_seconds",
+    "Wall-clock seconds per appended batch (including fsync)")
+
+#: Manifest format marker.
+MANIFEST_FORMAT = "repro-eventlog/1"
+
+
+class EventLogError(RuntimeError):
+    """The log directory is in a state appends cannot continue from."""
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Manifest summary of one finalized segment."""
+
+    name: str
+    index: int
+    events: int
+    first_seq: int
+    last_seq: int
+    first_ts: float
+    last_ts: float
+    content_digest: str
+    size_bytes: int
+
+
+def _segment_name(index: int) -> str:
+    return f"seg-{index:08d}"
+
+
+class EventLog:
+    """Single-writer append-only event log (readers are lock-free safe).
+
+    Thread-safe within one process; the on-disk format assumes one
+    writing process per directory (the heartbeat loop), with any number
+    of reading processes (``repro serve``).
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 segment_events: int = DEFAULT_SEGMENT_EVENTS,
+                 fsync: bool = True) -> None:
+        if segment_events < 1:
+            raise ValueError("segment_events must be >= 1")
+        self.root = pathlib.Path(root)
+        self.segment_events = int(segment_events)
+        self.fsync = bool(fsync)
+        self._segments_dir = self.root / "segments"
+        self._quarantine_dir = self.root / "quarantine"
+        self._tmp_dir = self.root / "tmp"
+        self._wal_path = self.root / "wal.log"
+        for d in (self._segments_dir, self._quarantine_dir,
+                  self._tmp_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._wal_file = None
+        self._dirty = False
+        #: Decoded events of finalized segments, by name (bounded).
+        self._segment_cache: dict[str, list[Event]] = {}
+        self._segment_cache_cap = 8
+        self._recover()
+
+    # -- lifecycle -----------------------------------------------------
+    def _recover(self) -> None:
+        """(Re)load finalized segments and the WAL tail from disk."""
+        with self._lock:
+            if self._wal_file is not None:
+                try:
+                    self._wal_file.close()
+                except OSError:
+                    pass
+                self._wal_file = None
+            self._infos: list[SegmentInfo] = []
+            for manifest_path in sorted(
+                    self._segments_dir.glob("seg-*.json")):
+                info = self._load_manifest(manifest_path)
+                if info is not None:
+                    self._infos.append(info)
+            self._infos.sort(key=lambda i: i.index)
+            finalized_seq = max((i.last_seq for i in self._infos),
+                                default=-1)
+            self._tail: list[Event] = []
+            self._load_wal(finalized_seq)
+            self._next_seq = max(
+                [finalized_seq] + [e.seq for e in self._tail]) + 1
+            self._dirty = False
+            if telemetry.enabled():
+                _HEAD.set(self._next_seq - 1)
+                _SEGMENTS.set(len(self._infos))
+
+    def _load_manifest(self, manifest_path: pathlib.Path
+                       ) -> Optional[SegmentInfo]:
+        name = manifest_path.name[:-len(".json")]
+        seg_path = self._segments_dir / f"{name}.seg"
+        try:
+            doc = json.loads(manifest_path.read_bytes())
+            size = seg_path.stat().st_size
+        except (OSError, ValueError):
+            self._quarantine_segment(name)
+            return None
+        if doc.get("format") != MANIFEST_FORMAT \
+                or doc.get("size_bytes") != size:
+            self._quarantine_segment(name)
+            return None
+        return SegmentInfo(
+            name=name, index=int(doc["index"]),
+            events=int(doc["events"]),
+            first_seq=int(doc["first_seq"]),
+            last_seq=int(doc["last_seq"]),
+            first_ts=float(doc["first_ts"]),
+            last_ts=float(doc["last_ts"]),
+            content_digest=doc["content_digest"],
+            size_bytes=size)
+
+    def _load_wal(self, finalized_seq: int) -> None:
+        """Scan the WAL, quarantine any torn tail, open for append."""
+        data = b""
+        if self._wal_path.exists():
+            data = self._wal_path.read_bytes()
+        events, good_offset = decode_records(data)
+        if good_offset < len(data):
+            torn = data[good_offset:]
+            last_good = events[-1].seq if events else finalized_seq
+            quarantine = self._quarantine_dir / \
+                f"wal-tail-after-{last_good}.bin"
+            quarantine.write_bytes(torn)
+            with open(self._wal_path, "r+b") as fh:
+                fh.truncate(good_offset)
+            if telemetry.enabled():
+                _TORN.inc()
+        # Rows already packed into a segment (crash between pack and
+        # WAL reset) are duplicates; keep only the unpacked suffix.
+        self._tail = [e for e in events if e.seq > finalized_seq]
+        self._wal_file = open(self._wal_path, "ab")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._wal_file is not None:
+                self._wal_file.close()
+                self._wal_file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- write path ----------------------------------------------------
+    def append(self, events: Sequence[Event]) -> int:
+        """Durably append ``events`` in order; returns the last seq.
+
+        Assigns sequence numbers, writes framed rows to the WAL and
+        fsyncs before returning — all-or-nothing per batch: on a write
+        failure the WAL is rolled back to its pre-batch state and the
+        batch is not in the log.  Rotation (packing a full tail into a
+        columnar segment) happens inside the same call.
+        """
+        if not events:
+            return self._next_seq - 1
+        import time as _time
+        started = _time.perf_counter()
+        with self._lock:
+            if self._dirty:
+                raise EventLogError(
+                    "log needs recovery after a failed append; "
+                    "call recover()")
+            if self._wal_file is None:
+                raise EventLogError("log is closed")
+            first_seq = self._next_seq
+            stamped = [Event(seq=first_seq + i, ts=e.ts, etype=e.etype,
+                             scope=e.scope, a=e.a, b=e.b, value=e.value,
+                             ok=e.ok)
+                       for i, e in enumerate(events)]
+            # The trailing commit marker is what makes the batch
+            # all-or-nothing: recovery discards any rows not covered
+            # by a commit, so a retried batch can never duplicate.
+            blob = b"".join(encode_record(e) for e in stamped) \
+                + encode_commit(stamped[-1].seq)
+            try:
+                if faults.active():
+                    if faults.should_fire("eventlog.write_error",
+                                          str(first_seq)):
+                        raise OSError(
+                            f"injected eventlog write failure "
+                            f"(seq {first_seq})")
+                    if faults.should_fire("eventlog.torn_write",
+                                          str(first_seq)):
+                        # Land half the batch's bytes — exactly what a
+                        # power cut mid-write leaves behind — then die.
+                        self._wal_file.write(blob[:max(1,
+                                                       len(blob) // 2)])
+                        self._wal_file.flush()
+                        os.fsync(self._wal_file.fileno())
+                        raise OSError(
+                            f"injected torn eventlog write "
+                            f"(seq {first_seq})")
+                self._wal_file.write(blob)
+                self._wal_file.flush()
+                if self.fsync:
+                    os.fsync(self._wal_file.fileno())
+            except Exception:
+                self._dirty = True
+                if telemetry.enabled():
+                    _APPEND_FAILURES.inc()
+                raise
+            self._tail.extend(stamped)
+            self._next_seq = first_seq + len(stamped)
+            while len(self._tail) >= self.segment_events:
+                self._pack(self._tail[:self.segment_events])
+            last = self._next_seq - 1
+        if telemetry.enabled():
+            _APPENDS.inc()
+            for e in stamped:
+                _EVENTS.labels(etype=e.etype.wire_name).inc()
+            _HEAD.set(last)
+            _APPEND_SECONDS.observe(_time.perf_counter() - started)
+        return last
+
+    def recover(self) -> None:
+        """Re-scan the directory after a failed append (crash stand-in).
+
+        Quarantines any torn WAL tail and resumes from the last durable
+        row — the same code path a fresh process runs on open.
+        """
+        self._recover()
+
+    def seal(self) -> None:
+        """Pack the current tail into a final (possibly short) segment."""
+        with self._lock:
+            if self._dirty:
+                raise EventLogError(
+                    "log needs recovery after a failed append; "
+                    "call recover()")
+            while len(self._tail) >= self.segment_events:
+                self._pack(self._tail[:self.segment_events])
+            if self._tail:
+                self._pack(list(self._tail))
+
+    def _pack(self, rows: list[Event]) -> None:
+        """Freeze ``rows`` (a tail prefix) into a columnar segment."""
+        index = (self._infos[-1].index + 1) if self._infos else 1
+        name = _segment_name(index)
+        scopes: list[str] = []
+        scope_index: dict[str, int] = {}
+        columns = {cname: array(typecode) for cname, typecode in COLUMNS}
+        for e in rows:
+            idx = scope_index.get(e.scope)
+            if idx is None:
+                idx = scope_index[e.scope] = len(scopes)
+                scopes.append(e.scope)
+            columns["seq"].append(e.seq)
+            columns["ts"].append(e.ts)
+            columns["etype"].append(int(e.etype))
+            columns["scope"].append(idx)
+            columns["a"].append(e.a)
+            columns["b"].append(e.b)
+            columns["value"].append(e.value)
+            columns["ok"].append(1 if e.ok else 0)
+        blobs = [(cname, columns[cname].tobytes())
+                 for cname, _ in COLUMNS]
+        payload = b"".join(blob for _, blob in blobs)
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "name": name,
+            "index": index,
+            "events": len(rows),
+            "first_seq": rows[0].seq,
+            "last_seq": rows[-1].seq,
+            "first_ts": rows[0].ts,
+            "last_ts": rows[-1].ts,
+            "counts_by_type": _counts_by_type(rows),
+            "scopes": scopes,
+            "columns": _column_manifest(blobs),
+            "size_bytes": len(payload),
+            "content_digest": digest_bytes(payload),
+        }
+        seg_path = self._segments_dir / f"{name}.seg"
+        self._atomic_write(seg_path, payload, sync=True)
+        self._atomic_write(self._segments_dir / f"{name}.json",
+                           canonical_bytes(manifest), sync=True)
+        info = SegmentInfo(
+            name=name, index=index, events=len(rows),
+            first_seq=rows[0].seq, last_seq=rows[-1].seq,
+            first_ts=rows[0].ts, last_ts=rows[-1].ts,
+            content_digest=manifest["content_digest"],
+            size_bytes=len(payload))
+        self._infos.append(info)
+        self._reset_wal(rows[-1].seq)
+        if telemetry.enabled():
+            _ROTATIONS.inc()
+            _SEGMENTS.set(len(self._infos))
+
+    def _reset_wal(self, packed_through: int) -> None:
+        """Rewrite the WAL with only rows newer than ``packed_through``.
+
+        A crash before the replace leaves the old WAL whose packed rows
+        are skipped on reopen (their seq is <= the manifest's
+        last_seq), so this is idempotent.
+        """
+        self._tail = [e for e in self._tail if e.seq > packed_through]
+        blob = b"".join(encode_record(e) for e in self._tail)
+        if self._tail:
+            blob += encode_commit(self._tail[-1].seq)
+        self._wal_file.close()
+        self._atomic_write(self._wal_path, blob, sync=True)
+        self._wal_file = open(self._wal_path, "ab")
+
+    def _atomic_write(self, dest: pathlib.Path, data: bytes,
+                      sync: bool = False) -> None:
+        tmp = self._tmp_dir / f".{os.getpid()}.{dest.name}"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            if sync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, dest)
+
+    # -- read path -----------------------------------------------------
+    @property
+    def head_seq(self) -> int:
+        """Highest sequence number in the log (-1 when empty)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(i.events for i in self._infos) + len(self._tail)
+
+    def segments(self) -> list[SegmentInfo]:
+        with self._lock:
+            return list(self._infos)
+
+    def refresh(self) -> None:
+        """Pick up segments/rows another process appended since open."""
+        with self._lock:
+            known = {i.name for i in self._infos}
+            on_disk = sorted(self._segments_dir.glob("seg-*.json"))
+            changed = {p.name[:-len(".json")] for p in on_disk} != known
+            if changed or self._wal_file is None:
+                self._recover()
+            else:
+                finalized = max((i.last_seq for i in self._infos),
+                                default=-1)
+                data = self._wal_path.read_bytes() \
+                    if self._wal_path.exists() else b""
+                events, _good = decode_records(data)
+                self._tail = [e for e in events if e.seq > finalized]
+                self._next_seq = max(
+                    [finalized] + [e.seq for e in self._tail]) + 1
+
+    def read(self, after: int = -1, limit: Optional[int] = None,
+             etypes: Optional[Iterable[EventType]] = None,
+             scope: Optional[str] = None) -> list[Event]:
+        """Events with ``seq > after`` in order, integrity-checked.
+
+        ``etypes``/``scope`` filter before ``limit`` applies, so a
+        cursor over filtered reads still advances monotonically (use
+        the last returned event's ``seq`` as the next ``after``).
+        """
+        wanted = frozenset(etypes) if etypes is not None else None
+        out: list[Event] = []
+        with self._lock:
+            infos = list(self._infos)
+            tail = list(self._tail)
+        for info in infos:
+            if info.last_seq <= after:
+                continue
+            rows = self._segment_rows(info)
+            if rows is None:
+                continue
+            if not self._collect(rows, out, after, limit, wanted, scope):
+                return out
+        self._collect(tail, out, after, limit, wanted, scope)
+        return out
+
+    @staticmethod
+    def _collect(rows: list[Event], out: list[Event], after: int,
+                 limit: Optional[int], wanted, scope) -> bool:
+        """Append matching rows to ``out``; False once limit is hit."""
+        for e in rows:
+            if e.seq <= after:
+                continue
+            if wanted is not None and e.etype not in wanted:
+                continue
+            if scope is not None and e.scope != scope:
+                continue
+            out.append(e)
+            if limit is not None and len(out) >= limit:
+                return False
+        return True
+
+    def _segment_rows(self, info: SegmentInfo) -> Optional[list[Event]]:
+        """Decoded, digest-verified rows of one finalized segment."""
+        with self._lock:
+            cached = self._segment_cache.get(info.name)
+            if cached is not None:
+                return cached
+            seg_path = self._segments_dir / f"{info.name}.seg"
+            manifest_path = self._segments_dir / f"{info.name}.json"
+            try:
+                payload = seg_path.read_bytes()
+                doc = json.loads(manifest_path.read_bytes())
+            except (OSError, ValueError):
+                self._drop_segment(info)
+                return None
+            if digest_bytes(payload) != info.content_digest:
+                self._drop_segment(info)
+                return None
+            try:
+                rows = _decode_segment(payload, doc)
+            except (KeyError, ValueError, TypeError):
+                self._drop_segment(info)
+                return None
+            while len(self._segment_cache) >= self._segment_cache_cap:
+                self._segment_cache.pop(
+                    next(iter(self._segment_cache)))
+            self._segment_cache[info.name] = rows
+            return rows
+
+    def _drop_segment(self, info: SegmentInfo) -> None:
+        self._quarantine_segment(info.name)
+        self._infos = [i for i in self._infos if i.name != info.name]
+        if telemetry.enabled():
+            _SEGMENTS.set(len(self._infos))
+
+    def _quarantine_segment(self, name: str) -> None:
+        moved = False
+        for suffix in (".seg", ".json"):
+            src = self._segments_dir / f"{name}{suffix}"
+            if src.exists():
+                try:
+                    os.replace(src, self._quarantine_dir / src.name)
+                    moved = True
+                except OSError:
+                    pass
+        if moved and telemetry.enabled():
+            _QUARANTINED.inc()
+
+    # -- inspection ----------------------------------------------------
+    def counts_by_type(self) -> dict[str, int]:
+        """Total events per type across segments and the live tail."""
+        counts: dict[str, int] = {}
+        with self._lock:
+            infos, tail = list(self._infos), list(self._tail)
+        for info in infos:
+            doc = self._manifest_doc(info)
+            for name, n in (doc.get("counts_by_type") or {}).items():
+                counts[name] = counts.get(name, 0) + int(n)
+        for e in tail:
+            counts[e.etype.wire_name] = \
+                counts.get(e.etype.wire_name, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def _manifest_doc(self, info: SegmentInfo) -> dict:
+        try:
+            return json.loads(
+                (self._segments_dir / f"{info.name}.json").read_bytes())
+        except (OSError, ValueError):
+            return {}
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "head_seq": self._next_seq - 1,
+                "events": sum(i.events for i in self._infos)
+                + len(self._tail),
+                "segments": len(self._infos),
+                "tail_events": len(self._tail),
+                "segment_bytes": sum(i.size_bytes for i in self._infos),
+                "quarantined": len(list(
+                    self._quarantine_dir.iterdir())),
+            }
+
+
+def _counts_by_type(rows: list[Event]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for e in rows:
+        counts[e.etype.wire_name] = counts.get(e.etype.wire_name, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _column_manifest(blobs: list[tuple[str, bytes]]) -> dict:
+    offset = 0
+    out = {}
+    typecodes = dict(COLUMNS)
+    for cname, blob in blobs:
+        out[cname] = {"typecode": typecodes[cname], "offset": offset,
+                      "bytes": len(blob),
+                      "digest": digest_bytes(blob)}
+        offset += len(blob)
+    return out
+
+
+def _decode_segment(payload: bytes, doc: dict) -> list[Event]:
+    """Rebuild Event rows from a segment file plus its manifest."""
+    scopes = list(doc["scopes"])
+    columns: dict[str, array] = {}
+    for cname, typecode in COLUMNS:
+        spec = doc["columns"][cname]
+        col = array(typecode)
+        col.frombytes(payload[spec["offset"]:
+                              spec["offset"] + spec["bytes"]])
+        columns[cname] = col
+    n = int(doc["events"])
+    lengths = {len(col) for col in columns.values()}
+    if lengths != {n}:
+        raise ValueError("column length mismatch")
+    return [Event(seq=columns["seq"][i], ts=columns["ts"][i],
+                  etype=EventType(columns["etype"][i]),
+                  scope=scopes[columns["scope"][i]],
+                  a=columns["a"][i], b=columns["b"][i],
+                  value=columns["value"][i],
+                  ok=bool(columns["ok"][i]))
+            for i in range(n)]
+
+
+class CursorFile:
+    """Durable consumer cursor: a tiny JSON file of the acked seq.
+
+    ``load()`` → resume point (``-1`` when never acked); ``ack(seq)``
+    lands atomically, so a consumer that processes a batch and then
+    acks its last seq gets resume-exactly-once delivery across
+    restarts.
+    """
+
+    def __init__(self, path: str | os.PathLike, name: str = "consumer"
+                 ) -> None:
+        self.path = pathlib.Path(path)
+        self.name = name
+
+    def load(self) -> int:
+        try:
+            doc = json.loads(self.path.read_bytes())
+            return int(doc["ack"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return -1
+
+    def ack(self, seq: int) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(canonical_bytes(
+            {"name": self.name, "ack": int(seq)}))
+        os.replace(tmp, self.path)
+
+
+def drain(log: EventLog, cursor: CursorFile,
+          handle: Callable[[list[Event]], None],
+          batch: int = 1024) -> int:
+    """Feed unacked events through ``handle`` in batches, acking after
+    each — the resume-exactly-once consumption idiom in one helper.
+    Returns the number of events processed."""
+    after = cursor.load()
+    processed = 0
+    while True:
+        events = log.read(after=after, limit=batch)
+        if not events:
+            return processed
+        handle(events)
+        after = events[-1].seq
+        cursor.ack(after)
+        processed += len(events)

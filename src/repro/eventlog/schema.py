@@ -1,0 +1,212 @@
+"""Event taxonomy and wire encoding for the measurement event log.
+
+Every always-on producer — traceroutes, pings, DNS checks, probe
+power transitions, outage-engine transitions and the heartbeat
+detector itself — emits :class:`Event` records with one shared shape:
+
+======  =======  ====================================================
+field   type     meaning
+======  =======  ====================================================
+seq     uint64   global append order (assigned by the log)
+ts      float64  simulated time in days from window start
+etype   uint8    :class:`EventType` code
+scope   str      where it happened (country ISO2, ``AS<asn>``, "")
+a       int64    per-type integer payload (see ``FIELD_DOC``)
+b       int64    per-type integer payload
+value   float64  per-type float payload (``-1.0`` == not applicable)
+ok      bool     success flag
+======  =======  ====================================================
+
+Two encodings share this schema:
+
+* the write-ahead tail uses framed rows —
+  ``<u32 len><payload><u32 crc32>`` with a fixed ``struct`` prefix and
+  a UTF-8 scope suffix — so a torn final write is detectable byte by
+  byte;
+* finalized segments store the same records as flat stdlib ``array``
+  columns (see :mod:`repro.eventlog.log`), one contiguous block per
+  column, which is what makes range scans cheap.
+
+Timestamps are *simulated* days, never wall clock: the log contents of
+a pinned-seed run are required to be byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+class EventType(enum.IntEnum):
+    """Stable on-disk codes; append new types, never renumber."""
+
+    TRACEROUTE = 1
+    PING = 2
+    DNS = 3
+    PROBE_CONNECT = 4
+    PROBE_DISCONNECT = 5
+    OUTAGE_BEGIN = 6
+    OUTAGE_END = 7
+    ALERT_RAISED = 8
+    ALERT_CLEARED = 9
+
+    @property
+    def wire_name(self) -> str:
+        return self.name.lower()
+
+
+#: Per-type meaning of the generic ``a``/``b``/``value`` payload slots.
+FIELD_DOC: dict[EventType, dict[str, str]] = {
+    EventType.TRACEROUTE: {"a": "probe_id", "b": "responding hops",
+                           "value": "end-to-end rtt_ms"},
+    EventType.PING: {"a": "probe_id", "b": "packets received",
+                     "value": "median rtt_ms"},
+    EventType.DNS: {"a": "probe_id", "b": "client asn",
+                    "value": "resolution rtt_ms"},
+    EventType.PROBE_CONNECT: {"a": "probe_id", "b": "asn",
+                              "value": "unused"},
+    EventType.PROBE_DISCONNECT: {"a": "probe_id", "b": "asn",
+                                 "value": "unused"},
+    EventType.OUTAGE_BEGIN: {"a": "outage event_id", "b": "cause code",
+                             "value": "severity"},
+    EventType.OUTAGE_END: {"a": "outage event_id", "b": "cause code",
+                           "value": "severity"},
+    EventType.ALERT_RAISED: {"a": "alert kind code", "b": "bucket index",
+                             "value": "estimated severity"},
+    EventType.ALERT_CLEARED: {"a": "alert kind code", "b": "bucket index",
+                              "value": "buckets active"},
+}
+
+_BY_WIRE_NAME = {t.wire_name: t for t in EventType}
+
+
+def event_type_from_name(name: str) -> Optional[EventType]:
+    """Wire-name lookup (``"dns"`` → :attr:`EventType.DNS`)."""
+    return _BY_WIRE_NAME.get(name.strip().lower())
+
+
+@dataclass(frozen=True)
+class Event:
+    """One immutable measurement event (see module docstring)."""
+
+    seq: int
+    ts: float
+    etype: EventType
+    scope: str
+    a: int = 0
+    b: int = 0
+    value: float = -1.0
+    ok: bool = True
+
+    def to_dict(self) -> dict:
+        """JSON-safe view served by ``/v1/events``."""
+        return {"seq": self.seq, "ts": self.ts,
+                "type": self.etype.wire_name, "scope": self.scope,
+                "a": self.a, "b": self.b, "value": self.value,
+                "ok": self.ok}
+
+
+def make_event(ts: float, etype: EventType, scope: str, a: int = 0,
+               b: int = 0, value: float = -1.0, ok: bool = True) -> Event:
+    """An event awaiting a sequence number (``seq`` assigned on append)."""
+    return Event(seq=-1, ts=float(ts), etype=etype, scope=scope,
+                 a=int(a), b=int(b),
+                 value=-1.0 if value is None else float(value),
+                 ok=bool(ok))
+
+
+# ----------------------------------------------------------------------
+# Write-ahead row framing
+# ----------------------------------------------------------------------
+
+#: Fixed-size record prefix: seq, ts, etype, a, b, value, ok, scope len.
+_PREFIX = struct.Struct("<QdBqqdBH")
+_FRAME_HEAD = struct.Struct("<I")
+_FRAME_CRC = struct.Struct("<I")
+
+#: Scope strings are identifiers, not documents.
+MAX_SCOPE_BYTES = 0xFFFF
+
+#: Reserved etype code marking a batch commit (never a real event).
+#: ``append`` terminates every batch with one; rows after the last
+#: commit marker are an *uncommitted* batch prefix — a crash landed
+#: some of the batch's bytes — and recovery must discard them, or a
+#: failed append that the caller retries would duplicate events.
+COMMIT_CODE = 0
+
+
+def encode_commit(last_seq: int) -> bytes:
+    """A framed batch-commit marker covering rows up to ``last_seq``."""
+    payload = _PREFIX.pack(max(0, last_seq), 0.0, COMMIT_CODE,
+                           0, 0, 0.0, 1, 0)
+    return _FRAME_HEAD.pack(len(payload)) + payload \
+        + _FRAME_CRC.pack(zlib.crc32(payload))
+
+
+def encode_record(event: Event) -> bytes:
+    """One framed WAL row for ``event`` (length + payload + crc32)."""
+    scope = event.scope.encode("utf-8")
+    if len(scope) > MAX_SCOPE_BYTES:
+        raise ValueError(f"scope too long ({len(scope)} bytes)")
+    payload = _PREFIX.pack(event.seq, event.ts, int(event.etype),
+                           event.a, event.b, event.value,
+                           1 if event.ok else 0, len(scope)) + scope
+    return _FRAME_HEAD.pack(len(payload)) + payload \
+        + _FRAME_CRC.pack(zlib.crc32(payload))
+
+
+def decode_records(data: bytes) -> tuple[list[Event], int]:
+    """Decode every *committed* framed row in ``data``.
+
+    Returns ``(events, good_offset)``: the events covered by a batch
+    commit marker, and the byte offset just past the last commit.
+    Anything beyond it — torn bytes *or* intact rows whose commit
+    never landed — is a failed batch the caller should quarantine
+    (all-or-nothing append semantics).
+    """
+    events: list[Event] = []
+    committed = 0
+    committed_offset = 0
+    offset = 0
+    n = len(data)
+    while True:
+        head_end = offset + _FRAME_HEAD.size
+        if head_end > n:
+            break
+        (length,) = _FRAME_HEAD.unpack_from(data, offset)
+        body_end = head_end + length + _FRAME_CRC.size
+        if length < _PREFIX.size or body_end > n:
+            break
+        payload = data[head_end:head_end + length]
+        (crc,) = _FRAME_CRC.unpack_from(data, head_end + length)
+        if zlib.crc32(payload) != crc:
+            break
+        seq, ts, code, a, b, value, ok, scope_len = \
+            _PREFIX.unpack_from(payload, 0)
+        if len(payload) != _PREFIX.size + scope_len:
+            break
+        offset = body_end
+        if code == COMMIT_CODE:
+            committed = len(events)
+            committed_offset = offset
+            continue
+        try:
+            etype = EventType(code)
+        except ValueError:
+            break
+        scope = payload[_PREFIX.size:].decode("utf-8")
+        events.append(Event(seq=seq, ts=ts, etype=etype, scope=scope,
+                            a=a, b=b, value=value, ok=bool(ok)))
+    return events[:committed], committed_offset
+
+
+#: Column layout of a finalized segment, in file order.  Scope strings
+#: are interned per segment: the column stores indexes into the
+#: manifest's ``scopes`` table.
+COLUMNS: tuple[tuple[str, str], ...] = (
+    ("seq", "Q"), ("ts", "d"), ("etype", "B"), ("scope", "I"),
+    ("a", "q"), ("b", "q"), ("value", "d"), ("ok", "B"),
+)

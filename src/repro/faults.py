@@ -79,6 +79,8 @@ SITES = frozenset({
     "jobs.stall",          # job compute sleeps `stall` seconds first
     "store.corrupt",       # written payload bytes are corrupted
     "store.write_error",   # ArtifactStore.put raises OSError
+    "eventlog.write_error",  # EventLog.append fails before any byte lands
+    "eventlog.torn_write",   # EventLog.append dies mid-write (torn tail)
 })
 
 #: Exit status used by an injected worker crash (distinctive in waitpid).

@@ -1,0 +1,38 @@
+"""repro.monitoring — streaming heartbeat analytics over the event log.
+
+The always-on read path of ROADMAP item 3: :class:`ObservatoryStream`
+turns the probe fleet's simulated activity into typed event batches,
+and :class:`HeartbeatAnalyzer` consumes the log incrementally —
+cursor-based, batch by batch — maintaining per-country baselines and
+raising/clearing anomaly alerts as events back into the same log.
+"""
+
+from repro.monitoring.heartbeat import (
+    ANOMALY_THRESHOLD,
+    Alert,
+    AlertKind,
+    BASELINE_MIN,
+    BASELINE_WINDOW,
+    CHURN_FACTOR,
+    CHURN_MIN,
+    HeartbeatAnalyzer,
+    LATENCY_FACTOR,
+    LATENCY_FLOOR_MS,
+)
+from repro.monitoring.stream import (
+    CAUSE_CODES,
+    CHECKS_PER_PROBE,
+    ObservatoryStream,
+    SAMPLE_HOURS,
+    events_from_dns,
+    events_from_ping,
+    events_from_traceroute,
+)
+
+__all__ = [
+    "ANOMALY_THRESHOLD", "Alert", "AlertKind", "BASELINE_MIN",
+    "BASELINE_WINDOW", "CAUSE_CODES", "CHECKS_PER_PROBE",
+    "CHURN_FACTOR", "CHURN_MIN", "HeartbeatAnalyzer", "LATENCY_FACTOR",
+    "LATENCY_FLOOR_MS", "ObservatoryStream", "SAMPLE_HOURS",
+    "events_from_dns", "events_from_ping", "events_from_traceroute",
+]

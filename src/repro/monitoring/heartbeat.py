@@ -1,0 +1,422 @@
+"""Streaming heartbeat analytics over the measurement event log.
+
+"An Internet Heartbeat"-style expected-response modeling, incremental
+instead of batch: the detector consumes the event log through a
+cursor, folds measurement events into per-country time buckets, and
+compares each closed bucket against baselines learned *from the stream
+itself* — no re-simulation, no second pass.  Three anomaly families:
+
+* **reachability** — bucket success rate below the rolling baseline of
+  recent healthy buckets (the §5.2 outage signal);
+* **latency** — bucket mean RTT far above its EWMA baseline (cable
+  cuts reroute before they partition);
+* **churn** — a burst of probe connect/disconnect transitions ("Day in
+  the Life of RIPE Atlas": churn is a first-class signal, and a
+  churn burst is either a power event or a platform problem).
+
+Anomalies open :class:`Alert`\\ s; each alert is also emitted as an
+``ALERT_RAISED`` event back into the same log (cleared with
+``ALERT_CLEARED``), so downstream consumers — ``/v1/heartbeat/stream``
+long-pollers, future pagers — replay detector output with the same
+cursor machinery as raw measurements.
+
+Everything here is a pure function of the event stream: two runs over
+the same log contents raise byte-identical alert events.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro import telemetry
+from repro.eventlog import Event, EventLog, EventType, make_event
+
+_EVENTS = telemetry.counter(
+    "repro_heartbeat_events_total",
+    "Events consumed by the heartbeat detector", labels=("etype",))
+_BATCHES = telemetry.counter(
+    "repro_heartbeat_batches_total",
+    "Catch-up batches processed by the heartbeat detector")
+_BUCKETS = telemetry.counter(
+    "repro_heartbeat_buckets_total",
+    "Country-buckets evaluated against baselines")
+_ALERTS = telemetry.counter(
+    "repro_heartbeat_alerts_total",
+    "Alerts raised by the heartbeat detector", labels=("kind",))
+_LAG = telemetry.gauge(
+    "repro_heartbeat_lag_events",
+    "Events between the log head and the detector cursor")
+_PROCESS_SECONDS = telemetry.histogram(
+    "repro_heartbeat_process_seconds",
+    "Wall-clock seconds per detector catch-up call")
+
+#: Reachability drop (below baseline) that opens an alert — matches the
+#: longitudinal monitoring runner so the two detectors agree.
+ANOMALY_THRESHOLD = 0.10
+#: Healthy buckets remembered per country for the success baseline.
+BASELINE_WINDOW = 14
+#: Minimum healthy buckets before the learned baseline replaces 1.0.
+BASELINE_MIN = 3
+#: Mean per-probe RTT inflation (vs each probe's own EWMA baseline)
+#: that opens a latency alert.  Comparing every probe against *itself*
+#: makes the signal immune to probe-composition changes: a country
+#: whose satellite probe powers on does not look like a cable cut.
+LATENCY_FACTOR = 1.3
+#: Bucket RTTs below this are ignored for ratio purposes (floor for
+#: the per-probe baseline denominator).
+LATENCY_FLOOR_MS = 1.0
+#: Churn transitions in one bucket that can constitute a burst, and
+#: the multiple of the rolling mean they must exceed.
+CHURN_MIN = 4
+CHURN_FACTOR = 3.0
+
+
+class AlertKind(enum.IntEnum):
+    """Stable codes carried in ``ALERT_*`` events' ``a`` slot."""
+
+    REACHABILITY = 1
+    LATENCY = 2
+    CHURN = 3
+
+    @property
+    def wire_name(self) -> str:
+        return self.name.lower()
+
+
+@dataclass
+class Alert:
+    """One active (or historical) detector alarm."""
+
+    kind: AlertKind
+    scope: str
+    raised_bucket: int
+    raised_ts: float
+    severity: float
+    buckets_active: int = 1
+    cleared_bucket: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        return self.cleared_bucket is None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind.wire_name, "scope": self.scope,
+                "raised_bucket": self.raised_bucket,
+                "raised_ts": self.raised_ts,
+                "severity": self.severity,
+                "buckets_active": self.buckets_active,
+                "cleared_bucket": self.cleared_bucket,
+                "active": self.active}
+
+
+@dataclass
+class _CountryState:
+    """Everything the detector remembers about one country."""
+
+    healthy_rates: list[float] = field(default_factory=list)
+    #: Per-probe RTT EWMA baselines: probe_id -> (ewma_ms, buckets).
+    probe_base: dict[int, tuple[float, int]] = field(default_factory=dict)
+    churn_history: list[int] = field(default_factory=list)
+    connected: set[int] = field(default_factory=set)
+    last_rate: Optional[float] = None
+    last_baseline: Optional[float] = None
+    last_rtt: Optional[float] = None
+    last_rtt_ratio: Optional[float] = None
+    last_bucket: Optional[int] = None
+    active: dict[AlertKind, Alert] = field(default_factory=dict)
+    # Current-bucket accumulators.
+    checks: int = 0
+    oks: int = 0
+    rtt_sum: float = 0.0
+    rtt_n: int = 0
+    #: probe_id -> [rtt_sum, samples] for this bucket.
+    probe_rtt: dict[int, list] = field(default_factory=dict)
+    churn: int = 0
+
+    def reset_bucket(self) -> None:
+        self.checks = self.oks = 0
+        self.rtt_sum, self.rtt_n = 0.0, 0
+        self.probe_rtt = {}
+        self.churn = 0
+
+
+#: Types that count toward the reachability success rate.  Traceroutes
+#: are excluded: an incomplete trace (silent hops) is ambient path
+#: behaviour, not a reachability failure, and folding it in makes the
+#: hour-0 bucket dip below baseline in every country whose anchor trace
+#: habitually dies mid-path.
+_RATE_TYPES = frozenset({EventType.DNS, EventType.PING})
+#: Types whose RTT feeds the latency baseline.  DNS is excluded: its
+#: RTT mixes cache hits and full recursions, so per-bucket means are
+#: dominated by cache luck rather than path changes.
+_LATENCY_TYPES = frozenset({EventType.PING, EventType.TRACEROUTE})
+_MEASUREMENTS = frozenset(
+    {EventType.DNS, EventType.PING, EventType.TRACEROUTE})
+_CHURN_TYPES = frozenset(
+    {EventType.PROBE_CONNECT, EventType.PROBE_DISCONNECT})
+
+
+class HeartbeatAnalyzer:
+    """Incremental per-country anomaly detector over an event log."""
+
+    def __init__(self, log: EventLog,
+                 bucket_days: float = 0.25,
+                 anomaly_threshold: float = ANOMALY_THRESHOLD,
+                 min_checks: int = 2,
+                 emit_alerts: bool = True) -> None:
+        self._log = log
+        self.bucket_days = float(bucket_days)
+        self.anomaly_threshold = float(anomaly_threshold)
+        self.min_checks = int(min_checks)
+        self.emit_alerts = bool(emit_alerts)
+        self._cursor = -1
+        self._bucket: Optional[int] = None
+        self._states: dict[str, _CountryState] = {}
+        self.alerts: list[Alert] = []
+        #: Alert events awaiting a durable append (see flush_alerts).
+        self._pending: list[Event] = []
+        self.events_processed = 0
+        self.buckets_closed = 0
+
+    # -- consumption ---------------------------------------------------
+    @property
+    def cursor(self) -> int:
+        """Last event seq the detector has folded in."""
+        return self._cursor
+
+    def catch_up(self, batch: int = 2048) -> int:
+        """Consume every event past the cursor; returns events read.
+
+        Alert events the detector itself appends are consumed (and
+        skipped) on the next iteration, so the cursor always converges
+        to the log head.
+        """
+        started = time.perf_counter()
+        total = 0
+        while True:
+            self.flush_alerts()
+            events = self._log.read(after=self._cursor, limit=batch)
+            if not events:
+                break
+            self.process(events)
+            total += len(events)
+        if telemetry.enabled():
+            _BATCHES.inc()
+            _LAG.set(self._log.head_seq - self._cursor)
+            _PROCESS_SECONDS.observe(time.perf_counter() - started)
+        return total
+
+    def process(self, events: list[Event]) -> None:
+        """Fold a batch of events (must be in seq order)."""
+        for e in events:
+            self._cursor = e.seq
+            self.events_processed += 1
+            if telemetry.enabled():
+                _EVENTS.labels(etype=e.etype.wire_name).inc()
+            bucket = int(e.ts / self.bucket_days + 1e-9)
+            if self._bucket is None:
+                self._bucket = bucket
+            elif bucket > self._bucket:
+                self._close_bucket()
+                self._bucket = bucket
+            self._fold(e)
+
+    def finish(self) -> None:
+        """Close the final (partial) bucket at end of stream."""
+        if self._bucket is not None:
+            self._close_bucket()
+            self._bucket = None
+        self.flush_alerts()
+
+    def flush_alerts(self) -> int:
+        """Durably append buffered alert events; returns the count.
+
+        Detector state mutates *before* the append, so when the append
+        fails (the log raises, caller runs ``recover()``), retrying
+        this flush — or any method that calls it — lands the same
+        buffered events exactly once: the buffer is only dropped after
+        the append succeeds.
+        """
+        if not self.emit_alerts or not self._pending:
+            return 0
+        pending = list(self._pending)
+        self._log.append(pending)
+        self._pending.clear()
+        return len(pending)
+
+    # -- folding -------------------------------------------------------
+    def _fold(self, e: Event) -> None:
+        if e.etype in (EventType.ALERT_RAISED, EventType.ALERT_CLEARED):
+            return  # our own output
+        state = self._states.get(e.scope)
+        if state is None:
+            state = self._states[e.scope] = _CountryState()
+        if e.etype in _MEASUREMENTS:
+            if e.etype in _RATE_TYPES:
+                state.checks += 1
+                state.oks += e.ok
+            if e.etype in _LATENCY_TYPES and e.ok and e.value >= 0.0:
+                state.rtt_sum += e.value
+                state.rtt_n += 1
+                acc = state.probe_rtt.get(e.a)
+                if acc is None:
+                    state.probe_rtt[e.a] = [e.value, 1]
+                else:
+                    acc[0] += e.value
+                    acc[1] += 1
+        elif e.etype in _CHURN_TYPES:
+            state.churn += 1
+            if e.etype is EventType.PROBE_CONNECT:
+                state.connected.add(e.a)
+            else:
+                state.connected.discard(e.a)
+
+    # -- bucket evaluation ---------------------------------------------
+    def _close_bucket(self) -> None:
+        bucket = self._bucket
+        bucket_end_ts = (bucket + 1) * self.bucket_days
+        for scope in sorted(self._states):
+            state = self._states[scope]
+            if state.checks or state.churn or state.active:
+                self._evaluate(scope, state, bucket, bucket_end_ts)
+            state.reset_bucket()
+        self.buckets_closed += 1
+        if telemetry.enabled():
+            _BUCKETS.inc()
+
+    def _evaluate(self, scope: str, state: _CountryState, bucket: int,
+                  ts: float) -> None:
+        state.last_bucket = bucket
+        # Reachability: success rate vs rolling healthy baseline.
+        if state.checks >= self.min_checks:
+            rate = state.oks / state.checks
+            baseline = (_mean(state.healthy_rates[-BASELINE_WINDOW:])
+                        if len(state.healthy_rates) >= BASELINE_MIN
+                        else 1.0)
+            state.last_rate, state.last_baseline = rate, baseline
+            if rate < baseline - self.anomaly_threshold:
+                self._raise(scope, state, AlertKind.REACHABILITY,
+                            bucket, ts, baseline - rate)
+            else:
+                state.healthy_rates.append(rate)
+                del state.healthy_rates[:-BASELINE_WINDOW]
+                self._clear(scope, state, AlertKind.REACHABILITY,
+                            bucket, ts)
+        # Latency: each probe's bucket RTT vs that probe's own EWMA.
+        if state.rtt_n:
+            state.last_rtt = state.rtt_sum / state.rtt_n
+        if state.probe_rtt:
+            ratios = []
+            means: list[tuple[int, float]] = []
+            for pid in sorted(state.probe_rtt):
+                acc = state.probe_rtt[pid]
+                mean = acc[0] / acc[1]
+                means.append((pid, mean))
+                base = state.probe_base.get(pid)
+                if base is not None and base[1] >= BASELINE_MIN:
+                    ratios.append(mean / max(base[0], LATENCY_FLOOR_MS))
+            ratio = _mean(ratios) if ratios else None
+            state.last_rtt_ratio = ratio
+            if ratio is not None and ratio > LATENCY_FACTOR:
+                self._raise(scope, state, AlertKind.LATENCY, bucket, ts,
+                            min(1.0, ratio - 1.0))
+            else:
+                # Healthy bucket: fold each probe's mean into its EWMA
+                # (an alerting bucket must not poison the baselines).
+                for pid, mean in means:
+                    base = state.probe_base.get(pid)
+                    if base is None:
+                        state.probe_base[pid] = (mean, 1)
+                    else:
+                        state.probe_base[pid] = (
+                            0.7 * base[0] + 0.3 * mean, base[1] + 1)
+                self._clear(scope, state, AlertKind.LATENCY, bucket, ts)
+        # Churn: transition burst vs rolling mean.
+        churn_base = _mean(state.churn_history[-BASELINE_WINDOW:]) \
+            if state.churn_history else 0.0
+        if state.churn >= CHURN_MIN \
+                and len(state.churn_history) >= BASELINE_MIN \
+                and state.churn > CHURN_FACTOR * max(1.0, churn_base):
+            self._raise(scope, state, AlertKind.CHURN, bucket, ts,
+                        min(1.0, state.churn
+                            / (CHURN_FACTOR * max(1.0, churn_base))
+                            - 1.0))
+        else:
+            state.churn_history.append(state.churn)
+            del state.churn_history[:-BASELINE_WINDOW]
+            self._clear(scope, state, AlertKind.CHURN, bucket, ts)
+
+    def _raise(self, scope: str, state: _CountryState, kind: AlertKind,
+               bucket: int, ts: float, severity: float) -> None:
+        existing = state.active.get(kind)
+        if existing is not None:
+            existing.buckets_active += 1
+            existing.severity = max(existing.severity, severity)
+            return
+        alert = Alert(kind=kind, scope=scope, raised_bucket=bucket,
+                      raised_ts=ts, severity=severity)
+        state.active[kind] = alert
+        self.alerts.append(alert)
+        if telemetry.enabled():
+            _ALERTS.labels(kind=kind.wire_name).inc()
+        if self.emit_alerts:
+            self._pending.append(make_event(
+                ts, EventType.ALERT_RAISED, scope, a=int(kind),
+                b=bucket, value=severity, ok=False))
+
+    def _clear(self, scope: str, state: _CountryState, kind: AlertKind,
+               bucket: int, ts: float) -> None:
+        alert = state.active.pop(kind, None)
+        if alert is None:
+            return
+        alert.cleared_bucket = bucket
+        if self.emit_alerts:
+            self._pending.append(make_event(
+                ts, EventType.ALERT_CLEARED, scope, a=int(kind),
+                b=bucket, value=float(alert.buckets_active), ok=True))
+
+    # -- reporting -----------------------------------------------------
+    def active_alerts(self) -> list[Alert]:
+        out = []
+        for scope in sorted(self._states):
+            for kind in sorted(self._states[scope].active):
+                out.append(self._states[scope].active[kind])
+        return out
+
+    def status_doc(self) -> dict[str, Any]:
+        """Deterministic JSON-safe snapshot for ``/v1/heartbeat``."""
+        countries = {}
+        for scope in sorted(self._states):
+            state = self._states[scope]
+            countries[scope] = {
+                "status": ("alert" if state.active
+                           else "ok" if state.last_rate is not None
+                           else "no-data"),
+                "success_rate": state.last_rate,
+                "baseline": state.last_baseline,
+                "rtt_ms": state.last_rtt,
+                "rtt_ratio": state.last_rtt_ratio,
+                "probes_connected": len(state.connected),
+                "last_bucket": state.last_bucket,
+                "alerts": [a.to_dict()
+                           for _, a in sorted(state.active.items())],
+            }
+        return {
+            "bucket_days": self.bucket_days,
+            "cursor": self._cursor,
+            "head_seq": self._log.head_seq,
+            "events_processed": self.events_processed,
+            "buckets_closed": self.buckets_closed,
+            "alerts_raised": len(self.alerts),
+            "alerts_active": sum(len(s.active)
+                                 for s in self._states.values()),
+            "countries": countries,
+        }
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

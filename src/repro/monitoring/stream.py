@@ -1,0 +1,241 @@
+"""Always-on event producers: the observatory's write path.
+
+Drives the probe fleet through simulated time and converts everything
+that happens into typed :class:`~repro.eventlog.Event` rows:
+
+* measurement results — DNS resolutions, pings and a daily traceroute
+  per country, via :func:`events_from_dns` / :func:`events_from_ping`
+  / :func:`events_from_traceroute` (usable by any producer, not just
+  this loop);
+* probe power transitions (``PROBE_CONNECT``/``PROBE_DISCONNECT``) —
+  "Day in the Life of RIPE Atlas" churn as a first-class signal;
+* outage-engine transitions (``OUTAGE_BEGIN``/``OUTAGE_END``) — the
+  ground-truth feed a Radar-style monitor would publish.
+
+Every tick's randomness derives from ``(seed, "heartbeat", day, hour,
+country, probe, check)``, so the stream is a pure function of the
+world seed: two runs append byte-identical event sequences, which is
+what makes the event log's determinism gate possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.eventlog import Event, EventType, make_event
+from repro.measurement import (
+    DNSMeasurement,
+    DNSResult,
+    MeasurementEngine,
+    PingResult,
+    ProbePlatform,
+    TracerouteResult,
+)
+from repro.observatory.power import is_powered
+from repro.outages import OutageCause, SimulationResult
+from repro.routing import BGPRouting, PhysicalNetwork
+from repro.topology import Topology
+from repro.util import derive_rng
+
+#: Sampling times within each simulated day (hours); one heartbeat
+#: bucket per sample when ``bucket_days`` is 0.25.
+SAMPLE_HOURS = (0, 6, 12, 18)
+#: DNS resolutions per powered probe per sample.  Four per sample (vs
+#: the longitudinal runner's two) because the streaming detector works
+#: bucket-by-bucket: single-probe countries need enough draws per
+#: quarter-day for a severity-gated outage to actually surface in the
+#: bucket's success rate.
+CHECKS_PER_PROBE = 4
+#: Numeric codes for outage causes carried in the ``b`` slot.
+CAUSE_CODES: dict[OutageCause, int] = {
+    cause: i + 1 for i, cause in enumerate(OutageCause)}
+
+
+# ----------------------------------------------------------------------
+# Typed converters: measurement result -> event
+# ----------------------------------------------------------------------
+def events_from_dns(result: DNSResult, ts: float, scope: str,
+                    probe_id: int) -> Event:
+    return make_event(ts, EventType.DNS, scope, a=probe_id,
+                      b=result.client_asn, value=result.rtt_ms,
+                      ok=result.ok)
+
+
+def events_from_ping(result: PingResult, ts: float, scope: str) -> Event:
+    return make_event(ts, EventType.PING, scope, a=result.probe_id,
+                      b=result.received, value=result.rtt_ms,
+                      ok=result.received > 0)
+
+
+def events_from_traceroute(result: TracerouteResult, ts: float,
+                           scope: str) -> Event:
+    return make_event(ts, EventType.TRACEROUTE, scope,
+                      a=result.probe_id,
+                      b=len(result.responding_hops()),
+                      value=result.end_to_end_rtt(),
+                      ok=result.reached)
+
+
+class ObservatoryStream:
+    """Generates the per-tick event batches of a monitoring window."""
+
+    def __init__(self, topo: Topology, platform: ProbePlatform,
+                 simulation: SimulationResult,
+                 seed: Optional[int] = None,
+                 checks_per_probe: int = CHECKS_PER_PROBE,
+                 routing: Optional[BGPRouting] = None,
+                 phys: Optional[PhysicalNetwork] = None) -> None:
+        self._topo = topo
+        self._simulation = simulation
+        self._seed = seed if seed is not None else topo.params.seed
+        self._checks = int(checks_per_probe)
+        self._routing = routing if routing is not None \
+            else BGPRouting(topo)
+        self._phys = phys if phys is not None else PhysicalNetwork(topo)
+        self._dns = DNSMeasurement(topo, self._phys, seed=self._seed)
+        self._engines: dict[tuple[int, ...], MeasurementEngine] = {}
+        self._probes_by_cc: dict[str, list] = {}
+        for probe in platform.probes:
+            if probe.region.is_african:
+                self._probes_by_cc.setdefault(probe.country_iso2,
+                                              []).append(probe)
+        for probes in self._probes_by_cc.values():
+            probes.sort(key=lambda p: p.probe_id)
+        self._powered: dict[int, bool] = {}
+        self._outage_state: dict[tuple[int, str], bool] = {}
+        # Anchor target: the first non-African network with address
+        # space — the international dependency every African eyeball
+        # path exercises (content, DNS authorities, clouds).
+        anchor = next(a for a in sorted(topo.ases.values(),
+                                        key=lambda x: x.asn)
+                      if not a.is_african and a.prefixes)
+        self._anchor_ip = anchor.prefixes[0].network + 1
+
+    @property
+    def countries(self) -> list[str]:
+        return sorted(self._probes_by_cc)
+
+    def ticks(self, days: int) -> Iterator[tuple[int, int]]:
+        for day in range(days):
+            for hour in SAMPLE_HOURS:
+                yield day, hour
+
+    # ------------------------------------------------------------------
+    def tick_events(self, day: int, hour: int) -> list[Event]:
+        """Everything that happened at sample ``(day, hour)``."""
+        t = day + hour / 24.0
+        events: list[Event] = []
+        self._outage_transitions(t, events)
+        for cc in self.countries:
+            self._country_tick(cc, day, hour, t, events)
+        return events
+
+    def run(self, days: int, sink) -> int:
+        """Feed every tick batch to ``sink``; returns batches emitted."""
+        n = 0
+        for day, hour in self.ticks(days):
+            sink(self.tick_events(day, hour))
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    def _outage_transitions(self, t: float, events: list[Event]) -> None:
+        monitored = self._probes_by_cc
+        for event in self._simulation.events:  # sorted by start_day
+            if event.start_day > t:
+                break
+            code = CAUSE_CODES[event.cause]
+            for impact in sorted(event.impacts, key=lambda i: i.iso2):
+                if impact.iso2 not in monitored:
+                    continue
+                key = (event.event_id, impact.iso2)
+                begun = self._outage_state.get(key)
+                if begun is None:
+                    self._outage_state[key] = True
+                    events.append(make_event(
+                        t, EventType.OUTAGE_BEGIN, impact.iso2,
+                        a=event.event_id, b=code,
+                        value=impact.severity, ok=False))
+                if begun is not False \
+                        and t >= event.start_day + impact.outage_days:
+                    self._outage_state[key] = False
+                    events.append(make_event(
+                        t, EventType.OUTAGE_END, impact.iso2,
+                        a=event.event_id, b=code,
+                        value=impact.severity, ok=True))
+
+    def _active_impacts(self, t: float, cc: str
+                        ) -> tuple[float, tuple[int, ...]]:
+        """Peak severity and severed cables affecting ``cc`` at ``t``."""
+        severity = 0.0
+        down: set[int] = set()
+        for event in self._simulation.events:
+            if event.start_day > t:
+                break
+            impact = event.impact_for(cc)
+            if impact is None:
+                continue
+            if t < event.start_day + impact.outage_days:
+                severity = max(severity, impact.severity)
+                down.update(event.cables_cut)
+        return severity, tuple(sorted(down))
+
+    def _engine_for(self, down: tuple[int, ...]) -> MeasurementEngine:
+        engine = self._engines.get(down)
+        if engine is None:
+            engine = MeasurementEngine(self._topo, self._routing,
+                                       self._phys, down_cables=down,
+                                       seed=self._seed)
+            self._engines[down] = engine
+        return engine
+
+    def _country_tick(self, cc: str, day: int, hour: int, t: float,
+                      events: list[Event]) -> None:
+        probes = self._probes_by_cc[cc]
+        severity, down = self._active_impacts(t, cc)
+        engine = self._engine_for(down)
+        powered_probes = []
+        for probe in probes:
+            powered = is_powered(probe, day, hour, seed=self._seed)
+            was = self._powered.get(probe.probe_id, False)
+            if powered and not was:
+                events.append(make_event(
+                    t, EventType.PROBE_CONNECT, cc, a=probe.probe_id,
+                    b=probe.asn))
+            elif was and not powered:
+                events.append(make_event(
+                    t, EventType.PROBE_DISCONNECT, cc,
+                    a=probe.probe_id, b=probe.asn, ok=False))
+            self._powered[probe.probe_id] = powered
+            if powered:
+                powered_probes.append(probe)
+        if not powered_probes:
+            return
+        # One traceroute per country-day keeps path visibility without
+        # dominating the budget (§7.2 economics).
+        if hour == SAMPLE_HOURS[0]:
+            trace = engine.traceroute(powered_probes[0], self._anchor_ip)
+            events.append(events_from_traceroute(trace, t, cc))
+        for probe in powered_probes:
+            rng = derive_rng(self._seed, "heartbeat", str(day),
+                             str(hour), cc, str(probe.probe_id))
+            # Ping round toward the international anchor.
+            if rng.random() < severity:
+                events.append(make_event(
+                    t, EventType.PING, cc, a=probe.probe_id, b=0,
+                    value=-1.0, ok=False))
+            else:
+                events.append(events_from_ping(
+                    engine.ping(probe, self._anchor_ip), t, cc))
+            # DNS health checks (the §5.2 resolution path).
+            for i in range(self._checks):
+                if rng.random() < severity:
+                    events.append(make_event(
+                        t, EventType.DNS, cc, a=probe.probe_id,
+                        b=probe.asn, value=-1.0, ok=False))
+                    continue
+                result = self._dns.resolve(
+                    probe.asn, f"hb-{day}-{hour}-{i}.check",
+                    down_cables=down, rng=rng)
+                events.append(events_from_dns(result, t, cc,
+                                              probe.probe_id))

@@ -22,18 +22,28 @@ job lifecycle counters in ``repro.service.jobs``.
 
 from __future__ import annotations
 
+import json
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional
+from typing import Any, Optional, TextIO
 from urllib.parse import parse_qsl, urlsplit
 
 from repro import telemetry
-from repro.service.endpoints import BadRequest, ENDPOINTS, describe
+from repro.eventlog import EventLog, event_type_from_name
+from repro.service.endpoints import BadRequest, ENDPOINTS, describe, \
+    json_safe
 from repro.service.jobs import JobQueue, JobState
 from repro.store import ArtifactStore, canonical_bytes
 
 #: Ceiling for ``wait=1`` blocking requests (seconds).
 MAX_WAIT_S = 300.0
+#: Default / maximum rows returned by one ``/v1/events`` page.
+EVENTS_PAGE = 512
+EVENTS_PAGE_MAX = 4096
+#: Default / maximum seconds a ``/v1/heartbeat/stream`` poll blocks.
+STREAM_WAIT_S = 10.0
+STREAM_WAIT_MAX_S = 30.0
 
 _REQUESTS = telemetry.counter(
     "repro_service_requests_total",
@@ -74,10 +84,36 @@ class ObservatoryService:
 
     def __init__(self, store: ArtifactStore,
                  queue: Optional[JobQueue] = None,
-                 default_seed: int = 2025) -> None:
+                 default_seed: int = 2025,
+                 events_dir: Optional[str] = None) -> None:
         self.store = store
         self.queue = queue if queue is not None else JobQueue()
         self.default_seed = default_seed
+        self.events_dir = events_dir
+        self._events_lock = threading.Lock()
+        self._eventlog: Optional[EventLog] = None
+        self._heartbeat = None
+
+    # -- event-log access ----------------------------------------------
+    def _events(self) -> Optional[EventLog]:
+        """The served event log (opened lazily; ``None`` if unset)."""
+        if self.events_dir is None:
+            return None
+        if self._eventlog is None:
+            self._eventlog = EventLog(self.events_dir)
+        return self._eventlog
+
+    def _analyzer(self, log: EventLog):
+        """A read-side heartbeat detector over the served log.
+
+        ``emit_alerts=False``: the serving process replays detection
+        (a pure function of the stream, so it reaches the writer's
+        exact alert set) without appending to a log it doesn't own.
+        """
+        if self._heartbeat is None:
+            from repro.monitoring import HeartbeatAnalyzer
+            self._heartbeat = HeartbeatAnalyzer(log, emit_alerts=False)
+        return self._heartbeat
 
     # ------------------------------------------------------------------
     def handle(self, target: str) -> Response:
@@ -108,6 +144,22 @@ class ObservatoryService:
                 200, {"endpoints": describe()})
         if path == "/v1/store/stats":
             return "store_stats", Response.json(200, self.store.stats())
+        if path == "/v1/telemetry":
+            return "telemetry", Response.json(
+                200, json_safe(telemetry.to_json()),
+                {"X-Repro-Cache": "live"})
+        if path == "/v1/events":
+            try:
+                return "events", self._events_page(query)
+            except BadRequest as exc:
+                return "events", Response.error(400, str(exc))
+        if path == "/v1/heartbeat/stream":
+            try:
+                return "heartbeat_stream", self._heartbeat_stream(query)
+            except BadRequest as exc:
+                return "heartbeat_stream", Response.error(400, str(exc))
+        if path == "/v1/heartbeat":
+            return "heartbeat", self._heartbeat_status()
         if path.startswith("/v1/jobs/"):
             return "jobs", self._job_status(path[len("/v1/jobs/"):])
         if path.startswith("/v1/"):
@@ -185,6 +237,119 @@ class ObservatoryService:
         return Response.json(
             202, {**job.to_dict(), "poll": f"/v1/jobs/{job.job_id}"},
             {"X-Repro-Cache": "miss", "X-Repro-Key": key.digest})
+
+    # -- event log + heartbeat surface ---------------------------------
+    @staticmethod
+    def _int_param(query: dict[str, str], name: str, default: int,
+                   lo: Optional[int] = None,
+                   hi: Optional[int] = None) -> int:
+        raw = query.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise BadRequest(f"parameter {name!r} must be int, "
+                             f"got {raw!r}") from None
+        if lo is not None:
+            value = max(lo, value)
+        if hi is not None:
+            value = min(hi, value)
+        return value
+
+    def _no_events(self) -> Response:
+        return Response.error(
+            404, "event log not configured; start serve with "
+                 "--events-dir")
+
+    def _events_page(self, query: dict[str, str]) -> Response:
+        log = self._events()
+        if log is None:
+            return self._no_events()
+        after = self._int_param(query, "after", -1, lo=-1)
+        limit = self._int_param(query, "limit", EVENTS_PAGE, lo=1,
+                                hi=EVENTS_PAGE_MAX)
+        etypes = None
+        etype_param = query.get("etype")
+        if etype_param:
+            parsed = []
+            for name in etype_param.split(","):
+                name = name.strip()
+                if not name:
+                    continue
+                etype = event_type_from_name(name)
+                if etype is None:
+                    raise BadRequest(f"unknown etype {name!r}")
+                parsed.append(etype)
+            etypes = tuple(parsed) or None
+        scope = query.get("scope") or None
+        with self._events_lock:
+            log.refresh()
+            events = log.read(after=after, limit=limit, etypes=etypes,
+                              scope=scope)
+            head = log.head_seq
+        cursor = events[-1].seq if events else after
+        return Response.json(
+            200, {"events": [e.to_dict() for e in events],
+                  "count": len(events), "after": after,
+                  "cursor": cursor, "head_seq": head},
+            {"X-Repro-Cache": "live"})
+
+    def _heartbeat_status(self) -> Response:
+        log = self._events()
+        if log is None:
+            return self._no_events()
+        with self._events_lock:
+            log.refresh()
+            analyzer = self._analyzer(log)
+            analyzer.catch_up()
+            doc = analyzer.status_doc()
+        return Response.json(200, json_safe(doc),
+                             {"X-Repro-Cache": "live"})
+
+    def _heartbeat_stream(self, query: dict[str, str]) -> Response:
+        """Long-poll: block until events past ``cursor`` (or timeout).
+
+        With no ``cursor`` the current head is used, so the first call
+        establishes a position and a subsequent call blocks for new
+        activity — the pager-style consumption loop documented in
+        ``docs/eventlog.md``.
+        """
+        log = self._events()
+        if log is None:
+            return self._no_events()
+        with self._events_lock:
+            log.refresh()
+            head = log.head_seq
+        cursor = self._int_param(query, "cursor", head, lo=-1)
+        limit = self._int_param(query, "limit", EVENTS_PAGE, lo=1,
+                                hi=EVENTS_PAGE_MAX)
+        raw_timeout = query.get("timeout")
+        try:
+            timeout = float(raw_timeout) if raw_timeout \
+                else STREAM_WAIT_S
+        except ValueError:
+            raise BadRequest(f"parameter 'timeout' must be a number, "
+                             f"got {raw_timeout!r}") from None
+        timeout = min(timeout, STREAM_WAIT_MAX_S)
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            with self._events_lock:
+                log.refresh()
+                head = log.head_seq
+                if head > cursor:
+                    events = log.read(after=cursor, limit=limit)
+                    break
+            if time.monotonic() >= deadline:
+                events = []
+                break
+            time.sleep(0.05)
+        new_cursor = events[-1].seq if events else cursor
+        return Response.json(
+            200, {"events": [e.to_dict() for e in events],
+                  "count": len(events), "cursor": new_cursor,
+                  "head_seq": head, "timed_out": not events},
+            {"X-Repro-Cache": "live"})
 
     def _job_status(self, job_id: str) -> Response:
         job = self.queue.get(job_id)
@@ -273,21 +438,31 @@ class ObservatoryService:
         return f"/v1/{endpoint.name}?" + "&".join(parts)
 
 
-def make_handler(service: ObservatoryService):
-    """A ``BaseHTTPRequestHandler`` subclass bound to ``service``."""
+def make_handler(service: ObservatoryService,
+                 access_log: Optional[TextIO] = None):
+    """A ``BaseHTTPRequestHandler`` subclass bound to ``service``.
+
+    With ``access_log`` set, every request emits one JSON line to that
+    stream: method, path, status, wall-clock latency, the response's
+    cache disposition (``X-Repro-Cache``) and whether it was served
+    degraded — the access-level counterpart of ``/metrics``.
+    """
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         server_version = "repro-observatory"
 
         def do_GET(self) -> None:  # noqa: N802 - http.server API
+            started = time.perf_counter()
             try:
                 response = service.handle(self.path)
             except Exception as exc:  # noqa: BLE001 - request boundary
                 response = Response.error(500, f"internal error: {exc}")
             self._send(response)
+            self._access("GET", started, response)
 
         def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+            started = time.perf_counter()
             path = urlsplit(self.path).path.rstrip("/")
             if path.startswith("/v1/jobs/"):
                 try:
@@ -300,6 +475,7 @@ def make_handler(service: ObservatoryService):
                 response = Response.error(
                     404, f"DELETE not supported for {path!r}")
             self._send(response)
+            self._access("DELETE", started, response)
 
         def _send(self, response: Response) -> None:
             self.send_response(response.status)
@@ -308,6 +484,27 @@ def make_handler(service: ObservatoryService):
             self.send_header("Content-Length", str(len(response.body)))
             self.end_headers()
             self.wfile.write(response.body)
+
+        def _access(self, method: str, started: float,
+                    response: Response) -> None:
+            if access_log is None:
+                return
+            entry = {
+                "method": method,
+                "path": self.path,
+                "status": response.status,
+                "latency_ms": round(
+                    (time.perf_counter() - started) * 1000.0, 3),
+                "cache": response.headers.get("X-Repro-Cache"),
+                "degraded": "X-Repro-Degraded" in response.headers,
+                "bytes": len(response.body),
+            }
+            try:
+                access_log.write(json.dumps(entry, sort_keys=True)
+                                 + "\n")
+                access_log.flush()
+            except (OSError, ValueError):
+                pass  # a dead log stream must never kill a request
 
         def log_message(self, format: str, *args) -> None:
             pass  # quiet by default; telemetry carries the signal
@@ -320,7 +517,9 @@ def create_server(host: str = "127.0.0.1", port: int = 0,
                   job_workers: int = 2,
                   default_seed: int = 2025,
                   job_deadline_s: Optional[float] = None,
-                  job_retries: int = 1
+                  job_retries: int = 1,
+                  events_dir: Optional[str] = None,
+                  access_log: Optional[TextIO] = None
                   ) -> tuple[ThreadingHTTPServer, ObservatoryService]:
     """A bound (not yet serving) HTTP server plus its service core."""
     service = ObservatoryService(
@@ -328,8 +527,10 @@ def create_server(host: str = "127.0.0.1", port: int = 0,
         queue=JobQueue(workers=job_workers,
                        default_deadline_s=job_deadline_s,
                        default_max_retries=job_retries),
-        default_seed=default_seed)
-    httpd = ThreadingHTTPServer((host, port), make_handler(service))
+        default_seed=default_seed,
+        events_dir=events_dir)
+    httpd = ThreadingHTTPServer((host, port),
+                                make_handler(service, access_log))
     httpd.daemon_threads = True
     return httpd, service
 

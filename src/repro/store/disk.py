@@ -14,9 +14,12 @@ payload without meta is garbage, never the reverse.
 
 Reads verify the payload against the recorded content digest — a
 mismatch (bit rot, manual tampering, a crashed writer that somehow got
-through) is treated as a miss and the entry is dropped.  Recency is
-tracked through payload mtimes (bumped on every hit), giving LRU
-eviction that survives process restarts without a separate index.
+through) is treated as a miss and the entry is *quarantined*: moved
+into ``<root>/quarantine/`` (and counted by
+``repro_store_quarantined_total``) so the bad bytes stay available for
+forensics instead of vanishing.  Recency is tracked through payload
+mtimes (bumped on every hit), giving LRU eviction that survives
+process restarts without a separate index.
 """
 
 from __future__ import annotations
@@ -50,6 +53,9 @@ _EVICTIONS = telemetry.counter(
 _CORRUPT = telemetry.counter(
     "repro_store_corrupt_total",
     "Artifacts dropped after failing the integrity check")
+_QUARANTINED = telemetry.counter(
+    "repro_store_quarantined_total",
+    "Corrupt artifacts moved into the quarantine directory")
 _BYTES = telemetry.gauge(
     "repro_store_bytes", "Total payload bytes currently stored")
 
@@ -100,8 +106,10 @@ class ArtifactStore:
         self.max_bytes = int(max_bytes)
         self._objects = self.root / "objects"
         self._tmp = self.root / "tmp"
+        self._quarantine_dir = self.root / "quarantine"
         self._objects.mkdir(parents=True, exist_ok=True)
         self._tmp.mkdir(parents=True, exist_ok=True)
+        self._quarantine_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -251,6 +259,7 @@ class ArtifactStore:
             "max_bytes": self.max_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "quarantined": len(list(self._quarantine_dir.glob("*.bin"))),
         }
 
     def clear(self) -> None:
@@ -277,7 +286,7 @@ class ArtifactStore:
         except (OSError, ValueError):
             return None
         if digest_bytes(payload) != meta.get("content_digest"):
-            self._remove(key_digest)
+            self._quarantine(key_digest)
             if telemetry.enabled():
                 _CORRUPT.inc()
             return None
@@ -338,3 +347,17 @@ class ArtifactStore:
                 path.unlink()
             except OSError:
                 pass
+
+    def _quarantine(self, key_digest: str) -> None:
+        """Move a corrupt entry aside instead of destroying evidence."""
+        self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+        moved = False
+        for path in (self._meta_path(key_digest),
+                     self._payload_path(key_digest)):
+            try:
+                os.replace(path, self._quarantine_dir / path.name)
+                moved = True
+            except OSError:
+                pass
+        if moved and telemetry.enabled():
+            _QUARANTINED.inc()

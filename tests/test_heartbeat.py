@@ -1,0 +1,325 @@
+"""Streaming heartbeat analytics and the live observatory surface.
+
+Detector behaviour is pinned with synthetic event streams (fast, no
+world build); the observatory stream's determinism uses the session
+world; the HTTP surface tests run a real server over a pre-built log.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.eventlog import EventLog, EventType, make_event
+from repro.monitoring import (
+    AlertKind,
+    CHECKS_PER_PROBE,
+    HeartbeatAnalyzer,
+    ObservatoryStream,
+    SAMPLE_HOURS,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """No fault plan leaks into (or out of) any test."""
+    faults.configure(None)
+    yield
+    faults.configure(None)
+
+
+def _bucket_events(bucket: int, scope: str = "NG", ok: bool = True,
+                   rtt: float = 20.0, probes=(1, 2)) -> list:
+    """One bucket's worth of synthetic measurements for ``scope``."""
+    ts = 0.25 * bucket + 0.01
+    events = []
+    for pid in probes:
+        for _ in range(3):
+            events.append(make_event(ts, EventType.DNS, scope, a=pid,
+                                     b=100 + pid, value=5.0, ok=ok))
+        events.append(make_event(ts, EventType.PING, scope, a=pid,
+                                 b=4 if ok else 0, value=rtt, ok=ok))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Detector behaviour on synthetic streams
+# ----------------------------------------------------------------------
+def test_reachability_alert_raises_and_clears(tmp_path):
+    log = EventLog(tmp_path / "ev", fsync=False)
+    analyzer = HeartbeatAnalyzer(log)
+    for b in range(5):
+        log.append(_bucket_events(b))
+    log.append(_bucket_events(5, ok=False))  # country goes dark
+    log.append(_bucket_events(6))  # closes bucket 5
+    analyzer.catch_up()
+    assert [a.kind for a in analyzer.active_alerts()] \
+        == [AlertKind.REACHABILITY]
+    raised = log.read(etypes=(EventType.ALERT_RAISED,))
+    assert len(raised) == 1
+    assert raised[0].scope == "NG"
+    assert raised[0].a == int(AlertKind.REACHABILITY)
+    assert raised[0].value == pytest.approx(1.0)  # rate 0 vs baseline 1
+    # Recovery: healthy buckets clear the alert and say so in the log.
+    log.append(_bucket_events(7))
+    analyzer.catch_up()
+    assert analyzer.active_alerts() == []
+    cleared = log.read(etypes=(EventType.ALERT_CLEARED,))
+    assert len(cleared) == 1 and cleared[0].scope == "NG"
+    assert analyzer.alerts[0].cleared_bucket is not None
+
+
+def test_latency_alert_uses_per_probe_baselines(tmp_path):
+    log = EventLog(tmp_path / "ev", fsync=False)
+    analyzer = HeartbeatAnalyzer(log)
+    for b in range(5):
+        log.append(_bucket_events(b, rtt=20.0))
+    log.append(_bucket_events(5, rtt=60.0))  # 3x every probe's EWMA
+    log.append(_bucket_events(6, rtt=20.0))
+    analyzer.catch_up()
+    kinds = [a.kind for a in analyzer.alerts]
+    assert AlertKind.LATENCY in kinds
+    assert AlertKind.REACHABILITY not in kinds  # success rate was fine
+
+
+def test_new_probe_composition_does_not_fake_latency(tmp_path):
+    # A slow probe powering on must not look like a cable cut: each
+    # probe is compared against its *own* baseline only.
+    log = EventLog(tmp_path / "ev", fsync=False)
+    analyzer = HeartbeatAnalyzer(log)
+    for b in range(5):
+        log.append(_bucket_events(b, rtt=20.0, probes=(1, 2)))
+    # Satellite probe 9 (600 ms) joins; country mean RTT jumps 10x.
+    log.append(_bucket_events(5, rtt=20.0, probes=(1, 2))
+               + _bucket_events(5, rtt=600.0, probes=(9,)))
+    log.append(_bucket_events(6, rtt=20.0, probes=(1, 2)))
+    analyzer.catch_up()
+    assert AlertKind.LATENCY not in [a.kind for a in analyzer.alerts]
+
+
+def test_churn_burst_alert(tmp_path):
+    log = EventLog(tmp_path / "ev", fsync=False)
+    analyzer = HeartbeatAnalyzer(log)
+    for b in range(4):
+        log.append(_bucket_events(b))
+    ts = 0.25 * 4 + 0.01
+    burst = [make_event(ts, EventType.PROBE_CONNECT
+                        if i % 2 else EventType.PROBE_DISCONNECT,
+                        "NG", a=50 + i, b=100) for i in range(6)]
+    log.append(_bucket_events(4) + burst)
+    log.append(_bucket_events(5))
+    analyzer.catch_up()
+    assert AlertKind.CHURN in [a.kind for a in analyzer.alerts]
+
+
+def test_alert_flush_survives_failed_append(tmp_path):
+    """A write failure while emitting an alert event is recoverable:
+    the buffered alert lands exactly once after recover + retry."""
+    log = EventLog(tmp_path / "ev")
+    analyzer = HeartbeatAnalyzer(log)
+    for b in range(5):
+        log.append(_bucket_events(b))
+    log.append(_bucket_events(5, ok=False))
+    log.append(_bucket_events(6))
+    faults.configure("seed=1,eventlog.write_error=1x1")
+    with pytest.raises(OSError):
+        analyzer.catch_up()
+    faults.configure(None)
+    log.recover()
+    analyzer.catch_up()
+    raised = log.read(etypes=(EventType.ALERT_RAISED,))
+    assert len(raised) == 1  # not zero, not duplicated
+    assert len(analyzer.alerts) == 1
+
+
+def test_replay_is_a_pure_function_of_the_stream(tmp_path):
+    """A read-side analyzer (the /v1/heartbeat path) reaches the same
+    conclusions as the writer that emitted the alerts."""
+    log = EventLog(tmp_path / "ev", fsync=False)
+    writer = HeartbeatAnalyzer(log)
+    for b in range(5):
+        log.append(_bucket_events(b))
+    log.append(_bucket_events(5, ok=False))
+    log.append(_bucket_events(6))
+    writer.catch_up()
+    replica = HeartbeatAnalyzer(log, emit_alerts=False)
+    replica.catch_up()
+    assert [(a.kind, a.scope, a.raised_bucket, a.severity)
+            for a in replica.alerts] \
+        == [(a.kind, a.scope, a.raised_bucket, a.severity)
+            for a in writer.alerts]
+    doc = replica.status_doc()
+    assert doc["countries"]["NG"]["status"] == "alert"
+    assert json.loads(json.dumps(doc))  # JSON-safe throughout
+
+
+def test_status_doc_shape(tmp_path):
+    log = EventLog(tmp_path / "ev", fsync=False)
+    analyzer = HeartbeatAnalyzer(log)
+    log.append(_bucket_events(0))
+    log.append(_bucket_events(1))
+    analyzer.catch_up()
+    doc = analyzer.status_doc()
+    assert doc["cursor"] == analyzer.cursor
+    assert doc["head_seq"] == log.head_seq
+    country = doc["countries"]["NG"]
+    assert country["status"] == "ok"
+    assert country["success_rate"] == pytest.approx(1.0)
+    assert country["alerts"] == []
+
+
+# ----------------------------------------------------------------------
+# Observatory stream over the simulated world
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def simulation(topo):
+    from repro.outages import OutageSimulator
+    return OutageSimulator(topo).simulate(years=0.05)
+
+
+def test_stream_is_deterministic(topo, atlas, simulation):
+    def run():
+        stream = ObservatoryStream(topo, atlas, simulation, seed=7)
+        out = []
+        for day, hour in stream.ticks(2):
+            out.extend((e.ts, e.etype, e.scope, e.a, e.b, e.value, e.ok)
+                       for e in stream.tick_events(day, hour))
+        return out
+    first, second = run(), run()
+    assert first and first == second
+
+
+def test_stream_covers_every_probe_country(topo, atlas, simulation):
+    stream = ObservatoryStream(topo, atlas, simulation, seed=7)
+    events = []
+    for day, hour in stream.ticks(1):
+        events.extend(stream.tick_events(day, hour))
+    dns_scopes = {e.scope for e in events
+                  if e.etype is EventType.DNS}
+    assert dns_scopes and dns_scopes <= set(stream.countries)
+    assert len(dns_scopes) > 1  # the fleet, not one lucky country
+    # Sampling cadence: one DNS burst per probe per sample hour.
+    dns = [e for e in events if e.etype is EventType.DNS]
+    assert len(dns) >= len(SAMPLE_HOURS) * CHECKS_PER_PROBE
+
+
+# ----------------------------------------------------------------------
+# Live HTTP surface over a pre-built log
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def hb_server(tmp_path_factory):
+    from repro.service import create_server
+    from repro.store import ArtifactStore
+
+    events_root = tmp_path_factory.mktemp("events") / "log"
+    log = EventLog(events_root, fsync=False)
+    for b in range(5):
+        log.append(_bucket_events(b))
+        log.append(_bucket_events(b, scope="KE", probes=(3,)))
+    log.append(_bucket_events(5, ok=False))  # NG dark, alert stays open
+    log.append([make_event(1.51, EventType.PROBE_CONNECT, "KE",
+                           a=3, b=100)])
+    log.close()
+
+    store = ArtifactStore(root=tmp_path_factory.mktemp("store"),
+                          max_bytes=8 * 1024 * 1024)
+    access = io.StringIO()
+    httpd, service = create_server(port=0, store=store, job_workers=1,
+                                   default_seed=2025,
+                                   events_dir=str(events_root),
+                                   access_log=access)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    port = httpd.server_address[1]
+    yield f"http://127.0.0.1:{port}", service, access
+    httpd.shutdown()
+    httpd.server_close()
+    service.queue.shutdown()
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=60) as resp:
+        return resp.status, dict(resp.headers), resp.read()
+
+
+class TestEventsEndpoint:
+    def test_page_and_cursor(self, hb_server):
+        base, _, _ = hb_server
+        _, _, body = _get(base, "/v1/events?limit=10")
+        doc = json.loads(body)
+        assert doc["count"] == 10
+        assert [e["seq"] for e in doc["events"]] == list(range(10))
+        assert doc["cursor"] == 9
+        # The returned cursor pages forward without overlap.
+        _, _, body = _get(base, f"/v1/events?after={doc['cursor']}"
+                                "&limit=10")
+        next_page = json.loads(body)
+        assert [e["seq"] for e in next_page["events"]] \
+            == list(range(10, 20))
+
+    def test_etype_and_scope_filters(self, hb_server):
+        base, _, _ = hb_server
+        _, _, body = _get(base, "/v1/events?etype=probe_connect")
+        doc = json.loads(body)
+        assert doc["count"] == 1
+        assert doc["events"][0]["type"] == "probe_connect"
+        _, _, body = _get(base, "/v1/events?scope=KE&etype=ping")
+        assert all(e["scope"] == "KE"
+                   for e in json.loads(body)["events"])
+
+    def test_bad_etype_is_400(self, hb_server):
+        base, _, _ = hb_server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base, "/v1/events?etype=frobnicate")
+        assert err.value.code == 400
+
+    def test_heartbeat_status_replays_detection(self, hb_server):
+        base, _, _ = hb_server
+        _, _, body = _get(base, "/v1/heartbeat")
+        doc = json.loads(body)
+        ng = doc["countries"]["NG"]
+        assert ng["status"] == "alert"
+        assert ng["alerts"][0]["kind"] == "reachability"
+        assert doc["countries"]["KE"]["status"] == "ok"
+        assert doc["cursor"] == doc["head_seq"]
+
+    def test_stream_returns_immediately_when_behind(self, hb_server):
+        base, _, _ = hb_server
+        _, _, body = _get(base, "/v1/events?limit=1")
+        head = json.loads(body)["head_seq"]
+        _, _, body = _get(base, "/v1/heartbeat/stream?cursor=-1"
+                                "&limit=5")
+        doc = json.loads(body)
+        assert doc["count"] == 5 and not doc["timed_out"]
+        assert doc["head_seq"] == head
+
+    def test_stream_times_out_at_head(self, hb_server):
+        base, _, _ = hb_server
+        _, _, body = _get(base,
+                          "/v1/heartbeat/stream?timeout=0.2")
+        doc = json.loads(body)
+        assert doc["timed_out"] and doc["count"] == 0
+
+    def test_telemetry_endpoint_is_live(self, hb_server):
+        base, _, _ = hb_server
+        status, headers, body = _get(base, "/v1/telemetry")
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "live"
+        json.loads(body)
+
+    def test_access_log_lines_are_json(self, hb_server):
+        base, _, access = hb_server
+        _get(base, "/healthz")
+        lines = [json.loads(line) for line
+                 in access.getvalue().splitlines() if line]
+        assert lines, "access log should have entries"
+        hit = [l for l in lines if l["path"] == "/healthz"][-1]
+        assert hit["method"] == "GET" and hit["status"] == 200
+        assert hit["latency_ms"] >= 0
+        assert {"cache", "degraded", "bytes"} <= set(hit)
