@@ -2,12 +2,16 @@
 """Chaos smoke test: the Observatory must survive an aggressive fault
 spec end to end, as CI runs it.
 
-Two stages:
+Three stages:
 
 1. **In-process determinism** — a parallel ``map_tasks`` batch under
    injected worker crashes must produce byte-identical results to the
    fault-free serial run (the core recovery contract).
-2. **Service under chaos** — boot ``repro serve`` as a subprocess with
+2. **Shared-memory dispatch under chaos** — the zero-copy routing
+   precompute must survive a worker crash *and* a hung-worker
+   termination with byte-identical tables and zero leaked
+   ``repro-shm-`` segments (scanned via ``/dev/shm``).
+3. **Service under chaos** — boot ``repro serve`` as a subprocess with
    ``REPRO_FAULTS`` injecting a job stall, job compute errors, a
    corrupt store write and a worker crash, then hammer cheap and
    expensive endpoints:
@@ -101,6 +105,56 @@ def stage_determinism() -> int:
     return 0
 
 
+def stage_shared_memory(seed: int) -> int:
+    """Zero-copy precompute survives crash + hang with no leaks."""
+    from repro import faults
+    from repro.exec import fork_available, shm_supported
+    from repro.exec.shm import active_segments, system_segments
+    from repro.routing import BGPRouting
+    from repro.topology import build_world
+
+    if not fork_available() or not shm_supported():
+        print("stage 2: skipped (no fork or no POSIX shared memory)")
+        return 0
+
+    def leaked() -> list[str]:
+        visible = system_segments()
+        return active_segments() + (visible or [])
+
+    topo = build_world(seed=seed)
+    dests = sorted(topo.ases)[:32]
+    serial = BGPRouting(topo)
+    serial.precompute(dests, workers=1)
+
+    def identical(other: BGPRouting) -> bool:
+        return all(
+            serial.routes_to(d).kind.tobytes()
+            == other.routes_to(d).kind.tobytes()
+            and serial.routes_to(d).next_hop.tobytes()
+            == other.routes_to(d).next_hop.tobytes()
+            for d in dests)
+
+    for label, spec in (("worker crash", "seed=7,exec.worker_crash=1x1"),
+                        ("hung worker",
+                         "seed=7,hang=2,exec.worker_hang=1x1")):
+        faults.configure(spec)
+        try:
+            survivor = BGPRouting(topo)
+            survivor.precompute(dests, workers=3)
+        finally:
+            faults.configure(None)
+        if not identical(survivor):
+            return _fail(f"shm precompute under {label} differs from "
+                         f"fault-free serial tables")
+        remnants = leaked()
+        if remnants:
+            return _fail(f"leaked shared-memory segments after {label} "
+                         f"recovery: {remnants}")
+    print("stage 2: shm precompute byte-identical under crash and "
+          "hang, zero leaked segments")
+    return 0
+
+
 def stage_service(seed: int) -> int:
     """Serve under chaos; every invariant checked over real HTTP."""
     store_dir = tempfile.mkdtemp(prefix="repro-chaos-store-")
@@ -118,7 +172,7 @@ def stage_service(seed: int) -> int:
         if not match:
             return _fail(f"could not parse server banner: {banner!r}")
         base = f"http://{match.group(1)}:{match.group(2)}"
-        print(f"stage 2: server up at {base} "
+        print(f"stage 3: server up at {base} "
               f"(faults: {SERVE_FAULTS})")
 
         deadline = time.time() + 30
@@ -218,6 +272,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=SEED)
     args = parser.parse_args(argv)
     rc = stage_determinism()
+    if rc != 0:
+        return rc
+    rc = stage_shared_memory(args.seed)
     if rc != 0:
         return rc
     rc = stage_service(args.seed)

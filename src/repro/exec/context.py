@@ -157,3 +157,17 @@ def pair_for(topo: "Topology", down_cables: Sequence[int] = ()
              ) -> Tuple["BGPRouting", "PhysicalNetwork"]:
     """Shared (routing, physical) pair for ``topo``."""
     return CONTEXT.pair(topo, down_cables)
+
+
+def precompute_for(topo: "Topology", dests: Sequence[int],
+                   workers: Optional[int] = None) -> int:
+    """Warm the shared context's routing tables for ``dests``.
+
+    The fan-out entry point callers should prefer before a batch that
+    will resolve many paths: tables land in the *shared* engine (so
+    every later ``routing_for(topo)`` user hits them), and the parallel
+    path moves table columns through shared memory instead of pickling
+    them back (see ``BGPRouting.precompute``).  Returns the number of
+    tables actually computed.
+    """
+    return CONTEXT.routing(topo).precompute(dests, workers=workers)

@@ -32,9 +32,13 @@ Large read-only state (the topology, a measurement engine) is passed as
 the *payload*: it is published to a module global before the pool forks,
 so children inherit it through copy-on-write memory instead of pickling
 it per task.  Task items and results still cross process boundaries and
-must be picklable.  Telemetry incremented inside workers stays in the
-worker process and is lost; the parent counts dispatches, completions,
-failures, worker-side retries (piggybacked on results) and recoveries.
+must be picklable — unless the batch carries a ``shared`` channel
+(:mod:`repro.exec.shm`): a shared-memory block published the same way,
+into which workers write result columns in place so only slot indexes
+come back over the result pipe.  Telemetry incremented inside workers
+stays in the worker process and is lost; the parent counts dispatches,
+completions, failures, worker-side retries (piggybacked on results) and
+recoveries.
 """
 
 from __future__ import annotations
@@ -96,6 +100,9 @@ _RECOVERIES_BY_REASON = {
 _DEFAULT_WORKERS = 1
 #: Fork-inherited read-only payload for the current batch.
 _PAYLOAD: Any = None
+#: Fork-inherited shared-memory channel for the current batch (an
+#: object workers *write* to — slot-disjoint, so no coordination).
+_SHARED: Any = None
 #: True inside a pool worker — forces nested fan-out to run serially.
 _IN_WORKER = False
 
@@ -139,6 +146,16 @@ def resolve_workers(workers: Optional[int]) -> int:
 def current_payload() -> Any:
     """The payload of the batch currently being mapped (or ``None``)."""
     return _PAYLOAD
+
+
+def current_shared() -> Any:
+    """The shared-memory channel of the current batch (or ``None``).
+
+    Reachable both in forked workers (inherited mapping) and on the
+    serial / recovery paths, where the parent writes its own blocks
+    directly — task functions never need to know which one they are on.
+    """
+    return _SHARED
 
 
 def in_worker() -> bool:
@@ -211,12 +228,27 @@ def _shutdown_executor(executor: ProcessPoolExecutor,
     executor.shutdown(wait=False, cancel_futures=True)
 
 
+#: Smallest chunk the dispatcher will cut.  The old heuristic
+#: (``len(items) // (n_workers * 4)``) degenerated to 1-item chunks for
+#: small batches on many-core machines, paying per-chunk submit/result
+#: overhead per *item*; a floor trades idle workers on tiny batches for
+#: bounded overhead, which measures strictly faster.
+MIN_CHUNKSIZE = 4
+
+
+def chunk_plan(n_items: int, n_workers: int) -> int:
+    """Chunk size for a batch: ~4 chunks per worker, floored at
+    :data:`MIN_CHUNKSIZE`, never larger than the batch itself."""
+    target = max(1, n_items // (n_workers * 4))
+    return min(n_items, max(target, MIN_CHUNKSIZE))
+
+
 def _run_supervised(fn: Callable[[T], R], items: list[T],
                     n_workers: int, timeout: Optional[float],
                     retries: int) -> list[R]:
     """The parallel path: chunked fan-out with crash/hang recovery."""
     indexed = list(enumerate(items))
-    chunksize = max(1, len(items) // (n_workers * 4))
+    chunksize = chunk_plan(len(items), n_workers)
     chunks = [indexed[i:i + chunksize]
               for i in range(0, len(indexed), chunksize)]
     results: dict[int, R] = {}
@@ -294,7 +326,8 @@ def map_tasks(fn: Callable[[T], R], items: Sequence[T],
               payload: Any = None,
               label: str = "batch",
               timeout: Optional[float] = None,
-              retries: Optional[int] = None) -> list[R]:
+              retries: Optional[int] = None,
+              shared: Any = None) -> list[R]:
     """Apply ``fn`` to every item, in item order, on N workers.
 
     ``fn`` must be a module-level function (pickled by reference) whose
@@ -305,8 +338,16 @@ def map_tasks(fn: Callable[[T], R], items: Sequence[T],
     caller.  ``timeout`` bounds one parallel attempt (then unfinished
     work re-runs serially); ``retries`` bounds transient-error retries
     per task on both paths.
+
+    ``shared`` is the zero-copy result channel: an object (typically
+    holding :class:`repro.exec.shm.SharedColumnBlock` columns) that is
+    published like the payload — forked workers inherit the live
+    mapping and write their slot in place via :func:`current_shared`;
+    slot writes must be idempotent because recovery re-runs unfinished
+    chunks in the parent.  The caller keeps ownership: create it
+    before, harvest and close it after (in ``finally``).
     """
-    global _PAYLOAD
+    global _PAYLOAD, _SHARED
     items = list(items)
     if not items:
         return []
@@ -321,7 +362,9 @@ def map_tasks(fn: Callable[[T], R], items: Sequence[T],
         metrics.batches.inc()
         metrics.tasks.inc(len(items))
     previous = _PAYLOAD
+    previous_shared = _SHARED
     _PAYLOAD = payload
+    _SHARED = shared
     try:
         with telemetry.span(f"exec.{label}", mode=mode,
                             workers=n_workers, tasks=len(items)):
@@ -347,6 +390,7 @@ def map_tasks(fn: Callable[[T], R], items: Sequence[T],
         return out
     finally:
         _PAYLOAD = previous
+        _SHARED = previous_shared
 
 
 class WorkerPool:
@@ -367,9 +411,10 @@ class WorkerPool:
         return self.workers > 1
 
     def map(self, fn: Callable[[T], R], items: Sequence[T],
-            payload: Any = None, label: str = "batch") -> list[R]:
+            payload: Any = None, label: str = "batch",
+            shared: Any = None) -> list[R]:
         return map_tasks(fn, items, workers=self.workers,
-                         payload=payload, label=label)
+                         payload=payload, label=label, shared=shared)
 
 
 def suggested_workers() -> int:

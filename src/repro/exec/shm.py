@@ -1,0 +1,244 @@
+"""Shared-memory batch blocks: zero-copy columns across the pool.
+
+The fork pool's original data plane pickled every task result back to
+the parent — cheap for a float, a pessimization for a routing table
+(four flat columns, tens of KB each at continental topology sizes).
+This module is the shared-memory replacement: a batch owner allocates
+one :class:`SharedColumnBlock` per batch, forked workers inherit the
+``MAP_SHARED`` mapping and write their result columns straight into
+their item's slice, and the only thing that crosses the process
+boundary is a slot index.
+
+Design rules, enforced here and leaned on by the chaos suite:
+
+* **Parent owns the segment.**  Blocks are created before the pool
+  forks and reach workers through fork inheritance (the pool's
+  ``shared=`` channel), never by name attach — so no process but the
+  creator ever registers the segment with a resource tracker, and a
+  crashed or terminated worker cannot take the segment down with it.
+* **Unlink is unconditional.**  Batch owners release blocks in
+  ``finally``; :meth:`SharedColumnBlock.close` is idempotent and safe
+  after worker crashes, hung-worker termination and
+  ``BrokenProcessPool`` recovery.  ``tests/test_shared_memory.py``
+  scans ``/dev/shm`` for the ``repro-shm-`` prefix to prove nothing
+  leaks on any of those paths.
+* **Slot writes are idempotent.**  A retried or serially re-run task
+  overwrites its slot with identical bytes, so crash recovery needs no
+  coordination.
+
+Plain ``multiprocessing.shared_memory`` + stdlib ``array``/
+``memoryview`` — no numpy anywhere.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from array import array
+from multiprocessing import shared_memory
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "SEGMENT_PREFIX", "SharedColumnBlock", "active_segments",
+    "release_all", "shm_supported", "system_segments",
+]
+
+#: Every segment this module creates carries this name prefix, so leak
+#: checks can enumerate ours without tripping over other tenants.
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Where POSIX shared memory surfaces as files (Linux); leak checks
+#: fall back to the creator registry when the directory is absent.
+_DEV_SHM = "/dev/shm"
+
+#: Segments created (and not yet closed) by *this* process.
+_LIVE: dict[str, "SharedColumnBlock"] = {}
+_LIVE_LOCK = threading.Lock()
+
+
+_SUPPORTED: Optional[bool] = None
+
+
+def shm_supported() -> bool:
+    """Whether shared-memory blocks can back a batch on this platform.
+
+    Probed once per process (create + unlink a tiny segment) and
+    cached; the answer cannot change within a process lifetime.
+    """
+    global _SUPPORTED
+    if _SUPPORTED is None:
+        try:
+            probe = shared_memory.SharedMemory(
+                create=True, size=8, name=_fresh_name())
+        except (OSError, ValueError):  # pragma: no cover - exotic platform
+            _SUPPORTED = False
+        else:
+            probe.close()
+            probe.unlink()
+            _SUPPORTED = True
+    return _SUPPORTED
+
+
+def _fresh_name() -> str:
+    """A collision-resistant segment name carrying our prefix."""
+    return f"{SEGMENT_PREFIX}{os.getpid():x}-{secrets.token_hex(4)}"
+
+
+class SharedColumnBlock:
+    """One shared segment holding named, typed, fixed-width columns.
+
+    Layout: columns are concatenated in declaration order, each sized
+    ``itemsize(typecode) * length`` and aligned to its itemsize.  The
+    block is created zero-filled (the kernel guarantees it), so unset
+    slots read as zeros — callers that care mark validity themselves.
+    """
+
+    __slots__ = ("name", "_shm", "_views", "_layout", "_closed",
+                 "_is_creator")
+
+    def __init__(self, columns: Sequence[tuple[str, str, int]]) -> None:
+        """Create a segment for ``(name, typecode, length)`` columns."""
+        layout: dict[str, tuple[str, int, int]] = {}
+        offset = 0
+        for cname, typecode, length in columns:
+            itemsize = array(typecode).itemsize
+            offset += (-offset) % itemsize  # align to the item size
+            layout[cname] = (typecode, offset, length)
+            offset += itemsize * length
+        self.name = _fresh_name()
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, offset), name=self.name)
+        self._layout = layout
+        self._views: dict[str, memoryview] = {}
+        self._closed = False
+        self._is_creator = True
+        with _LIVE_LOCK:
+            _LIVE[self.name] = self
+
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> memoryview:
+        """The zero-copy typed view of one column (cached)."""
+        view = self._views.get(name)
+        if view is None:
+            typecode, offset, length = self._layout[name]
+            itemsize = array(typecode).itemsize
+            raw = self._shm.buf[offset:offset + itemsize * length]
+            view = raw.cast(typecode)
+            self._views[name] = view
+        return view
+
+    def write(self, name: str, start: int, data: array) -> None:
+        """Copy ``data`` into the column at element offset ``start``.
+
+        A bulk buffer copy (C memcpy) — the write path workers use for
+        their slot; identical bytes on retry, so idempotent.
+        """
+        self.column(name)[start:start + len(data)] = data
+
+    def read_array(self, name: str, start: int, length: int) -> array:
+        """Materialize ``length`` elements as a standalone ``array``.
+
+        One ``frombytes`` memcpy: how the parent harvests worker output
+        into objects whose lifetime outlives the batch's segment.
+        """
+        typecode, _, _ = self._layout[name]
+        out = array(typecode)
+        view = self.column(name)[start:start + length]
+        out.frombytes(view.tobytes())
+        return out
+
+    def columns(self) -> Iterable[str]:
+        return self._layout.keys()
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release views, unmap, and (in the creator) unlink.
+
+        Idempotent, and the only cleanup entry point: batch owners call
+        it in ``finally``; inherited copies in forked workers release
+        their mapping without touching the name.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for view in self._views.values():
+            view.release()
+        self._views.clear()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported view survived
+            pass
+        if self._is_creator and os.getpid() == int(
+                self.name[len(SEGMENT_PREFIX):].split("-")[0], 16):
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            with _LIVE_LOCK:
+                _LIVE.pop(self.name, None)
+
+    def __enter__(self) -> "SharedColumnBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __reduce__(self):
+        raise TypeError(
+            "SharedColumnBlock does not pickle: pass it through the "
+            "pool's shared= channel (fork inheritance), not as a task "
+            "item or result")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ",".join(self._layout)
+        return f"<SharedColumnBlock {self.name} [{cols}] {self.nbytes}B>"
+
+
+# ----------------------------------------------------------------------
+# Leak accounting — the registry the chaos suite and tests audit.
+# ----------------------------------------------------------------------
+def active_segments() -> list[str]:
+    """Names of segments this process created and has not yet closed."""
+    with _LIVE_LOCK:
+        return sorted(_LIVE)
+
+
+def system_segments() -> Optional[list[str]]:
+    """Our segments visible system-wide (``/dev/shm`` scan).
+
+    ``None`` when the platform exposes no ``/dev/shm`` to scan — leak
+    tests then fall back to :func:`active_segments`.
+    """
+    if not os.path.isdir(_DEV_SHM):  # pragma: no cover - non-Linux
+        return None
+    return sorted(entry for entry in os.listdir(_DEV_SHM)
+                  if entry.startswith(SEGMENT_PREFIX))
+
+
+def release_all() -> int:
+    """Close (and unlink) every live block; returns how many.
+
+    Registered at interpreter exit as a last-resort guard so an
+    aborted batch (unhandled exception above the owner's ``finally``)
+    still cannot leak a named segment past process death.
+    """
+    with _LIVE_LOCK:
+        blocks = list(_LIVE.values())
+    for block in blocks:
+        block.close()
+    return len(blocks)
+
+
+atexit.register(release_all)

@@ -35,6 +35,8 @@ from repro.routing.compiled import (
     RouteEntry,
     RouteKind,
     RouteTable,
+    SharedTableStore,
+    compute_columns,
     compute_table,
 )
 from repro.topology import Relationship, Topology
@@ -146,10 +148,18 @@ class BGPRouting:
 
         Tables are pure functions of the (already compiled) adjacency
         arrays, so fanning the cache misses out over ``workers``
-        processes yields exactly the tables a serial loop would.  The
-        workers ship back bare arrays (a few KB per table); the parent
-        re-binds them to the shared compiled topology.  Returns the
-        number of tables computed.
+        processes yields exactly the tables a serial loop would.
+
+        The parallel data plane is zero-copy end to end: the compiled
+        CSR columns are published once per batch through a shared
+        :class:`~repro.routing.compiled.CompiledShare`, workers write
+        their four result columns straight into a preallocated
+        :class:`~repro.routing.compiled.SharedTableStore` slot, and the
+        only thing a worker returns is its slot index.  No table —
+        input or output — ever crosses the pipe as a pickle.  (On
+        platforms without POSIX shared memory the legacy path ships
+        bare arrays back instead.)  Returns the number of tables
+        computed.
         """
         pending = [d for d in dict.fromkeys(dests)
                    if d not in self._tables]
@@ -158,16 +168,30 @@ class BGPRouting:
                 raise KeyError(f"unknown destination AS{dst}")
         if not pending:
             return 0
-        from repro.exec import map_tasks, resolve_workers
+        from repro.exec import map_tasks, resolve_workers, shm_supported
         if resolve_workers(workers) == 1:
             for dst in pending:
                 self.routes_to(dst)
             return len(pending)
+        compiled = self._compiled
+        if shm_supported():
+            with compiled.share() as share, \
+                    SharedTableStore(len(pending), compiled.n) as store:
+                tasks = [(slot, compiled.index[dst])
+                         for slot, dst in enumerate(pending)]
+                map_tasks(_precompute_shared_table, tasks,
+                          workers=workers, payload=share, shared=store,
+                          label="routing_tables")
+                for slot, dst in enumerate(pending):
+                    _TABLE_COMPUTES.inc()
+                    self._tables[dst] = store.table(slot, compiled)
+            return len(pending)
+        # Fallback data plane: pickle bare table columns back.
         tables = map_tasks(_precompute_table, pending, workers=workers,
                            payload=self, label="routing_tables")
         for dst, table in zip(pending, tables):
             _TABLE_COMPUTES.inc()
-            self._tables[dst] = table.bind(self._compiled)
+            self._tables[dst] = table.bind(compiled)
         return len(pending)
 
     # ------------------------------------------------------------------
@@ -198,10 +222,30 @@ def _walk_next_hops(table: RouteTable, src: int,
 
 
 def _precompute_table(dst: int) -> RouteTable:
-    """Worker task: one destination's routing table (pure function of
-    the fork-inherited :class:`BGPRouting` payload)."""
+    """Worker task (fallback data plane): one destination's routing
+    table, pickled back from the fork-inherited :class:`BGPRouting`
+    payload.  Only used when :func:`repro.exec.shm_supported` is
+    false."""
     from repro.exec import current_payload
     return current_payload()._compute(dst)
+
+
+def _precompute_shared_table(task: tuple[int, int]) -> int:
+    """Worker task (shared-memory data plane): compute one table and
+    write its columns into the batch's shared store slot.
+
+    The payload is the batch's ``CompiledShare`` (CSR columns in shared
+    memory, viewed zero-copy) and the ``shared=`` channel carries the
+    preallocated ``SharedTableStore``.  The return value is just the
+    slot index — the slot write is idempotent, so crash recovery and
+    retries are free.
+    """
+    from repro.exec import current_payload, current_shared
+    slot, dst_index = task
+    kind, length, nh, via = compute_columns(
+        current_payload().view(), dst_index)
+    current_shared().write_row(slot, kind, length, nh, via)
+    return slot
 
 
 class ReferenceRouting:

@@ -33,6 +33,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, TYPE_CHECKING
 
+from repro.exec.shm import SharedColumnBlock
 from repro.topology import ASLink, Relationship
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -95,6 +96,17 @@ class _CSR:
         self.nbr = nbr
         self.ixp = ixp
         self._rows: Optional[list[tuple[tuple[int, int], ...]]] = None
+
+    @classmethod
+    def from_columns(cls, start, nbr, ixp) -> "_CSR":
+        """Wrap existing columns (arrays *or* shared-memory views)
+        without copying — the worker-side attach path."""
+        out = cls.__new__(cls)
+        out.start = start
+        out.nbr = nbr
+        out.ixp = ixp
+        out._rows = None
+        return out
 
     def rows(self) -> list[tuple[tuple[int, int], ...]]:
         """Per-AS ``((neighbor, ixp), ...)`` views over the flat
@@ -283,6 +295,90 @@ class CompiledTopology:
         asns = self.asns
         return {asns[i] for i in seen}
 
+    def share(self) -> "CompiledShare":
+        """Publish this view's CSR columns into one shared-memory block.
+
+        The batch-dispatch form: the returned :class:`CompiledShare`
+        travels to forked workers through the pool's payload channel,
+        and each worker attaches zero-copy views over the block instead
+        of touching (or pickling) these arrays.  The caller owns the
+        block and must ``close()`` it when the batch is harvested.
+        """
+        return CompiledShare(self)
+
+
+#: (attribute, column-prefix) pairs for the three CSR roles of a share.
+_SHARE_ROLES = (("providers", "p"), ("customers", "c"), ("peers", "e"))
+
+
+class CompiledShare:
+    """One topology's CSR adjacency, published once in shared memory.
+
+    Holds the nine flat columns (``start``/``nbr``/``ixp`` per role) in
+    a single :class:`~repro.exec.shm.SharedColumnBlock`; ``asns`` and
+    the dense ``index`` stay ordinary fork-inherited objects (they are
+    read-only Python containers, not flat columns).  :meth:`view`
+    builds — once per process — a :class:`CompiledTopology` whose CSR
+    arrays are memoryview casts over the block: workers compute tables
+    over the exact bytes the parent published, zero copies anywhere.
+
+    Does not pickle (by design): reach workers via ``payload=``.
+    """
+
+    __slots__ = ("n", "asns", "index", "_block", "_view")
+
+    def __init__(self, ct: CompiledTopology) -> None:
+        columns: list[tuple[str, str, int]] = []
+        for attr, prefix in _SHARE_ROLES:
+            csr: _CSR = getattr(ct, attr)
+            columns.append((f"{prefix}.start", "q", len(csr.start)))
+            columns.append((f"{prefix}.nbr", "i", len(csr.nbr)))
+            columns.append((f"{prefix}.ixp", "i", len(csr.ixp)))
+        self._block = SharedColumnBlock(columns)
+        for attr, prefix in _SHARE_ROLES:
+            csr = getattr(ct, attr)
+            self._block.write(f"{prefix}.start", 0, csr.start)
+            self._block.write(f"{prefix}.nbr", 0, csr.nbr)
+            self._block.write(f"{prefix}.ixp", 0, csr.ixp)
+        self.n = ct.n
+        self.asns = ct.asns
+        self.index = ct.index
+        self._view: Optional[CompiledTopology] = None
+
+    def view(self) -> CompiledTopology:
+        """The attached compiled topology (built lazily, cached per
+        process — after a fork each worker caches its own)."""
+        view = self._view
+        if view is None:
+            view = CompiledTopology.__new__(CompiledTopology)
+            view.asns = self.asns
+            view.index = self.index
+            view.n = self.n
+            for attr, prefix in _SHARE_ROLES:
+                setattr(view, attr, _CSR.from_columns(
+                    self._block.column(f"{prefix}.start"),
+                    self._block.column(f"{prefix}.nbr"),
+                    self._block.column(f"{prefix}.ixp")))
+            view._kind_tmpl = [NO_ROUTE] * self.n
+            view._int_tmpl = [-1] * self.n
+            self._view = view
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        return self._block.nbytes
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent; parent only)."""
+        self._view = None
+        self._block.close()
+
+    def __enter__(self) -> "CompiledShare":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 class RouteTable:
     """One destination's routing table as four parallel flat arrays.
@@ -401,6 +497,18 @@ def compute_table(ct: CompiledTopology, dst_index: int) -> RouteTable:
     allocating a ``RouteEntry`` per candidate.  Index comparisons stand
     in for ASN comparisons because the dense index is sorted-ASN order.
     """
+    kind, length, nh, via = compute_columns(ct, dst_index)
+    return RouteTable(array("b", kind), array("i", length),
+                      array("i", nh), array("i", via), ct)
+
+
+def compute_columns(ct: CompiledTopology, dst_index: int
+                    ) -> tuple[list[int], list[int],
+                               list[int], list[int]]:
+    """The table compute itself: raw (kind, length, next_hop, via_ixp)
+    work-buffers for one destination.  :func:`compute_table` wraps them
+    into a :class:`RouteTable`; the shared-memory dispatch path writes
+    them straight into a :class:`SharedTableStore` slot instead."""
     n = ct.n
     kind = ct._kind_tmpl[:]
     length = [0] * n
@@ -463,5 +571,66 @@ def compute_table(ct: CompiledTopology, dst_index: int) -> RouteTable:
                 push(c)
                 via[c] = ix
 
-    return RouteTable(array("b", kind), array("i", length),
-                      array("i", nh), array("i", via), ct)
+    return kind, length, nh, via
+
+
+#: The four parallel columns of a :class:`RouteTable`, with typecodes.
+_TABLE_COLUMNS = (("kind", "b"), ("length", "i"),
+                  ("next_hop", "i"), ("via_ixp", "i"))
+
+
+class SharedTableStore:
+    """Preallocated shared-memory result columns for a table batch.
+
+    One slot per destination: ``RouteTable``'s four columns, each slot
+    ``n`` elements wide, all living in a single segment the parent
+    allocates before the pool forks.  Workers fill their slot in place
+    (:meth:`write_row` — idempotent, so crash recovery just re-runs);
+    the parent harvests with :meth:`table`, which materializes plain
+    arrays via one bulk copy per column so the tables outlive the
+    segment, then closes the block.  Nothing is ever pickled.
+    """
+
+    __slots__ = ("n", "n_tables", "_block")
+
+    def __init__(self, n_tables: int, n: int) -> None:
+        self.n = n
+        self.n_tables = n_tables
+        self._block = SharedColumnBlock(
+            [(name, typecode, n_tables * n)
+             for name, typecode in _TABLE_COLUMNS])
+
+    def write_row(self, slot: int, kind: list[int], length: list[int],
+                  next_hop: list[int], via_ixp: list[int]) -> None:
+        """Fill one destination's slot from compute work-buffers."""
+        base = slot * self.n
+        block = self._block
+        block.write("kind", base, array("b", kind))
+        block.write("length", base, array("i", length))
+        block.write("next_hop", base, array("i", next_hop))
+        block.write("via_ixp", base, array("i", via_ixp))
+
+    def table(self, slot: int,
+              compiled: Optional[CompiledTopology] = None) -> RouteTable:
+        """Materialize one slot as a standalone :class:`RouteTable`."""
+        base = slot * self.n
+        block = self._block
+        return RouteTable(block.read_array("kind", base, self.n),
+                          block.read_array("length", base, self.n),
+                          block.read_array("next_hop", base, self.n),
+                          block.read_array("via_ixp", base, self.n),
+                          compiled)
+
+    @property
+    def nbytes(self) -> int:
+        return self._block.nbytes
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent; parent only)."""
+        self._block.close()
+
+    def __enter__(self) -> "SharedTableStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

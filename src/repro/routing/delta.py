@@ -118,12 +118,17 @@ class DeltaRouting(BGPRouting):
 
     def precompute(self, dests: Iterable[int],
                    workers: Optional[int] = None) -> int:
+        """Warm tables for ``dests``: only the dirty subset is actually
+        computed (through the parent's shared-memory fan-out when
+        parallel); clean destinations delegate to the baseline's cached
+        arrays without ever touching the pool."""
         dirty = self._dirty
         if dirty is None:
             return super().precompute(dests, workers)
         pending = list(dict.fromkeys(dests))
-        computed = super().precompute(
-            [d for d in pending if d in dirty], workers)
+        to_compute = [d for d in pending if d in dirty]
+        computed = (super().precompute(to_compute, workers)
+                    if to_compute else 0)
         for dst in pending:
             if dst not in dirty:
                 self.routes_to(dst)

@@ -13,12 +13,14 @@ from repro.topology.cables import (
     REAL_CABLE_SPECS,
 )
 from repro.topology.calibration import (
+    CONTINENTAL_SCALE,
     REGION_PROFILES,
     REFERENCE_PROFILE,
     WorldParams,
     OutageRates,
     DEFAULT_PRICING,
     CountryPricing,
+    continental_params,
 )
 from repro.topology.content import CDNProvider, HostingClass, Website
 from repro.topology.datacenters import DataCenter, FacilityTier
@@ -49,8 +51,9 @@ __all__ = [
     "AS", "ASKind", "ASLink", "Relationship",
     "CableCorridor", "CableSegment", "Landing", "SubseaCable",
     "REAL_CABLE_SPECS",
-    "REGION_PROFILES", "REFERENCE_PROFILE", "WorldParams", "OutageRates",
-    "DEFAULT_PRICING", "CountryPricing",
+    "CONTINENTAL_SCALE", "REGION_PROFILES", "REFERENCE_PROFILE",
+    "WorldParams", "OutageRates",
+    "DEFAULT_PRICING", "CountryPricing", "continental_params",
     "CDNProvider", "HostingClass", "Website",
     "DataCenter", "FacilityTier",
     "CloudResolverService", "ResolverConfig", "ResolverLocality",

@@ -162,6 +162,9 @@ class WorldParams:
 
     seed: int = 2025
     #: Scaling factor from the real Internet to the simulated one.
+    #: The default 0.25 keeps tests and examples fast; values above 1
+    #: grow the synthetic registry past the real one (see
+    #: :data:`CONTINENTAL_SCALE` for the AFRINIC-approximating size).
     scale: float = 0.25
     #: Simulation "now" and the Fig. 1 look-back window.
     current_year: int = 2025
@@ -187,10 +190,27 @@ class WorldParams:
     outage_rates: OutageRates = field(default_factory=OutageRates)
 
     def __post_init__(self) -> None:
-        if self.scale <= 0 or self.scale > 1:
-            raise ValueError("scale must be in (0, 1]")
+        if self.scale <= 0 or self.scale > MAX_SCALE:
+            raise ValueError(f"scale must be in (0, {MAX_SCALE}]")
         if self.cable_count_2025 < self.cable_count_2015:
             raise ValueError("cable counts must grow")
+
+
+#: Upper bound on :attr:`WorldParams.scale` — past this the generator's
+#: ASN counters and AFRINIC prefix pools would collide.
+MAX_SCALE = 16.0
+
+#: ``scale`` at which the African AS roster approximates the real
+#: AFRINIC registry (~2000+ allocated ASNs) — 10x the default world.
+CONTINENTAL_SCALE = 2.5
+
+
+def continental_params(seed: int = 2025,
+                       factor: float = 10.0) -> WorldParams:
+    """Params for a continent-scale world: ``factor`` times the default
+    0.25-scale roster (``factor=10`` lands on :data:`CONTINENTAL_SCALE`,
+    approximating real AFRINIC registration counts)."""
+    return WorldParams(seed=seed, scale=0.25 * factor)
 
 
 #: Mobile data pricing by country group (USD per GB, 2024-ish medians)

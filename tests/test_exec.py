@@ -7,8 +7,10 @@ import pytest
 from repro import build_world
 from repro.exec import (
     CONTEXT,
+    MIN_CHUNKSIZE,
     RoutingContext,
     WorkerPool,
+    chunk_plan,
     current_payload,
     fork_available,
     get_default_workers,
@@ -85,6 +87,49 @@ class TestMapTasks:
 
     def test_suggested_workers_positive(self):
         assert suggested_workers() >= 1
+
+
+# ----------------------------------------------------------------------
+class TestChunkPlan:
+    """Pin the dispatch chunking so small batches never degrade to
+    one-item chunks (the old ``len(items) // (workers * 4)`` heuristic
+    floored to 1 and paid one pipe round-trip per task)."""
+
+    @staticmethod
+    def _chunks(n: int, workers: int) -> int:
+        size = chunk_plan(n, workers)
+        return -(-n // size)  # ceil
+
+    def test_minimum_chunk_size_enforced(self):
+        # 8 items / 2 workers used to yield size 1 (8 chunks); the
+        # minimum now batches them 4 at a time.
+        assert chunk_plan(8, 2) == MIN_CHUNKSIZE
+        assert self._chunks(8, 2) == 2
+
+    def test_small_batch_is_one_chunk(self):
+        # Fewer items than the minimum: one chunk, never size > n.
+        assert chunk_plan(3, 4) == 3
+        assert self._chunks(3, 4) == 1
+
+    def test_large_batch_targets_four_chunks_per_worker(self):
+        assert chunk_plan(1000, 4) == 62
+        assert self._chunks(1000, 4) == 17
+
+    def test_exact_chunk_counts_pinned(self):
+        # (n_items, workers) -> chunk count, pinned so heuristic
+        # changes are deliberate.
+        expected = {
+            (1, 2): 1, (4, 2): 1, (8, 2): 2, (16, 2): 4,
+            (40, 2): 8, (40, 4): 10, (100, 2): 9, (2171, 2): 9,
+        }
+        actual = {key: self._chunks(*key) for key in expected}
+        assert actual == expected
+
+    def test_never_zero_or_oversized(self):
+        for n in (1, 2, 5, 17, 63, 400):
+            for workers in (1, 2, 3, 8):
+                size = chunk_plan(n, workers)
+                assert 1 <= size <= n
 
 
 # ----------------------------------------------------------------------

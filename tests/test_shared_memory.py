@@ -1,0 +1,209 @@
+"""Shared-memory dispatch: lifecycle, identity, and leak accounting.
+
+The contracts under test (docs/performance.md, "The shared-memory data
+plane"):
+
+* serial and parallel table precompute are byte-identical — at the
+  default world scale and at a scaled-up topology;
+* no ``repro-shm-`` segment survives a clean batch, a worker crash
+  (``BrokenProcessPool`` recovery), or a hung-worker termination;
+* blocks never pickle — they cross the fork as inherited mappings only.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+
+import pytest
+
+from repro import faults
+from repro.exec import (
+    current_shared,
+    fork_available,
+    map_tasks,
+    shm_supported,
+)
+from repro.exec.shm import (
+    SEGMENT_PREFIX,
+    SharedColumnBlock,
+    active_segments,
+    system_segments,
+)
+from repro.routing import BGPRouting
+from repro.routing.compiled import (
+    SharedTableStore,
+    compute_columns,
+    compute_table,
+)
+from repro.topology import WorldParams
+from repro.topology.generator import TopologyGenerator
+
+pytestmark = pytest.mark.skipif(
+    not shm_supported(), reason="platform has no POSIX shared memory")
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform has no fork")
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """No fault plan leaks into (or out of) any test."""
+    faults.configure(None)
+    yield
+    faults.configure(None)
+
+
+def _no_segments() -> bool:
+    """True when neither the registry nor /dev/shm shows our segments."""
+    if active_segments():
+        return False
+    visible = system_segments()
+    return visible is None or visible == []
+
+
+def _assert_tables_equal(a: BGPRouting, b: BGPRouting, dests) -> None:
+    for dst in dests:
+        ta, tb = a.routes_to(dst), b.routes_to(dst)
+        assert ta.kind.tobytes() == tb.kind.tobytes(), dst
+        assert ta.length.tobytes() == tb.length.tobytes(), dst
+        assert ta.next_hop.tobytes() == tb.next_hop.tobytes(), dst
+        assert ta.via_ixp.tobytes() == tb.via_ixp.tobytes(), dst
+
+
+# ----------------------------------------------------------------------
+class TestSharedColumnBlock:
+    def test_write_read_roundtrip(self):
+        with SharedColumnBlock([("a", "i", 8), ("b", "q", 3)]) as block:
+            block.write("a", 2, array("i", [7, -1, 9]))
+            block.write("b", 0, array("q", [1 << 40]))
+            assert list(block.read_array("a", 2, 3)) == [7, -1, 9]
+            assert list(block.read_array("b", 0, 1)) == [1 << 40]
+
+    def test_created_zero_filled(self):
+        with SharedColumnBlock([("x", "i", 5)]) as block:
+            assert list(block.read_array("x", 0, 5)) == [0] * 5
+
+    def test_mixed_typecode_alignment(self):
+        # A 1-byte column followed by an 8-byte column must not let the
+        # wide column start misaligned.
+        with SharedColumnBlock([("k", "b", 3), ("v", "q", 2)]) as block:
+            block.write("k", 0, array("b", [1, 2, 3]))
+            block.write("v", 0, array("q", [-5, 5]))
+            assert list(block.read_array("k", 0, 3)) == [1, 2, 3]
+            assert list(block.read_array("v", 0, 2)) == [-5, 5]
+
+    def test_refuses_to_pickle(self):
+        with SharedColumnBlock([("x", "i", 1)]) as block:
+            with pytest.raises(TypeError, match="shared="):
+                pickle.dumps(block)
+
+    def test_close_unlinks_and_is_idempotent(self):
+        block = SharedColumnBlock([("x", "i", 4)])
+        name = block.name
+        assert name.startswith(SEGMENT_PREFIX)
+        assert name in active_segments()
+        block.close()
+        block.close()
+        assert name not in active_segments()
+        visible = system_segments()
+        assert visible is None or name not in visible
+
+    def test_no_segments_after_context_exit(self):
+        with SharedColumnBlock([("x", "i", 4)]):
+            pass
+        assert _no_segments()
+
+
+# ----------------------------------------------------------------------
+class TestCompiledShare:
+    def test_view_computes_identical_tables(self, topo):
+        compiled = BGPRouting(topo).compiled
+        dests = sorted(topo.ases)[:5]
+        with compiled.share() as share:
+            view = share.view()
+            assert view is share.view()  # cached per process
+            for dst in dests:
+                ours = compute_table(view, view.index[dst])
+                ref = compute_table(compiled, compiled.index[dst])
+                assert ours.kind.tobytes() == ref.kind.tobytes()
+                assert ours.next_hop.tobytes() == ref.next_hop.tobytes()
+        assert _no_segments()
+
+    def test_store_roundtrip(self, topo):
+        compiled = BGPRouting(topo).compiled
+        dst = sorted(topo.ases)[3]
+        with SharedTableStore(2, compiled.n) as store:
+            cols = compute_columns(compiled, compiled.index[dst])
+            store.write_row(1, *cols)
+            got = store.table(1, compiled)
+            ref = compute_table(compiled, compiled.index[dst])
+            assert got.kind.tobytes() == ref.kind.tobytes()
+            assert got.length.tobytes() == ref.length.tobytes()
+            assert got.next_hop.tobytes() == ref.next_hop.tobytes()
+            assert got.via_ixp.tobytes() == ref.via_ixp.tobytes()
+        assert _no_segments()
+
+
+# ----------------------------------------------------------------------
+class TestParallelIdentity:
+    @needs_fork
+    def test_precompute_byte_identical(self, topo):
+        dests = sorted(topo.ases)[:24]
+        serial = BGPRouting(topo)
+        serial.precompute(dests, workers=1)
+        parallel = BGPRouting(topo)
+        parallel.precompute(dests, workers=2)
+        _assert_tables_equal(serial, parallel, dests)
+        assert _no_segments()
+
+    @needs_fork
+    def test_precompute_byte_identical_at_scale(self):
+        # The continental direction, kept test-sized: 4x the default
+        # world, a destination sample wide enough to cross chunks.
+        topo = TopologyGenerator(WorldParams(seed=11, scale=1.0)).build()
+        dests = sorted(topo.ases)[::40]
+        assert len(dests) >= 20
+        serial = BGPRouting(topo)
+        serial.precompute(dests, workers=1)
+        parallel = BGPRouting(topo)
+        parallel.precompute(dests, workers=2)
+        _assert_tables_equal(serial, parallel, dests)
+        assert _no_segments()
+
+
+# ----------------------------------------------------------------------
+def _square_to_shared(task: tuple[int, int]) -> int:
+    slot, x = task
+    current_shared().write("vals", slot, array("i", [x * x]))
+    return slot
+
+
+class TestLeakRecovery:
+    @needs_fork
+    def test_no_leak_after_worker_crash(self, topo):
+        dests = sorted(topo.ases)[:16]
+        serial = BGPRouting(topo)
+        serial.precompute(dests, workers=1)
+        faults.configure("seed=7,exec.worker_crash=1x1")
+        recovered = BGPRouting(topo)
+        recovered.precompute(dests, workers=3)
+        faults.configure(None)
+        _assert_tables_equal(serial, recovered, dests)
+        assert _no_segments()
+
+    @needs_fork
+    def test_no_leak_after_hung_worker_termination(self):
+        # One worker hangs far past the batch deadline; the parent
+        # terminates the pool and re-runs unfinished chunks serially,
+        # writing into its own mapping of the same block.
+        items = [(slot, slot) for slot in range(12)]
+        faults.configure("seed=7,hang=20,exec.worker_hang=1x1")
+        with SharedColumnBlock([("vals", "i", len(items))]) as block:
+            out = map_tasks(_square_to_shared, items, workers=3,
+                            shared=block, timeout=1.0)
+            faults.configure(None)
+            assert sorted(out) == list(range(12))
+            assert list(block.read_array("vals", 0, 12)) == \
+                [x * x for x in range(12)]
+        assert _no_segments()
