@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Fleet throughput benchmark: 4 agents vs 1 on a continental campaign.
+
+Three phases, all digest-checked against a single-process oracle:
+
+* **oracle** — the campaign run serially in this process; its merged
+  digest is the reference every fleet run must reproduce.
+* **throughput** — the same campaign dispatched to 1 and then
+  ``--agents`` subprocess agents over the TCP protocol.  Each phase
+  spawns fresh agents, so both pay identical process-startup and
+  world-build costs; the speedup is campaign wall-clock t1/tN.
+* **chaos** — the campaign again across ``--chaos-agents`` agents with
+  one crash-injected (``fleet.agent_crash=1x1``): it must still
+  complete via lease reassignment with the oracle's exact digest.
+
+Writes ``benchmarks/BENCH_fleet.json``.  Exit non-zero if any digest
+differs, if the chaos campaign stalls, or — with ``--require-speedup
+X`` — if the multi-agent speedup falls below X.
+
+As with bench_parallel, a speedup gate cannot be validated on a single
+core: ``--require-speedup`` on a 1-core machine is an error (exit 3,
+no results file); without the flag a 1-core run still executes every
+phase and records ``"gate_skipped": true``.
+
+Usage::
+
+    python scripts/bench_fleet.py                    # full run
+    python scripts/bench_fleet.py --require-speedup 1.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import faults  # noqa: E402
+from repro.exec import suggested_workers  # noqa: E402
+from repro.fleet import (  # noqa: E402
+    CampaignSpec,
+    CoordinatorServer,
+    FleetCoordinator,
+    merged_digest,
+    run_campaign_serial,
+)
+from repro.topology.calibration import CONTINENTAL_SCALE  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
+    "benchmarks" / "BENCH_fleet.json"
+SEED = 2025
+CRASH_SPEC = "fleet.agent_crash=1x1"
+CAMPAIGN_TIMEOUT_S = 540.0
+
+
+def run_fleet(spec: CampaignSpec, agents: int, crash_one: bool = False,
+              heartbeat_timeout_s: float = 6.0,
+              lease_timeout_s: float = 8.0,
+              poll_s: float = 0.05) -> tuple[float, str, list[int]]:
+    """One campaign over ``agents`` subprocess agents.
+
+    Returns ``(wall_seconds, merged_digest, agent_exit_codes)``.  The
+    clock starts before the agents are spawned, so process startup and
+    per-agent world builds are inside the measurement for every phase
+    alike.
+    """
+    coordinator = FleetCoordinator(
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        lease_timeout_s=lease_timeout_s)
+    server = CoordinatorServer(coordinator).start()
+    host, port = server.address
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        pathlib.Path(__file__).resolve().parents[1] / "src")
+    env.pop("REPRO_FAULTS", None)
+    idle_polls = max(100, int(lease_timeout_s / poll_s) + 20)
+    procs: list[subprocess.Popen] = []
+    try:
+        started = time.perf_counter()
+        campaign_id = coordinator.submit_campaign(spec)
+        for i in range(agents):
+            agent_env = dict(env)
+            if crash_one and i == 0:
+                agent_env["REPRO_FAULTS"] = CRASH_SPEC
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro", "agent",
+                 "--connect", f"{host}:{port}",
+                 "--agent-id", f"bench-{i}",
+                 "--poll", str(poll_s),
+                 "--exit-when-idle", str(idle_polls)],
+                env=agent_env, stdout=subprocess.DEVNULL))
+        merged = coordinator.wait(campaign_id,
+                                  timeout=CAMPAIGN_TIMEOUT_S)
+        elapsed = time.perf_counter() - started
+        if merged is None:
+            raise RuntimeError(
+                f"campaign with {agents} agent(s) did not finish in "
+                f"{CAMPAIGN_TIMEOUT_S:.0f}s")
+        coordinator.drain()
+        codes = []
+        for proc in procs:
+            try:
+                codes.append(proc.wait(timeout=30))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                codes.append(proc.wait())
+        return elapsed, merged_digest(merged), codes
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        server.stop()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--agents", type=int, default=4,
+                        help="fleet size for the throughput phase "
+                             "(default 4)")
+    parser.add_argument("--chaos-agents", type=int, default=3,
+                        help="fleet size for the crash phase "
+                             "(default 3)")
+    parser.add_argument("--scale", type=float, default=CONTINENTAL_SCALE,
+                        help=f"world scale (default continental "
+                             f"{CONTINENTAL_SCALE})")
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--probes-per-shard", type=int, default=6)
+    parser.add_argument("--targets-per-probe", type=int, default=48)
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless campaign speedup with "
+                             "--agents agents is >= X (needs >= 2 "
+                             "cores)")
+    args = parser.parse_args(argv)
+    cores = suggested_workers()
+
+    if args.require_speedup is not None and cores < 2:
+        print("cannot validate parallelism on 1 core: --require-speedup "
+              "needs >= 2 cores (N agents on one core time-slice a "
+              "single CPU; the measurement would be scheduler noise, "
+              "not speedup)", file=sys.stderr)
+        return 3
+    gate_skipped = cores < 2
+
+    spec = CampaignSpec(seed=SEED, scale=args.scale, rounds=args.rounds,
+                        shards=args.shards,
+                        probes_per_shard=args.probes_per_shard,
+                        targets_per_probe=args.targets_per_probe)
+    print(f"cores={cores} spec={spec.to_dict()}")
+
+    print("oracle: single-process campaign ...", flush=True)
+    start = time.perf_counter()
+    oracle_doc = run_campaign_serial(spec)
+    oracle_s = time.perf_counter() - start
+    oracle = merged_digest(oracle_doc)
+    measurements = oracle_doc["totals"]["measurements"]
+    print(f"  {measurements} measurements in {oracle_s:.1f}s, "
+          f"digest {oracle[:16]}")
+
+    print("throughput: 1 agent ...", flush=True)
+    t1, d1, codes1 = run_fleet(spec, agents=1)
+    print(f"  {t1:.1f}s (exits {codes1})")
+    print(f"throughput: {args.agents} agents ...", flush=True)
+    tn, dn, codesn = run_fleet(spec, agents=args.agents)
+    print(f"  {tn:.1f}s (exits {codesn})")
+    speedup = t1 / tn if tn else None
+
+    print(f"chaos: {args.chaos_agents} agents, one crash-injected "
+          f"({CRASH_SPEC}) ...", flush=True)
+    tc, dc, codesc = run_fleet(spec, agents=args.chaos_agents,
+                               crash_one=True,
+                               heartbeat_timeout_s=3.0,
+                               lease_timeout_s=5.0)
+    print(f"  {tc:.1f}s (exits {codesc})")
+
+    doc = {
+        "format": "repro-bench-fleet/1",
+        "seed": SEED,
+        "cores": cores,
+        "spec": spec.to_dict(),
+        "measurements": measurements,
+        "oracle_s": round(oracle_s, 3),
+        "oracle_digest": oracle,
+        "agents": args.agents,
+        "t1_s": round(t1, 3),
+        "tn_s": round(tn, 3),
+        "speedup": round(speedup, 3) if speedup else None,
+        "campaigns_per_hour_1": round(3600.0 / t1, 1) if t1 else None,
+        "campaigns_per_hour_n": round(3600.0 / tn, 1) if tn else None,
+        "identical": oracle == d1 == dn == dc,
+        "chaos": {
+            "agents": args.chaos_agents,
+            "seconds": round(tc, 3),
+            "digest_identical": dc == oracle,
+            "crash_exit_observed":
+                codesc[0] == faults.CRASH_EXIT_CODE if codesc else False,
+        },
+        "gate_skipped": gate_skipped,
+        "required_speedup": args.require_speedup,
+    }
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"speedup {args.agents} agents vs 1: "
+          f"{doc['speedup']}x" + (" (gate skipped: 1 core)"
+                                  if gate_skipped else ""))
+    print(f"wrote {OUT_PATH}")
+
+    for label, digest in (("1-agent", d1), (f"{args.agents}-agent", dn),
+                          ("chaos", dc)):
+        if digest != oracle:
+            print(f"MISMATCH: {label} digest {digest} != oracle "
+                  f"{oracle}", file=sys.stderr)
+            return 1
+    if codesc and codesc[0] != faults.CRASH_EXIT_CODE:
+        print(f"chaos agent exited {codesc[0]}, expected injected "
+              f"crash status {faults.CRASH_EXIT_CODE}", file=sys.stderr)
+        return 1
+    if args.require_speedup is not None \
+            and (speedup is None or speedup < args.require_speedup):
+        print(f"campaign speedup {doc['speedup']}x below required "
+              f"{args.require_speedup}x on {cores} cores",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

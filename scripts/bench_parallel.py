@@ -58,7 +58,7 @@ from repro.observatory import (  # noqa: E402
 )
 from repro.outages import OutageSimulator, march_2024_scenario  # noqa: E402
 from repro.routing import BGPRouting, PhysicalNetwork  # noqa: E402
-from repro.topology import continental_params  # noqa: E402
+from repro.topology import WorldParams, continental_params  # noqa: E402
 from repro.topology.generator import TopologyGenerator  # noqa: E402
 
 OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
@@ -123,14 +123,16 @@ def _table_fingerprint(routing: BGPRouting, dests: list[int]) -> str:
     return h.hexdigest()
 
 
-def run_routing_core(workers: int) -> dict:
-    """Continental-scale table precompute, serial then parallel.
+def run_routing_core(workers: int, params=None) -> dict:
+    """Table precompute at ``params`` scale, serial then parallel.
 
     Returns the routing phase document: sizes, timings, the parallel
     throughput in ``tables_per_sec``, and whether every table came out
-    byte-identical to the serial run's.
+    byte-identical to the serial run's.  Defaults to continental scale;
+    the default-scale phase passes ``WorldParams(seed=SEED)``.
     """
-    params = continental_params(seed=SEED)
+    if params is None:
+        params = continental_params(seed=SEED)
     topo = TopologyGenerator(params).build()
     dests = sorted(topo.ases)
 
@@ -189,6 +191,16 @@ def main(argv=None) -> int:
     print(f"  {parallel_s:.2f}s")
     identical = serial_fp == parallel_fp
 
+    print("routing core: default-scale precompute ...", flush=True)
+    routing_default = run_routing_core(workers,
+                                       params=WorldParams(seed=SEED))
+    print(f"  {routing_default['tables']} tables over "
+          f"{routing_default['ases']} ASes: serial "
+          f"{routing_default['serial_s']}s, parallel "
+          f"{routing_default['parallel_s']}s "
+          f"({routing_default['tables_per_sec']} tables/s), speedup "
+          f"{routing_default['speedup']}x", flush=True)
+
     print("routing core: continental-scale precompute ...", flush=True)
     routing = run_routing_core(workers)
     print(f"  {routing['tables']} tables over {routing['ases']} ASes: "
@@ -197,7 +209,7 @@ def main(argv=None) -> int:
           f"tables/s), speedup {routing['speedup']}x", flush=True)
 
     doc = {
-        "format": "repro-bench-parallel/2",
+        "format": "repro-bench-parallel/3",
         "seed": SEED,
         "cores": cores,
         "workers": workers,
@@ -209,12 +221,15 @@ def main(argv=None) -> int:
         "identical": identical,
         "fingerprints": serial_fp,
         "routing": routing,
+        "routing_default": routing_default,
         "tables_per_sec": routing["tables_per_sec"],
+        "tables_per_sec_default": routing_default["tables_per_sec"],
         "gate_skipped": gate_skipped,
         "required_speedup": args.require_speedup,
     }
     OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
-    print(f"outputs identical: {identical and routing['identical']}")
+    print(f"outputs identical: "
+          f"{identical and routing['identical'] and routing_default['identical']}")
     print(f"wrote {OUT_PATH}")
 
     if not identical:
@@ -223,9 +238,10 @@ def main(argv=None) -> int:
                 print(f"MISMATCH in {key}: {serial_fp[key][:16]} != "
                       f"{parallel_fp[key][:16]}", file=sys.stderr)
         return 1
-    if not routing["identical"]:
-        print("MISMATCH in routing tables: parallel precompute differs "
-              "from serial at continental scale", file=sys.stderr)
+    if not routing["identical"] or not routing_default["identical"]:
+        scale = "continental" if not routing["identical"] else "default"
+        print(f"MISMATCH in routing tables: parallel precompute differs "
+              f"from serial at {scale} scale", file=sys.stderr)
         return 1
     if args.require_speedup is not None \
             and routing["speedup"] < args.require_speedup:

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Fleet smoke test: distributed campaign under injected agent death.
+
+The distributed observatory's contract, exercised end to end with real
+processes:
+
+1. start a coordinator (TCP RPC, short heartbeat/lease timeouts);
+2. spawn three ``repro agent`` subprocesses, one of them carrying
+   ``REPRO_FAULTS="fleet.agent_crash=1x1"`` so it hard-exits (status
+   37) on the first unit it leases;
+3. dispatch a campaign and require that it completes anyway — the
+   crashed agent's leases must expire and be reassigned to survivors;
+4. require the merged artifact's digest to be byte-identical to a
+   single-process serial run of the same spec;
+5. require every agent subprocess to be reaped (no orphans) and the
+   crashed one to have exited with the injected status.
+
+Exit 0 on success; non-zero with a diagnostic on any violation.
+Used by the ``fleet-smoke`` CI job; runnable locally on any machine
+(no minimum core count — this validates correctness, not speedup).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import faults  # noqa: E402
+from repro.fleet import (  # noqa: E402
+    CampaignSpec,
+    CoordinatorServer,
+    FleetCoordinator,
+    merged_digest,
+    run_campaign_serial,
+)
+
+SPEC = CampaignSpec(seed=2025, scale=0.1, rounds=2, shards=4,
+                    probes_per_shard=4, targets_per_probe=4)
+AGENTS = 3
+CRASH_SPEC = "fleet.agent_crash=1x1"
+TIMEOUT_S = 240.0
+
+
+def fail(message: str) -> int:
+    print(f"FLEET SMOKE FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    print(f"spec: {SPEC.to_dict()}")
+    print("serial oracle ...", flush=True)
+    t0 = time.perf_counter()
+    oracle = merged_digest(run_campaign_serial(SPEC))
+    print(f"  digest {oracle[:16]} in {time.perf_counter() - t0:.1f}s")
+
+    coordinator = FleetCoordinator(heartbeat_timeout_s=3.0,
+                                   lease_timeout_s=5.0)
+    server = CoordinatorServer(coordinator).start()
+    host, port = server.address
+    campaign_id = coordinator.submit_campaign(SPEC)
+    print(f"coordinator on {host}:{port}, campaign {campaign_id}")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        pathlib.Path(__file__).resolve().parents[1] / "src")
+    procs: list[subprocess.Popen] = []
+    try:
+        for i in range(AGENTS):
+            agent_env = dict(env)
+            if i == 0:
+                agent_env["REPRO_FAULTS"] = CRASH_SPEC
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro", "agent",
+                 "--connect", f"{host}:{port}",
+                 "--agent-id", f"smoke-{i}",
+                 # Idle budget (200 x 0.05s = 10s) must outlive the
+                 # heartbeat timeout, or survivors would exit during
+                 # the window where a dead agent's lease is pending
+                 # reassignment.
+                 "--poll", "0.05", "--exit-when-idle", "200"],
+                env=agent_env, stdout=subprocess.DEVNULL))
+        print(f"spawned {AGENTS} agents (smoke-0 crash-injected: "
+              f"{CRASH_SPEC})", flush=True)
+
+        merged = coordinator.wait(campaign_id, timeout=TIMEOUT_S)
+        if merged is None:
+            return fail(f"campaign did not finish in {TIMEOUT_S:.0f}s "
+                        f"(reassignment after agent death broken?)")
+        digest = merged_digest(merged)
+        print(f"campaign merged: digest {digest[:16]}, "
+              f"{merged['totals']['measurements']} measurements")
+        if digest != oracle:
+            return fail(f"merged digest {digest} != serial oracle "
+                        f"{oracle}")
+
+        coordinator.drain()
+        deadline = time.monotonic() + 30.0
+        statuses = []
+        for proc in procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                statuses.append(proc.wait(timeout=remaining))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+                return fail(f"agent pid {proc.pid} did not exit after "
+                            f"drain (orphaned process)")
+        print(f"agent exit statuses: {statuses}")
+        if statuses[0] != faults.CRASH_EXIT_CODE:
+            return fail(f"crash-injected agent exited {statuses[0]}, "
+                        f"expected {faults.CRASH_EXIT_CODE}")
+        if any(code != 0 for code in statuses[1:]):
+            return fail(f"surviving agents exited {statuses[1:]}, "
+                        f"expected all 0")
+
+        status = coordinator.status()
+        states = {a["agent_id"]: a["state"] for a in status["agents"]}
+        done = sum(a["units_done"] for a in status["agents"])
+        print(f"agent states: {states}; units credited: {done}")
+        if states.get("smoke-0") != "lost":
+            return fail(f"crashed agent state is "
+                        f"{states.get('smoke-0')!r}, expected 'lost'")
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        server.stop()
+    print("FLEET SMOKE OK: campaign survived an agent crash with a "
+          "byte-identical merged artifact and no orphaned processes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -384,6 +384,230 @@ def cmd_heartbeat(args) -> int:
     return 0
 
 
+def cmd_coordinator(args) -> int:
+    """Run the fleet coordinator (see docs/distributed.md).
+
+    Serves the agent RPC port until SIGTERM/SIGINT, then drains:
+    agents polling after the signal are told to shut down.  With
+    ``--http-port`` the Observatory HTTP service runs alongside with
+    the coordinator attached, so ``/v1/fleet/*`` serves live state.
+    """
+    import signal
+    import threading
+
+    from repro import faults
+    from repro.eventlog import EventLog
+    from repro.fleet import CoordinatorServer, FleetCoordinator
+    from repro.store import ArtifactStore
+    telemetry.enable()
+    eventlog = EventLog(args.events_dir) if args.events_dir else None
+    store = ArtifactStore(root=args.store_dir) if args.store_dir else None
+    coordinator = FleetCoordinator(
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        lease_timeout_s=args.lease_timeout,
+        eventlog=eventlog, store=store)
+    server = CoordinatorServer(coordinator, host=args.host,
+                               port=args.port).start()
+    host, port = server.address
+    print(f"fleet coordinator listening on {host}:{port}", flush=True)
+    httpd = None
+    if args.http_port is not None:
+        from repro.service import create_server
+        httpd, _service = create_server(
+            host=args.host, port=args.http_port,
+            default_seed=args.seed, coordinator=coordinator)
+        threading.Thread(target=httpd.serve_forever, daemon=True,
+                         name="fleet-http").start()
+        hhost, hport = httpd.server_address[:2]
+        print(f"fleet status at http://{hhost}:{hport}/v1/fleet/agents",
+              flush=True)
+    if faults.active():
+        print(faults.describe(), flush=True)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _request_stop)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
+        pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        print("draining: telling agents to shut down", flush=True)
+        coordinator.drain()
+        server.stop()
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if eventlog is not None:
+            eventlog.seal()
+        print("drained: exiting cleanly", flush=True)
+    return 0
+
+
+def cmd_agent(args) -> int:
+    """Run one measurement agent against a coordinator."""
+    import os
+
+    from repro import faults
+    from repro.exec import suggested_workers
+    from repro.fleet import Agent, TcpClient
+    host, _, port = args.connect.rpartition(":")
+    if not port.isdigit():
+        print(f"--connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    if faults.active():
+        print(faults.describe(), flush=True)
+    agent_id = args.agent_id or f"agent-{os.getpid()}"
+    workers = args.workers if args.workers > 0 else suggested_workers()
+    agent = Agent(TcpClient((host or "127.0.0.1", int(port)),
+                            timeout=args.timeout),
+                  agent_id=agent_id, workers=workers, poll_s=args.poll,
+                  hard_exit=True, max_idle_polls=args.exit_when_idle)
+    stats = agent.run()
+    print(f"agent {agent_id}: {stats.units_done} unit(s) done over "
+          f"{stats.polls} poll(s)"
+          + (" (coordinator drained)" if stats.shutdown else ""))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Dispatch a measurement campaign across a fleet of agents.
+
+    Default mode self-hosts a coordinator and spawns ``--agents``
+    agents — subprocesses (``--mode procs``) for real parallelism, or
+    in-process threads (``--mode threads``).  ``--connect HOST:PORT``
+    submits to an already-running coordinator instead.  ``--verify``
+    re-runs the campaign single-process and fails (exit 1) unless the
+    merged artifacts are byte-identical.
+    """
+    import subprocess
+    import time as _time
+
+    from repro import faults
+    from repro.fleet import (Agent, CampaignSpec, CoordinatorServer,
+                             FleetCoordinator, TcpClient, merged_digest,
+                             run_campaign_serial, spawn_local_agents)
+    from repro.fleet import rpc as fleet_rpc
+    spec = CampaignSpec(seed=args.seed, scale=args.scale,
+                        rounds=args.rounds, shards=args.shards,
+                        probes_per_shard=args.probes_per_shard,
+                        targets_per_probe=args.targets_per_probe)
+    if faults.active():
+        print(faults.describe(), flush=True)
+    t0 = _time.perf_counter()
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        address = (host or "127.0.0.1", int(port))
+        resp = fleet_rpc.call(address, {"op": "campaign",
+                                        "spec": spec.to_dict()})
+        cid = resp["campaign_id"]
+        print(f"submitted campaign {cid}", flush=True)
+        merged = None
+        deadline = _time.monotonic() + args.timeout
+        while _time.monotonic() < deadline:
+            status = fleet_rpc.call(address,
+                                    {"op": "campaign_status",
+                                     "campaign_id": cid,
+                                     "include_result": True})
+            if status.get("done"):
+                merged = status["result"]
+                break
+            _time.sleep(0.3)
+    else:
+        coordinator = FleetCoordinator(
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            lease_timeout_s=args.lease_timeout)
+        cid = coordinator.submit_campaign(spec)
+        procs: list[subprocess.Popen] = []
+        threads = []
+        server = None
+        if args.mode == "procs":
+            server = CoordinatorServer(coordinator).start()
+            host, port = server.address
+            for i in range(args.agents):
+                procs.append(subprocess.Popen(
+                    [sys.executable, "-m", "repro", "agent",
+                     "--connect", f"{host}:{port}",
+                     "--agent-id", f"proc-{i}",
+                     "--poll", str(args.poll),
+                     # Idle long enough to survive a lease-expiry
+                     # window before giving up (drain ends them early).
+                     "--exit-when-idle",
+                     str(max(100, int(args.lease_timeout
+                                      / max(args.poll, 0.01)) + 20))],
+                    stdout=subprocess.DEVNULL))
+        else:
+            threads = spawn_local_agents(coordinator, args.agents,
+                                         poll_s=args.poll)
+        try:
+            merged = coordinator.wait(cid, timeout=args.timeout)
+        finally:
+            coordinator.drain()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+            for t, _agent in threads:
+                t.join(timeout=5)
+            if server is not None:
+                server.stop()
+    elapsed = _time.perf_counter() - t0
+    if merged is None:
+        print(f"campaign {cid} did not finish within "
+              f"{args.timeout:.0f}s", file=sys.stderr)
+        return 1
+    digest = merged_digest(merged)
+    totals = merged["totals"]
+    print(f"campaign {cid}: {totals['measurements']} measurements "
+          f"across {len(merged['units'])} unit(s) in {elapsed:.1f}s")
+    print(f"merged digest: {digest}")
+    if args.verify:
+        oracle = merged_digest(run_campaign_serial(spec))
+        if oracle != digest:
+            print(f"VERIFY FAILED: serial oracle {oracle} != fleet "
+                  f"{digest}", file=sys.stderr)
+            return 1
+        print("verify: fleet output is byte-identical to the "
+              "single-process oracle")
+    return 0
+
+
+def cmd_events(args) -> int:
+    """Event-log maintenance (currently: retention gc)."""
+    import os
+
+    from repro.eventlog import EventLog, min_acked_seq
+    log = EventLog(args.events_dir)
+    cursors_dir = args.cursors if args.cursors is not None \
+        else os.path.join(args.events_dir, "cursors")
+    acked = min_acked_seq(cursors_dir)
+    dropped = log.gc(keep_days=args.keep_days,
+                     keep_bytes=args.keep_bytes, min_acked_seq=acked)
+    for info in dropped:
+        print(f"dropped {info.name}: events {info.first_seq}.."
+              f"{info.last_seq} ({info.size_bytes} bytes, "
+              f"ts {info.first_ts:.2f}..{info.last_ts:.2f})")
+    kept = log.segments()
+    boundary = "no registered consumers" if acked is None \
+        else f"min acked seq {acked}"
+    print(f"{len(dropped)} segment(s) dropped, {len(kept)} kept "
+          f"({boundary})")
+    return 0
+
+
 def cmd_telemetry(args) -> int:
     """Run one instrumented pass through every pipeline layer."""
     telemetry.enable()
@@ -527,6 +751,95 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--segment-events", type=int, default=4096,
                    help="events per columnar segment (default 4096)")
     p.set_defaults(func=cmd_heartbeat)
+    p = sub.add_parser("coordinator",
+                       help="run the fleet coordinator "
+                            "(docs/distributed.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8251,
+                   help="agent RPC port (0 = pick a free one)")
+    p.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                   help="also serve the Observatory HTTP API with "
+                        "/v1/fleet/* attached")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   metavar="S",
+                   help="seconds of silence before an agent is LOST "
+                        "and its leases released (default 10)")
+    p.add_argument("--lease-timeout", type=float, default=30.0,
+                   metavar="S",
+                   help="seconds a unit lease lasts before "
+                        "reassignment (default 30)")
+    p.add_argument("--events-dir", default=None, metavar="DIR",
+                   help="append campaign lifecycle events to the "
+                        "event log at DIR")
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="persist merged campaign artifacts in the "
+                        "store at DIR")
+    p.set_defaults(func=cmd_coordinator)
+    p = sub.add_parser("agent",
+                       help="run one measurement agent against a "
+                            "coordinator")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="coordinator RPC address")
+    p.add_argument("--agent-id", default=None,
+                   help="agent identity (default agent-<pid>)")
+    p.add_argument("--poll", type=float, default=0.2, metavar="S",
+                   help="idle poll interval (default 0.2)")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                   help="per-RPC timeout (default 10)")
+    p.add_argument("--exit-when-idle", type=int, default=None,
+                   metavar="N",
+                   help="exit after N consecutive no-work polls "
+                        "(default: run until the coordinator drains)")
+    p.set_defaults(func=cmd_agent)
+    p = sub.add_parser("campaign",
+                       help="dispatch a measurement campaign across "
+                            "a fleet")
+    p.add_argument("--agents", type=int, default=4,
+                   help="agents to spawn in self-hosted mode "
+                        "(default 4)")
+    p.add_argument("--mode", choices=("procs", "threads"),
+                   default="procs",
+                   help="self-hosted agents as subprocesses (real "
+                        "parallelism) or threads (default procs)")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="submit to a running coordinator instead of "
+                        "self-hosting")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="world scale (default 0.25; 2.5 = continental)")
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--probes-per-shard", type=int, default=8)
+    p.add_argument("--targets-per-probe", type=int, default=8)
+    p.add_argument("--poll", type=float, default=0.05, metavar="S",
+                   help="agent idle poll interval (default 0.05)")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   metavar="S")
+    p.add_argument("--lease-timeout", type=float, default=30.0,
+                   metavar="S")
+    p.add_argument("--timeout", type=float, default=600.0, metavar="S",
+                   help="overall campaign deadline (default 600)")
+    p.add_argument("--verify", action="store_true",
+                   help="re-run single-process and require "
+                        "byte-identical output")
+    p.set_defaults(func=cmd_campaign)
+    p = sub.add_parser("events",
+                       help="event-log maintenance (retention gc)")
+    p.add_argument("action", choices=("gc",))
+    p.add_argument("events_dir", metavar="DIR",
+                   help="event-log root directory")
+    p.add_argument("--keep-days", type=float, default=None,
+                   metavar="DAYS",
+                   help="drop packed segments more than DAYS simulated "
+                        "days behind the log head")
+    p.add_argument("--keep-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="drop oldest packed segments while total "
+                        "segment bytes exceed BYTES")
+    p.add_argument("--cursors", default=None, metavar="DIR",
+                   help="consumer cursor directory (default "
+                        "DIR/cursors); unconsumed events are never "
+                        "dropped")
+    p.set_defaults(func=cmd_events)
     p = sub.add_parser("store",
                        help="inspect/gc/verify the artifact store")
     p.add_argument("action", choices=("ls", "gc", "verify"))

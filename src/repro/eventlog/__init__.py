@@ -19,6 +19,7 @@ from repro.eventlog.log import (
     EventLogError,
     SegmentInfo,
     drain,
+    min_acked_seq,
 )
 from repro.eventlog.schema import (
     COLUMNS,
@@ -37,4 +38,5 @@ __all__ = [
     "EventLog", "EventLogError", "EventType", "FIELD_DOC",
     "SegmentInfo", "decode_records", "drain", "encode_commit",
     "encode_record", "event_type_from_name", "make_event",
+    "min_acked_seq",
 ]

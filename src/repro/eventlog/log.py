@@ -68,6 +68,9 @@ _TORN = telemetry.counter(
 _QUARANTINED = telemetry.counter(
     "repro_eventlog_quarantined_segments_total",
     "Finalized segments quarantined after failing integrity checks")
+_DROPPED = telemetry.counter(
+    "repro_eventlog_segments_dropped_total",
+    "Fully-consumed finalized segments dropped by retention gc")
 _HEAD = telemetry.gauge(
     "repro_eventlog_head_seq", "Highest sequence number in the log")
 _SEGMENTS = telemetry.gauge(
@@ -510,6 +513,59 @@ class EventLog:
         if moved and telemetry.enabled():
             _QUARANTINED.inc()
 
+    # -- retention -----------------------------------------------------
+    def gc(self, keep_days: Optional[float] = None,
+           keep_bytes: Optional[int] = None,
+           min_acked_seq: Optional[int] = None) -> list[SegmentInfo]:
+        """Drop old finalized segments per the retention policy.
+
+        Only *packed* segments are candidates — the WAL tail is never
+        touched — and with ``min_acked_seq`` set no segment containing
+        an event past that seq is dropped, so a registered consumer's
+        unconsumed events always survive (pass the minimum acked seq
+        across every cursor; see :func:`min_acked_seq`).
+
+        ``keep_days`` drops segments whose newest event is more than
+        that many *simulated* days behind the log head; ``keep_bytes``
+        drops oldest-first while total segment bytes exceed the cap.
+        Either alone is a sufficient reason to drop; with neither set,
+        nothing is dropped.  Returns the dropped segment infos.
+        """
+        if keep_days is None and keep_bytes is None:
+            return []
+        dropped: list[SegmentInfo] = []
+        with self._lock:
+            head_ts = self._tail[-1].ts if self._tail else (
+                self._infos[-1].last_ts if self._infos else 0.0)
+            total = sum(i.size_bytes for i in self._infos)
+            # Oldest first; stop at the first segment that must stay —
+            # retention never punches holes in the middle of the log.
+            # The newest segment always survives: it anchors the next
+            # sequence number for a process reopening an idle log.
+            for info in list(self._infos[:-1]):
+                if min_acked_seq is not None \
+                        and info.last_seq > min_acked_seq:
+                    break
+                stale = keep_days is not None \
+                    and head_ts - info.last_ts > keep_days
+                over_cap = keep_bytes is not None and total > keep_bytes
+                if not (stale or over_cap):
+                    break
+                for suffix in (".seg", ".json"):
+                    try:
+                        (self._segments_dir
+                         / f"{info.name}{suffix}").unlink()
+                    except OSError:
+                        pass
+                self._segment_cache.pop(info.name, None)
+                self._infos.remove(info)
+                total -= info.size_bytes
+                dropped.append(info)
+            if dropped and telemetry.enabled():
+                _DROPPED.inc(len(dropped))
+                _SEGMENTS.set(len(self._infos))
+        return dropped
+
     # -- inspection ----------------------------------------------------
     def counts_by_type(self) -> dict[str, int]:
         """Total events per type across segments and the live tail."""
@@ -616,6 +672,22 @@ class CursorFile:
         tmp.write_bytes(canonical_bytes(
             {"name": self.name, "ack": int(seq)}))
         os.replace(tmp, self.path)
+
+
+def min_acked_seq(cursors_dir: str | os.PathLike) -> Optional[int]:
+    """The minimum acked seq across every cursor file in a directory.
+
+    The retention contract's consumer boundary: ``EventLog.gc`` with
+    this value never drops a segment any registered consumer has yet
+    to see.  Returns ``None`` when the directory holds no cursors (no
+    registered consumers — retention alone governs).
+    """
+    directory = pathlib.Path(cursors_dir)
+    if not directory.is_dir():
+        return None
+    acks = [CursorFile(path).load()
+            for path in sorted(directory.glob("*.json"))]
+    return min(acks) if acks else None
 
 
 def drain(log: EventLog, cursor: CursorFile,

@@ -52,6 +52,15 @@ class EventType(enum.IntEnum):
     OUTAGE_END = 7
     ALERT_RAISED = 8
     ALERT_CLEARED = 9
+    # Fleet control plane (repro.fleet): the coordinator's campaign
+    # lifecycle, agent membership and lease churn.
+    AGENT_JOIN = 10
+    AGENT_LOST = 11
+    LEASE_GRANTED = 12
+    LEASE_EXPIRED = 13
+    SHARD_DONE = 14
+    CAMPAIGN_BEGIN = 15
+    CAMPAIGN_DONE = 16
 
     @property
     def wire_name(self) -> str:
@@ -78,6 +87,20 @@ FIELD_DOC: dict[EventType, dict[str, str]] = {
                              "value": "estimated severity"},
     EventType.ALERT_CLEARED: {"a": "alert kind code", "b": "bucket index",
                               "value": "buckets active"},
+    EventType.AGENT_JOIN: {"a": "agent pid", "b": "registered agents",
+                           "value": "unused"},
+    EventType.AGENT_LOST: {"a": "agent pid", "b": "leases released",
+                           "value": "unused"},
+    EventType.LEASE_GRANTED: {"a": "round", "b": "shard index",
+                              "value": "unit attempt"},
+    EventType.LEASE_EXPIRED: {"a": "round", "b": "shard index",
+                              "value": "unit attempt"},
+    EventType.SHARD_DONE: {"a": "round", "b": "shard index",
+                           "value": "measurements in the unit"},
+    EventType.CAMPAIGN_BEGIN: {"a": "rounds", "b": "shards",
+                               "value": "unused"},
+    EventType.CAMPAIGN_DONE: {"a": "rounds", "b": "shards",
+                              "value": "total measurements"},
 }
 
 _BY_WIRE_NAME = {t.wire_name: t for t in EventType}

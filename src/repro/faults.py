@@ -81,6 +81,9 @@ SITES = frozenset({
     "store.write_error",   # ArtifactStore.put raises OSError
     "eventlog.write_error",  # EventLog.append fails before any byte lands
     "eventlog.torn_write",   # EventLog.append dies mid-write (torn tail)
+    "fleet.agent_crash",     # fleet agent hard-exits on a leased unit
+    "fleet.agent_stall",     # fleet agent sleeps `hang` s mid-campaign
+    "fleet.msg_drop",        # a fleet protocol message is lost in flight
 })
 
 #: Exit status used by an injected worker crash (distinctive in waitpid).
@@ -257,6 +260,7 @@ def sleep_if(site: str, ident: str = "",
         return False
     if seconds is None:
         seconds = {"exec.worker_hang": p.hang_s,
+                   "fleet.agent_stall": p.hang_s,
                    "jobs.stall": p.stall_s}.get(site, p.slow_s)
     time.sleep(seconds)
     return True

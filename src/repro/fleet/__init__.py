@@ -1,0 +1,59 @@
+"""repro.fleet — the distributed observatory.
+
+The paper's observatory is not one machine: it is a coordinator and a
+fleet of cheap vantage-point agents scattered across unreliable
+infrastructure (§7).  This package reproduces that shape:
+
+* :mod:`repro.fleet.campaign` — the determinism contract: campaigns
+  are pure functions of a :class:`CampaignSpec`, shards are derived
+  from the topology, and every re-execution of a unit is
+  byte-identical.
+* :mod:`repro.fleet.coordinator` — membership, lease-based work
+  assignment, idempotent result ingestion, round barriers, merge.
+* :mod:`repro.fleet.agent` — the pull loop an agent runs, in-process
+  or as a ``repro agent`` subprocess.
+* :mod:`repro.fleet.rpc` — one-JSON-line-per-connection TCP protocol
+  with injected message loss (``fleet.msg_drop``).
+
+``docs/distributed.md`` documents the protocol and failure matrix.
+"""
+
+from repro.fleet.agent import (
+    Agent,
+    AgentCrashed,
+    AgentStats,
+    LocalClient,
+    TcpClient,
+    spawn_local_agents,
+)
+from repro.fleet.campaign import (
+    ARTIFACT_KIND,
+    CampaignSpec,
+    MERGED_FORMAT,
+    Shard,
+    WorldBundle,
+    bundle_for,
+    merge_results,
+    merged_digest,
+    plan_shards,
+    run_campaign_serial,
+    run_unit,
+    shards_for,
+)
+from repro.fleet.coordinator import (
+    AgentInfo,
+    Campaign,
+    FleetCoordinator,
+    UnitState,
+)
+from repro.fleet.rpc import CoordinatorServer, MessageDropped, RpcError
+
+__all__ = [
+    "ARTIFACT_KIND", "Agent", "AgentCrashed", "AgentInfo",
+    "AgentStats", "Campaign", "CampaignSpec", "CoordinatorServer",
+    "FleetCoordinator", "LocalClient", "MERGED_FORMAT",
+    "MessageDropped", "RpcError", "Shard", "TcpClient", "UnitState",
+    "WorldBundle", "bundle_for", "merge_results", "merged_digest",
+    "plan_shards", "run_campaign_serial", "run_unit", "shards_for",
+    "spawn_local_agents",
+]

@@ -1,0 +1,384 @@
+"""Deterministic campaign planning, execution and merging.
+
+The distributed observatory's correctness contract lives here: a
+campaign is a pure function of its :class:`CampaignSpec`.  Both sides
+of the fleet protocol recompute everything they need from the spec —
+
+* the coordinator partitions the African AS roster into
+  region-contiguous :class:`Shard`\\ s with :func:`plan_shards`;
+* an agent handed a ``(round, shard)`` lease rebuilds the same world,
+  the same shard membership and the same per-probe target samples from
+  the spec alone (lease messages carry only indices, never data);
+* every measurement RNG is derived from ``(spec.seed, identity)`` via
+  :func:`repro.util.derive_seed`, so a unit's result bytes do not
+  depend on which agent ran it, how many workers it used, or how many
+  times it was retried after a crash.
+
+That is what makes loss tolerance cheap: re-running a unit after an
+agent dies produces the *identical* result document, so the merged
+artifact from any survivor set is byte-identical to the single-process
+oracle (:func:`run_campaign_serial`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.exec import current_payload, map_tasks, pair_for
+from repro.measurement import (
+    DNSMeasurement,
+    MeasurementEngine,
+    ProbePlatform,
+    VantagePoint,
+    build_atlas_platform,
+)
+from repro.store.keys import canonical_bytes, digest_bytes
+from repro.topology import Topology, WorldParams, build_world
+from repro.util import derive_rng, derive_seed
+
+#: Merged-artifact format tag (bump on any layout change).
+MERGED_FORMAT = "repro-fleet-campaign/1"
+
+#: Store kind for merged campaign artifacts.
+ARTIFACT_KIND = "fleet.campaign"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to reproduce a campaign, bit for bit."""
+
+    seed: int = 2025
+    scale: float = 0.25
+    rounds: int = 2
+    shards: int = 4
+    probes_per_shard: int = 8
+    targets_per_probe: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1 or self.shards < 1:
+            raise ValueError("rounds and shards must be >= 1")
+        if self.probes_per_shard < 1 or self.targets_per_probe < 1:
+            raise ValueError("probes/targets per shard must be >= 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "scale": self.scale,
+                "rounds": self.rounds, "shards": self.shards,
+                "probes_per_shard": self.probes_per_shard,
+                "targets_per_probe": self.targets_per_probe}
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "CampaignSpec":
+        return cls(seed=int(doc["seed"]), scale=float(doc["scale"]),
+                   rounds=int(doc["rounds"]), shards=int(doc["shards"]),
+                   probes_per_shard=int(doc["probes_per_shard"]),
+                   targets_per_probe=int(doc["targets_per_probe"]))
+
+    @property
+    def digest(self) -> str:
+        return digest_bytes(canonical_bytes(self.to_dict()))
+
+    def units(self) -> list[tuple[int, int]]:
+        """Every ``(round, shard)`` work unit, in canonical order."""
+        return [(r, s) for r in range(self.rounds)
+                for s in range(self.shards)]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A region-contiguous slice of the African AS roster."""
+
+    index: int
+    region: str
+    asns: tuple[int, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"index": self.index, "region": self.region,
+                "asns": list(self.asns)}
+
+
+def plan_shards(topo: Topology, n_shards: int) -> list[Shard]:
+    """Partition African ASes into exactly ``n_shards`` region shards.
+
+    Every African AS lands in exactly one shard, and the plan is a
+    pure function of the topology and ``n_shards`` (capped at the AS
+    count).  With at least one shard per region available, each region
+    gets shards proportional to its AS population (D'Hondt rounding
+    over a sorted region list) and its sorted ASN roster is split into
+    contiguous chunks.  With fewer shards than regions, the
+    region-major roster is chunked directly and straddling chunks are
+    labelled ``"mixed"``.
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    by_region: dict[str, list[int]] = {}
+    for a in topo.african_ases():
+        by_region.setdefault(a.region.name, []).append(a.asn)
+    regions = sorted(by_region)
+    for name in regions:
+        by_region[name].sort()
+    total = sum(len(by_region[name]) for name in regions)
+    if total == 0:
+        raise ValueError("topology has no African ASes to shard")
+    n_shards = min(n_shards, total)
+
+    def _chunks(asns: list[int], k: int) -> list[tuple[int, ...]]:
+        base, extra = divmod(len(asns), k)
+        out, start = [], 0
+        for j in range(k):
+            size = base + (1 if j < extra else 0)
+            out.append(tuple(asns[start:start + size]))
+            start += size
+        return [c for c in out if c]
+
+    shards: list[Shard] = []
+    if n_shards >= len(regions):
+        # One seat per region, then award the rest by highest
+        # population-per-seat (D'Hondt; ties break on region name).
+        counts = {name: 1 for name in regions}
+        for _ in range(n_shards - len(regions)):
+            name = max((n for n in regions
+                        if counts[n] < len(by_region[n])),
+                       key=lambda n: (len(by_region[n])
+                                      / (counts[n] + 1), n))
+            counts[name] += 1
+        for name in regions:
+            for chunk in _chunks(by_region[name], counts[name]):
+                shards.append(Shard(index=len(shards), region=name,
+                                    asns=chunk))
+    else:
+        roster = [(name, asn) for name in regions
+                  for asn in by_region[name]]
+        for chunk in _chunks(list(range(total)), n_shards):
+            rows = [roster[i] for i in chunk]
+            names = {name for name, _ in rows}
+            label = rows[0][0] if len(names) == 1 else "mixed"
+            shards.append(Shard(
+                index=len(shards), region=label,
+                asns=tuple(asn for _, asn in rows)))
+    return shards
+
+
+# ----------------------------------------------------------------------
+# World bundle cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorldBundle:
+    """One built world plus the derived state campaigns reuse."""
+
+    topo: Topology
+    platform: ProbePlatform
+    target_pool: tuple[int, ...]
+    shard_cache: dict[int, list[Shard]]
+
+
+_BUNDLES: dict[tuple[int, float], WorldBundle] = {}
+_BUNDLE_LOCK = threading.Lock()
+
+
+def _target_pool(topo: Topology) -> tuple[int, ...]:
+    """Campaign-wide target addresses: one per African eyeball AS."""
+    pool: list[int] = []
+    for a in sorted(topo.african_ases(), key=lambda x: x.asn):
+        if a.kind.is_eyeball and a.prefixes:
+            pool.append(a.prefixes[0].network + 7)
+    return tuple(pool)
+
+
+def bundle_for(seed: int, scale: float) -> WorldBundle:
+    """Build (or reuse) the world for ``(seed, scale)``.
+
+    Worlds are deterministic in their params, so one cache entry
+    serves every campaign, agent and test in the process.
+    """
+    key = (int(seed), round(float(scale), 6))
+    with _BUNDLE_LOCK:
+        bundle = _BUNDLES.get(key)
+        if bundle is None:
+            topo = build_world(params=WorldParams(seed=key[0],
+                                                  scale=key[1]))
+            pair_for(topo)  # warm the shared routing context
+            bundle = WorldBundle(topo=topo,
+                                 platform=build_atlas_platform(topo),
+                                 target_pool=_target_pool(topo),
+                                 shard_cache={})
+            _BUNDLES[key] = bundle
+        return bundle
+
+
+def shards_for(bundle: WorldBundle, spec: CampaignSpec) -> list[Shard]:
+    with _BUNDLE_LOCK:
+        plan = bundle.shard_cache.get(spec.shards)
+        if plan is None:
+            plan = plan_shards(bundle.topo, spec.shards)
+            bundle.shard_cache[spec.shards] = plan
+        return plan
+
+
+# ----------------------------------------------------------------------
+# Unit execution
+# ----------------------------------------------------------------------
+
+def _shard_probes(bundle: WorldBundle, spec: CampaignSpec,
+                  shard: Shard) -> list[VantagePoint]:
+    """The shard's vantage points: platform probes inside its ASes,
+    sorted by probe id, capped at ``probes_per_shard``."""
+    member = frozenset(shard.asns)
+    probes = [p for p in bundle.platform.probes if p.asn in member]
+    probes.sort(key=lambda p: p.probe_id)
+    return probes[:spec.probes_per_shard]
+
+
+def _probe_targets(bundle: WorldBundle, spec: CampaignSpec,
+                   round_idx: int, probe: VantagePoint) -> list[int]:
+    """Per-(round, probe) target sample — identity-derived, so every
+    re-execution of the unit aims at the same addresses."""
+    rng = derive_rng(spec.seed, "fleet", "targets", str(round_idx),
+                     str(probe.probe_id))
+    pool = bundle.target_pool
+    k = min(spec.targets_per_probe, len(pool))
+    return rng.sample(pool, k) if k else []
+
+
+def _fmt(x: Optional[float]) -> str:
+    return "-" if x is None else f"{x:.6f}"
+
+
+def _measure_probe(bundle: WorldBundle, spec: CampaignSpec,
+                   round_idx: int, probe: VantagePoint) -> dict[str, Any]:
+    """All of one probe's measurements for one round.
+
+    Returns a compact, JSON-safe summary plus a digest over the full
+    measurement stream — identical no matter where or when it runs.
+    """
+    topo = bundle.topo
+    routing, phys = pair_for(topo)
+    engine = MeasurementEngine(
+        topo, routing, phys,
+        seed=derive_seed(spec.seed, "fleet", "round", str(round_idx)))
+    dns = DNSMeasurement(topo, phys, seed=spec.seed)
+    h = hashlib.sha256()
+    measurements = reached = rtt_count = dns_ok = dns_runs = 0
+    rtt_sum = 0.0
+    wire = 0
+    for target in _probe_targets(bundle, spec, round_idx, probe):
+        tr = engine.traceroute(probe, target)
+        pg = engine.ping(probe, target)
+        measurements += 2
+        wire += tr.bytes_used + pg.bytes_used
+        if tr.reached:
+            reached += 1
+        rtt = tr.end_to_end_rtt()
+        if rtt is not None:
+            rtt_sum += rtt
+            rtt_count += 1
+        h.update(f"tr:{probe.probe_id}:{target}:{int(tr.reached)}:"
+                 f"{len(tr.hops)}:{_fmt(rtt)}|".encode())
+        h.update(f"pg:{probe.probe_id}:{target}:{pg.received}:"
+                 f"{_fmt(pg.rtt_ms)}|".encode())
+    sites = topo.websites.get(probe.country_iso2, ())
+    if sites and probe.asn in topo.resolver_configs:
+        # Explicit per-identity RNG: resolutions must not consume a
+        # shared stream, or worker partitioning would change bytes.
+        res = dns.resolve(
+            probe.asn, sites[0].domain,
+            rng=derive_rng(spec.seed, "fleet", "dns", str(round_idx),
+                           str(probe.probe_id)))
+        measurements += 1
+        dns_runs += 1
+        if res.ok:
+            dns_ok += 1
+        h.update(f"dns:{probe.probe_id}:{res.domain}:{int(res.ok)}:"
+                 f"{_fmt(res.rtt_ms)}|".encode())
+    return {"probe_id": probe.probe_id, "measurements": measurements,
+            "reached": reached, "rtt_sum_ms": round(rtt_sum, 6),
+            "rtt_count": rtt_count, "dns_runs": dns_runs,
+            "dns_ok": dns_ok, "wire_bytes": wire,
+            "digest": h.hexdigest()}
+
+
+def _probe_task(probe: VantagePoint) -> dict[str, Any]:
+    """Pool task: measure one probe (payload = (bundle, spec, round))."""
+    bundle, spec, round_idx = current_payload()
+    return _measure_probe(bundle, spec, round_idx, probe)
+
+
+def run_unit(bundle: WorldBundle, spec: CampaignSpec, round_idx: int,
+             shard: Shard, workers: Optional[int] = None
+             ) -> dict[str, Any]:
+    """Execute one ``(round, shard)`` unit and return its document.
+
+    ``workers > 1`` fans probes out over :func:`repro.exec.map_tasks`
+    (fork-based — subprocess agents only); the default serial path is
+    byte-identical because every measurement derives its own RNG.
+    """
+    probes = _shard_probes(bundle, spec, shard)
+    if workers is not None and workers > 1 and probes:
+        rows = map_tasks(_probe_task, probes, workers=workers,
+                         payload=(bundle, spec, round_idx),
+                         label=f"fleet-r{round_idx}s{shard.index}")
+    else:
+        rows = [_measure_probe(bundle, spec, round_idx, p)
+                for p in probes]
+    h = hashlib.sha256()
+    for row in rows:
+        h.update(row["digest"].encode())
+    totals = {k: sum(r[k] for r in rows)
+              for k in ("measurements", "reached", "rtt_count",
+                        "dns_runs", "dns_ok", "wire_bytes")}
+    totals["rtt_sum_ms"] = round(sum(r["rtt_sum_ms"] for r in rows), 6)
+    return {"round": round_idx, "shard": shard.index,
+            "region": shard.region, "asns": len(shard.asns),
+            "probes": [r["probe_id"] for r in rows],
+            "digest": h.hexdigest(), **totals}
+
+
+# ----------------------------------------------------------------------
+# Merge + serial oracle
+# ----------------------------------------------------------------------
+
+def merge_results(spec: CampaignSpec,
+                  unit_docs: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Merge per-unit documents into the canonical campaign artifact.
+
+    Canonical order is ``(round, shard)``; nothing about agent
+    identity, lease attempts or wall-clock timing may appear here —
+    the merged document must be a pure function of the spec.
+    """
+    expected = spec.units()
+    by_unit = {(d["round"], d["shard"]): d for d in unit_docs}
+    missing = [u for u in expected if u not in by_unit]
+    if missing:
+        raise ValueError(f"merge is missing units {missing[:4]}"
+                         f"{'...' if len(missing) > 4 else ''}")
+    units = [by_unit[u] for u in expected]
+    totals = {k: sum(u[k] for u in units)
+              for k in ("measurements", "reached", "rtt_count",
+                        "dns_runs", "dns_ok", "wire_bytes")}
+    totals["rtt_sum_ms"] = round(sum(u["rtt_sum_ms"] for u in units), 6)
+    return {"format": MERGED_FORMAT, "spec": spec.to_dict(),
+            "units": units, "totals": totals}
+
+
+def merged_digest(doc: dict[str, Any]) -> str:
+    return digest_bytes(canonical_bytes(doc))
+
+
+def run_campaign_serial(spec: CampaignSpec,
+                        workers: Optional[int] = None) -> dict[str, Any]:
+    """The single-process oracle every distributed run must match."""
+    bundle = bundle_for(spec.seed, spec.scale)
+    plan = shards_for(bundle, spec)
+    docs = [run_unit(bundle, spec, r, plan[s], workers=workers)
+            for r, s in spec.units()]
+    return merge_results(spec, docs)
+
+
+__all__ = [
+    "ARTIFACT_KIND", "CampaignSpec", "MERGED_FORMAT", "Shard",
+    "WorldBundle", "bundle_for", "merge_results", "merged_digest",
+    "plan_shards", "run_campaign_serial", "run_unit", "shards_for",
+]

@@ -34,7 +34,7 @@ from repro.eventlog import EventLog, event_type_from_name
 from repro.service.endpoints import BadRequest, ENDPOINTS, describe, \
     json_safe
 from repro.service.jobs import JobQueue, JobState
-from repro.store import ArtifactStore, canonical_bytes
+from repro.store import ArtifactStore, canonical_bytes, digest_bytes
 
 #: Ceiling for ``wait=1`` blocking requests (seconds).
 MAX_WAIT_S = 300.0
@@ -54,6 +54,9 @@ _LATENCY = telemetry.histogram(
 _DEGRADED = telemetry.counter(
     "repro_service_degraded_total",
     "Responses served in degraded mode", labels=("endpoint", "reason"))
+_NOT_MODIFIED = telemetry.counter(
+    "repro_service_not_modified_total",
+    "Conditional GETs answered 304 via ETag", labels=("endpoint",))
 
 
 class Response:
@@ -85,11 +88,15 @@ class ObservatoryService:
     def __init__(self, store: ArtifactStore,
                  queue: Optional[JobQueue] = None,
                  default_seed: int = 2025,
-                 events_dir: Optional[str] = None) -> None:
+                 events_dir: Optional[str] = None,
+                 coordinator=None) -> None:
         self.store = store
         self.queue = queue if queue is not None else JobQueue()
         self.default_seed = default_seed
         self.events_dir = events_dir
+        #: Attached :class:`repro.fleet.FleetCoordinator` (or None) —
+        #: backs the live ``/v1/fleet/*`` surface.
+        self.coordinator = coordinator
         self._events_lock = threading.Lock()
         self._eventlog: Optional[EventLog] = None
         self._heartbeat = None
@@ -116,13 +123,20 @@ class ObservatoryService:
         return self._heartbeat
 
     # ------------------------------------------------------------------
-    def handle(self, target: str) -> Response:
-        """Dispatch one GET by request target (path + query string)."""
+    def handle(self, target: str,
+               headers: Optional[dict[str, str]] = None) -> Response:
+        """Dispatch one GET by request target (path + query string).
+
+        ``headers`` (case-insensitive) enables conditional requests:
+        an ``If-None-Match`` that matches a store-backed endpoint's
+        ETag is answered ``304`` with an empty body.
+        """
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         query = dict(parse_qsl(split.query))
+        lowered = {k.lower(): v for k, v in (headers or {}).items()}
         started = time.perf_counter()
-        endpoint_label, response = self._route(path, query)
+        endpoint_label, response = self._route(path, query, lowered)
         if telemetry.enabled():
             _REQUESTS.labels(endpoint=endpoint_label,
                              status=str(response.status)).inc()
@@ -131,8 +145,10 @@ class ObservatoryService:
         return response
 
     # ------------------------------------------------------------------
-    def _route(self, path: str, query: dict[str, str]
+    def _route(self, path: str, query: dict[str, str],
+               headers: Optional[dict[str, str]] = None
                ) -> tuple[str, Response]:
+        headers = headers or {}
         if path == "/healthz":
             return "healthz", Response.json(200, {"ok": True})
         if path == "/metrics":
@@ -162,6 +178,9 @@ class ObservatoryService:
             return "heartbeat", self._heartbeat_status()
         if path.startswith("/v1/jobs/"):
             return "jobs", self._job_status(path[len("/v1/jobs/"):])
+        if path in ("/v1/fleet/agents", "/v1/fleet/campaigns"):
+            label = "fleet_" + path.rsplit("/", 1)[1]
+            return label, self._fleet_status(path)
         if path.startswith("/v1/"):
             name = path[len("/v1/"):]
             endpoint = ENDPOINTS.get(name)
@@ -170,13 +189,64 @@ class ObservatoryService:
                     404, f"unknown endpoint {name!r}; "
                          f"see /v1/endpoints")
             try:
-                return name, self._query(endpoint, query)
+                return name, self._query(endpoint, query, headers)
             except BadRequest as exc:
                 return name, Response.error(400, str(exc))
         return "unknown", Response.error(404, f"no route for {path!r}")
 
+    # -- fleet surface -------------------------------------------------
+    def _fleet_status(self, path: str) -> Response:
+        if self.coordinator is None:
+            return Response.error(
+                404, "fleet coordinator not attached; start with "
+                     "'repro coordinator --http-port'")
+        status = self.coordinator.status()
+        section = path.rsplit("/", 1)[1]
+        return Response.json(
+            200, {section: status[section],
+                  "draining": status["draining"]},
+            {"X-Repro-Cache": "live"})
+
+    # -- conditional GETs ----------------------------------------------
+    @staticmethod
+    def _etag_for(payload: bytes) -> str:
+        return f'"{digest_bytes(payload)}"'
+
+    @staticmethod
+    def _etag_matches(if_none_match: str, etag: str) -> bool:
+        if if_none_match.strip() == "*":
+            return True
+        bare = etag.strip('"')
+        for candidate in if_none_match.split(","):
+            candidate = candidate.strip()
+            if candidate.startswith("W/"):
+                candidate = candidate[2:]
+            if candidate.strip('"') == bare:
+                return True
+        return False
+
+    def _maybe_not_modified(self, endpoint_name: str, payload: bytes,
+                            headers: dict[str, str],
+                            extra: dict[str, str]
+                            ) -> Optional[Response]:
+        """A 304 for a matching ``If-None-Match``, else ``None``.
+
+        The ETag is the payload's content digest — artifacts are
+        canonical bytes, so the validator is exact, and the 304 still
+        carries the ETag plus the cache-disposition headers."""
+        etag = self._etag_for(payload)
+        extra["ETag"] = etag
+        match = headers.get("if-none-match")
+        if match and self._etag_matches(match, etag):
+            if telemetry.enabled():
+                _NOT_MODIFIED.labels(endpoint=endpoint_name).inc()
+            return Response(304, b"", extra)
+        return None
+
     # ------------------------------------------------------------------
-    def _query(self, endpoint, query: dict[str, str]) -> Response:
+    def _query(self, endpoint, query: dict[str, str],
+               headers: Optional[dict[str, str]] = None) -> Response:
+        headers = headers or {}
         seed_param = query.get("seed")
         try:
             seed = int(seed_param) if seed_param is not None \
@@ -191,9 +261,12 @@ class ObservatoryService:
 
         cached = self.store.get(key)
         if cached is not None:
-            return Response(200, cached,
-                            {"X-Repro-Cache": "hit",
-                             "X-Repro-Key": key.digest})
+            out = {"X-Repro-Cache": "hit", "X-Repro-Key": key.digest}
+            not_modified = self._maybe_not_modified(
+                endpoint.name, cached, headers, out)
+            if not_modified is not None:
+                return not_modified
+            return Response(200, cached, out)
 
         if not endpoint.expensive:
             try:
@@ -203,14 +276,17 @@ class ObservatoryService:
                 return self._degraded_response(
                     endpoint, key, seed,
                     f"compute failed: {exc}")
-            headers = {"X-Repro-Cache": "miss",
-                       "X-Repro-Key": key.digest}
+            out = {"X-Repro-Cache": "miss", "X-Repro-Key": key.digest}
             if degraded is not None:
-                headers["X-Repro-Degraded"] = degraded
+                out["X-Repro-Degraded"] = degraded
                 if telemetry.enabled():
                     _DEGRADED.labels(endpoint=endpoint.name,
                                      reason=degraded).inc()
-            return Response(200, payload, headers)
+            not_modified = self._maybe_not_modified(
+                endpoint.name, payload, headers, out)
+            if not_modified is not None:
+                return not_modified
+            return Response(200, payload, out)
 
         job, _created = self.queue.submit(
             key.digest, endpoint.name, request_path,
@@ -231,9 +307,12 @@ class ObservatoryService:
                     return self._degraded_response(
                         endpoint, key, seed,
                         f"recompute failed: {exc}")
-            return Response(200, payload,
-                            {"X-Repro-Cache": "miss",
-                             "X-Repro-Key": key.digest})
+            out = {"X-Repro-Cache": "miss", "X-Repro-Key": key.digest}
+            not_modified = self._maybe_not_modified(
+                endpoint.name, payload, headers, out)
+            if not_modified is not None:
+                return not_modified
+            return Response(200, payload, out)
         return Response.json(
             202, {**job.to_dict(), "poll": f"/v1/jobs/{job.job_id}"},
             {"X-Repro-Cache": "miss", "X-Repro-Key": key.digest})
@@ -455,7 +534,8 @@ def make_handler(service: ObservatoryService,
         def do_GET(self) -> None:  # noqa: N802 - http.server API
             started = time.perf_counter()
             try:
-                response = service.handle(self.path)
+                response = service.handle(self.path,
+                                          headers=dict(self.headers))
             except Exception as exc:  # noqa: BLE001 - request boundary
                 response = Response.error(500, f"internal error: {exc}")
             self._send(response)
@@ -519,7 +599,8 @@ def create_server(host: str = "127.0.0.1", port: int = 0,
                   job_deadline_s: Optional[float] = None,
                   job_retries: int = 1,
                   events_dir: Optional[str] = None,
-                  access_log: Optional[TextIO] = None
+                  access_log: Optional[TextIO] = None,
+                  coordinator=None
                   ) -> tuple[ThreadingHTTPServer, ObservatoryService]:
     """A bound (not yet serving) HTTP server plus its service core."""
     service = ObservatoryService(
@@ -528,7 +609,8 @@ def create_server(host: str = "127.0.0.1", port: int = 0,
                        default_deadline_s=job_deadline_s,
                        default_max_retries=job_retries),
         default_seed=default_seed,
-        events_dir=events_dir)
+        events_dir=events_dir,
+        coordinator=coordinator)
     httpd = ThreadingHTTPServer((host, port),
                                 make_handler(service, access_log))
     httpd.daemon_threads = True

@@ -278,3 +278,87 @@ def test_fsync_can_be_disabled_for_tests(tmp_path):
     log.append(_batch(0, 3))
     assert len(log) == 3
     assert os.path.exists(tmp_path / "ev" / "wal.log")
+
+
+# ----------------------------------------------------------------------
+# Retention (gc) — CLI surface: ``repro events gc``
+# ----------------------------------------------------------------------
+def _gc_log(tmp_path, events: int = 32) -> EventLog:
+    """Four packed 8-event segments, empty tail (ts = 0.25 * seq)."""
+    log = EventLog(tmp_path / "ev", segment_events=8)
+    log.append(_batch(0, events))
+    log.seal()
+    assert len(log.segments()) == events // 8
+    return log
+
+
+def test_gc_noop_without_policy(tmp_path):
+    log = _gc_log(tmp_path)
+    assert log.gc() == []
+    assert len(log.segments()) == 4
+
+
+def test_gc_keep_days_drops_stale_segments(tmp_path):
+    log = _gc_log(tmp_path)
+    # head_ts = 7.75; segment last_ts are 1.75, 3.75, 5.75, 7.75.
+    dropped = log.gc(keep_days=4.5)
+    assert [s.first_seq for s in dropped] == [0]
+    assert [e.seq for e in log.read()] == list(range(8, 32))
+    # Dropped segment files are gone from disk, survivors intact.
+    seg_dir = log.root / "segments"
+    assert len(list(seg_dir.glob("*.seg"))) == 3
+
+
+def test_gc_keep_bytes_drops_oldest_until_under_cap(tmp_path):
+    log = _gc_log(tmp_path)
+    size = log.segments()[0].size_bytes
+    dropped = log.gc(keep_bytes=2 * size + size // 2)
+    assert [s.first_seq for s in dropped] == [0, 8]
+    assert [e.seq for e in log.read()] == list(range(16, 32))
+
+
+def test_gc_never_drops_newest_segment_or_wal_tail(tmp_path):
+    log = EventLog(tmp_path / "ev", segment_events=8)
+    log.append(_batch(0, 20))  # two packed segments + 4-event tail
+    dropped = log.gc(keep_bytes=0, keep_days=0.0)
+    # Everything droppable goes — except the newest packed segment
+    # (the seq anchor for reopening an idle log) and the live tail.
+    assert [s.first_seq for s in dropped] == [0]
+    assert [e.seq for e in log.read()] == list(range(8, 20))
+    reopened = EventLog(tmp_path / "ev", segment_events=8)
+    reopened.append(_batch(20, 1))
+    assert reopened.head_seq == 20
+
+
+def test_gc_respects_consumer_cursor_boundary(tmp_path):
+    from repro.eventlog import min_acked_seq
+
+    log = _gc_log(tmp_path)
+    cursors = log.root / "cursors"
+    CursorFile(cursors / "slow.json", name="slow").ack(10)
+    CursorFile(cursors / "fast.json", name="fast").ack(30)
+    boundary = min_acked_seq(cursors)
+    assert boundary == 10
+    # Segment 8..15 contains unconsumed seq 11..15: must survive, and
+    # retention never punches holes, so nothing after it drops either.
+    dropped = log.gc(keep_bytes=0, min_acked_seq=boundary)
+    assert [s.first_seq for s in dropped] == [0]
+    assert [e.seq for e in log.read()] == list(range(8, 32))
+    assert min_acked_seq(tmp_path / "nonexistent") is None
+
+
+def test_gc_counts_dropped_segments(tmp_path):
+    from repro import telemetry
+
+    log = _gc_log(tmp_path)
+    was_enabled = telemetry.enabled()
+    telemetry.enable()
+    try:
+        counter = telemetry.counter(
+            "repro_eventlog_segments_dropped_total")
+        before = counter.value
+        log.gc(keep_days=2.5)
+        assert counter.value == before + 2
+    finally:
+        if not was_enabled:
+            telemetry.disable()

@@ -258,3 +258,114 @@ class TestDeterminism:
     def test_parse_params_rejects_unknown(self):
         with pytest.raises(BadRequest):
             ENDPOINTS["summary"].parse_params({"nope": "1"})
+
+
+# ----------------------------------------------------------------------
+def _get_with_headers(base: str, path: str, headers: dict[str, str]):
+    """GET that treats 304 as a result, not an exception."""
+    req = urllib.request.Request(base + path, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        if err.code == 304:
+            return err.code, dict(err.headers), err.read()
+        raise
+
+
+class TestConditionalRequests:
+    def test_cached_get_carries_etag(self, server):
+        base, _ = server
+        _, headers, body = _get(base, f"/v1/summary?seed={SEED}")
+        etag = headers["ETag"]
+        assert etag.startswith('"') and etag.endswith('"')
+        # Same payload on every subsequent request => same ETag.
+        _, again, _ = _get(base, f"/v1/summary?seed={SEED}")
+        assert again["ETag"] == etag
+
+    def test_if_none_match_hit_returns_304_empty_body(self, server):
+        base, _ = server
+        _, headers, body = _get(base, f"/v1/summary?seed={SEED}")
+        etag = headers["ETag"]
+        status, h304, body304 = _get_with_headers(
+            base, f"/v1/summary?seed={SEED}", {"If-None-Match": etag})
+        assert status == 304
+        assert body304 == b""
+        assert h304["ETag"] == etag
+        assert len(body) > 0
+
+    def test_stale_etag_returns_full_payload(self, server):
+        base, _ = server
+        _, _, body = _get(base, f"/v1/summary?seed={SEED}")
+        status, headers, got = _get_with_headers(
+            base, f"/v1/summary?seed={SEED}",
+            {"If-None-Match": '"deadbeef"'})
+        assert status == 200
+        assert got == body
+
+    def test_wildcard_weak_and_list_forms_match(self, server):
+        base, _ = server
+        _, headers, _ = _get(base, f"/v1/summary?seed={SEED}")
+        etag = headers["ETag"]
+        for value in ("*", f"W/{etag}", f'"nope", {etag}'):
+            status, _, _ = _get_with_headers(
+                base, f"/v1/summary?seed={SEED}",
+                {"If-None-Match": value})
+            assert status == 304, value
+
+    def test_not_modified_counter(self, server):
+        import repro.telemetry as telemetry
+        base, _ = server
+        enabled_before = telemetry.enabled()
+        telemetry.enable()
+        try:
+            _, headers, _ = _get(base, f"/v1/summary?seed={SEED}")
+            _get_with_headers(base, f"/v1/summary?seed={SEED}",
+                              {"If-None-Match": headers["ETag"]})
+            _, _, metrics = _get(base, "/metrics")
+            assert "repro_service_not_modified_total" in metrics.decode()
+        finally:
+            if not enabled_before:
+                telemetry.disable()
+
+
+# ----------------------------------------------------------------------
+class TestFleetRoutes:
+    def test_404_when_no_coordinator_attached(self, server):
+        base, _ = server
+        for path in ("/v1/fleet/agents", "/v1/fleet/campaigns"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(base, path)
+            assert err.value.code == 404
+            assert b"coordinator" in err.value.read()
+
+    def test_live_status_with_coordinator(self, tmp_path):
+        from repro.fleet import CampaignSpec, FleetCoordinator
+
+        coordinator = FleetCoordinator()
+        coordinator.register("probe-1")
+        cid = coordinator.submit_campaign(
+            CampaignSpec(scale=0.05, rounds=1, shards=2,
+                         probes_per_shard=1, targets_per_probe=1))
+        httpd, service = create_server(
+            port=0, store=ArtifactStore(root=tmp_path / "store"),
+            job_workers=1, coordinator=coordinator)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            _, headers, body = _get(base, "/v1/fleet/agents")
+            doc = json.loads(body)
+            assert headers["X-Repro-Cache"] == "live"
+            assert [a["agent_id"] for a in doc["agents"]] == ["probe-1"]
+            assert doc["draining"] is False
+
+            _, _, body = _get(base, "/v1/fleet/campaigns")
+            doc = json.loads(body)
+            assert [c["campaign_id"] for c in doc["campaigns"]] == [cid]
+            assert doc["campaigns"][0]["done"] is False
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.queue.shutdown()
