@@ -1,0 +1,549 @@
+#!/usr/bin/env python
+"""Load harness for the production serving path, as CI runs it.
+
+Boots ``repro serve`` as a subprocess (asyncio transport by default)
+and drives it with hundreds-to-thousands of concurrent *keep-alive*
+clients — one asyncio connection per client, sequential requests over
+it — across the endpoint classes that dominate observatory traffic:
+
+* ``warm_hot``    — repeated GETs of stored artifacts (bulk snapshot
+                    downloads plus small analytics) served by the
+                    in-memory hot tier (the production steady state);
+* ``warm_disk``   — the identical workload against a server started
+                    with ``--hot-cache-bytes 0``, so every warm hit
+                    pays the disk store's read+verify path;
+* ``revalidate_hot`` / ``revalidate_disk`` — conditional GETs
+                    (``If-None-Match``) answered 304 by each server;
+* ``cold_miss``   — distinct never-stored keys that compute inline;
+* ``job_poll``    — ``/v1/jobs/<id>`` status polls while an expensive
+                    job runs.
+
+Each class records throughput (RPS) and p50/p95/p99 latency into
+``benchmarks/BENCH_load.json``.  Two CI gates:
+
+* ``--require-hot-speedup X`` — the hot tier's revalidation p50 must
+  be ≥ X times better than the disk store's.  Revalidation is the
+  clean probe of the serving path itself: both configurations send
+  the identical empty 304, so the measured gap is exactly the work
+  the hot tier removes (two file reads, an integrity re-hash and an
+  ETag hash under the store lock, plus the executor handoff) with no
+  dilution from body-transfer costs that are shared by construction.
+  The full-body ``warm`` speedup is recorded alongside;
+* ``--require-rps X`` — ``warm_hot`` must sustain ≥ X requests/second.
+  Like ``bench_parallel.py``, this gate **refuses** to run on a single
+  core (exit 3): a 1-core box cannot demonstrate a concurrency floor,
+  and a silent pass there would be a lie.
+
+A chaos arm (skippable with ``--skip-chaos``) re-runs a short mixed
+load against a server booted under ``REPRO_FAULTS`` and enforces the
+robustness invariant end to end: every 5xx observed under load must
+carry ``X-Repro-Degraded``.
+
+Usage::
+
+    python scripts/bench_load.py [--clients 400] [--server async]
+        [--require-hot-speedup 5] [--require-rps 500] [--skip-chaos]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+SEED = 2025
+OUT_PATH = REPO / "benchmarks" / "BENCH_load.json"
+
+#: Faults for the chaos arm: transient job errors, one stalled job,
+#: one corrupt store write — aggressive but budget-bounded, like
+#: scripts/chaos_smoke.py stage 3.
+CHAOS_FAULTS = ("seed=7,stall=1,jobs.stall=1x1,jobs.error=1x2,"
+                "store.corrupt=1x1")
+
+#: Prewarmed URL mix for the warm classes; the expensive artifacts
+#: dominate so the disk path pays real read+verify work per hit.
+WARM_PATHS = [
+    f"/v1/snapshot?seed={SEED}&pairs=2000",
+    f"/v1/snapshot?seed={SEED}&pairs=600",
+    f"/v1/coverage?seed={SEED}",
+    f"/v1/outages?seed={SEED}&years=0.5",
+    f"/v1/whatif?seed={SEED}&scenario=east",
+    f"/v1/summary?seed={SEED}",
+    f"/v1/placement?seed={SEED}&budget=3",
+]
+
+
+# ----------------------------------------------------------------------
+# server lifecycle
+# ----------------------------------------------------------------------
+def _env(faults: str | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.pop("REPRO_FAULTS", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    env["REPRO_TELEMETRY"] = "1"
+    return env
+
+
+class Server:
+    """One ``repro serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, store_dir: str, transport: str,
+                 hot_cache_bytes: int | None = None,
+                 faults: str | None = None,
+                 job_workers: int = 2) -> None:
+        cmd = [sys.executable, "-m", "repro", "serve", "--port", "0",
+               "--store-dir", store_dir,
+               "--job-workers", str(job_workers),
+               "--drain-timeout", "4"]
+        if transport == "async":
+            cmd.append("--async")
+        if hot_cache_bytes is not None:
+            cmd += ["--hot-cache-bytes", str(hot_cache_bytes)]
+        self.proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=_env(faults))
+        banner = self.proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", banner)
+        if not match:
+            self.proc.kill()
+            raise RuntimeError(f"bad server banner: {banner!r}")
+        self.host, self.port = match.group(1), int(match.group(2))
+        self.base = f"http://{self.host}:{self.port}"
+        deadline = time.time() + 30
+        while True:
+            try:
+                if self.get("/healthz")[0] == 200:
+                    break
+            except (urllib.error.URLError, ConnectionError, OSError):
+                pass
+            if time.time() > deadline:
+                self.stop()
+                raise RuntimeError("server never became healthy")
+            time.sleep(0.2)
+
+    def get(self, path: str, headers: dict | None = None
+            ) -> tuple[int, dict, bytes]:
+        req = urllib.request.Request(self.base + path,
+                                     headers=headers or {})
+        try:
+            with urllib.request.urlopen(req, timeout=300) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as err:
+            return err.code, dict(err.headers), err.read()
+
+    def stop(self) -> int:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.communicate(timeout=15)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.communicate(timeout=10)
+        return self.proc.returncode
+
+
+# ----------------------------------------------------------------------
+# asyncio keep-alive client engine
+# ----------------------------------------------------------------------
+class _Client:
+    """One keep-alive HTTP/1.1 connection issuing sequential GETs."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            try:
+                self.writer.close()
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def request(self, path: str,
+                      headers: dict[str, str] | None = None
+                      ) -> tuple[int, dict[str, str], int]:
+        """``(status, headers, body_bytes_len)`` for one GET."""
+        if self.writer is None:
+            await self.connect()
+        head = [f"GET {path} HTTP/1.1",
+                f"Host: {self.host}:{self.port}",
+                "Connection: keep-alive"]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        try:
+            self.writer.write(
+                ("\r\n".join(head) + "\r\n\r\n").encode())
+            await self.writer.drain()
+            return await self._read_response()
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            # Server closed the idle connection: reconnect once.
+            await self.close()
+            await self.connect()
+            self.writer.write(
+                ("\r\n".join(head) + "\r\n\r\n").encode())
+            await self.writer.drain()
+            return await self._read_response()
+
+    async def _read_response(self) -> tuple[int, dict[str, str], int]:
+        status_line = await self.reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed connection")
+        status = int(status_line.split(b" ", 2)[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body_len = 0
+        if length > 0:
+            body = await self.reader.readexactly(length)
+            body_len = len(body)
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+            self.reader = self.writer = None
+        return status, headers, body_len
+
+
+async def _run_phase(host: str, port: int, requests: list[tuple],
+                     clients: int) -> dict:
+    """Round-robin ``requests`` (path, headers) over ``clients``
+    concurrent keep-alive connections; returns the phase stats."""
+    latencies: list[float] = []
+    status_counts: dict[str, int] = {}
+    unlabelled_5xx: list[str] = []
+    errors = 0
+    per_client = [requests[i::clients] for i in range(clients)]
+    per_client = [chunk for chunk in per_client if chunk]
+
+    async def worker(chunk: list[tuple]) -> None:
+        nonlocal errors
+        client = _Client(host, port)
+        try:
+            await client.connect()
+            for path, headers in chunk:
+                started = time.perf_counter()
+                try:
+                    status, resp_headers, _ = await client.request(
+                        path, headers)
+                except (ConnectionError, OSError,
+                        asyncio.IncompleteReadError):
+                    errors += 1
+                    continue
+                latencies.append(time.perf_counter() - started)
+                key = str(status)
+                status_counts[key] = status_counts.get(key, 0) + 1
+                if status >= 500 \
+                        and "x-repro-degraded" not in resp_headers:
+                    unlabelled_5xx.append(f"{path} -> {status}")
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(chunk) for chunk in per_client))
+    elapsed = time.perf_counter() - started
+    done = len(latencies)
+    stats = {
+        "requests": done,
+        "clients": len(per_client),
+        "errors": errors,
+        "seconds": round(elapsed, 4),
+        "rps": round(done / elapsed, 1) if elapsed > 0 else 0.0,
+        "status_counts": dict(sorted(status_counts.items())),
+        "unlabelled_5xx": unlabelled_5xx,
+    }
+    if latencies:
+        ordered = sorted(latencies)
+
+        def pct(p: float) -> float:
+            idx = min(len(ordered) - 1, int(p * len(ordered)))
+            return round(ordered[idx] * 1000.0, 3)
+
+        stats.update(p50_ms=pct(0.50), p95_ms=pct(0.95),
+                     p99_ms=pct(0.99),
+                     mean_ms=round(
+                         statistics.fmean(ordered) * 1000.0, 3))
+    return stats
+
+
+def run_phase(server: Server, requests: list[tuple],
+              clients: int) -> dict:
+    return asyncio.run(_run_phase(server.host, server.port,
+                                  requests, clients))
+
+
+# ----------------------------------------------------------------------
+# workload construction
+# ----------------------------------------------------------------------
+def prewarm(server: Server) -> dict[str, str]:
+    """Compute+store every warm artifact; returns path → ETag."""
+    etags: dict[str, str] = {}
+    for path in WARM_PATHS:
+        sep = "&" if "?" in path else "?"
+        status, headers, _ = server.get(path + sep + "wait=1")
+        if status != 200:
+            raise RuntimeError(f"prewarm {path} -> {status}")
+        status, headers, _ = server.get(path)  # warm the serving key
+        if status != 200 or "ETag" not in headers:
+            raise RuntimeError(f"prewarm re-read {path} -> {status}")
+        etags[path] = headers["ETag"]
+    return etags
+
+
+def warm_requests(total: int) -> list[tuple]:
+    return [(WARM_PATHS[i % len(WARM_PATHS)], None)
+            for i in range(total)]
+
+
+def conditional_requests(etags: dict[str, str],
+                         total: int) -> list[tuple]:
+    # Revalidation in production is clients polling their bulk
+    # downloads with If-None-Match; small analytics payloads are
+    # simply refetched.  Drive the class against the snapshot
+    # artifacts accordingly.
+    paths = [p for p in etags if "/v1/snapshot" in p] or list(etags)
+    return [(paths[i % len(paths)],
+             {"If-None-Match": etags[paths[i % len(paths)]]})
+            for i in range(total)]
+
+
+def cold_requests(total: int) -> list[tuple]:
+    # Distinct cache keys, never prewarmed: budget is part of the
+    # artifact identity, so every request computes inline.
+    return [(f"/v1/placement?seed={SEED}&budget={100 + i}", None)
+            for i in range(total)]
+
+
+def poll_requests(server: Server, total: int) -> list[tuple]:
+    status, _, body = server.get(
+        f"/v1/detours?seed={SEED}&pairs=800")
+    doc = json.loads(body)
+    if status == 202:
+        job_path = doc["poll"]
+    else:  # already stored from a previous phase: poll a settled job
+        job_path = "/v1/jobs"
+    return [(job_path, None) for _ in range(total)]
+
+
+# ----------------------------------------------------------------------
+def cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="load-test the Observatory serving path")
+    parser.add_argument("--server", choices=("async", "threaded"),
+                        default="async",
+                        help="transport under test (default async)")
+    parser.add_argument("--clients", type=int, default=400,
+                        help="concurrent keep-alive connections for "
+                             "the warm classes (default 400)")
+    parser.add_argument("--warm-requests", type=int, default=4000,
+                        help="total requests per warm class")
+    parser.add_argument("--cold-requests", type=int, default=24)
+    parser.add_argument("--poll-requests", type=int, default=400)
+    parser.add_argument("--require-hot-speedup", type=float,
+                        default=None, metavar="X",
+                        help="fail unless hot-tier revalidation p50 "
+                             "is ≥ X times better than disk-warm")
+    parser.add_argument("--require-rps", type=float, default=None,
+                        metavar="X",
+                        help="fail unless warm_hot sustains ≥ X RPS "
+                             "(refuses to run on 1 core: exit 3)")
+    parser.add_argument("--skip-chaos", action="store_true",
+                        help="skip the REPRO_FAULTS chaos arm")
+    parser.add_argument("--out", default=str(OUT_PATH))
+    args = parser.parse_args(argv)
+
+    ncores = cores()
+    if args.require_rps is not None and ncores < 2:
+        print(f"REFUSING to enforce --require-rps on {ncores} core(s): "
+              f"a single-core run cannot demonstrate a concurrency "
+              f"floor.  Re-run on a multi-core machine.",
+              file=sys.stderr)
+        return 3
+
+    results: dict = {
+        "bench": "load",
+        "transport": args.server,
+        "cores": ncores,
+        "python": sys.version.split()[0],
+        "clients": args.clients,
+        "gate_skipped": ncores < 2,
+        "phases": {},
+    }
+
+    # -- phase 1: hot tier enabled (the production configuration) -----
+    print(f"[1/4] booting {args.server} server (hot tier on) ...")
+    with tempfile.TemporaryDirectory(prefix="repro-load-") as store_dir:
+        server = Server(store_dir, args.server)
+        try:
+            etags = prewarm(server)
+            print(f"      prewarmed {len(etags)} artifacts; "
+                  f"driving {args.clients} keep-alive clients")
+            results["phases"]["warm_hot"] = run_phase(
+                server, warm_requests(args.warm_requests),
+                args.clients)
+            results["phases"]["revalidate_hot"] = run_phase(
+                server, conditional_requests(etags,
+                                             args.warm_requests),
+                args.clients)
+            results["phases"]["cold_miss"] = run_phase(
+                server, cold_requests(args.cold_requests),
+                min(args.clients, args.cold_requests))
+            results["phases"]["job_poll"] = run_phase(
+                server, poll_requests(server, args.poll_requests),
+                min(args.clients, 64))
+            _, _, stats_body = server.get("/v1/store/stats")
+            results["hot_stats"] = json.loads(stats_body)["hot"]
+        finally:
+            rc = server.stop()
+        if rc != 0:
+            print(f"FAIL: server exited {rc} after SIGTERM",
+                  file=sys.stderr)
+            return 1
+
+    # -- phase 2: identical warm workload, hot tier disabled ----------
+    print("[2/4] booting server with --hot-cache-bytes 0 "
+          "(disk-warm baseline) ...")
+    with tempfile.TemporaryDirectory(prefix="repro-load-") as store_dir:
+        server = Server(store_dir, args.server, hot_cache_bytes=0)
+        try:
+            etags = prewarm(server)
+            results["phases"]["warm_disk"] = run_phase(
+                server, warm_requests(args.warm_requests),
+                args.clients)
+            results["phases"]["revalidate_disk"] = run_phase(
+                server, conditional_requests(etags,
+                                             args.warm_requests),
+                args.clients)
+        finally:
+            rc = server.stop()
+        if rc != 0:
+            print(f"FAIL: disk-baseline server exited {rc}",
+                  file=sys.stderr)
+            return 1
+
+    def _ratio(slow: dict, fast: dict) -> float | None:
+        if fast.get("p50_ms") and slow.get("p50_ms"):
+            return round(slow["p50_ms"] / fast["p50_ms"], 2)
+        return None
+
+    hot = results["phases"]["warm_hot"]
+    disk = results["phases"]["warm_disk"]
+    warm_speedup = _ratio(disk, hot)
+    speedup = _ratio(results["phases"]["revalidate_disk"],
+                     results["phases"]["revalidate_hot"])
+    results["hot_speedup_p50"] = speedup
+    results["warm_speedup_p50"] = warm_speedup
+    results["rps_warm_hot"] = hot["rps"]
+    print(f"[3/4] warm p50 {disk.get('p50_ms')}ms -> "
+          f"{hot.get('p50_ms')}ms ({warm_speedup}x), rps {disk['rps']}"
+          f" -> {hot['rps']} | revalidate p50 "
+          f"{results['phases']['revalidate_disk'].get('p50_ms')}ms -> "
+          f"{results['phases']['revalidate_hot'].get('p50_ms')}ms "
+          f"(hot speedup = {speedup}x)")
+
+    # -- phase 3: chaos arm -------------------------------------------
+    if args.skip_chaos:
+        print("[4/4] chaos arm skipped (--skip-chaos)")
+        results["chaos"] = {"skipped": True}
+    else:
+        print(f"[4/4] chaos arm under REPRO_FAULTS={CHAOS_FAULTS}")
+        with tempfile.TemporaryDirectory(
+                prefix="repro-load-chaos-") as store_dir:
+            server = Server(store_dir, args.server,
+                            faults=CHAOS_FAULTS, job_workers=2)
+            try:
+                mixed = []
+                for i in range(256):
+                    mixed.append(
+                        (f"/v1/summary?seed={SEED}", None)
+                        if i % 3 else
+                        (f"/v1/placement?seed={SEED}&budget="
+                         f"{2 + i % 5}", None))
+                mixed += [(f"/v1/outages?seed={SEED}&years=0.25",
+                           None)] * 16
+                chaos = run_phase(server, mixed, clients=32)
+                results["chaos"] = chaos
+            finally:
+                rc = server.stop()
+        if chaos["unlabelled_5xx"]:
+            print("FAIL: 5xx without X-Repro-Degraded under chaos "
+                  "load: " + "; ".join(chaos["unlabelled_5xx"][:5]),
+                  file=sys.stderr)
+            _write(args.out, results)
+            return 1
+        if rc != 0:
+            print(f"FAIL: chaos server exited {rc} after SIGTERM",
+                  file=sys.stderr)
+            return 1
+        print(f"      {chaos['requests']} requests, statuses "
+              f"{chaos['status_counts']}, 0 unlabelled 5xx")
+
+    _write(args.out, results)
+
+    # -- gates ---------------------------------------------------------
+    failures = []
+    if args.require_hot_speedup is not None:
+        if speedup is None or speedup < args.require_hot_speedup:
+            failures.append(
+                f"hot-tier revalidation p50 speedup {speedup}x < "
+                f"required {args.require_hot_speedup}x")
+    if args.require_rps is not None \
+            and hot["rps"] < args.require_rps:
+        failures.append(f"warm_hot {hot['rps']} RPS < required "
+                        f"{args.require_rps}")
+    for phase_name, phase in results["phases"].items():
+        if phase["unlabelled_5xx"]:
+            failures.append(f"{phase_name}: 5xx without "
+                            f"X-Repro-Degraded")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"LOAD OK (results: {args.out})")
+    return 0
+
+
+def _write(out: str, results: dict) -> None:
+    path = pathlib.Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True)
+                    + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,11 @@ Three stages:
 
 Exit status 0 only if every invariant holds.  Usage::
 
-    python scripts/chaos_smoke.py [--seed 2025]
+    python scripts/chaos_smoke.py [--seed 2025] [--async]
+
+``--async`` boots stage 3 on the asyncio transport (``repro serve
+--async``); the chaos invariants are transport-independent, so CI
+runs both.
 """
 
 from __future__ import annotations
@@ -155,16 +159,18 @@ def stage_shared_memory(seed: int) -> int:
     return 0
 
 
-def stage_service(seed: int) -> int:
+def stage_service(seed: int, async_server: bool = False) -> int:
     """Serve under chaos; every invariant checked over real HTTP."""
     store_dir = tempfile.mkdtemp(prefix="repro-chaos-store-")
+    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0",
+           "--store-dir", store_dir, "--job-workers", "2",
+           "--job-deadline", "1.0", "--job-retries", "1",
+           "--drain-timeout", "6"]
+    if async_server:
+        cmd.append("--async")
     server = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--store-dir", store_dir, "--job-workers", "2",
-         "--job-deadline", "1.0", "--job-retries", "1",
-         "--drain-timeout", "6"],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
-        env=_env())
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=_env())
     rc = 1
     try:
         banner = server.stdout.readline()
@@ -270,6 +276,9 @@ def stage_service(seed: int) -> int:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--async", dest="async_server",
+                        action="store_true",
+                        help="boot stage 3 on the asyncio transport")
     args = parser.parse_args(argv)
     rc = stage_determinism()
     if rc != 0:
@@ -277,7 +286,7 @@ def main(argv=None) -> int:
     rc = stage_shared_memory(args.seed)
     if rc != 0:
         return rc
-    rc = stage_service(args.seed)
+    rc = stage_service(args.seed, async_server=args.async_server)
     if rc == 0:
         print("CHAOS OK")
     return rc

@@ -17,6 +17,10 @@ then drives the cold-miss → warm-hit contract over HTTP:
 Exit status 0 only if every step holds.  Usage::
 
     python scripts/service_smoke.py [--endpoint coverage] [--seed 2025]
+        [--async]
+
+``--async`` boots the asyncio transport (``repro serve --async``);
+the contract under test is transport-independent, so CI runs both.
 """
 
 from __future__ import annotations
@@ -65,13 +69,18 @@ def main(argv=None) -> int:
     parser.add_argument("--endpoint", choices=sorted(REQUESTS),
                         default="coverage")
     parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--async", dest="async_server",
+                        action="store_true",
+                        help="boot the asyncio transport")
     args = parser.parse_args(argv)
 
     store_dir = tempfile.mkdtemp(prefix="repro-smoke-store-")
+    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0",
+           "--store-dir", store_dir, "--job-workers", "2"]
+    if args.async_server:
+        cmd.append("--async")
     server = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--store-dir", store_dir, "--job-workers", "2"],
-        stdout=subprocess.PIPE, text=True, env=_env())
+        cmd, stdout=subprocess.PIPE, text=True, env=_env())
     try:
         banner = server.stdout.readline()
         match = re.search(r"http://([\d.]+):(\d+)", banner)

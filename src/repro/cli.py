@@ -209,7 +209,8 @@ def cmd_serve(args) -> int:
     import threading
 
     from repro import faults
-    from repro.service import create_server
+    from repro.service import AsyncServerThread, create_server, \
+        create_service
     from repro.store import ArtifactStore
     telemetry.enable()  # a serving process always self-instruments
     store = ArtifactStore(root=args.store_dir,
@@ -219,14 +220,29 @@ def cmd_serve(args) -> int:
         access_stream = sys.stderr
     elif args.access_log:
         access_stream = open(args.access_log, "a", buffering=1)
-    httpd, service = create_server(
-        host=args.host, port=args.port, store=store,
-        job_workers=args.job_workers, default_seed=args.seed,
-        job_deadline_s=args.job_deadline, job_retries=args.job_retries,
-        events_dir=args.events_dir, access_log=access_stream)
-    host, port = httpd.server_address[:2]
+    httpd = serve_thread = runner = None
+    if args.async_server:
+        service = create_service(
+            store=store, job_workers=args.job_workers,
+            default_seed=args.seed, job_deadline_s=args.job_deadline,
+            job_retries=args.job_retries, events_dir=args.events_dir,
+            hot_cache_bytes=args.hot_cache_bytes)
+        runner = AsyncServerThread(service, host=args.host,
+                                   port=args.port,
+                                   access_log=access_stream)
+        host, port = runner.start()
+    else:
+        httpd, service = create_server(
+            host=args.host, port=args.port, store=store,
+            job_workers=args.job_workers, default_seed=args.seed,
+            job_deadline_s=args.job_deadline,
+            job_retries=args.job_retries,
+            events_dir=args.events_dir, access_log=access_stream,
+            hot_cache_bytes=args.hot_cache_bytes)
+        host, port = httpd.server_address[:2]
+    transport = "async" if args.async_server else "threaded"
     print(f"repro service listening on http://{host}:{port} "
-          f"(store: {store.root})", flush=True)
+          f"(store: {store.root}, transport: {transport})", flush=True)
     if args.events_dir:
         print(f"serving event log at {args.events_dir} "
               f"(/v1/events, /v1/heartbeat)", flush=True)
@@ -244,9 +260,10 @@ def cmd_serve(args) -> int:
             previous[sig] = signal.signal(sig, _request_stop)
         except ValueError:  # pragma: no cover - non-main thread
             pass
-    serve_thread = threading.Thread(target=httpd.serve_forever,
-                                    daemon=True, name="repro-serve")
-    serve_thread.start()
+    if httpd is not None:
+        serve_thread = threading.Thread(target=httpd.serve_forever,
+                                        daemon=True, name="repro-serve")
+        serve_thread.start()
     try:
         stop.wait()
     except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
@@ -256,10 +273,14 @@ def cmd_serve(args) -> int:
             signal.signal(sig, handler)
         print("draining: stopped accepting, settling in-flight jobs",
               flush=True)
-        httpd.shutdown()
+        if runner is not None:
+            runner.stop()
+        if httpd is not None:
+            httpd.shutdown()
         service.queue.shutdown(timeout=args.drain_timeout)
-        httpd.server_close()
-        serve_thread.join(timeout=2.0)
+        if httpd is not None:
+            httpd.server_close()
+            serve_thread.join(timeout=2.0)
         if access_stream is not None and access_stream is not sys.stderr:
             access_stream.close()
         doc = telemetry.to_json()
@@ -740,6 +761,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--access-log", default=None, metavar="PATH",
                    help="append one JSON line per request to PATH "
                         "('-' = stderr); off by default")
+    p.add_argument("--hot-cache-bytes", type=int, default=None,
+                   metavar="N",
+                   help="byte budget for the in-memory hot tier over "
+                        "the store (default 64 MiB; 0 disables it)")
+    p.add_argument("--async", dest="async_server", action="store_true",
+                   help="serve with the asyncio transport instead of "
+                        "the threaded one (same handler core; built "
+                        "for thousands of keep-alive connections)")
     p.set_defaults(func=cmd_serve)
     p = sub.add_parser("heartbeat",
                        help="always-on loop: generate events, append "

@@ -314,32 +314,41 @@ _SHARE_ROLES = (("providers", "p"), ("customers", "c"), ("peers", "e"))
 class CompiledShare:
     """One topology's CSR adjacency, published once in shared memory.
 
-    Holds the nine flat columns (``start``/``nbr``/``ixp`` per role) in
-    a single :class:`~repro.exec.shm.SharedColumnBlock`; ``asns`` and
-    the dense ``index`` stay ordinary fork-inherited objects (they are
-    read-only Python containers, not flat columns).  :meth:`view`
-    builds — once per process — a :class:`CompiledTopology` whose CSR
+    Holds the six flat *edge* columns (``nbr``/``ixp`` per role) in a
+    single :class:`~repro.exec.shm.SharedColumnBlock`.  The three
+    ``array('q')`` row-offset columns are **not** copied into the
+    block: they are immutable once compiled, so the share keeps direct
+    references to the compiled topology's own ``start`` arrays and the
+    fork hands workers the same pages copy-on-write — exactly like
+    ``asns`` and the dense ``index``.  That identity is what lets
+    scenario copies built with :meth:`CompiledTopology.extended` share
+    one offset array per untouched role across the base view, the
+    share and every worker, instead of re-materialising ~n×8 bytes per
+    copy (``tests/test_shared_memory.py`` asserts it).  :meth:`view`
+    builds — once per process — a :class:`CompiledTopology` whose edge
     arrays are memoryview casts over the block: workers compute tables
     over the exact bytes the parent published, zero copies anywhere.
 
     Does not pickle (by design): reach workers via ``payload=``.
     """
 
-    __slots__ = ("n", "asns", "index", "_block", "_view")
+    __slots__ = ("n", "asns", "index", "starts", "_block", "_view")
 
     def __init__(self, ct: CompiledTopology) -> None:
         columns: list[tuple[str, str, int]] = []
         for attr, prefix in _SHARE_ROLES:
             csr: _CSR = getattr(ct, attr)
-            columns.append((f"{prefix}.start", "q", len(csr.start)))
             columns.append((f"{prefix}.nbr", "i", len(csr.nbr)))
             columns.append((f"{prefix}.ixp", "i", len(csr.ixp)))
         self._block = SharedColumnBlock(columns)
+        #: Role prefix → the compiled topology's own offset array,
+        #: shared by reference (parent) / fork inheritance (workers).
+        self.starts: dict[str, array] = {}
         for attr, prefix in _SHARE_ROLES:
             csr = getattr(ct, attr)
-            self._block.write(f"{prefix}.start", 0, csr.start)
             self._block.write(f"{prefix}.nbr", 0, csr.nbr)
             self._block.write(f"{prefix}.ixp", 0, csr.ixp)
+            self.starts[prefix] = csr.start
         self.n = ct.n
         self.asns = ct.asns
         self.index = ct.index
@@ -356,7 +365,7 @@ class CompiledShare:
             view.n = self.n
             for attr, prefix in _SHARE_ROLES:
                 setattr(view, attr, _CSR.from_columns(
-                    self._block.column(f"{prefix}.start"),
+                    self.starts[prefix],
                     self._block.column(f"{prefix}.nbr"),
                     self._block.column(f"{prefix}.ixp")))
             view._kind_tmpl = [NO_ROUTE] * self.n

@@ -11,11 +11,17 @@ reproduction:
   per-endpoint schema versions;
 * :mod:`repro.service.jobs` — an async queue for expensive queries,
   deduplicated by result identity (the artifact key digest);
-* :mod:`repro.service.server` — a dependency-free threaded HTTP
-  server; cheap queries answer synchronously, expensive ones become
+* :mod:`repro.service.hotcache` — a bounded in-memory LRU over the
+  store's content-address keys, so sustained warm traffic never pays a
+  disk read or a re-hash per request;
+* :mod:`repro.service.server` — the transport-agnostic handler core
+  (:class:`ObservatoryService`) plus a dependency-free threaded HTTP
+  transport; cheap queries answer synchronously, expensive ones become
   pollable jobs, and everything durable flows through
   :class:`repro.store.ArtifactStore` so identical requests return
-  byte-identical payloads regardless of cache state.
+  byte-identical payloads regardless of cache state;
+* :mod:`repro.service.aserver` — an asyncio transport over the same
+  handler core (``repro serve --async``) for high-concurrency serving.
 
 Run it with ``repro serve --port 8151``; see ``docs/service.md``.
 """
@@ -26,19 +32,26 @@ from repro.service.endpoints import (
     Endpoint,
     Param,
     describe,
+    parse_seed,
     world_for,
 )
+from repro.service.hotcache import DEFAULT_HOT_BYTES, HotCache
 from repro.service.jobs import Job, JobQueue, JobState
 from repro.service.server import (
     MAX_WAIT_S,
     ObservatoryService,
     Response,
     create_server,
+    create_service,
     job_payload_for,
 )
+from repro.service.aserver import AsyncObservatoryServer, \
+    AsyncServerThread
 
 __all__ = [
-    "BadRequest", "ENDPOINTS", "Endpoint", "Job", "JobQueue",
-    "JobState", "MAX_WAIT_S", "ObservatoryService", "Param", "Response",
-    "create_server", "describe", "job_payload_for", "world_for",
+    "AsyncObservatoryServer", "AsyncServerThread", "BadRequest",
+    "DEFAULT_HOT_BYTES", "ENDPOINTS", "Endpoint", "HotCache", "Job",
+    "JobQueue", "JobState", "MAX_WAIT_S", "ObservatoryService",
+    "Param", "Response", "create_server", "create_service", "describe",
+    "job_payload_for", "parse_seed", "world_for",
 ]

@@ -1,0 +1,251 @@
+"""Asyncio HTTP transport for the Observatory service.
+
+``repro serve --async`` runs this instead of the threaded
+``http.server`` transport.  The difference is purely how connections
+are multiplexed: one event loop owns every socket (thousands of
+keep-alive clients cost one task each, not one OS thread each), and
+request *handling* — routing, hot tier, store, jobs, degraded mode —
+is the exact same :meth:`repro.service.server.ObservatoryService.dispatch`
+the threaded server calls, executed on a bounded thread pool so
+blocking work (``wait=1`` requests, heartbeat long-polls, disk reads)
+never stalls the loop.  One asymmetry is allowed: requests the hot
+tier can answer outright go through
+:meth:`~repro.service.server.ObservatoryService.dispatch_fast` on the
+event loop itself — a pure in-memory lookup needs no thread handoff,
+and the fast path is defined to be byte-identical to ``dispatch``.
+
+Because both transports funnel through one handler core, they pass the
+same test suite, the same smoke tests and the same chaos invariants;
+``tests/test_service.py`` parametrizes over both to enforce that.
+
+Protocol support is deliberately minimal (stdlib only, no h2/h3):
+HTTP/1.1 with keep-alive by default, ``Connection: close`` honored,
+HTTP/1.0 clients get ``keep-alive`` only when they ask for it.
+Request bodies are drained (never parsed — the API is GET/HEAD/DELETE)
+so pipelined framing survives clients that POST at us.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.client import responses as _REASONS
+from typing import Optional, TextIO
+
+from repro.service.server import (
+    ObservatoryService,
+    Response,
+    access_log_entry,
+    write_access_log,
+)
+
+#: Threads available for blocking dispatch work.  Generous relative to
+#: job workers because requests can *wait* (``wait=1`` blocks up to
+#: MAX_WAIT_S; ``/v1/heartbeat/stream`` long-polls) without computing.
+DEFAULT_DISPATCH_WORKERS = 32
+
+#: Maximum bytes in one request line or header line.
+_LINE_LIMIT = 65536
+
+
+class AsyncObservatoryServer:
+    """One event loop serving :class:`ObservatoryService` over HTTP."""
+
+    def __init__(self, service: ObservatoryService,
+                 host: str = "127.0.0.1", port: int = 0,
+                 access_log: Optional[TextIO] = None,
+                 dispatch_workers: int = DEFAULT_DISPATCH_WORKERS
+                 ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.access_log = access_log
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, int(dispatch_workers)),
+            thread_name_prefix="repro-dispatch")
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conns: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and accept; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._client_connected, self.host, self.port,
+            limit=_LINE_LIMIT)
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, close live connections, release threads."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conns):
+            task.cancel()
+        if self._conns:
+            await asyncio.gather(*self._conns, return_exceptions=True)
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    def _client_connected(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer))
+        self._conns.add(task)
+        task.add_done_callback(self._conns.discard)
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, target, version, headers = parsed
+                started = time.perf_counter()
+                keep_alive = self._wants_keep_alive(version, headers)
+                # Hot-tier hits are pure in-memory lookups: serve them
+                # on the loop and skip the executor handoff entirely.
+                response = self.service.dispatch_fast(
+                    method, target, headers)
+                if response is None:
+                    response = await loop.run_in_executor(
+                        self._executor, self.service.dispatch,
+                        method, target, headers)
+                self._write_response(writer, response, keep_alive)
+                await writer.drain()
+                if self.access_log is not None:
+                    write_access_log(self.access_log, access_log_entry(
+                        method, target, started, response))
+                if not keep_alive:
+                    break
+        except (asyncio.CancelledError, asyncio.IncompleteReadError,
+                ConnectionError, TimeoutError):
+            pass  # client went away / shutdown: nothing to answer
+        except Exception:  # noqa: BLE001 - malformed request framing
+            try:
+                self._write_response(
+                    writer, Response.error(400, "malformed request"),
+                    keep_alive=False)
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Optional[tuple[str, str, str,
+                                                dict[str, str]]]:
+        """Parse one request head; drain its body; None at EOF."""
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ValueError(f"bad request line {request_line!r}")
+        method, target, version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip()] = value.strip()
+        lowered = {k.lower(): v for k, v in headers.items()}
+        try:
+            length = int(lowered.get("content-length") or 0)
+        except ValueError:
+            length = 0
+        if length > 0:  # drained, never parsed: keep framing intact
+            await reader.readexactly(length)
+        return method, target, version, headers
+
+    @staticmethod
+    def _wants_keep_alive(version: str,
+                          headers: dict[str, str]) -> bool:
+        conn = next((v for k, v in headers.items()
+                     if k.lower() == "connection"), "").lower()
+        if version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+    @staticmethod
+    def _write_response(writer: asyncio.StreamWriter,
+                        response: Response, keep_alive: bool) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        lines = [f"HTTP/1.1 {response.status} {reason}"]
+        lines += [f"{k}: {v}" for k, v in response.headers.items()]
+        if "Content-Length" not in response.headers:
+            lines.append(f"Content-Length: {len(response.body)}")
+        lines.append("Server: repro-observatory")
+        lines.append(
+            f"Connection: {'keep-alive' if keep_alive else 'close'}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + response.body)
+
+
+class AsyncServerThread:
+    """An :class:`AsyncObservatoryServer` on its own event-loop thread.
+
+    Lets synchronous callers (tests, the smoke harnesses) run the
+    asyncio transport exactly like the threaded one: ``start()``
+    returns the bound address, ``stop()`` tears everything down.
+    """
+
+    def __init__(self, service: ObservatoryService,
+                 host: str = "127.0.0.1", port: int = 0,
+                 access_log: Optional[TextIO] = None) -> None:
+        self.server = AsyncObservatoryServer(service, host, port,
+                                             access_log)
+        self._started = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-aserver")
+
+    def start(self) -> tuple[str, int]:
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("async server failed to start") \
+                from self._startup_error
+        return self.server.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=timeout)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced in start()
+            self._startup_error = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._started.set()
+        await self._stop.wait()
+        await self.server.close()

@@ -52,6 +52,18 @@ class BadRequest(ValueError):
     """Client-side parameter error → HTTP 400."""
 
 
+def parse_seed(query: Mapping[str, str], default: int) -> int:
+    """The request's ``seed`` (every endpoint shares this contract)."""
+    raw = query.get("seed")
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise BadRequest(f"parameter 'seed' must be int, "
+                         f"got {raw!r}") from None
+
+
 @dataclass(frozen=True)
 class Param:
     """One accepted query parameter."""
@@ -173,6 +185,43 @@ def _compute_detours(seed: int, params: dict[str, Any]) -> dict:
     return {"scopes": scopes}
 
 
+def _compute_snapshot(seed: int, params: dict[str, Any]) -> dict:
+    """Raw traceroute records for open-data download (§5).
+
+    Unlike ``detours`` (which aggregates the same campaign into rates),
+    this publishes the per-measurement records a real observatory would
+    serve: TTL / IP / RTT per hop — the wire-visible view only, never
+    the simulator's hidden ground-truth AS and country labels.  These
+    are the service's bulk artifacts (hundreds of KB), which is exactly
+    the class the in-memory hot tier exists for.
+    """
+    from repro.datasets import collect_snapshot
+    from repro.exec import pair_for
+    from repro.measurement import MeasurementEngine, build_atlas_platform
+    from repro.topology import format_ip
+    topo = world_for(seed)
+    routing, phys = pair_for(topo)
+    engine = MeasurementEngine(topo, routing, phys)
+    snapshot = collect_snapshot(topo, engine, build_atlas_platform(topo),
+                                max_pairs=params["pairs"])
+    records = []
+    for (src, dst), tr in zip(snapshot.pairs, snapshot.traceroutes):
+        records.append({
+            "probe_id": tr.probe_id,
+            "src_asn": tr.src_asn,
+            "src_country": tr.src_country,
+            "dst_probe_id": dst.probe_id,
+            "dst_asn": tr.dst_asn,
+            "target_ip": format_ip(tr.target_ip),
+            "reached": tr.reached,
+            "bytes_used": tr.bytes_used,
+            "hops": [{"ttl": h.ttl, "ip": h.ip_str(),
+                      "rtt_ms": h.rtt_ms} for h in tr.hops],
+        })
+    return {"platform": snapshot.platform_name,
+            "pairs": len(records), "traceroutes": records}
+
+
 def _compute_coverage(seed: int, params: dict[str, Any]) -> dict:
     from repro.analysis import build_coverage_table
     from repro.datasets import build_delegated_file
@@ -238,6 +287,10 @@ ENDPOINTS: dict[str, Endpoint] = {e.name: e for e in (
              params=(Param("pairs", int, 600),),
              compute=_compute_detours,
              help="Fig. 2a/3 connectivity report"),
+    Endpoint("snapshot", schema_version=1, expensive=True,
+             params=(Param("pairs", int, 600),),
+             compute=_compute_snapshot,
+             help="raw traceroute records (open-data download)"),
     Endpoint("coverage", schema_version=1, expensive=True, params=(),
              compute=_compute_coverage,
              help="Table 1 scanner coverage"),

@@ -1,0 +1,177 @@
+"""Bounded in-memory hot tier in front of the artifact store.
+
+The disk store already makes warm hits cheap relative to recompute,
+but every hit still costs two file reads, a recency ``utime`` and a
+full SHA-256 re-hash — all under the store lock, so concurrent readers
+queue.  The hot tier removes that from the serving path for the
+artifacts that matter: a bounded, thread-safe LRU mapping the *same*
+content-address key digests to the *same* canonical payload bytes the
+store holds, plus the precomputed ETag so conditional GETs skip the
+per-request hash too.
+
+Invariants (asserted by ``tests/test_hotcache.py`` and the service
+suite):
+
+* a hot hit serves byte-identical payloads (and the identical ETag) to
+  a disk-warm or cold read of the same key — the tier is a pure
+  read-through cache, never an alternative source of truth;
+* the tier only ever holds bytes that were just read from, or just
+  written through to, the store — degraded/stale serving bypasses it;
+* store-side eviction, GC, ``clear`` and quarantine invalidate the
+  corresponding hot entries (wired via
+  :meth:`repro.store.ArtifactStore.add_invalidation_hook`), so the hot
+  tier can never outlive the durable artifact it mirrors.
+
+Capacity is a byte budget over payload sizes (``--hot-cache-bytes``,
+default 64 MiB; ``0`` disables the tier).  Payloads larger than the
+whole budget are never admitted — one giant artifact must not flush
+the working set.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro import telemetry
+
+#: Default byte budget for the hot tier (plenty for every analysis
+#: payload the service produces; one coverage doc is ~100 KiB).
+DEFAULT_HOT_BYTES = 64 * 1024 * 1024
+
+_HITS = telemetry.counter(
+    "repro_service_hot_hits_total",
+    "Requests served from the in-memory hot tier")
+_MISSES = telemetry.counter(
+    "repro_service_hot_misses_total",
+    "Hot-tier lookups that fell through to the store")
+_EVICTIONS = telemetry.counter(
+    "repro_service_hot_evictions_total",
+    "Hot-tier entries evicted by the LRU byte budget")
+_INVALIDATIONS = telemetry.counter(
+    "repro_service_hot_invalidations_total",
+    "Hot-tier entries dropped because the store invalidated the key")
+_BYTES = telemetry.gauge(
+    "repro_service_hot_bytes", "Payload bytes held by the hot tier")
+_ENTRIES = telemetry.gauge(
+    "repro_service_hot_entries", "Entries held by the hot tier")
+
+
+class HotCache:
+    """Thread-safe LRU of ``key digest -> (payload bytes, etag)``.
+
+    ``max_bytes <= 0`` disables the cache entirely: ``get`` always
+    misses and ``put`` is a no-op, so callers never need to branch.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_HOT_BYTES) -> None:
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, tuple[bytes, str]]" \
+            = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_bytes > 0
+
+    # ------------------------------------------------------------------
+    def get(self, key_digest: str, *,
+            count_miss: bool = True) -> Optional[tuple[bytes, str]]:
+        """``(payload, etag)`` for a hot key, bumping recency.
+
+        ``count_miss=False`` is for speculative probes (the async
+        transport's event-loop fast path) whose misses fall through to
+        a second, counted lookup on the slow path — counting both would
+        double every miss in the hit-ratio telemetry.
+        """
+        with self._lock:
+            entry = self._entries.get(key_digest)
+            if entry is not None:
+                self._entries.move_to_end(key_digest)
+                self.hits += 1
+            elif count_miss:
+                self.misses += 1
+        if telemetry.enabled():
+            if entry is not None:
+                _HITS.inc()
+            elif count_miss:
+                _MISSES.inc()
+        return entry
+
+    def put(self, key_digest: str, payload: bytes, etag: str) -> None:
+        """Admit freshly read/written canonical bytes (idempotent)."""
+        size = len(payload)
+        if not self.enabled or size > self.max_bytes:
+            return
+        evicted = 0
+        with self._lock:
+            old = self._entries.pop(key_digest, None)
+            if old is not None:
+                self._bytes -= len(old[0])
+            self._entries[key_digest] = (payload, etag)
+            self._bytes += size
+            while self._bytes > self.max_bytes and self._entries:
+                _, (victim, _) = self._entries.popitem(last=False)
+                self._bytes -= len(victim)
+                evicted += 1
+            self.evictions += evicted
+            size_now, count_now = self._bytes, len(self._entries)
+        if telemetry.enabled():
+            if evicted:
+                _EVICTIONS.inc(evicted)
+            _BYTES.set(size_now)
+            _ENTRIES.set(count_now)
+
+    def invalidate(self, key_digest: str) -> bool:
+        """Drop one key (store eviction/quarantine hook target)."""
+        with self._lock:
+            entry = self._entries.pop(key_digest, None)
+            if entry is not None:
+                self._bytes -= len(entry[0])
+                self.invalidations += 1
+            size_now, count_now = self._bytes, len(self._entries)
+        if entry is not None and telemetry.enabled():
+            _INVALIDATIONS.inc()
+            _BYTES.set(size_now)
+            _ENTRIES.set(count_now)
+        return entry is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            self.invalidations += dropped
+        if telemetry.enabled():
+            if dropped:
+                _INVALIDATIONS.inc(dropped)
+            _BYTES.set(0)
+            _ENTRIES.set(0)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

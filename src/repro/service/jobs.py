@@ -187,6 +187,20 @@ class JobQueue:
         with self._lock:
             return list(self._jobs.values())
 
+    def stats(self) -> dict[str, Any]:
+        """Queue snapshot for the ``/v1/jobs`` index route."""
+        jobs = self.jobs()
+        counts: dict[str, int] = {}
+        for job in jobs:
+            counts[job.state.value] = counts.get(job.state.value, 0) + 1
+        return {
+            "jobs": [j.to_dict()
+                     for j in sorted(jobs, key=lambda j: j.job_id)],
+            "counts": counts,
+            "workers_alive": sum(t.is_alive() for t in self._threads),
+            "shutting_down": self._shutting_down,
+        }
+
     def wait(self, job_id: str, timeout: Optional[float] = None
              ) -> Optional[Job]:
         """Wait for a job to settle; returns it (or None if unknown)."""

@@ -4,20 +4,30 @@ Request flow for ``GET /v1/<endpoint>``::
 
     parse params ──> ArtifactKey(kind, seed, params, schema-version)
          │
+         ├─ hot-tier hit ───────────> 200, cached bytes   (X-Repro-Source: hot)
          ├─ store hit ──────────────> 200, stored bytes   (X-Repro-Cache: hit)
          ├─ miss + cheap endpoint ──> compute, store ────> 200 (miss)
          ├─ miss + expensive ───────> submit job ────────> 202 {job_id,...}
          └─ miss + expensive + wait=1 ─> submit job, block, serve store
 
 The payload placed in the store is the canonical JSON encoding of the
-endpoint's deterministic document, and every path above serves exactly
-those bytes — cold and warm responses are byte-identical, which the
-service smoke test and ``scripts/bench_service.py`` both assert.
+endpoint's deterministic document, and every path above — including
+the in-memory hot tier (:class:`repro.service.hotcache.HotCache`) —
+serves exactly those bytes: hot, cold and disk-warm responses are
+byte-identical, which the service smoke test, the test suite and
+``scripts/bench_load.py`` all assert.
+
+:class:`ObservatoryService` is the transport-agnostic core:
+``dispatch(method, target, headers)`` implements GET/HEAD/DELETE plus
+405-with-``Allow`` for everything else, so the threaded transport here
+and the asyncio transport in :mod:`repro.service.aserver` share every
+byte of routing, caching, job and degraded-mode logic.
 
 Built on ``http.server.ThreadingHTTPServer`` only; no third-party
 dependencies.  Telemetry: per-endpoint request counters and latency
-histograms here, cache hit/miss/eviction counters in ``repro.store``,
-job lifecycle counters in ``repro.service.jobs``.
+histograms here, hot-tier counters in ``repro.service.hotcache``,
+cache hit/miss/eviction counters in ``repro.store``, job lifecycle
+counters in ``repro.service.jobs``.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional, TextIO
 from urllib.parse import parse_qsl, urlsplit
@@ -32,7 +43,8 @@ from urllib.parse import parse_qsl, urlsplit
 from repro import telemetry
 from repro.eventlog import EventLog, event_type_from_name
 from repro.service.endpoints import BadRequest, ENDPOINTS, describe, \
-    json_safe
+    json_safe, parse_seed
+from repro.service.hotcache import DEFAULT_HOT_BYTES, HotCache
 from repro.service.jobs import JobQueue, JobState
 from repro.store import ArtifactStore, canonical_bytes, digest_bytes
 
@@ -78,8 +90,20 @@ class Response:
         return cls(status, canonical_bytes(doc), headers)
 
     @classmethod
-    def error(cls, status: int, message: str) -> "Response":
-        return cls.json(status, {"error": message, "status": status})
+    def error(cls, status: int, message: str,
+              headers: Optional[dict[str, str]] = None) -> "Response":
+        return cls.json(status, {"error": message, "status": status},
+                        headers)
+
+    def head(self) -> "Response":
+        """The HEAD variant: same status and headers, no body.
+
+        ``Content-Length`` is pinned to the entity's real size, as
+        RFC 9110 wants — the handler layer must not overwrite it with
+        the (empty) body length."""
+        headers = dict(self.headers)
+        headers["Content-Length"] = str(len(self.body))
+        return Response(self.status, b"", headers)
 
 
 class ObservatoryService:
@@ -89,7 +113,8 @@ class ObservatoryService:
                  queue: Optional[JobQueue] = None,
                  default_seed: int = 2025,
                  events_dir: Optional[str] = None,
-                 coordinator=None) -> None:
+                 coordinator=None,
+                 hot_cache_bytes: Optional[int] = None) -> None:
         self.store = store
         self.queue = queue if queue is not None else JobQueue()
         self.default_seed = default_seed
@@ -97,6 +122,20 @@ class ObservatoryService:
         #: Attached :class:`repro.fleet.FleetCoordinator` (or None) —
         #: backs the live ``/v1/fleet/*`` surface.
         self.coordinator = coordinator
+        #: In-memory hot tier over the store (0 bytes disables it).
+        #: Subscribed to store invalidations so a hot entry can never
+        #: outlive the durable artifact it mirrors.
+        self.hot = HotCache(DEFAULT_HOT_BYTES if hot_cache_bytes is None
+                            else hot_cache_bytes)
+        self.store.add_invalidation_hook(self.hot.invalidate)
+        #: Request-target -> (endpoint, ArtifactKey) memo for the fast
+        #: path.  The mapping is pure (the key is a deterministic hash
+        #: of endpoint/seed/params), so entries never need
+        #: invalidating; the bound only caps memory under hostile
+        #: target diversity.
+        self._target_memo: "OrderedDict[str, tuple[Any, Any]]" \
+            = OrderedDict()
+        self._target_memo_lock = threading.Lock()
         self._events_lock = threading.Lock()
         self._eventlog: Optional[EventLog] = None
         self._heartbeat = None
@@ -123,6 +162,118 @@ class ObservatoryService:
         return self._heartbeat
 
     # ------------------------------------------------------------------
+    def dispatch(self, method: str, target: str,
+                 headers: Optional[dict[str, str]] = None) -> Response:
+        """One request, any method — the transport-agnostic entry.
+
+        Both HTTP transports (threaded and asyncio) funnel every
+        request through here, so method semantics are identical by
+        construction: ``GET``/``HEAD`` route normally (``HEAD`` keeps
+        the headers and the entity's ``Content-Length`` but drops the
+        body), ``DELETE`` cancels jobs, and anything else is a ``405``
+        carrying an ``Allow`` header.  Unexpected exceptions become a
+        500 here — the request boundary — rather than per-transport.
+        """
+        try:
+            method = method.upper()
+            if method in ("GET", "HEAD"):
+                response = self.handle(target, headers=headers)
+                return response.head() if method == "HEAD" else response
+            path = urlsplit(target).path.rstrip("/")
+            if method == "DELETE":
+                if path.startswith("/v1/jobs/"):
+                    return self.cancel_job(path[len("/v1/jobs/"):])
+                return Response.error(
+                    405, f"DELETE not supported for {path!r}",
+                    {"Allow": "GET, HEAD"})
+            return Response.error(
+                405, f"method {method} not allowed",
+                {"Allow": self._allow_for(path)})
+        except Exception as exc:  # noqa: BLE001 - request boundary
+            return Response.error(500, f"internal error: {exc}")
+
+    @staticmethod
+    def _allow_for(path: str) -> str:
+        """Methods a target supports (the 405 ``Allow`` header)."""
+        if path.startswith("/v1/jobs/"):
+            return "DELETE, GET, HEAD"
+        return "GET, HEAD"
+
+    def dispatch_fast(self, method: str, target: str,
+                      headers: Optional[dict[str, str]] = None
+                      ) -> Optional[Response]:
+        """Serve a request from the hot tier alone, or return ``None``.
+
+        The asyncio transport calls this on the event loop before
+        paying the executor handoff: a ``GET``/``HEAD`` of a cached
+        endpoint artifact whose key is hot needs no store access, no
+        job queue and no blocking work, so dispatching it inline keeps
+        the dominant production request class off the thread pool
+        entirely.  Anything else — plumbing routes, misses, writes,
+        malformed parameters — returns ``None`` and takes the normal
+        :meth:`dispatch` path, which is the sole source of truth for
+        semantics (a fast-served response must be byte-identical to
+        what ``dispatch`` would have produced; the service test suite
+        asserts exactly that).
+        """
+        method = method.upper()
+        if method not in ("GET", "HEAD") or not self.hot.enabled:
+            return None
+        resolved = self._resolve_target(target)
+        if resolved is None:
+            return None
+        endpoint, key = resolved
+        hot = self.hot.get(key.digest, count_miss=False)
+        if hot is None:
+            return None
+        payload, etag = hot
+        out = {"X-Repro-Cache": "hit", "X-Repro-Source": "hot",
+               "X-Repro-Key": key.digest}
+        lowered = {k.lower(): v for k, v in (headers or {}).items()}
+        response = self._maybe_not_modified(
+            endpoint.name, payload, lowered, out, etag=etag)
+        if response is None:
+            response = Response(200, payload, out)
+        if telemetry.enabled():
+            _REQUESTS.labels(endpoint=endpoint.name,
+                             status=str(response.status)).inc()
+        return response.head() if method == "HEAD" else response
+
+    #: Bound on the request-target memo (hostile-diversity cap).
+    _TARGET_MEMO_MAX = 512
+
+    def _resolve_target(self, target: str):
+        """``(endpoint, ArtifactKey)`` for a well-formed ``/v1`` query
+        target, memoized by the exact target string; ``None`` for
+        anything the fast path must not touch.  Pure: a target always
+        parses to the same key, so entries never go stale."""
+        with self._target_memo_lock:
+            resolved = self._target_memo.get(target)
+            if resolved is not None:
+                self._target_memo.move_to_end(target)
+                return resolved
+        split = urlsplit(target)
+        path = split.path.rstrip("/")
+        if not path.startswith("/v1/"):
+            return None
+        endpoint = ENDPOINTS.get(path[len("/v1/"):])
+        if endpoint is None:
+            return None
+        query = dict(parse_qsl(split.query))
+        try:
+            seed = parse_seed(query, self.default_seed)
+            params = endpoint.parse_params(query)
+        except BadRequest:
+            return None  # slow path owns the 400
+        if query.get("wait", "0") not in ("0", "", "false"):
+            return None  # wait requests may block: never fast-path
+        resolved = (endpoint, endpoint.key(seed, params))
+        with self._target_memo_lock:
+            self._target_memo[target] = resolved
+            while len(self._target_memo) > self._TARGET_MEMO_MAX:
+                self._target_memo.popitem(last=False)
+        return resolved
+
     def handle(self, target: str,
                headers: Optional[dict[str, str]] = None) -> Response:
         """Dispatch one GET by request target (path + query string).
@@ -159,7 +310,9 @@ class ObservatoryService:
             return "endpoints", Response.json(
                 200, {"endpoints": describe()})
         if path == "/v1/store/stats":
-            return "store_stats", Response.json(200, self.store.stats())
+            stats = self.store.stats()
+            stats["hot"] = self.hot.stats()
+            return "store_stats", Response.json(200, stats)
         if path == "/v1/telemetry":
             return "telemetry", Response.json(
                 200, json_safe(telemetry.to_json()),
@@ -176,6 +329,9 @@ class ObservatoryService:
                 return "heartbeat_stream", Response.error(400, str(exc))
         if path == "/v1/heartbeat":
             return "heartbeat", self._heartbeat_status()
+        if path == "/v1/jobs":
+            return "jobs", Response.json(
+                200, self.queue.stats(), {"X-Repro-Cache": "live"})
         if path.startswith("/v1/jobs/"):
             return "jobs", self._job_status(path[len("/v1/jobs/"):])
         if path in ("/v1/fleet/agents", "/v1/fleet/campaigns"):
@@ -227,14 +383,18 @@ class ObservatoryService:
 
     def _maybe_not_modified(self, endpoint_name: str, payload: bytes,
                             headers: dict[str, str],
-                            extra: dict[str, str]
+                            extra: dict[str, str],
+                            etag: Optional[str] = None
                             ) -> Optional[Response]:
         """A 304 for a matching ``If-None-Match``, else ``None``.
 
         The ETag is the payload's content digest — artifacts are
         canonical bytes, so the validator is exact, and the 304 still
-        carries the ETag plus the cache-disposition headers."""
-        etag = self._etag_for(payload)
+        carries the ETag plus the cache-disposition headers.  A hot-
+        tier hit passes the ``etag`` it memoized so the serving path
+        never re-hashes the payload."""
+        if etag is None:
+            etag = self._etag_for(payload)
         extra["ETag"] = etag
         match = headers.get("if-none-match")
         if match and self._etag_matches(match, etag):
@@ -243,27 +403,54 @@ class ObservatoryService:
             return Response(304, b"", extra)
         return None
 
+    def _admit_hot(self, key, payload: bytes, etag: str) -> None:
+        """Admit freshly computed bytes to the hot tier, via the disk.
+
+        The tier must only ever mirror bytes a *verified store read*
+        can reproduce — trusting the write we just issued would let a
+        silently corrupted store entry (``store.corrupt`` in the fault
+        harness, bit rot in life) hide behind good in-memory bytes
+        until eviction, serving 200s while the durable copy is trash.
+        The read-back costs one verified disk read per cold compute;
+        a mismatch (or a quarantined read) simply leaves the key cold,
+        and the next request discovers the damage the normal way."""
+        if not self.hot.enabled:
+            return
+        readback = self.store.get(key)
+        if readback == payload:
+            self.hot.put(key.digest, payload, etag)
+
     # ------------------------------------------------------------------
     def _query(self, endpoint, query: dict[str, str],
                headers: Optional[dict[str, str]] = None) -> Response:
         headers = headers or {}
-        seed_param = query.get("seed")
-        try:
-            seed = int(seed_param) if seed_param is not None \
-                else self.default_seed
-        except ValueError:
-            raise BadRequest(f"parameter 'seed' must be int, "
-                             f"got {seed_param!r}") from None
+        seed = parse_seed(query, self.default_seed)
         params = endpoint.parse_params(query)
         wait = query.get("wait", "0") not in ("0", "", "false")
         key = endpoint.key(seed, params)
         request_path = self._canonical_path(endpoint, seed, params)
 
+        if self.hot.enabled:
+            hot = self.hot.get(key.digest)
+            if hot is not None:
+                payload, etag = hot
+                out = {"X-Repro-Cache": "hit",
+                       "X-Repro-Source": "hot",
+                       "X-Repro-Key": key.digest}
+                not_modified = self._maybe_not_modified(
+                    endpoint.name, payload, headers, out, etag=etag)
+                if not_modified is not None:
+                    return not_modified
+                return Response(200, payload, out)
+
         cached = self.store.get(key)
         if cached is not None:
-            out = {"X-Repro-Cache": "hit", "X-Repro-Key": key.digest}
+            etag = self._etag_for(cached)
+            self.hot.put(key.digest, cached, etag)
+            out = {"X-Repro-Cache": "hit", "X-Repro-Source": "store",
+                   "X-Repro-Key": key.digest}
             not_modified = self._maybe_not_modified(
-                endpoint.name, cached, headers, out)
+                endpoint.name, cached, headers, out, etag=etag)
             if not_modified is not None:
                 return not_modified
             return Response(200, cached, out)
@@ -276,14 +463,21 @@ class ObservatoryService:
                 return self._degraded_response(
                     endpoint, key, seed,
                     f"compute failed: {exc}")
-            out = {"X-Repro-Cache": "miss", "X-Repro-Key": key.digest}
+            out = {"X-Repro-Cache": "miss", "X-Repro-Source": "compute",
+                   "X-Repro-Key": key.digest}
             if degraded is not None:
                 out["X-Repro-Degraded"] = degraded
                 if telemetry.enabled():
                     _DEGRADED.labels(endpoint=endpoint.name,
                                      reason=degraded).inc()
+            etag = self._etag_for(payload)
+            if degraded is None:
+                # Durable in the store, so admissible to the hot tier
+                # — but only through the read-back gate: the tier only
+                # ever mirrors bytes the store verifiably re-serves.
+                self._admit_hot(key, payload, etag)
             not_modified = self._maybe_not_modified(
-                endpoint.name, payload, headers, out)
+                endpoint.name, payload, headers, out, etag=etag)
             if not_modified is not None:
                 return not_modified
             return Response(200, payload, out)
@@ -299,17 +493,26 @@ class ObservatoryService:
                     endpoint, key, seed,
                     f"job {job.state.value}: {job.error}")
             payload = self.store.get(key)
+            from_store = durable = payload is not None
             if payload is None:  # evicted between job end and read
                 try:
-                    payload, _ = self._compute_and_store(
+                    payload, degraded = self._compute_and_store(
                         endpoint, key, seed, params, strict=False)
+                    durable = degraded is None
                 except Exception as exc:  # noqa: BLE001
                     return self._degraded_response(
                         endpoint, key, seed,
                         f"recompute failed: {exc}")
-            out = {"X-Repro-Cache": "miss", "X-Repro-Key": key.digest}
+            out = {"X-Repro-Cache": "miss", "X-Repro-Source": "compute",
+                   "X-Repro-Key": key.digest}
+            etag = self._etag_for(payload)
+            if from_store:
+                # store.get already verified these bytes on disk.
+                self.hot.put(key.digest, payload, etag)
+            elif durable:
+                self._admit_hot(key, payload, etag)
             not_modified = self._maybe_not_modified(
-                endpoint.name, payload, headers, out)
+                endpoint.name, payload, headers, out, etag=etag)
             if not_modified is not None:
                 return not_modified
             return Response(200, payload, out)
@@ -483,8 +686,11 @@ class ObservatoryService:
             _DEGRADED.labels(endpoint=endpoint.name, reason=mode).inc()
         if stale is not None:
             digest, payload = stale
+            # Served under a *different* key than requested, so the
+            # bytes must never populate the hot tier for this key.
             return Response(200, payload,
                             {"X-Repro-Cache": "stale",
+                             "X-Repro-Source": "stale",
                              "X-Repro-Key": key.digest,
                              "X-Repro-Stale-Key": digest,
                              "X-Repro-Degraded": reason})
@@ -517,79 +723,130 @@ class ObservatoryService:
         return f"/v1/{endpoint.name}?" + "&".join(parts)
 
 
+def access_log_entry(method: str, path: str, started: float,
+                     response: Response) -> dict[str, Any]:
+    """One structured access-log record (shared by both transports).
+
+    ``served`` is where the bytes came from — ``hot``/``store``/
+    ``compute`` via ``X-Repro-Source``, falling back to the cache
+    disposition (``stale``/``live``/``miss``) — so cache behavior is
+    debuggable per request, not just in aggregate.
+    """
+    return {
+        "method": method,
+        "path": path,
+        "status": response.status,
+        "latency_ms": round(
+            (time.perf_counter() - started) * 1000.0, 3),
+        "cache": response.headers.get("X-Repro-Cache"),
+        "served": response.headers.get(
+            "X-Repro-Source", response.headers.get("X-Repro-Cache")),
+        "degraded": "X-Repro-Degraded" in response.headers,
+        "bytes": len(response.body),
+    }
+
+
+def write_access_log(access_log: Optional[TextIO],
+                     entry: dict[str, Any]) -> None:
+    if access_log is None:
+        return
+    try:
+        access_log.write(json.dumps(entry, sort_keys=True) + "\n")
+        access_log.flush()
+    except (OSError, ValueError):
+        pass  # a dead log stream must never kill a request
+
+
 def make_handler(service: ObservatoryService,
                  access_log: Optional[TextIO] = None):
     """A ``BaseHTTPRequestHandler`` subclass bound to ``service``.
 
+    Every method funnels through :meth:`ObservatoryService.dispatch`,
+    so the threaded transport carries zero routing logic of its own.
     With ``access_log`` set, every request emits one JSON line to that
     stream: method, path, status, wall-clock latency, the response's
-    cache disposition (``X-Repro-Cache``) and whether it was served
-    degraded — the access-level counterpart of ``/metrics``.
+    cache disposition, where the bytes were served from and whether it
+    was degraded — the access-level counterpart of ``/metrics``.
     """
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         server_version = "repro-observatory"
 
-        def do_GET(self) -> None:  # noqa: N802 - http.server API
+        def _dispatch(self, method: str) -> None:
             started = time.perf_counter()
-            try:
-                response = service.handle(self.path,
-                                          headers=dict(self.headers))
-            except Exception as exc:  # noqa: BLE001 - request boundary
-                response = Response.error(500, f"internal error: {exc}")
+            try:  # drain any body so keep-alive framing stays intact
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                length = 0
+            if length > 0:
+                self.rfile.read(length)
+            response = service.dispatch(method, self.path,
+                                        headers=dict(self.headers))
             self._send(response)
-            self._access("GET", started, response)
+            write_access_log(access_log, access_log_entry(
+                method, self.path, started, response))
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            self._dispatch("GET")
+
+        def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+            self._dispatch("HEAD")
 
         def do_DELETE(self) -> None:  # noqa: N802 - http.server API
-            started = time.perf_counter()
-            path = urlsplit(self.path).path.rstrip("/")
-            if path.startswith("/v1/jobs/"):
-                try:
-                    response = service.cancel_job(
-                        path[len("/v1/jobs/"):])
-                except Exception as exc:  # noqa: BLE001
-                    response = Response.error(
-                        500, f"internal error: {exc}")
-            else:
-                response = Response.error(
-                    404, f"DELETE not supported for {path!r}")
-            self._send(response)
-            self._access("DELETE", started, response)
+            self._dispatch("DELETE")
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            self._dispatch("POST")
+
+        do_PUT = do_PATCH = do_OPTIONS = do_POST
 
         def _send(self, response: Response) -> None:
             self.send_response(response.status)
             for name, value in response.headers.items():
                 self.send_header(name, value)
-            self.send_header("Content-Length", str(len(response.body)))
+            if "Content-Length" not in response.headers:
+                self.send_header("Content-Length",
+                                 str(len(response.body)))
+            # Make connection reuse explicit and symmetric with the
+            # asyncio transport: advertise exactly what will happen.
+            self.send_header(
+                "Connection",
+                "close" if self.close_connection else "keep-alive")
             self.end_headers()
             self.wfile.write(response.body)
-
-        def _access(self, method: str, started: float,
-                    response: Response) -> None:
-            if access_log is None:
-                return
-            entry = {
-                "method": method,
-                "path": self.path,
-                "status": response.status,
-                "latency_ms": round(
-                    (time.perf_counter() - started) * 1000.0, 3),
-                "cache": response.headers.get("X-Repro-Cache"),
-                "degraded": "X-Repro-Degraded" in response.headers,
-                "bytes": len(response.body),
-            }
-            try:
-                access_log.write(json.dumps(entry, sort_keys=True)
-                                 + "\n")
-                access_log.flush()
-            except (OSError, ValueError):
-                pass  # a dead log stream must never kill a request
 
         def log_message(self, format: str, *args) -> None:
             pass  # quiet by default; telemetry carries the signal
 
     return Handler
+
+
+def create_service(store: Optional[ArtifactStore] = None,
+                   job_workers: int = 2,
+                   default_seed: int = 2025,
+                   job_deadline_s: Optional[float] = None,
+                   job_retries: int = 1,
+                   events_dir: Optional[str] = None,
+                   coordinator=None,
+                   hot_cache_bytes: Optional[int] = None
+                   ) -> ObservatoryService:
+    """The transport-agnostic service core, fully wired.
+
+    Both ``create_server`` (threaded) and
+    :func:`repro.service.aserver.create_async_server` build on this,
+    so the store, hot tier, job queue and event-log surface are
+    configured identically regardless of transport.
+    """
+    return ObservatoryService(
+        store=store if store is not None else ArtifactStore(),
+        queue=JobQueue(workers=job_workers,
+                       default_deadline_s=job_deadline_s,
+                       default_max_retries=job_retries),
+        default_seed=default_seed,
+        events_dir=events_dir,
+        coordinator=coordinator,
+        hot_cache_bytes=hot_cache_bytes)
 
 
 def create_server(host: str = "127.0.0.1", port: int = 0,
@@ -600,17 +857,15 @@ def create_server(host: str = "127.0.0.1", port: int = 0,
                   job_retries: int = 1,
                   events_dir: Optional[str] = None,
                   access_log: Optional[TextIO] = None,
-                  coordinator=None
+                  coordinator=None,
+                  hot_cache_bytes: Optional[int] = None
                   ) -> tuple[ThreadingHTTPServer, ObservatoryService]:
     """A bound (not yet serving) HTTP server plus its service core."""
-    service = ObservatoryService(
-        store=store if store is not None else ArtifactStore(),
-        queue=JobQueue(workers=job_workers,
-                       default_deadline_s=job_deadline_s,
-                       default_max_retries=job_retries),
-        default_seed=default_seed,
-        events_dir=events_dir,
-        coordinator=coordinator)
+    service = create_service(
+        store=store, job_workers=job_workers,
+        default_seed=default_seed, job_deadline_s=job_deadline_s,
+        job_retries=job_retries, events_dir=events_dir,
+        coordinator=coordinator, hot_cache_bytes=hot_cache_bytes)
     httpd = ThreadingHTTPServer((host, port),
                                 make_handler(service, access_log))
     httpd.daemon_threads = True

@@ -113,6 +113,37 @@ class ArtifactStore:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Callbacks fired (outside the lock) with each key digest the
+        #: store stops serving — eviction, GC, ``clear`` or quarantine.
+        #: The service's in-memory hot tier subscribes here so a hot
+        #: entry can never outlive its durable artifact.
+        self._invalidation_hooks: list[Callable[[str], None]] = []
+        self._pending_invalidations: list[str] = []
+
+    # -- invalidation fan-out ------------------------------------------
+    def add_invalidation_hook(self,
+                              hook: Callable[[str], None]) -> None:
+        """Register ``hook(key_digest)`` for every dropped entry."""
+        self._invalidation_hooks.append(hook)
+
+    def _invalidated(self, key_digest: str) -> None:
+        """Record a dropped digest (lock held; delivered after)."""
+        if self._invalidation_hooks:
+            self._pending_invalidations.append(key_digest)
+
+    def _flush_invalidations(self) -> None:
+        """Deliver pending invalidations (must NOT hold the lock)."""
+        if not self._pending_invalidations:
+            return
+        with self._lock:
+            pending, self._pending_invalidations = \
+                self._pending_invalidations, []
+        for digest in pending:
+            for hook in self._invalidation_hooks:
+                try:
+                    hook(digest)
+                except Exception:  # noqa: BLE001 - hooks must not
+                    pass           # break store operations
 
     # -- paths ---------------------------------------------------------
     def _payload_path(self, key_digest: str) -> pathlib.Path:
@@ -127,6 +158,7 @@ class ArtifactStore:
         key_digest = key.digest
         with self._lock:
             payload = self._read_verified(key_digest)
+        self._flush_invalidations()
         if payload is None:
             self.misses += 1
             if telemetry.enabled():
@@ -170,6 +202,7 @@ class ArtifactStore:
                 json.dumps(meta, sort_keys=True).encode())
             self._evict_over_cap()
             size = self._total_bytes()
+        self._flush_invalidations()
         if telemetry.enabled():
             _WRITES.labels(kind=key.kind).inc()
             _BYTES.set(size)
@@ -183,7 +216,9 @@ class ArtifactStore:
         hit/miss counters — a stale read is neither.
         """
         with self._lock:
-            return self._read_verified(key_digest)
+            payload = self._read_verified(key_digest)
+        self._flush_invalidations()
+        return payload
 
     def get_or_build(self, key: ArtifactKey,
                      build: Callable[[], bytes]) -> tuple[bytes, bool]:
@@ -217,6 +252,7 @@ class ArtifactStore:
             evicted = self._evict_over_cap(
                 self.max_bytes if max_bytes is None else int(max_bytes))
             size = self._total_bytes()
+        self._flush_invalidations()
         if telemetry.enabled():
             _BYTES.set(size)
         return evicted
@@ -267,6 +303,7 @@ class ArtifactStore:
         with self._lock:
             for entry in list(self._iter_entries()):
                 self._remove(entry.key_digest)
+        self._flush_invalidations()
         if telemetry.enabled():
             _BYTES.set(0)
 
@@ -347,6 +384,7 @@ class ArtifactStore:
                 path.unlink()
             except OSError:
                 pass
+        self._invalidated(key_digest)
 
     def _quarantine(self, key_digest: str) -> None:
         """Move a corrupt entry aside instead of destroying evidence."""
@@ -359,5 +397,7 @@ class ArtifactStore:
                 moved = True
             except OSError:
                 pass
-        if moved and telemetry.enabled():
-            _QUARANTINED.inc()
+        if moved:
+            self._invalidated(key_digest)
+            if telemetry.enabled():
+                _QUARANTINED.inc()

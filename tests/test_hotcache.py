@@ -1,0 +1,177 @@
+"""repro.service.hotcache: the bounded in-memory hot tier.
+
+Unit-level contracts: exact byte accounting under the LRU budget,
+recency ordering, oversized-payload refusal, invalidation, the
+disabled (0-byte) mode, and thread safety under a concurrent hammer.
+The *composition* contracts — byte identity with disk and cold reads,
+304s, degraded serving, store-hook invalidation — live in
+``tests/test_service.py::TestHotTierComposition``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.hotcache import HotCache
+
+
+def _etag(payload: bytes) -> str:
+    return f'"{payload.hex()}"'
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        cache = HotCache(max_bytes=1024)
+        assert cache.get("k1") is None
+        cache.put("k1", b"payload", _etag(b"payload"))
+        assert cache.get("k1") == (b"payload", _etag(b"payload"))
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_put_same_key_replaces_accounting(self):
+        cache = HotCache(max_bytes=1024)
+        cache.put("k", b"aaaa", "a")
+        cache.put("k", b"bb", "b")
+        assert cache.total_bytes() == 2
+        assert len(cache) == 1
+        assert cache.get("k") == (b"bb", "b")
+
+    def test_len_and_stats(self):
+        cache = HotCache(max_bytes=100)
+        cache.put("a", b"x" * 10, "a")
+        cache.put("b", b"y" * 20, "b")
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] == 30
+        assert stats["max_bytes"] == 100
+        assert stats["enabled"] is True
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_first(self):
+        cache = HotCache(max_bytes=30)
+        cache.put("a", b"x" * 10, "a")
+        cache.put("b", b"y" * 10, "b")
+        cache.put("c", b"z" * 10, "c")
+        assert len(cache) == 3
+        cache.put("d", b"w" * 10, "d")     # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("d") is not None
+        assert cache.evictions == 1
+
+    def test_get_bumps_recency(self):
+        cache = HotCache(max_bytes=30)
+        cache.put("a", b"x" * 10, "a")
+        cache.put("b", b"y" * 10, "b")
+        cache.put("c", b"z" * 10, "c")
+        cache.get("a")                      # "b" is now the LRU
+        cache.put("d", b"w" * 10, "d")
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_oversized_payload_never_admitted(self):
+        cache = HotCache(max_bytes=8)
+        cache.put("small", b"1234", "s")
+        cache.put("huge", b"x" * 64, "h")  # larger than the budget
+        assert cache.get("huge") is None
+        assert cache.get("small") is not None  # working set survived
+        assert cache.total_bytes() == 4
+
+    def test_byte_accounting_exact_after_churn(self):
+        cache = HotCache(max_bytes=50)
+        for i in range(40):
+            cache.put(f"k{i}", bytes(i % 13), f"e{i}")
+        expected = 0
+        live = 0
+        for i in range(40):
+            entry = cache.get(f"k{i}")
+            if entry is not None:
+                expected += len(entry[0])
+                live += 1
+        assert cache.total_bytes() == expected
+        assert len(cache) == live
+        assert cache.total_bytes() <= 50
+
+
+class TestInvalidation:
+    def test_invalidate_drops_entry_and_bytes(self):
+        cache = HotCache(max_bytes=100)
+        cache.put("a", b"x" * 10, "a")
+        assert cache.invalidate("a") is True
+        assert cache.get("a") is None
+        assert cache.total_bytes() == 0
+        assert cache.invalidations == 1
+
+    def test_invalidate_unknown_key_is_noop(self):
+        cache = HotCache(max_bytes=100)
+        assert cache.invalidate("ghost") is False
+        assert cache.invalidations == 0
+
+    def test_clear_counts_invalidations(self):
+        cache = HotCache(max_bytes=100)
+        cache.put("a", b"1", "a")
+        cache.put("b", b"2", "b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.total_bytes() == 0
+        assert cache.invalidations == 2
+
+
+class TestDisabled:
+    def test_zero_budget_disables(self):
+        cache = HotCache(max_bytes=0)
+        assert cache.enabled is False
+        cache.put("k", b"data", "e")
+        assert cache.get("k") is None
+        assert len(cache) == 0
+        assert cache.stats()["enabled"] is False
+
+    def test_negative_budget_disables(self):
+        cache = HotCache(max_bytes=-1)
+        assert cache.enabled is False
+
+
+class TestThreadSafety:
+    def test_concurrent_hammer_keeps_invariants(self):
+        """Many threads get/put/invalidate concurrently; afterwards
+        the byte ledger must exactly match the surviving entries and
+        never have exceeded the budget by observation."""
+        cache = HotCache(max_bytes=4096)
+        payloads = {f"key-{i}": bytes([i % 251]) * (i % 97 + 1)
+                    for i in range(64)}
+        errors: list[BaseException] = []
+        start = threading.Barrier(8)
+
+        def hammer(worker: int) -> None:
+            try:
+                start.wait(timeout=10)
+                for round_ in range(300):
+                    key = f"key-{(worker * 131 + round_) % 64}"
+                    payload = payloads[key]
+                    entry = cache.get(key)
+                    if entry is not None:
+                        got, etag = entry
+                        assert got == payload, "corrupted payload"
+                        assert etag == key, "etag mismatch"
+                    else:
+                        cache.put(key, payload, key)
+                    if round_ % 17 == 0:
+                        cache.invalidate(key)
+                    assert 0 <= cache.total_bytes() <= 4096
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+
+        # Final ledger: stored bytes equal the sum of live payloads.
+        live = sum(len(payloads[k]) for k in payloads
+                   if cache.get(k) is not None)
+        assert cache.total_bytes() == live
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] > 0

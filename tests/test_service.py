@@ -1,9 +1,11 @@
 """repro.service: HTTP API, job queue, and cache determinism.
 
 The server under test runs in-process on an ephemeral port with a
-fresh store per test class, so these are real socket round-trips
-through ``ThreadingHTTPServer`` — the same path CI's smoke job and
-``scripts/bench_service.py`` exercise.
+fresh store per test module, so these are real socket round-trips.
+The ``server`` fixture is parametrized over *both* HTTP transports —
+threaded ``ThreadingHTTPServer`` and the asyncio server — so every
+test in this file proves the two stay behaviorally identical behind
+the shared :meth:`ObservatoryService.dispatch` handler core.
 """
 
 from __future__ import annotations
@@ -16,7 +18,12 @@ import urllib.request
 
 import pytest
 
-from repro.service import JobState, create_server
+from repro.service import (
+    AsyncServerThread,
+    JobState,
+    create_server,
+    create_service,
+)
 from repro.service.endpoints import ENDPOINTS, BadRequest
 from repro.service.jobs import JobQueue
 from repro.store import ArtifactStore
@@ -26,19 +33,30 @@ from repro.store import ArtifactStore
 SEED = 2025
 
 
-@pytest.fixture(scope="module")
-def server(tmp_path_factory):
+@pytest.fixture(scope="module", params=["threaded", "async"])
+def server(request, tmp_path_factory):
     store = ArtifactStore(root=tmp_path_factory.mktemp("store"),
                           max_bytes=32 * 1024 * 1024)
-    httpd, service = create_server(port=0, store=store, job_workers=2,
-                                   default_seed=SEED)
-    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
-    thread.start()
-    port = httpd.server_address[1]
-    yield f"http://127.0.0.1:{port}", service
-    httpd.shutdown()
-    httpd.server_close()
-    service.queue.shutdown()
+    if request.param == "threaded":
+        httpd, service = create_server(port=0, store=store,
+                                       job_workers=2,
+                                       default_seed=SEED)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        port = httpd.server_address[1]
+        yield f"http://127.0.0.1:{port}", service
+        httpd.shutdown()
+        httpd.server_close()
+        service.queue.shutdown()
+    else:
+        service = create_service(store=store, job_workers=2,
+                                 default_seed=SEED)
+        runner = AsyncServerThread(service)
+        host, port = runner.start()
+        yield f"http://{host}:{port}", service
+        runner.stop()
+        service.queue.shutdown()
 
 
 def _get(base: str, path: str):
@@ -327,6 +345,369 @@ class TestConditionalRequests:
         finally:
             if not enabled_before:
                 telemetry.disable()
+
+
+# ----------------------------------------------------------------------
+def _request(base: str, path: str, method: str,
+             headers: dict[str, str] | None = None):
+    """Any-method request; non-2xx statuses return, never raise."""
+    req = urllib.request.Request(base + path, headers=headers or {},
+                                 method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+class TestMethodSemantics:
+    def test_head_matches_get_headers_no_body(self, server):
+        base, _ = server
+        path = f"/v1/summary?seed={SEED}"
+        _, get_headers, body = _get(base, path)
+        status, head_headers, head_body = _request(base, path, "HEAD")
+        assert status == 200
+        assert head_body == b""
+        assert head_headers["ETag"] == get_headers["ETag"]
+        assert head_headers["X-Repro-Cache"] == "hit"
+        assert head_headers["X-Repro-Key"] == get_headers["X-Repro-Key"]
+        # Content-Length advertises the entity, not the empty body.
+        assert int(head_headers["Content-Length"]) == len(body)
+
+    def test_head_on_plumbing_routes(self, server):
+        base, _ = server
+        for path in ("/healthz", "/metrics", "/v1/endpoints",
+                     "/v1/store/stats", "/v1/jobs"):
+            _, get_headers, body = _get(base, path)
+            status, headers, head_body = _request(base, path, "HEAD")
+            assert status == 200, path
+            assert head_body == b"", path
+            assert int(headers["Content-Length"]) > 0, path
+            assert headers["Content-Type"] \
+                == get_headers["Content-Type"], path
+
+    def test_unsupported_methods_405_with_allow(self, server):
+        base, _ = server
+        for method in ("POST", "PUT", "PATCH"):
+            status, headers, body = _request(
+                base, f"/v1/summary?seed={SEED}", method)
+            assert status == 405, method
+            assert headers["Allow"] == "GET, HEAD", method
+            assert json.loads(body)["status"] == 405
+        # The jobs resource additionally allows DELETE (cancel).
+        status, headers, _ = _request(base, "/v1/jobs/deadbeef", "POST")
+        assert status == 405
+        assert headers["Allow"] == "DELETE, GET, HEAD"
+
+    def test_delete_outside_jobs_405_with_allow(self, server):
+        base, _ = server
+        status, headers, _ = _request(base, "/v1/summary", "DELETE")
+        assert status == 405
+        assert headers["Allow"] == "GET, HEAD"
+
+    def test_delete_cancels_job_still_works(self, server):
+        base, _ = server
+        # An unknown job id is a 404 (route exists, resource doesn't).
+        status, _, _ = _request(base, "/v1/jobs/feedface", "DELETE")
+        assert status == 404
+
+    def test_jobs_index_lists_queue(self, server):
+        base, _ = server
+        status, headers, body = _get(base, "/v1/jobs")
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "live"
+        doc = json.loads(body)
+        assert set(doc) >= {"jobs", "counts", "workers_alive"}
+        assert doc["workers_alive"] >= 1
+
+    def test_connection_header_explicit(self, server):
+        base, _ = server
+        _, headers, _ = _get(base, "/healthz")
+        # urllib sends "Connection: close", and both transports must
+        # honor and echo it rather than silently keeping the socket.
+        assert headers["Connection"] == "close"
+
+
+# ----------------------------------------------------------------------
+class TestHotTierComposition:
+    """The in-memory hot tier composes with every serving feature."""
+
+    @pytest.fixture()
+    def hot_server(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store",
+                              max_bytes=32 * 1024 * 1024)
+        httpd, service = create_server(port=0, store=store,
+                                       job_workers=1,
+                                       default_seed=SEED)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{httpd.server_address[1]}", service
+        httpd.shutdown()
+        httpd.server_close()
+        service.queue.shutdown()
+
+    def test_hot_store_and_cold_serve_identical_bytes(self, hot_server):
+        base, service = hot_server
+        path = f"/v1/summary?seed={SEED}"
+        _, h_cold, cold = _get(base, path)            # compute
+        _, h_hot, hot = _get(base, path)              # hot tier
+        service.hot.clear()
+        _, h_store, store_read = _get(base, path)     # disk store
+        assert h_cold["X-Repro-Source"] == "compute"
+        assert h_hot["X-Repro-Source"] == "hot"
+        assert h_store["X-Repro-Source"] == "store"
+        assert cold == hot == store_read
+        assert h_cold["ETag"] == h_hot["ETag"] == h_store["ETag"]
+
+    def test_304_served_from_hot_tier(self, hot_server):
+        base, service = hot_server
+        path = f"/v1/summary?seed={SEED}"
+        _, headers, _ = _get(base, path)
+        status, h304, body = _request(base, path, "GET",
+                                      {"If-None-Match": headers["ETag"]})
+        assert status == 304
+        assert body == b""
+        assert h304["X-Repro-Source"] == "hot"
+        assert h304["ETag"] == headers["ETag"]
+
+    def test_store_clear_invalidates_hot_tier(self, hot_server):
+        base, service = hot_server
+        path = f"/v1/summary?seed={SEED}"
+        _, _, first = _get(base, path)
+        assert len(service.hot) == 1
+        service.store.clear()
+        assert len(service.hot) == 0          # invalidation hook fired
+        _, headers, second = _get(base, path)
+        assert headers["X-Repro-Cache"] == "miss"
+        assert first == second                # recompute, same bytes
+
+    def test_store_gc_invalidates_hot_tier(self, hot_server):
+        base, service = hot_server
+        _, _, _ = _get(base, f"/v1/summary?seed={SEED}")
+        assert len(service.hot) == 1
+        service.store.gc(max_bytes=0)
+        assert len(service.hot) == 0
+
+    def test_lru_eviction_under_tiny_cap(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store")
+        service = create_service(store=store, job_workers=1,
+                                 default_seed=SEED)
+        try:
+            first = service.handle(f"/v1/summary?seed={SEED}")
+            second = service.handle(
+                f"/v1/placement?seed={SEED}&budget=2")
+            assert len(service.hot) == 2
+            # Shrink the budget below the resident set: the next
+            # admit evicts from the LRU end until it fits.
+            service.hot.max_bytes = \
+                len(first.body) + len(second.body) - 1
+            service.handle(f"/v1/placement?seed={SEED}&budget=3")
+            assert service.hot.evictions >= 1
+            assert service.hot.total_bytes() <= service.hot.max_bytes
+            # Evicted keys re-serve from the store, byte-identical.
+            again = service.handle(f"/v1/summary?seed={SEED}")
+            assert again.headers["X-Repro-Source"] == "store"
+            assert again.body == first.body
+        finally:
+            service.queue.shutdown()
+
+    def test_degraded_compute_never_populates_hot(self, tmp_path):
+        from repro import faults
+
+        store = ArtifactStore(root=tmp_path / "store")
+        service = create_service(store=store, job_workers=1,
+                                 default_seed=SEED)
+        try:
+            faults.configure("seed=3,store.write_error=1x1")
+            response = service.handle(f"/v1/summary?seed={SEED}")
+            assert response.status == 200
+            assert response.headers["X-Repro-Degraded"] \
+                == "store-write-failed"
+            assert len(service.hot) == 0   # nothing durable => not hot
+        finally:
+            faults.configure(None)
+            service.queue.shutdown()
+
+    def test_corrupt_write_never_populates_hot(self, tmp_path):
+        # The admit path reads the bytes back from disk before the
+        # tier takes them: a silently corrupted write must leave the
+        # key cold so the next request discovers the damage instead
+        # of serving good memory over a rotten durable copy.
+        from repro import faults
+
+        store = ArtifactStore(root=tmp_path / "store")
+        service = create_service(store=store, job_workers=1,
+                                 default_seed=SEED)
+        try:
+            faults.configure("seed=2,store.corrupt=1x1")
+            first = service.handle(f"/v1/summary?seed={SEED}")
+            assert first.status == 200
+            assert len(service.hot) == 0   # read-back caught it
+            faults.configure(None)
+            second = service.handle(f"/v1/summary?seed={SEED}")
+            assert second.headers["X-Repro-Cache"] == "miss"
+            assert second.body == first.body
+            assert len(service.hot) == 1   # clean write admits
+        finally:
+            faults.configure(None)
+            service.queue.shutdown()
+
+    def test_stale_serving_bypasses_hot_tier(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store")
+        service = create_service(store=store, job_workers=1,
+                                 default_seed=SEED)
+        try:
+            endpoint = ENDPOINTS["summary"]
+            # A durable artifact exists for another seed only.
+            service.handle(f"/v1/summary?seed={SEED}")
+            service.hot.clear()
+            key = endpoint.key(SEED + 1, {})
+            response = service._degraded_response(
+                endpoint, key, SEED + 1, "injected failure")
+            assert response.status == 200
+            assert response.headers["X-Repro-Source"] == "stale"
+            assert response.headers["X-Repro-Degraded"]
+            # The stale bytes answer a *different* key — they must
+            # not be admitted under the requested one.
+            assert len(service.hot) == 0
+        finally:
+            service.queue.shutdown()
+
+    def test_disabled_hot_tier_serves_from_store(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store")
+        service = create_service(store=store, job_workers=1,
+                                 default_seed=SEED, hot_cache_bytes=0)
+        try:
+            cold = service.handle(f"/v1/summary?seed={SEED}")
+            warm = service.handle(f"/v1/summary?seed={SEED}")
+            assert warm.headers["X-Repro-Source"] == "store"
+            assert warm.body == cold.body
+            assert len(service.hot) == 0
+        finally:
+            service.queue.shutdown()
+
+
+# ----------------------------------------------------------------------
+class TestDispatchFast:
+    """The asyncio transport's event-loop fast path.
+
+    ``dispatch_fast`` may only answer what ``dispatch`` would have
+    answered byte-for-byte, and must decline (return ``None``)
+    everything else — misses, plumbing routes, writes, bad input."""
+
+    @pytest.fixture()
+    def service(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store")
+        service = create_service(store=store, job_workers=1,
+                                 default_seed=SEED)
+        yield service
+        service.queue.shutdown()
+
+    def test_hot_hit_identical_to_dispatch(self, service):
+        path = f"/v1/summary?seed={SEED}"
+        service.handle(path)                       # make the key hot
+        fast = service.dispatch_fast("GET", path)
+        slow = service.dispatch("GET", path)
+        assert fast is not None
+        assert (fast.status, fast.body, fast.headers) \
+            == (slow.status, slow.body, slow.headers)
+
+    def test_head_hot_hit_identical_to_dispatch(self, service):
+        path = f"/v1/summary?seed={SEED}"
+        service.handle(path)
+        fast = service.dispatch_fast("HEAD", path)
+        slow = service.dispatch("HEAD", path)
+        assert fast is not None
+        assert fast.body == b""
+        assert (fast.status, fast.headers) \
+            == (slow.status, slow.headers)
+
+    def test_304_identical_to_dispatch(self, service):
+        path = f"/v1/summary?seed={SEED}"
+        etag = service.handle(path).headers["ETag"]
+        headers = {"If-None-Match": etag}
+        fast = service.dispatch_fast("GET", path, headers)
+        slow = service.dispatch("GET", path, headers)
+        assert fast is not None and fast.status == 304
+        assert (fast.status, fast.body, fast.headers) \
+            == (slow.status, slow.body, slow.headers)
+
+    def test_declines_everything_it_must(self, service):
+        path = f"/v1/summary?seed={SEED}"
+        assert service.dispatch_fast("GET", path) is None  # cold
+        service.handle(path)
+        declined = [
+            ("POST", path),                     # write method
+            ("DELETE", path),                   # write method
+            ("GET", "/healthz"),                # plumbing route
+            ("GET", "/v1/jobs"),                # live route
+            ("GET", "/v1/nope?seed=1"),         # unknown endpoint
+            ("GET", f"/v1/summary?seed={SEED}&bogus=1"),   # 400s
+            ("GET", f"/v1/summary?seed={SEED}&wait=1"),    # may block
+            ("GET", f"/v1/summary?seed={SEED + 7}"),       # cold key
+        ]
+        for method, target in declined:
+            assert service.dispatch_fast(method, target) is None, \
+                (method, target)
+
+    def test_declines_when_tier_disabled(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store")
+        service = create_service(store=store, job_workers=1,
+                                 default_seed=SEED, hot_cache_bytes=0)
+        try:
+            path = f"/v1/summary?seed={SEED}"
+            service.handle(path)
+            assert service.dispatch_fast("GET", path) is None
+        finally:
+            service.queue.shutdown()
+
+    def test_probe_miss_not_double_counted(self, service):
+        path = f"/v1/summary?seed={SEED}"
+        before = service.hot.misses
+        assert service.dispatch_fast("GET", path) is None  # probe
+        assert service.hot.misses == before  # slow path owns the count
+
+
+# ----------------------------------------------------------------------
+class TestSnapshotEndpoint:
+    """/v1/snapshot publishes raw records without ground truth."""
+
+    def test_payload_shape_and_no_ground_truth_leak(self):
+        endpoint = ENDPOINTS["snapshot"]
+        doc = endpoint.payload(SEED, endpoint.parse_params(
+            {"pairs": "20"}))
+        result = doc["result"]
+        assert result["pairs"] == len(result["traceroutes"]) > 0
+        record = result["traceroutes"][0]
+        assert {"probe_id", "src_asn", "src_country", "dst_probe_id",
+                "dst_asn", "target_ip", "reached", "bytes_used",
+                "hops"} <= set(record)
+        for tr in result["traceroutes"]:
+            for hop in tr["hops"]:
+                # Wire-visible fields only: the simulator's hidden
+                # per-hop AS/country labels must never be published.
+                assert set(hop) == {"ttl", "ip", "rtt_ms"}
+
+    def test_deterministic_in_seed_and_params(self):
+        from repro.store import canonical_bytes
+        endpoint = ENDPOINTS["snapshot"]
+        params = endpoint.parse_params({"pairs": "20"})
+        a = canonical_bytes(endpoint.payload(SEED, params))
+        b = canonical_bytes(endpoint.payload(SEED, params))
+        assert a == b
+
+    def test_listed_and_served(self, server):
+        base, _ = server
+        _, _, body = _get(base, "/v1/endpoints")
+        names = [e["name"] for e in json.loads(body)["endpoints"]]
+        assert "snapshot" in names
+        status, headers, body = _get(
+            base, f"/v1/snapshot?seed={SEED}&pairs=20&wait=1")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["result"]["pairs"] == len(
+            doc["result"]["traceroutes"])
 
 
 # ----------------------------------------------------------------------

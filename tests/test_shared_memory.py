@@ -130,6 +130,47 @@ class TestCompiledShare:
                 assert ours.next_hop.tobytes() == ref.next_hop.tobytes()
         assert _no_segments()
 
+    def test_start_offsets_shared_by_identity(self, topo):
+        """The ``array('q')`` row offsets are never re-materialised:
+        the share's view holds the compiled topology's *own* offset
+        arrays (fork-inherited, not copied into the block), and a
+        scenario copy built with ``extended()`` shares them too for
+        every role its edit does not touch."""
+        compiled = BGPRouting(topo).compiled
+        with compiled.share() as share:
+            view = share.view()
+            assert view.providers.start is compiled.providers.start
+            assert view.customers.start is compiled.customers.start
+            assert view.peers.start is compiled.peers.start
+            # An empty extension shares all three roles outright...
+            same = compiled.extended([])
+            assert same.providers.start is compiled.providers.start
+            assert same.peers.start is compiled.peers.start
+            # ...and its share's view still aliases the base offsets.
+            with same.share() as share2:
+                view2 = share2.view()
+                assert view2.providers.start \
+                    is compiled.providers.start
+        assert _no_segments()
+
+    def test_block_holds_only_edge_columns(self, topo):
+        """Offset columns stay out of shared memory: the block budget
+        is exactly the six nbr/ixp edge columns."""
+        compiled = BGPRouting(topo).compiled
+        edge_bytes = sum(
+            csr.nbr.itemsize * len(csr.nbr)
+            + csr.ixp.itemsize * len(csr.ixp)
+            for csr in (compiled.providers, compiled.customers,
+                        compiled.peers))
+        offset_bytes = sum(
+            csr.start.itemsize * len(csr.start)
+            for csr in (compiled.providers, compiled.customers,
+                        compiled.peers))
+        with compiled.share() as share:
+            assert share.nbytes >= edge_bytes
+            assert share.nbytes < edge_bytes + offset_bytes
+        assert _no_segments()
+
     def test_store_roundtrip(self, topo):
         compiled = BGPRouting(topo).compiled
         dst = sorted(topo.ases)[3]
